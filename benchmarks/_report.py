@@ -1,0 +1,100 @@
+"""Shared reporting for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it prints
+the same rows/series the paper reports and also writes them under
+``benchmarks/results/`` so runs leave an inspectable record.  Absolute
+numbers come from this repository's simulators (see DESIGN.md's
+substitution table); the asserted properties are the paper's qualitative
+shapes — who wins, by roughly what factor, where crossovers fall.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, lines: Iterable[str]) -> str:
+    """Print a report block and persist it to benchmarks/results/<name>.txt."""
+    text = "\n".join(lines)
+    block = f"\n===== {name} =====\n{text}\n"
+    print(block)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> list:
+    """Fixed-width table rows (headers first) for write_report."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    out = []
+    for i, row in enumerate(cells):
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return out
+
+
+def write_json(name: str, data) -> None:
+    """Persist machine-readable experiment data next to the text report."""
+    import json
+
+    def default(obj):
+        if hasattr(obj, "as_dict"):
+            return obj.as_dict()
+        if hasattr(obj, "__dict__"):
+            return obj.__dict__
+        return str(obj)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(data, indent=2, default=default) + "\n")
+
+
+def ascii_scatter(xs, ys, width: int = 64, height: int = 18,
+                  logx: bool = False, logy: bool = False,
+                  marks=None, xlabel: str = "x", ylabel: str = "y") -> list:
+    """Render an ASCII scatter plot (for figure-style benchmark reports).
+
+    *marks* optionally supplies a one-character marker per point.
+    """
+    import math
+
+    def tx(v, log):
+        return math.log10(v) if log else v
+
+    pts = [(tx(x, logx), tx(y, logy)) for x, y in zip(xs, ys)]
+    if not pts:
+        return ["(no points)"]
+    x_lo = min(p[0] for p in pts)
+    x_hi = max(p[0] for p in pts)
+    y_lo = min(p[1] for p in pts)
+    y_hi = max(p[1] for p in pts)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for i, (px, py) in enumerate(pts):
+        col = int((px - x_lo) / x_span * (width - 1))
+        row = (height - 1) - int((py - y_lo) / y_span * (height - 1))
+        mark = marks[i] if marks else "*"
+        grid[row][col] = mark
+    lines = [f"{ylabel}  (top={ys and max(ys):.3g}, bottom={min(ys):.3g}"
+             f"{', log' if logy else ''})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f"  {xlabel}: {min(xs):.3g} .. {max(xs):.3g}"
+                 f"{' (log)' if logx else ''}")
+    return lines
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

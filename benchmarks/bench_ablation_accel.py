@@ -1,0 +1,59 @@
+"""Ablation — which accelerator module's parallelism buys the most time.
+
+Starting from the Figure 6 operating point, halves and doubles each
+module's processing elements in isolation and measures encryption latency.
+The NTT/INTT butterflies dominate the pipeline, so their parallelism is the
+most valuable — the reason prior NTT-only accelerators (HEAX, FPGAs) help
+at all, and why CHOCO-TACO still replicates *every* stage (the remaining
+40% otherwise bounds the speedup, Figure 2).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from _report import format_table, write_report
+from conftest import run_once
+
+from repro.accel.design import AcceleratorModel, CHOCO_TACO_CONFIG
+
+MODULES = ("prng_lanes", "ntt_pes", "intt_pes", "dyadic_pes", "add_pes",
+           "modswitch_pes", "encode_pes")
+
+
+def _sensitivity():
+    base = AcceleratorModel(CHOCO_TACO_CONFIG, 8192, 3).encrypt_cost().time_s
+    out = {}
+    for module in MODULES:
+        current = getattr(CHOCO_TACO_CONFIG, module)
+        halved = replace(CHOCO_TACO_CONFIG, **{module: max(1, current // 2)})
+        doubled = replace(CHOCO_TACO_CONFIG, **{module: current * 2})
+        out[module] = {
+            "half": AcceleratorModel(halved, 8192, 3).encrypt_cost().time_s / base,
+            "double": AcceleratorModel(doubled, 8192, 3).encrypt_cost().time_s / base,
+        }
+    return base, out
+
+
+def test_ablation_module_sensitivity(benchmark):
+    base, sens = run_once(benchmark, _sensitivity)
+
+    rows = [(m, f"{v['half']:.3f}x", f"{v['double']:.3f}x")
+            for m, v in sens.items()]
+    write_report("ablation_accel_modules", format_table(
+        ["Module (PEs halved/doubled)", "Halved time", "Doubled time"], rows))
+
+    # Halving any module never speeds things up; doubling never slows down.
+    for m, v in sens.items():
+        assert v["half"] >= 0.999, m
+        assert v["double"] <= 1.001, m
+
+    # Butterfly parallelism (NTT + INTT) is the biggest single lever.
+    slowdowns = {m: v["half"] for m, v in sens.items()}
+    butterfly_hit = max(slowdowns["ntt_pes"], slowdowns["intt_pes"])
+    for m in ("dyadic_pes", "add_pes", "modswitch_pes"):
+        assert butterfly_hit >= slowdowns[m], m
+
+    # But no single module is the whole story: even doubling the butterflies
+    # leaves most of the latency (the comprehensive-acceleration argument).
+    assert sens["intt_pes"]["double"] > 0.75

@@ -1,0 +1,79 @@
+"""Ablation — distance-kernel choice as the database scales.
+
+Figure 11 fixes a few (dims, points) cases; this ablation sweeps the point
+count to locate where each packing's costs come from.  The collapsed
+kernel's client advantage over point-major grows linearly with the point
+count (one downloaded ciphertext instead of n), while its extra server work
+grows with the points packed per ciphertext.
+"""
+
+import numpy as np
+import pytest
+
+from _report import format_table, write_report
+from conftest import run_once
+
+from repro.core.distance import (
+    CollapsedPointMajorKernel,
+    DistanceProblem,
+    PointMajorKernel,
+    StackedPointMajorKernel,
+)
+
+
+def _sweep(ckks_small):
+    ctx = ckks_small
+    rng = np.random.default_rng(4)
+    out = []
+    for n_points in (4, 8, 16, 32):
+        problem = DistanceProblem(n_points=n_points, dims=4)
+        points = rng.uniform(-1, 1, (n_points, 4))
+        query = rng.uniform(-1, 1, 4)
+        row = {"n": n_points}
+        for cls in (PointMajorKernel, StackedPointMajorKernel,
+                    CollapsedPointMajorKernel):
+            kernel = cls(ctx, problem)
+            ctx.make_galois_keys(kernel.required_rotation_steps())
+            before = dict(ctx.counts)
+            outs = kernel.compute(kernel.encrypt_points(points),
+                                  kernel.encrypt_query(query))
+            delta = {op: ctx.counts[op] - before.get(op, 0)
+                     for op in ctx.counts}
+            got = kernel.decode([np.real(ctx.decrypt(ct)) for ct in outs])
+            assert np.allclose(got, kernel.reference(points, query),
+                               atol=0.1), (cls.name, n_points)
+            row[cls.name] = {
+                "down": len(outs),
+                "server_mults": delta.get("multiply_plain", 0),
+                "server_rots": delta.get("rotate", 0),
+            }
+        out.append(row)
+    return out
+
+
+def test_ablation_distance_scaling(benchmark, ckks_small):
+    sweep = run_once(benchmark, _sweep, ckks_small)
+
+    rows = []
+    for row in sweep:
+        for name in ("point-major", "stacked-point", "collapsed"):
+            d = row[name]
+            rows.append((row["n"], name, d["down"], d["server_mults"],
+                         d["server_rots"]))
+    write_report("ablation_distance", format_table(
+        ["Points", "Variant", "Output cts", "Server mults", "Server rots"],
+        rows))
+
+    for row in sweep:
+        pm, st, col = (row["point-major"], row["stacked-point"],
+                       row["collapsed"])
+        # Point-major's downloads grow with n; collapsed stays at 1.
+        assert pm["down"] == row["n"]
+        assert col["down"] == 1
+        # The collapse pass costs extra masking multiplies over stacking...
+        assert col["server_mults"] > st["server_mults"]
+    # ...and that premium grows with the points per ciphertext.
+    premiums = [r["collapsed"]["server_mults"] - r["stacked-point"]["server_mults"]
+                for r in sweep]
+    assert premiums == sorted(premiums)
+    assert premiums[-1] > premiums[0]

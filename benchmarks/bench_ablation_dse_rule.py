@@ -1,0 +1,62 @@
+"""Ablation — the §4.4 operating-point rule against alternatives.
+
+The paper limits power to 200 mW and picks the smallest design within 1% of
+the optimal time.  This ablation contrasts that rule with two others on the
+same swept space: minimum-energy-per-encryption and minimum-area-feasible —
+quantifying what each objective trades away.
+"""
+
+import pytest
+
+from _report import format_table, write_report
+from conftest import run_once
+
+from repro.accel.dse import (
+    POWER_LIMIT_W,
+    explore_design_space,
+    select_operating_point,
+)
+
+GRID = {
+    "prng_lanes": (1, 2, 4, 8),
+    "ntt_pes": (1, 2, 4, 8, 16),
+    "intt_pes": (2, 8, 16),
+    "dyadic_pes": (2, 4, 8),
+    "add_pes": (4, 8),
+    "modswitch_pes": (4, 8),
+    "encode_pes": (4, 8),
+}
+
+
+def _select_all():
+    points = explore_design_space(GRID)
+    feasible = [p for p in points if p.power_w <= POWER_LIMIT_W]
+    return {
+        "paper_rule": select_operating_point(points),
+        "min_energy": min(feasible, key=lambda p: p.energy_j),
+        "min_area": min(feasible, key=lambda p: p.area_mm2),
+        "min_time": min(feasible, key=lambda p: p.time_s),
+    }
+
+
+def test_ablation_selection_rules(benchmark):
+    picks = run_once(benchmark, _select_all)
+
+    rows = [
+        (rule, f"{p.time_s * 1e3:.3f}", f"{p.energy_j * 1e3:.4f}",
+         f"{p.area_mm2:.1f}", f"{p.power_w * 1e3:.0f}")
+        for rule, p in picks.items()
+    ]
+    write_report("ablation_dse_rule", format_table(
+        ["Rule", "Time ms", "Energy mJ", "Area mm^2", "Power mW"], rows))
+
+    paper = picks["paper_rule"]
+    # The paper's rule is time-near-optimal by construction...
+    assert paper.time_s <= picks["min_time"].time_s * 1.01
+    # ...and (here) also lands within ~15% of the best achievable energy —
+    # time and energy are nearly aligned when power is capped (§4.4 notes
+    # the chosen design is within 1% of optimal time *and energy*).
+    assert paper.energy_j <= picks["min_energy"].energy_j * 1.15
+    # The tiny-area pick pays heavily in latency: area is the wrong
+    # single-objective for a client on the critical path.
+    assert picks["min_area"].time_s > 2 * paper.time_s

@@ -1,0 +1,99 @@
+"""Ablation — rotational redundancy (§3.3).
+
+Two measurements of the paper's headline algorithmic claim:
+
+1. **Parameter impact** (analytic): on the DNN workload profile, removing
+   masked permutations lets the parameter search drop an entire RNS residue
+   — "half of this improvement ... comes from rotational redundancy alone".
+2. **Noise impact** (functional HE): windowed rotations via redundancy
+   retain the budget of a bare rotation, while the masked implementation
+   burns ~log2(t) bits per permutation; chained permutations exhaust the
+   budget quickly.
+"""
+
+import numpy as np
+import pytest
+
+from _report import format_table, write_report
+from conftest import run_once
+
+from repro.core.packing import RedundantPacking, windowed_rotation_redundant
+from repro.core.paramsearch import WorkloadProfile, residue_savings_from_redundancy
+from repro.core.permute import windowed_rotation_masked
+from repro.hecore.bfv import BfvContext
+from repro.hecore.params import SchemeType, small_test_parameters
+
+DNN_PROFILE = WorkloadProfile(
+    value_bits=4, fan_in=800, rotations=25, masked_permutations=2,
+    plain_mult_depth=1, min_slots=2048,
+)
+
+
+def test_ablation_parameter_savings(benchmark):
+    baseline, choco = run_once(
+        benchmark, residue_savings_from_redundancy, DNN_PROFILE)
+    write_report("ablation_redundancy_params", [
+        f"with masked permutations: {baseline.describe()}",
+        f"with rotational redundancy: {choco.describe()}",
+        f"residues saved: {baseline.data_residues - choco.data_residues}",
+        f"ciphertext shrink: "
+        f"{baseline.ciphertext_bytes / choco.ciphertext_bytes:.2f}x",
+    ])
+    # The §3.3 claim: an entire RNS residue disappears.
+    assert baseline.data_residues - choco.data_residues >= 1
+    assert choco.ciphertext_bytes < baseline.ciphertext_bytes
+
+
+def test_ablation_chained_rotation_noise(benchmark):
+    """Chain windowed rotations both ways and watch the budgets diverge."""
+    params = small_test_parameters(SchemeType.BFV, poly_degree=1024,
+                                   plain_bits=16, data_bits=(30, 30, 30))
+    ctx = BfvContext(params, seed=31)
+    window, rot = 8, 2
+    packing = RedundantPacking(window=window, redundancy=4, count=1)
+    offset = packing.layout.window_offset(0)
+    ctx.make_galois_keys([rot, -(window - rot)])
+    values = np.arange(1, window + 1)
+
+    def chain():
+        redundant = ctx.encrypt(packing.pack([values]).astype(np.int64))
+        masked = redundant.copy()
+        budgets = [(ctx.noise_budget(redundant), ctx.noise_budget(masked))]
+        for _ in range(3):
+            redundant = windowed_rotation_redundant(ctx, redundant, rot,
+                                                    packing.layout)
+            masked = windowed_rotation_masked(ctx, masked, rot, offset, window)
+            budgets.append((ctx.noise_budget(redundant), ctx.noise_budget(masked)))
+        return budgets
+
+    budgets = run_once(benchmark, chain)
+    rows = [(i, r, m) for i, (r, m) in enumerate(budgets)]
+    write_report("ablation_redundancy_noise", format_table(
+        ["Permutations", "Redundancy budget", "Masked budget"], rows))
+
+    # Redundancy: noise stays essentially flat (only rotations).
+    assert budgets[0][0] - budgets[3][0] <= 8
+    # Masked permutations: rapid depletion (~log2 t per step), and the gap
+    # widens with every chained permutation.
+    gaps = [r - m for r, m in budgets]
+    assert all(gaps[i] < gaps[i + 1] for i in range(3))
+    assert budgets[3][0] - budgets[3][1] >= 30
+
+
+def test_ablation_redundancy_costs_slots_not_security(benchmark):
+    """The tradeoff: redundancy lowers packing density; it never touches the
+    ciphertext's security (packing happens before encryption, §3.3)."""
+    def densities():
+        out = {}
+        for redundancy in (0, 2, 4, 8):
+            packing = RedundantPacking(window=16, redundancy=redundancy, count=4)
+            out[redundancy] = packing.layout.density
+        return out
+
+    density = run_once(benchmark, densities)
+    write_report("ablation_redundancy_density", [
+        f"redundancy {r}: density {d:.2f}" for r, d in density.items()
+    ])
+    assert density[0] == 1.0
+    assert all(density[a] >= density[b]
+               for a, b in zip((0, 2, 4), (2, 4, 8)))

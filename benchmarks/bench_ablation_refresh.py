@@ -1,0 +1,70 @@
+"""Ablation — PageRank refresh frequency vs total client cost.
+
+Figure 13 measures communication; this ablation adds client compute.  The
+client pays one encryption and one decryption per refresh, but deeper
+encrypted segments force larger parameters whose per-operation costs are
+higher (software scales with N log N * k).  With CHOCO-TACO the crypto cost
+shrinks ~2 orders of magnitude and the radio dominates, so the
+communication-optimal schedule is also the end-to-end-optimal one.
+"""
+
+import math
+
+import pytest
+
+from _report import format_table, write_report
+from conftest import run_once
+
+from repro.apps.pagerank import sweep_schedules
+from repro.hecore.params import SchemeType
+from repro.platforms.client_device import Imx6SoftwareClient
+from repro.platforms.radio import BluetoothLink
+
+TOTAL, NODES = 24, 64
+
+
+def _study():
+    client = Imx6SoftwareClient()
+    radio = BluetoothLink()
+    points = sweep_schedules(TOTAL, NODES, SchemeType.CKKS)
+    rows = []
+    for p in sorted(points, key=lambda x: x.segment):
+        segments = TOTAL // p.segment
+        n, k = p.choice.poly_degree, p.choice.residue_count
+        sw_crypto = segments * (client.ckks_encrypt_time(n, k)
+                                + client.ckks_decrypt_time(n, k))
+        # CHOCO-TACO crypto: ~18 ms enc / 16 ms dec at set C, scaled by N.
+        hw_crypto = segments * (18e-3 + 16e-3) * (n / 8192)
+        comm = radio.transfer_time(p.communication_bytes)
+        rows.append({
+            "segment": p.segment, "params": f"N={n},k={k}",
+            "comm_mb": p.communication_bytes / 1e6,
+            "sw_total": sw_crypto + comm,
+            "hw_total": hw_crypto + comm,
+            "comm_s": comm,
+        })
+    return rows
+
+
+def test_ablation_refresh_frequency(benchmark):
+    rows = run_once(benchmark, _study)
+
+    table = [(r["segment"], r["params"], f"{r['comm_mb']:.2f}",
+              f"{r['sw_total']:.2f}", f"{r['hw_total']:.2f}")
+             for r in rows]
+    write_report("ablation_refresh", format_table(
+        ["Segment", "Params", "Comm MB", "SW client s", "TACO client s"],
+        table))
+
+    by_segment = {r["segment"]: r for r in rows}
+    best_comm = min(rows, key=lambda r: r["comm_mb"])
+    best_hw = min(rows, key=lambda r: r["hw_total"])
+    # With TACO, the end-to-end optimum follows the communication optimum
+    # (crypto is off the critical path; communication ties are broken
+    # toward fewer refreshes).
+    assert best_hw["comm_mb"] <= best_comm["comm_mb"] * 1.01
+    # Radio dominates TACO-accelerated end-to-end time everywhere.
+    for r in rows:
+        assert r["comm_s"] / r["hw_total"] > 0.5, r["segment"]
+    # Per-iteration refresh is not optimal: some batching helps.
+    assert best_comm["segment"] > 1

@@ -1,0 +1,67 @@
+"""Figure 10 — communication vs prior privacy-preserving DNN protocols.
+
+Single-image inference communication for CHOCO's LeNet-Large (MNIST) and
+SqueezeNet (CIFAR-10) — measured from this repository's protocol plan —
+against the published totals of the prior protocols.  Published shape:
+improvements from 14x (LoLa) up to 2948x, ~90x vs Gazelle on CIFAR-10.
+"""
+
+import pytest
+
+from _report import format_table, write_report
+from conftest import run_once
+
+from repro.baselines.mpc import (
+    derived_delphi_class_comm_mb,
+    derived_gazelle_class_comm_mb,
+)
+from repro.baselines.protocols import protocols_for
+from repro.experiments import figure10_comparison
+from repro.nn.models import NETWORK_BUILDERS
+
+
+def test_fig10_communication(benchmark):
+    data = run_once(benchmark, figure10_comparison)
+
+    rows = []
+    for (net, dataset), (choco_mb, ratios) in data.items():
+        for proto in protocols_for(dataset):
+            rows.append((dataset, proto.name, proto.technology,
+                         f"{proto.comm_mb:.1f}",
+                         f"{choco_mb:.2f} ({net})",
+                         f"{ratios[proto.name]:.0f}x"))
+    write_report("fig10_comm", format_table(
+        ["Dataset", "Protocol", "Tech", "Prior MB", "CHOCO MB",
+         "Improvement"], rows))
+
+    all_ratios = []
+    for (_, dataset), (_, ratios) in data.items():
+        all_ratios.extend(ratios.values())
+        for name, r in ratios.items():
+            # Orders of magnitude against every protocol.
+            assert r > 10, (dataset, name, r)
+
+    # Published range: 14x .. 2948x (ours shifts slightly because CHOCO's
+    # communication here is our measured plan, not the published column).
+    assert min(all_ratios) > 8
+    assert max(all_ratios) > 1000
+
+    # Gazelle/CIFAR is the closest comparable: tens of x, not thousands.
+    _, (sqz_mb, cifar_ratios) = next(
+        item for item in data.items() if item[0][1] == "CIFAR-10")
+    assert 30 < cifar_ratios["Gazelle"] < 200
+
+    # Cross-check: the garbled-circuit model *derives* the hybrid baselines'
+    # magnitudes from first principles (activations x share bits x labels).
+    sqz = NETWORK_BUILDERS["SqzNet"]()
+    derived_gazelle = derived_gazelle_class_comm_mb(sqz)
+    derived_delphi = derived_delphi_class_comm_mb(sqz)
+    write_report("fig10_derived", [
+        f"Gazelle-class (derived GC model): {derived_gazelle:8.0f} MB "
+        f"(published 1236)",
+        f"Delphi-class  (derived GC model): {derived_delphi:8.0f} MB "
+        f"(published 40690)",
+        f"CHOCO (measured, this repo):      {sqz_mb:8.1f} MB",
+    ])
+    assert derived_gazelle / sqz_mb > 10
+    assert derived_delphi > derived_gazelle

@@ -1,0 +1,93 @@
+"""Figure 11 — tradeoffs across the five distance-kernel packings.
+
+For representative (dimensions, points) pairs, runs each Figure 9 packing
+variant functionally (counting real HE operations and ciphertexts) and
+costs them with the platform models: server time, client time, and
+communication.
+
+Published shape (§5.4): stacked variants give high ciphertext utilization;
+the *collapsed point-major* kernel is the client-optimized choice — it
+minimizes client time and communication by spending extra masking
+multiplies on the server.
+"""
+
+import numpy as np
+import pytest
+
+from _report import format_table, write_report
+from conftest import run_once
+
+from repro.core.distance import KERNEL_VARIANTS, DistanceProblem
+from repro.core.protocol import ClientCostModel
+from repro.hecore.params import PARAMETER_SET_C
+from repro.platforms.server import XeonServer
+
+CASES = [(4, 32), (16, 16), (32, 8)]     # (dims, points)
+
+
+def _evaluate(ckks_small):
+    """Run every variant on every case; cost ops at parameter set C rates."""
+    ctx = ckks_small
+    server = XeonServer()
+    client = ClientCostModel.software(PARAMETER_SET_C)
+    ct_bytes = PARAMETER_SET_C.ciphertext_bytes()
+    n8, k8 = PARAMETER_SET_C.poly_degree, PARAMETER_SET_C.logical_data_residues
+    results = {}
+    rng = np.random.default_rng(0)
+    for dims, n_points in CASES:
+        points = rng.uniform(-1, 1, (n_points, dims))
+        query = rng.uniform(-1, 1, dims)
+        for name, cls in KERNEL_VARIANTS.items():
+            kernel = cls(ctx, DistanceProblem(n_points=n_points, dims=dims))
+            ctx.make_galois_keys(kernel.required_rotation_steps())
+            point_cts = kernel.encrypt_points(points)
+            query_vecs = kernel.pack_query(query)
+            query_cts = [ctx.encrypt(v) for v in query_vecs]
+            before = dict(ctx.counts)
+            out_cts = kernel.compute(point_cts, query_cts)
+            delta = {op: ctx.counts[op] - before.get(op, 0) for op in ctx.counts}
+            # Sanity: distances must be right before we cost anything.
+            got = kernel.decode([np.real(ctx.decrypt(ct)) for ct in out_cts])
+            assert np.allclose(got, kernel.reference(points, query), atol=0.1), name
+            results[(dims, n_points, name)] = {
+                "up_cts": len(query_cts),
+                "down_cts": len(out_cts),
+                "server_s": server.time_for_counts(delta, n8, k8),
+                "client_s": (len(query_cts) * client.encrypt_s
+                             + len(out_cts) * client.decrypt_s),
+                "comm_b": (len(query_cts) + len(out_cts)) * ct_bytes,
+            }
+    return results
+
+
+def test_fig11_distance_tradeoffs(benchmark, ckks_small):
+    results = run_once(benchmark, _evaluate, ckks_small)
+
+    rows = [
+        (f"{d}x{n}", name, r["up_cts"], r["down_cts"],
+         f"{r['server_s'] * 1e3:.1f} ms", f"{r['client_s'] * 1e3:.0f} ms",
+         f"{r['comm_b'] / 1e6:.2f} MB")
+        for (d, n, name), r in results.items()
+    ]
+    write_report("fig11_distance", format_table(
+        ["dims x pts", "Variant", "Up", "Down", "Server", "Client", "Comm"],
+        rows))
+
+    for dims, n_points in CASES:
+        by_name = {name: results[(dims, n_points, name)]
+                   for name in KERNEL_VARIANTS}
+        collapsed = by_name["collapsed"]
+        stacked = by_name["stacked-point"]
+        point_major = by_name["point-major"]
+
+        # Collapsed: minimal client cost and communication in every case.
+        for name, r in by_name.items():
+            assert collapsed["comm_b"] <= r["comm_b"], (dims, n_points, name)
+            assert collapsed["client_s"] <= r["client_s"], (dims, n_points, name)
+        # ... bought with extra server work vs its stacked sibling.
+        assert collapsed["server_s"] > stacked["server_s"]
+        # Point-major sends one output ciphertext per point: worst comm for
+        # many points.
+        if n_points > 4:
+            assert point_major["down_cts"] == n_points
+            assert point_major["comm_b"] > collapsed["comm_b"]

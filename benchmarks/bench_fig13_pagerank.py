@@ -1,0 +1,97 @@
+"""Figure 13 — client-aided PageRank: communication vs refresh schedule.
+
+For each total iteration count, every divisor schedule (1 set of 24, 2 sets
+of 12, ..., refresh every iteration) is costed: deeper encrypted segments
+need larger parameters (no noise refresh), shallower ones communicate more
+often with smaller ciphertexts.
+
+Published shape (§5.6): CKKS achieves each segment depth with smaller
+parameters than BFV, reducing communication across the board; frequent
+communication of small ciphertexts beats continuous encrypted execution;
+and every client-optimal combination fits CHOCO-TACO's (N<=8192, k<=3)
+envelope.
+"""
+
+import pytest
+
+from _report import ascii_scatter, format_table, write_report
+from conftest import run_once
+
+from repro.apps.pagerank import sweep_schedules
+from repro.hecore.params import SchemeType
+
+TOTALS = (6, 12, 24, 48)
+NODES = 64
+
+
+def _sweep_all():
+    out = {}
+    for scheme in (SchemeType.BFV, SchemeType.CKKS):
+        for total in TOTALS:
+            out[(scheme, total)] = sweep_schedules(total, NODES, scheme)
+    return out
+
+
+def test_fig13_pagerank_schedules(benchmark):
+    data = run_once(benchmark, _sweep_all)
+
+    rows = []
+    for (scheme, total), points in data.items():
+        for p in sorted(points, key=lambda x: x.segment):
+            rows.append((
+                scheme.value.upper(), total, p.segment,
+                f"N={p.choice.poly_degree},k={p.choice.residue_count}",
+                f"{p.communication_bytes / 1e6:.2f} MB",
+                "*" if p.taco_compatible else "",
+            ))
+    write_report("fig13_pagerank", format_table(
+        ["Scheme", "Total iters", "Segment", "Params", "Comm",
+         "TACO-ok"], rows))
+
+    # Figure 13's picture for the 24-iteration column, both schemes.
+    cloud = (data[(SchemeType.BFV, 24)] + data[(SchemeType.CKKS, 24)])
+    write_report("fig13_scatter", ascii_scatter(
+        [p.segment for p in cloud],
+        [p.communication_bytes / 1e6 for p in cloud],
+        marks=["B" if p.scheme is SchemeType.BFV else "C" for p in cloud],
+        xlabel="iterations per encrypted segment (24 total)",
+        ylabel="total communication (MB)",
+    ))
+
+    for total in TOTALS:
+        bfv = {p.segment: p for p in data[(SchemeType.BFV, total)]}
+        ckks = {p.segment: p for p in data[(SchemeType.CKKS, total)]}
+
+        # CKKS fits every schedule BFV fits, at most the same communication.
+        for segment, bp in bfv.items():
+            assert segment in ckks
+            assert (ckks[segment].communication_bytes
+                    <= bp.communication_bytes), (total, segment)
+
+        best = min(ckks.values(),
+                   key=lambda p: (p.communication_bytes,
+                                  p.choice.residue_count,
+                                  p.choice.poly_degree))
+        # The client-optimal schedule is client-aided (not one giant
+        # encrypted segment) once totals are non-trivial, and it fits the
+        # CHOCO-TACO hardware envelope (§5.6).
+        if total >= 12:
+            assert best.segment < total
+            assert best.taco_compatible
+
+        # Deep fully-encrypted segments either do not fit 128-bit-secure
+        # parameters at all, or cost more than the best refresh schedule.
+        full = ckks.get(total)
+        if full is not None and total >= 12:
+            assert full.communication_bytes >= best.communication_bytes
+
+
+def test_fig13_deepest_bfv_segments_infeasible(benchmark):
+    """BFV's compounding fixed-point scales exhaust secure parameters on
+    deep segments where CKKS (rescaling) still fits."""
+    points_bfv = run_once(benchmark, sweep_schedules, 48, NODES, SchemeType.BFV)
+    bfv_segments = {p.segment for p in points_bfv}
+    ckks_segments = {p.segment for p in
+                     sweep_schedules(48, NODES, SchemeType.CKKS)}
+    assert bfv_segments <= ckks_segments
+    assert len(ckks_segments) > len(bfv_segments)

@@ -1,0 +1,58 @@
+"""Figure 14 — end-to-end client time & energy over Bluetooth vs local.
+
+A full CHOCO-TACO reference implementation: accelerated client crypto plus
+ciphertext transfers over a 10 mW / 22 Mbps Bluetooth link, compared to
+local TFLite inference.
+
+Published shape (§5.7): communication dominates end-to-end time (a ~24x
+average time overhead vs local compute), but energy is competitive — VGG16
+sees up to a 37% end-to-end energy saving over local inference.
+"""
+
+import math
+
+import pytest
+
+from _report import write_json, format_table, write_report
+from conftest import run_once
+
+from repro.experiments import end_to_end_study
+
+
+def test_fig14_end_to_end(benchmark):
+    data = run_once(benchmark, end_to_end_study)
+
+    rows = [
+        (name,
+         f"{d['compute_s'] * 1e3:.1f}", f"{d['comm_s'] * 1e3:.0f}",
+         f"{d['total_s'] * 1e3:.0f}", f"{d['local_s'] * 1e3:.1f}",
+         f"{d['energy_j'] * 1e3:.2f}", f"{d['local_j'] * 1e3:.2f}",
+         f"{d['local_j'] / d['energy_j']:.2f}x")
+        for name, d in data.items()
+    ]
+    write_json("fig14_endtoend", data)
+    write_report("fig14_endtoend", format_table(
+        ["Network", "TACO ms", "Radio ms", "Total ms", "Local ms",
+         "CHOCO mJ", "Local mJ", "Energy adv"], rows))
+
+    overheads = []
+    for name, d in data.items():
+        # Communication dominates end-to-end time on Bluetooth.
+        assert d["comm_s"] > d["compute_s"], name
+        overheads.append(d["total_s"] / d["local_s"])
+
+    mean_overhead = math.exp(sum(math.log(o) for o in overheads) / len(overheads))
+    write_report("fig14_summary", [
+        f"time overhead vs local (geomean): {mean_overhead:.1f}x "
+        f"(published avg: 24x)",
+        f"VGG16 energy: CHOCO {data['VGG16']['energy_j'] * 1e3:.2f} mJ vs "
+        f"local {data['VGG16']['local_j'] * 1e3:.2f} mJ "
+        f"(published: up to 37% saving)",
+    ])
+
+    # Published: ~24x average time overhead on Bluetooth.
+    assert mean_overhead > 3
+    # Energy: the largest network saves energy by offloading (VGG: 37%).
+    assert data["VGG16"]["energy_j"] < data["VGG16"]["local_j"]
+    # The tiniest network does not (battery math favors local there).
+    assert data["LeNetSm"]["energy_j"] > data["LeNetSm"]["local_j"]

@@ -1,0 +1,71 @@
+"""Figure 15 — computation vs communication for convolution layers.
+
+Microbenchmark study (§5.8): synthetic convolution layers sweeping image
+size (2..32 by powers of two), channel count (32..512 by powers of two) and
+filter size (1 or 3), plotting per-layer MACs against the communication
+needed to move that layer's inputs/outputs — plus the real layers of VGG16
+and SqueezeNet.
+
+Published shape: energy-favorable workloads maximize MACs per MB.  Larger
+filters add MACs (and classification power) at zero extra communication;
+layers like SqueezeNet's sit low on the MACs-per-MB axis, VGG's sit high.
+"""
+
+import pytest
+
+from _report import ascii_scatter, format_table, write_report
+from conftest import run_once
+
+from repro.experiments import conv_microbenchmark, network_layer_points
+from repro.nn.models import squeezenet_cifar10, vgg16_cifar10
+
+
+def test_fig15_macs_vs_communication(benchmark):
+    points = run_once(benchmark, conv_microbenchmark)
+
+    rows = [
+        (p["label"], f"{p['macs'] / 1e6:.2f}", f"{p['comm'] / 1e6:.2f}",
+         f"{p['macs'] / p['comm']:.0f}")
+        for p in sorted(points, key=lambda p: p["macs"])[:: max(1, len(points) // 20)]
+    ]
+    write_report("fig15_micro", format_table(
+        ["Layer", "MACs e6", "Comm MB", "MACs/B"], rows))
+
+    by_key = {(p["channels"], p["image"], p["kernel"]): p for p in points}
+    for (c, i, k), p in by_key.items():
+        if k == 1 and (c, i, 3) in by_key:
+            bigger = by_key[(c, i, 3)]
+            # Larger filters: ~9x the MACs...
+            assert bigger["macs"] == 9 * p["macs"]
+            # ...at (nearly) no additional communication: the span grows only
+            # when the redundancy margin crosses a power-of-two boundary.
+            assert bigger["comm"] <= 2 * p["comm"]
+
+    # MACs per byte spans orders of magnitude across layer shapes.
+    ratios = [p["macs"] / p["comm"] for p in points]
+    assert max(ratios) / min(ratios) > 50
+
+    write_report("fig15_scatter", ascii_scatter(
+        [p["macs"] / 1e6 for p in points],
+        [p["comm"] / 1e6 for p in points],
+        marks=["1" if p["kernel"] == 1 else "3" for p in points],
+        logx=True, logy=True,
+        xlabel="MACs (millions)", ylabel="communication (MB)",
+    ))
+
+
+def test_fig15_vgg_vs_squeezenet(benchmark):
+    vgg_layers, sqz_layers = run_once(benchmark, lambda: (
+        network_layer_points(vgg16_cifar10()),
+        network_layer_points(squeezenet_cifar10()),
+    ))
+    vgg_ratio = sum(m for m, _ in vgg_layers) / sum(c for _, c in vgg_layers)
+    sqz_ratio = sum(m for m, _ in sqz_layers) / sum(c for _, c in sqz_layers)
+    write_report("fig15_networks", [
+        f"VGG16 conv layers:      {vgg_ratio:.0f} MACs per comm byte",
+        f"SqueezeNet conv layers: {sqz_ratio:.0f} MACs per comm byte",
+        "published shape: VGG-like layers maximize MACs/MB (energy win); "
+        "SqueezeNet-like layers break even or lose",
+    ])
+    # The §5.8 conclusion: VGG does more work per byte moved.
+    assert vgg_ratio > 2 * sqz_ratio

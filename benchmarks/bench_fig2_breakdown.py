@@ -1,0 +1,52 @@
+"""Figure 2 — characterization of active client compute time.
+
+For single-image inference on each of the four DNNs, breaks client compute
+into HE (encrypt + decrypt) versus application work (activations and
+quantization) under: the SEAL software baseline, best-case HEAX assistance,
+best-case encryption-FPGA assistance, and the local TFLite bound.
+
+Published shape: >99% of client compute is HE; even with NTT/poly-multiply
+hardware, client-aided crypto remains an order of magnitude slower than
+computing the whole network locally (14.5x on average in the paper).
+"""
+
+import pytest
+
+from _report import format_table, write_report
+from conftest import run_once
+
+from repro.experiments import seal_baseline_breakdown
+
+
+def test_fig2_client_compute_breakdown(benchmark):
+    data = run_once(benchmark, seal_baseline_breakdown)
+
+    rows = [
+        (name,
+         f"{d['software']:.3f}", f"{d['heax']:.3f}", f"{d['fpga']:.3f}",
+         f"{d['app'] * 1e3:.3f} ms", f"{d['local'] * 1e3:.1f} ms",
+         f"{100 * d['crypto_sw'] / d['software']:.2f}%")
+        for name, d in data.items()
+    ]
+    write_report("fig2_breakdown", format_table(
+        ["Network", "SEAL sw (s)", "+HEAX (s)", "+FPGA (s)",
+         "App ops", "TFLite local", "HE share"], rows))
+
+    ratios = []
+    for name, d in data.items():
+        # >99% of client compute is HE operations, not application work.
+        assert d["crypto_sw"] / d["software"] > 0.99, name
+        # Partial hardware helps but is bounded by Amdahl.
+        assert d["heax"] < d["software"]
+        assert d["software"] / d["heax"] < 1 / (1 - 0.60) + 0.1
+        # Even assisted, client-aided crypto loses to local compute.
+        assert d["heax"] > d["local"], name
+        ratios.append(d["heax"] / d["local"])
+
+    # Paper: 14.5x slower than TFLite on average even with HEAX support.
+    mean_ratio = sum(ratios) / len(ratios)
+    assert mean_ratio > 5
+    write_report("fig2_summary", [
+        f"HEAX-assisted / local, mean across networks: {mean_ratio:.1f}x "
+        f"(published: 14.5x)"
+    ])

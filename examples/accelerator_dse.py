@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Explore the CHOCO-TACO hardware design space (§4.4, Figure 7).
+
+Sweeps 32,000 accelerator configurations, prints the Pareto frontier in
+(time, power, area), applies the paper's operating-point rule, and shows how
+the chosen design scales across HE parameter settings (Figure 8).
+
+Run:  python examples/accelerator_dse.py
+"""
+
+from repro.accel.design import AcceleratorModel, CHOCO_TACO_CONFIG
+from repro.accel.dse import (
+    explore_design_space,
+    pareto_frontier,
+    select_operating_point,
+)
+from repro.platforms.client_device import Imx6SoftwareClient
+
+
+def main():
+    print("sweeping the design space (32,000 configurations)...")
+    points = explore_design_space()
+    selected = select_operating_point(points)
+
+    sample = sorted(points, key=lambda p: p.time_s)[:: len(points) // 300]
+    frontier = sorted(pareto_frontier(sample), key=lambda p: p.time_s)
+    print(f"\nPareto frontier (sampled, {len(frontier)} points):")
+    print(f"{'time (ms)':>10s} {'power (mW)':>11s} {'area (mm^2)':>12s}")
+    for p in frontier[:12]:
+        print(f"{p.time_s * 1e3:10.3f} {p.power_w * 1e3:11.0f} {p.area_mm2:12.1f}")
+
+    print("\noperating point (power <= 200 mW, time within 1%, min area):")
+    print(f"  {selected.config.as_dict()}")
+    print(f"  {selected.time_s * 1e3:.3f} ms | {selected.energy_j * 1e3:.4f} mJ | "
+          f"{selected.area_mm2:.1f} mm^2 | {selected.power_w * 1e3:.0f} mW")
+    print("  published: 0.66 ms | 0.1228 mJ | 19.3 mm^2 | <= 200 mW")
+
+    print("\nscaling the Figure 6 design across (N, k)   [Figure 8]:")
+    client = Imx6SoftwareClient()
+    print(f"{'(N,k)':>12s} {'TACO':>10s} {'software':>10s} {'speedup':>8s}")
+    for n, k in [(4096, 3), (8192, 3), (8192, 5), (16384, 9), (32768, 16)]:
+        hw = AcceleratorModel(CHOCO_TACO_CONFIG, n, k).encrypt_cost()
+        if client.can_hold_parameters(n, k):
+            sw = client.encrypt_time(n, k)
+            tail = f"{sw * 1e3:8.0f}ms {sw / hw.time_s:7.0f}x"
+        else:
+            tail = f"{'OOM':>10s} {'-':>8s}"
+        print(f"{f'({n},{k})':>12s} {hw.time_s * 1e3:8.2f}ms {tail}")
+
+
+if __name__ == "__main__":
+    main()

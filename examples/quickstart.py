@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: CHOCO in five minutes.
+
+Walks the core ideas of the paper end to end on small, fast parameters:
+
+1. encrypt a vector under BFV and compute on it homomorphically;
+2. perform a windowed rotation the expensive way (arbitrary masked
+   permutation, Figure 4A) and the CHOCO way (rotational redundancy,
+   Figure 4B), comparing noise budgets — the paper's Table 4 in miniature;
+3. price a client-aided DNN inference with and without the CHOCO-TACO
+   accelerator.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.accel.design import AcceleratorModel
+from repro.apps.dnn import ClientAidedDnnPlan
+from repro.core.packing import RedundantPacking, windowed_rotation_redundant
+from repro.core.permute import windowed_rotation_masked
+from repro.core.protocol import ClientCostModel
+from repro.hecore.bfv import BfvContext
+from repro.hecore.params import SchemeType, small_test_parameters
+from repro.nn.models import lenet_large
+
+
+def section(title):
+    print(f"\n=== {title} ===")
+
+
+def main():
+    # ------------------------------------------------------------------ 1
+    section("1. Homomorphic arithmetic (BFV)")
+    params = small_test_parameters(SchemeType.BFV, poly_degree=1024,
+                                   plain_bits=16, data_bits=(30, 30, 30))
+    ctx = BfvContext(params, seed=2022)
+    a, b = np.array([15, 6, 20]), np.array([3, 14, 0])
+    ct_a, ct_b = ctx.encrypt(a), ctx.encrypt(b)
+    product = ctx.decrypt(ctx.multiply(ct_a, ct_b))[:3]
+    print(f"Dec(Enc({list(a)}) * Enc({list(b)})) = {list(product)}   (Figure 1)")
+
+    # ------------------------------------------------------------------ 2
+    section("2. Rotational redundancy vs arbitrary permutation")
+    window, rotation = 8, 3
+    packing = RedundantPacking(window=window, redundancy=4, count=1)
+    values = np.arange(1, window + 1)
+    ctx.make_galois_keys([rotation, -(window - rotation)])
+    fresh = ctx.encrypt(packing.pack([values]).astype(np.int64))
+    print(f"fresh ciphertext noise budget:        {ctx.noise_budget(fresh)} bits")
+
+    rotated = windowed_rotation_redundant(ctx, fresh, rotation, packing.layout)
+    print(f"after redundant rotation (1 rotate):  {ctx.noise_budget(rotated)} bits")
+
+    offset = packing.layout.window_offset(0)
+    permuted = windowed_rotation_masked(ctx, fresh, rotation, offset, window)
+    print(f"after masked permutation (2 rot+2 mul): {ctx.noise_budget(permuted)} bits")
+    got = packing.unpack(ctx.decrypt(rotated), rotation=rotation)[0]
+    print(f"window rotated by {rotation}: {list(values)} -> {list(got)}")
+
+    # ------------------------------------------------------------------ 3
+    section("3. Pricing client-aided DNN inference")
+    plan = ClientAidedDnnPlan(lenet_large())
+    software = ClientCostModel.software(plan.params)
+    taco = ClientCostModel.choco_taco(plan.params)
+    print(f"network: {plan.network.name}, parameters: set {plan.params.label} "
+          f"({plan.params.describe()})")
+    print(f"communication per inference: {plan.communication_bytes() / 1e6:.2f} MB "
+          f"({plan.encrypt_ops} uploads, {plan.decrypt_ops} downloads)")
+    print(f"client compute, software:    {plan.client_time(software) * 1e3:8.1f} ms")
+    print(f"client compute, CHOCO-TACO:  {plan.client_time(taco) * 1e3:8.1f} ms")
+
+    hw = AcceleratorModel()
+    enc = hw.encrypt_cost()
+    print(f"\nCHOCO-TACO at (N=8192, k=3): {enc.time_s * 1e3:.2f} ms and "
+          f"{enc.energy_j * 1e3:.4f} mJ per encryption, {hw.area_mm2:.1f} mm^2")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Should YOUR network offload?  The §5.8 designer analysis.
+
+The paper closes its evaluation with a design rule: compare each layer's
+computation (MACs) to the communication its ciphertexts cost (MB); layers
+above the platform's MACs-per-byte break-even save client energy when
+offloaded under CHOCO, layers below should stay local.
+
+This example runs the analysis for all four Table 5 networks and for a
+custom network you might be sketching.
+
+Run:  python examples/workload_advisor.py
+"""
+
+from repro.apps.advisor import WorkloadAdvisor
+from repro.nn.layers import ConvLayer, FcLayer, FlattenLayer, MaxPoolLayer, Network, ReluLayer
+from repro.nn.models import NETWORK_BUILDERS
+
+
+def custom_candidate() -> Network:
+    """A network someone might be designing: deep but narrow."""
+    return Network("Custom", (3, 32, 32), [
+        ConvLayer(3, 32, 3, padding="same"), ReluLayer(), MaxPoolLayer(),
+        ConvLayer(32, 64, 3, padding="same"), ReluLayer(), MaxPoolLayer(),
+        ConvLayer(64, 128, 3, padding="same"), ReluLayer(), MaxPoolLayer(),
+        FlattenLayer(), FcLayer(128 * 16, 10),
+    ])
+
+
+def main():
+    advisor = WorkloadAdvisor()
+    print("Offload-vs-local energy verdicts (Bluetooth, CHOCO-TACO client):\n")
+    for name, build in NETWORK_BUILDERS.items():
+        advice = advisor.analyze(build())
+        verdict = "OFFLOAD" if advice.offload_network else "local"
+        print(f"  {name:8s} {advice.total_macs / 1e6:8.1f}M MACs  "
+              f"{advice.total_comm_bytes / 1e6:6.2f} MB  "
+              f"local/offload energy = {advice.energy_ratio:5.2f}x  -> {verdict}")
+
+    print("\nper-layer detail for a custom candidate network:\n")
+    print(advisor.render(advisor.analyze(custom_candidate())))
+
+
+if __name__ == "__main__":
+    main()

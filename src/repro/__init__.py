@@ -1,0 +1,22 @@
+"""CHOCO / CHOCO-TACO: client-optimized encrypted compute offloading.
+
+Reproduction of van der Hagen & Lucia, ASPLOS 2022.  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Public API tour
+---------------
+``repro.hecore``
+    From-scratch RNS BFV and CKKS homomorphic encryption.
+``repro.core``
+    The paper's contribution: rotational redundancy, encrypted linear
+    algebra, the client-aided protocol, and parameter selection.
+``repro.accel``
+    The CHOCO-TACO accelerator model and its design-space exploration.
+``repro.nn`` / ``repro.apps``
+    Quantized DNN substrate and the encrypted applications (DNN inference,
+    KNN, K-Means, PageRank).
+``repro.platforms`` / ``repro.baselines``
+    Client/server/radio cost models and prior-work comparison points.
+"""
+
+__version__ = "1.0.0"

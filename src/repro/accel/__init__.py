@@ -1,0 +1,24 @@
+"""CHOCO-TACO: the client-side HE encryption/decryption accelerator (§4).
+
+A structural simulator in the spirit of the paper's "custom simulation
+infrastructure": modules (PRNG, polynomial multiply, polynomial add, modulus
+switching, encode/decode) contain functional blocks built from pipelined
+processing elements; SRAM buffers follow a Destiny-like cost model; the
+design is clocked at 100 MHz and replicated across RNS residue layers.
+
+* :mod:`repro.accel.design` — latency/energy/area/power for encrypt/decrypt.
+* :mod:`repro.accel.dse` — the 31k-configuration design-space sweep (Fig. 7).
+* :mod:`repro.accel.hwassist` — HEAX/FPGA partial-acceleration models (Fig. 2).
+* :mod:`repro.accel.ckks_support` — the §4.7 CKKS coverage model.
+"""
+
+from repro.accel.design import AcceleratorConfig, AcceleratorModel, CHOCO_TACO_CONFIG
+from repro.accel.dse import explore_design_space, select_operating_point
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorModel",
+    "CHOCO_TACO_CONFIG",
+    "explore_design_space",
+    "select_operating_point",
+]

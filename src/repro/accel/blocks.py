@@ -1,0 +1,70 @@
+"""Processing elements and functional blocks (§4.2).
+
+Each module of Figure 6 contains functional blocks; each block contains
+pipelined processing elements (PEs) that handle one coefficient per cycle.
+Per-PE area and energy constants are for a generic 45 nm node (the paper
+synthesizes RTL with Cadence Genus at 45 nm); absolute calibration to the
+published operating point happens in :mod:`repro.accel.design`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PeKind:
+    """A processing-element type: its 45 nm area and per-operation energy."""
+
+    name: str
+    area_mm2: float
+    energy_pj: float
+
+
+#: Modular multiplier (Montgomery/Barrett, word-sized) — the big PE.
+MODMUL_PE = PeKind("modmul", area_mm2=0.015, energy_pj=18.0)
+
+#: Modular adder/subtractor.
+MODADD_PE = PeKind("modadd", area_mm2=0.0022, energy_pj=2.2)
+
+#: NTT/INTT butterfly: one modmul plus two modadds, tightly coupled.
+BUTTERFLY_PE = PeKind("butterfly", area_mm2=0.020, energy_pj=23.0)
+
+#: One lane of the Blake cryptographic hash (per output byte).
+HASH_PE = PeKind("hash-lane", area_mm2=0.045, energy_pj=9.5)
+
+#: Modulus-switching PE: modmul plus correction add (couples residues).
+MODSWITCH_PE = PeKind("modswitch", area_mm2=0.018, energy_pj=21.0)
+
+#: Encode/decode PE: plain-modulus arithmetic and slot reordering.
+ENCODE_PE = PeKind("encode", area_mm2=0.010, energy_pj=12.0)
+
+
+@dataclass(frozen=True)
+class FunctionalBlock:
+    """*count* replicated PEs of one kind, fully pipelined.
+
+    Throughput is ``count`` operations per cycle; a fixed pipeline fill
+    latency is charged once per invocation.
+    """
+
+    kind: PeKind
+    count: int
+    pipeline_depth: int = 8
+
+    def cycles(self, operations: float) -> float:
+        """Cycles to stream *operations* through this block."""
+        if operations <= 0:
+            return 0.0
+        return operations / self.count + self.pipeline_depth
+
+    def energy_j(self, operations: float) -> float:
+        return operations * self.kind.energy_pj * 1e-12
+
+    @property
+    def area_mm2(self) -> float:
+        return self.count * self.kind.area_mm2
+
+    def leakage_w(self) -> float:
+        # PE leakage at 45 nm: ~6% of a 100 MHz switching budget.
+        return self.count * self.kind.energy_pj * 1e-12 * 100e6 * 0.06

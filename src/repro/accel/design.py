@@ -1,0 +1,315 @@
+"""The CHOCO-TACO accelerator model: latency, energy, area, power (§4.2–4.6).
+
+:class:`AcceleratorConfig` captures the per-module parallelism knobs the
+design space sweeps (Figure 7); :class:`AcceleratorModel` evaluates one
+configuration at one ``(N, k)`` parameter point, following the encryption
+pipeline of Figure 5 / §4.3 and the decryption path of §4.6.
+
+Residue *layers* are replicated per RNS prime, so latency is largely
+independent of ``k`` while energy and area scale with it — the source of
+the accelerator's scaling advantage over software (Figure 8).
+
+Absolute calibration: the published operating point (the Figure 6
+configuration) costs 19.3 mm², encrypts in 0.66 ms within a 200 mW power
+envelope, and consumes 0.1228 mJ per encryption at (8192, 3).  The
+``_TIME/_ENERGY/_AREA_CALIBRATION`` constants below scale the structural
+model onto those anchors; all *relative* behaviour (across configurations
+and across (N, k)) comes from the structure itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.accel import memory
+from repro.accel.blocks import (
+    BUTTERFLY_PE,
+    ENCODE_PE,
+    HASH_PE,
+    MODADD_PE,
+    MODMUL_PE,
+    MODSWITCH_PE,
+    FunctionalBlock,
+)
+
+#: Accelerator clock (§4.4: access latency of the energy-optimized SRAMs
+#: limits the clock to 100 MHz).
+CLOCK_HZ = 100e6
+
+# Calibration to the published operating point (see module docstring).
+# Solved numerically so the Figure 6 configuration at (8192, 3) costs
+# 0.660 ms / 0.1228 mJ / 19.30 mm^2 (and, emergent: 0.646 ms decryption
+# against the paper's 0.65 ms).
+_TIME_CALIBRATION = 1.4587569622491379
+_ENERGY_CALIBRATION = 5.127117291351555
+_AREA_CALIBRATION = 2.4864136176107134
+
+#: Fixed pipeline fill / drain / control overhead per operation, cycles.
+_FIXED_OVERHEAD_CYCLES = 600.0
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Per-module parallelism: processing elements per functional block."""
+
+    prng_lanes: int = 8        # hash output bytes per cycle
+    ntt_pes: int = 4           # butterflies per cycle (NTT block)
+    intt_pes: int = 8          # butterflies per cycle (INTT block)
+    dyadic_pes: int = 4        # modmuls per cycle (dyadic product block)
+    add_pes: int = 4           # modadds per cycle (poly add blocks)
+    modswitch_pes: int = 4     # modswitch ops per cycle
+    encode_pes: int = 4        # encode/decode ops per cycle
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "prng_lanes": self.prng_lanes,
+            "ntt_pes": self.ntt_pes,
+            "intt_pes": self.intt_pes,
+            "dyadic_pes": self.dyadic_pes,
+            "add_pes": self.add_pes,
+            "modswitch_pes": self.modswitch_pes,
+            "encode_pes": self.encode_pes,
+        }
+
+
+#: The configuration Figure 6 depicts and §4.4 selects.
+CHOCO_TACO_CONFIG = AcceleratorConfig()
+
+
+@dataclass(frozen=True)
+class OperationCost:
+    """Cost of one accelerator operation at a given (N, k)."""
+
+    cycles: float
+    energy_j: float
+
+    @property
+    def time_s(self) -> float:
+        return self.cycles / CLOCK_HZ
+
+
+class AcceleratorModel:
+    """Evaluate one accelerator configuration at one (N, k) point."""
+
+    def __init__(self, config: AcceleratorConfig = CHOCO_TACO_CONFIG,
+                 poly_degree: int = 8192, residues: int = 3):
+        if poly_degree & (poly_degree - 1):
+            raise ValueError("poly_degree must be a power of two")
+        if residues < 1:
+            raise ValueError("need at least one residue")
+        self.config = config
+        self.n = poly_degree
+        self.k = residues
+        self._blocks = self._build_blocks()
+        self._srams = self._build_srams()
+
+    # -------------------------------------------------------------- structure
+    def _build_blocks(self) -> Dict[str, FunctionalBlock]:
+        c = self.config
+        return {
+            "prng": FunctionalBlock(HASH_PE, c.prng_lanes),
+            "ntt": FunctionalBlock(BUTTERFLY_PE, c.ntt_pes),
+            "intt": FunctionalBlock(BUTTERFLY_PE, c.intt_pes),
+            "dyadic": FunctionalBlock(MODMUL_PE, c.dyadic_pes),
+            "add": FunctionalBlock(MODADD_PE, c.add_pes),
+            "modswitch": FunctionalBlock(MODSWITCH_PE, c.modswitch_pes),
+            "encode": FunctionalBlock(ENCODE_PE, c.encode_pes),
+        }
+
+    def _build_srams(self):
+        n = self.n
+        per_layer = (
+            [memory.working_buffer(n)] * 2          # NTT + INTT working buffers
+            + [memory.twiddle_rom(n)] * 2           # forward + inverse twiddles
+            + [memory.streaming_buffer()] * 6       # sub-1 kB FIFOs (§4.2)
+        )
+        shared = [
+            memory.working_buffer(n),               # encode/decode working buffer
+            memory.twiddle_rom(n),                  # encode twiddles
+            memory.SramMacro(4096),                 # context / key staging
+            memory.streaming_buffer(),              # RNG distribution buffer
+        ]
+        return {"per_layer": per_layer, "shared": shared}
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def butterflies(self) -> float:
+        return (self.n / 2) * math.log2(self.n)
+
+    @property
+    def _banking_factor(self) -> float:
+        """SRAM banking overhead: feeding p butterflies per cycle needs
+        ~2p-ported (banked) working buffers, costing area and leakage."""
+        ports = (self.config.ntt_pes + self.config.intt_pes) / 2.0
+        return 1.0 + 0.06 * ports
+
+    @property
+    def area_mm2(self) -> float:
+        blocks = self._blocks
+        layer_area = sum(
+            blocks[name].area_mm2
+            for name in ("ntt", "intt", "dyadic", "add", "modswitch")
+        ) + self._banking_factor * sum(
+            m.area_mm2 for m in self._srams["per_layer"]
+        )
+        shared_area = (
+            blocks["prng"].area_mm2
+            + blocks["encode"].area_mm2
+            + sum(m.area_mm2 for m in self._srams["shared"])
+        )
+        return _AREA_CALIBRATION * (self.k * layer_area + shared_area)
+
+    def area_breakdown_mm2(self) -> Dict[str, float]:
+        """Calibrated area by component class (the 'SRAM dominates' story)."""
+        blocks = self._blocks
+        pe_layer = sum(
+            blocks[name].area_mm2
+            for name in ("ntt", "intt", "dyadic", "add", "modswitch")
+        )
+        sram_layer = self._banking_factor * sum(
+            m.area_mm2 for m in self._srams["per_layer"])
+        return {
+            "layer_pes": _AREA_CALIBRATION * self.k * pe_layer,
+            "layer_sram": _AREA_CALIBRATION * self.k * sram_layer,
+            "prng": _AREA_CALIBRATION * blocks["prng"].area_mm2,
+            "encode": _AREA_CALIBRATION * blocks["encode"].area_mm2,
+            "shared_sram": _AREA_CALIBRATION * sum(
+                m.area_mm2 for m in self._srams["shared"]),
+        }
+
+    @property
+    def leakage_w(self) -> float:
+        blocks = self._blocks
+        layer = sum(
+            blocks[name].leakage_w()
+            for name in ("ntt", "intt", "dyadic", "add", "modswitch")
+        ) + self._banking_factor * sum(
+            m.leakage_w for m in self._srams["per_layer"]
+        )
+        shared = (
+            blocks["prng"].leakage_w()
+            + blocks["encode"].leakage_w()
+            + sum(m.leakage_w for m in self._srams["shared"])
+        )
+        return _AREA_CALIBRATION * (self.k * layer + shared)
+
+    # ------------------------------------------------------------- latency
+    def encrypt_stage_cycles(self) -> Dict[str, float]:
+        """Per-stage critical-path cycles of the Figure 5 pipeline.
+
+        Keys follow §4.3's walk-through: sample u, NTT(u), then per
+        ciphertext component (dyadic product, INTT, error add, modulus
+        switch — the two components serialize on the shared modules), the
+        message-encode excess that fails to hide under the c1 pass, and the
+        final message addition.
+        """
+        c = self.config
+        n, b = self.n, self.butterflies
+        t_sample_u = n / c.prng_lanes                 # 1 B per ternary sample
+        t_ntt_u = b / c.ntt_pes
+        t_dyadic = n / c.dyadic_pes
+        t_intt = b / c.intt_pes
+        t_err_gen = 8.0 * n / c.prng_lanes            # 8 B per normal sample
+        t_err = max(0.0, t_err_gen - (t_dyadic + t_intt)) + n / c.add_pes
+        # Modulus switching: each residue layer corrects with the (shared,
+        # broadcast) key-prime residue, so layers pipeline — only a small
+        # serial hand-off per extra residue (§4.2).
+        t_modswitch = n / c.modswitch_pes + 50.0 * max(0, self.k - 1)
+        per_component = t_dyadic + t_intt + t_err + t_modswitch
+        t_encode = (b + n) / c.encode_pes
+        return {
+            "sample_u": t_sample_u,
+            "ntt_u": t_ntt_u,
+            "dyadic": 2 * t_dyadic,
+            "intt": 2 * t_intt,
+            "error": 2 * t_err,
+            "modswitch": 2 * t_modswitch,
+            "encode_excess": max(0.0, t_encode - per_component),
+            "final_add": n / c.add_pes,
+            "overhead": _FIXED_OVERHEAD_CYCLES,
+        }
+
+    def _encrypt_cycles(self) -> float:
+        return _TIME_CALIBRATION * sum(self.encrypt_stage_cycles().values())
+
+    def _decrypt_cycles(self) -> float:
+        c = self.config
+        n, b = self.n, self.butterflies
+        data_k = max(1, self.k - 1)
+        t_ntt_c1 = b / c.ntt_pes
+        t_dyadic = n / c.dyadic_pes
+        t_intt = b / c.intt_pes
+        t_add = n / c.add_pes
+        t_base_conv = n * data_k / c.modswitch_pes    # couples residues
+        t_error_correct = n / c.add_pes
+        t_decode = (b + n) / c.encode_pes
+        total = (
+            t_ntt_c1 + t_dyadic + t_intt + t_add
+            + t_base_conv + t_error_correct + t_decode + _FIXED_OVERHEAD_CYCLES
+        )
+        return _TIME_CALIBRATION * total
+
+    # -------------------------------------------------------------- energy
+    def _encrypt_dynamic_energy(self) -> float:
+        blocks = self._blocks
+        n, b, k = self.n, self.butterflies, self.k
+        e = 0.0
+        e += blocks["prng"].energy_j(17 * n)              # u (N B) + e1,e2 (16N B)
+        e += blocks["ntt"].energy_j(b * k)                # NTT(u) per layer
+        e += blocks["dyadic"].energy_j(2 * n * k)         # c0 and c1 dyadic
+        e += blocks["intt"].energy_j(2 * b * k)
+        e += blocks["add"].energy_j(3 * n * k)            # e1, e2, final message add
+        e += blocks["modswitch"].energy_j(2 * n * max(1, k - 1))
+        e += blocks["encode"].energy_j(b + 2 * n * max(1, k - 1))
+        e += self._sram_energy(transforms=1 * k + 2 * k + 1)   # NTT(u)/layer, 2 INTT/layer, encode
+        return _ENERGY_CALIBRATION * e
+
+    def _decrypt_dynamic_energy(self) -> float:
+        blocks = self._blocks
+        n, b = self.n, self.butterflies
+        data_k = max(1, self.k - 1)
+        e = 0.0
+        e += blocks["ntt"].energy_j(b * data_k)
+        e += blocks["dyadic"].energy_j(n * data_k)
+        e += blocks["intt"].energy_j(b * data_k)
+        e += blocks["add"].energy_j(2 * n * data_k)
+        e += blocks["modswitch"].energy_j(n * data_k)
+        e += blocks["encode"].energy_j(b + n)
+        e += self._sram_energy(transforms=2 * data_k + 1)
+        return _ENERGY_CALIBRATION * e
+
+    def _sram_energy(self, transforms: float) -> float:
+        """Working-buffer traffic: ~4 words (32 B) move per butterfly."""
+        buffer = memory.working_buffer(self.n)
+        traffic_bytes = transforms * self.butterflies * 32
+        stream = memory.streaming_buffer()
+        streamed = 8 * self.n * 8 * self.k           # FIFO crossings
+        return (buffer.access_energy_for_bytes(traffic_bytes)
+                + stream.access_energy_for_bytes(streamed))
+
+    # ----------------------------------------------------------- public API
+    def encrypt_cost(self) -> OperationCost:
+        cycles = self._encrypt_cycles()
+        energy = self._encrypt_dynamic_energy() + self.leakage_w * cycles / CLOCK_HZ
+        return OperationCost(cycles=cycles, energy_j=energy)
+
+    def decrypt_cost(self) -> OperationCost:
+        cycles = self._decrypt_cycles()
+        energy = self._decrypt_dynamic_energy() + self.leakage_w * cycles / CLOCK_HZ
+        return OperationCost(cycles=cycles, energy_j=energy)
+
+    @property
+    def average_power_w(self) -> float:
+        """Average power while encrypting (the Figure 7 power axis)."""
+        cost = self.encrypt_cost()
+        return cost.energy_j / cost.time_s
+
+    def at_parameters(self, poly_degree: int, residues: int) -> "AcceleratorModel":
+        """The same configuration re-instantiated at another (N, k) (§4.5).
+
+        Working buffers grow with N and layers are added for larger k;
+        streaming buffers and per-layer pipelines are unchanged.
+        """
+        return AcceleratorModel(self.config, poly_degree, residues)

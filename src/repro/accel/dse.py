@@ -1,0 +1,106 @@
+"""Design-space exploration of the accelerator (§4.4, Figure 7).
+
+Sweeps per-module parallelism over 32,000 configurations (the paper sweeps
+31,340), evaluating power, area, energy, and encryption time for each, then
+applies the paper's operating-point rule: limit power to 200 mW and choose
+the smallest design whose run time is within 1% of the optimum.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.accel.design import AcceleratorConfig, AcceleratorModel
+
+#: The §4.4 power envelope, watts.
+POWER_LIMIT_W = 0.200
+
+#: Runtime slack for the operating-point rule.
+TIME_SLACK = 0.01
+
+#: Default sweep grid: 4*5*5*5*4*4*4 = 32,000 configurations.
+DEFAULT_GRID = {
+    "prng_lanes": (1, 2, 4, 8),
+    "ntt_pes": (1, 2, 4, 8, 16),
+    "intt_pes": (1, 2, 4, 8, 16),
+    "dyadic_pes": (1, 2, 4, 8, 16),
+    "add_pes": (1, 2, 4, 8),
+    "modswitch_pes": (1, 2, 4, 8),
+    "encode_pes": (1, 2, 4, 8),
+}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    config: AcceleratorConfig
+    time_s: float
+    energy_j: float
+    area_mm2: float
+    power_w: float
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance in (time, power, area)."""
+        no_worse = (
+            self.time_s <= other.time_s
+            and self.power_w <= other.power_w
+            and self.area_mm2 <= other.area_mm2
+        )
+        better = (
+            self.time_s < other.time_s
+            or self.power_w < other.power_w
+            or self.area_mm2 < other.area_mm2
+        )
+        return no_worse and better
+
+
+def iter_configs(grid=None) -> Iterable[AcceleratorConfig]:
+    """Every configuration in the sweep grid."""
+    grid = dict(DEFAULT_GRID if grid is None else grid)
+    keys = list(grid)
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        yield AcceleratorConfig(**dict(zip(keys, combo)))
+
+
+def evaluate(config: AcceleratorConfig, poly_degree: int = 8192,
+             residues: int = 3) -> DesignPoint:
+    """Power/area/energy/time of one configuration (one Figure 7 dot)."""
+    model = AcceleratorModel(config, poly_degree, residues)
+    cost = model.encrypt_cost()
+    return DesignPoint(
+        config=config,
+        time_s=cost.time_s,
+        energy_j=cost.energy_j,
+        area_mm2=model.area_mm2,
+        power_w=cost.energy_j / cost.time_s,
+    )
+
+
+def explore_design_space(grid=None, poly_degree: int = 8192,
+                         residues: int = 3) -> List[DesignPoint]:
+    """Evaluate the full sweep (Figure 7's point cloud)."""
+    return [evaluate(cfg, poly_degree, residues) for cfg in iter_configs(grid)]
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated points in (time, power, area)."""
+    frontier = []
+    for p in points:
+        if not any(q.dominates(p) for q in points if q is not p):
+            frontier.append(p)
+    return frontier
+
+
+def select_operating_point(points: Sequence[DesignPoint],
+                           power_limit_w: float = POWER_LIMIT_W,
+                           time_slack: float = TIME_SLACK) -> DesignPoint:
+    """Apply the §4.4 rule: power cap, near-optimal time, smallest area."""
+    feasible = [p for p in points if p.power_w <= power_limit_w]
+    if not feasible:
+        raise ValueError(f"no design meets the {power_limit_w * 1e3:.0f} mW cap")
+    best_time = min(p.time_s for p in feasible)
+    near_optimal = [p for p in feasible if p.time_s <= best_time * (1 + time_slack)]
+    return min(near_optimal, key=lambda p: p.area_mm2)

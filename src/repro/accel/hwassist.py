@@ -1,0 +1,48 @@
+"""Partial hardware assistance models: HEAX and encryption FPGAs (§2.2).
+
+Prior accelerators (HEAX [59], the BFV encryption FPGA [46], HEAWS [70])
+speed up polynomial multiplication and the NTT — but software profiling
+shows those account for only ~60% of SEAL's encryption/decryption time.
+Figure 2 computes the *best-case* client speedup by scaling the supported
+portion of the software runtime by each design's reported speedup; the
+remaining 40% runs at software speed and dominates (Amdahl).  CHOCO-TACO's
+motivation is exactly this gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fraction of SEAL encryption/decryption time spent in NTT + polynomial
+#: multiplication (software profiling, §2.2).
+NTT_POLYMULT_FRACTION = 0.60
+
+
+@dataclass(frozen=True)
+class PartialAccelerator:
+    """Amdahl model of an accelerator that covers only NTT/poly-multiply."""
+
+    name: str
+    supported_fraction: float
+    reported_speedup: float
+
+    def accelerated_time(self, software_time_s: float) -> float:
+        """Best-case client time with this accelerator attached."""
+        covered = self.supported_fraction * software_time_s / self.reported_speedup
+        uncovered = (1.0 - self.supported_fraction) * software_time_s
+        return covered + uncovered
+
+    def effective_speedup(self) -> float:
+        return 1.0 / (
+            (1.0 - self.supported_fraction)
+            + self.supported_fraction / self.reported_speedup
+        )
+
+
+#: HEAX [59]: FPGA NTT/dyadic engines.  The reported-speedup value makes the
+#: effective client speedup ~2.27x, consistent with the paper's published
+#: ratios (123.27x vs software and 54.3x vs HEAX for CHOCO-TACO).
+HEAX = PartialAccelerator("HEAX", NTT_POLYMULT_FRACTION, reported_speedup=15.0)
+
+#: The BFV encryption/decryption FPGA of Mert et al. [46].
+ENCRYPTION_FPGA = PartialAccelerator("FPGA", NTT_POLYMULT_FRACTION, reported_speedup=8.0)

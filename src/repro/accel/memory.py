@@ -1,0 +1,73 @@
+"""Destiny-like SRAM cost model (§4.2, §4.4).
+
+The paper models memories with Destiny, using aggressive wire technology
+optimized for read energy with 8-word 64-byte accesses, at a 45 nm node.
+This module provides the same three outputs — area, per-access energy, and
+leakage power — as smooth functions of capacity, with constants in the
+range Destiny reports for 45 nm SRAM.  Access latency limits the clock,
+which is why the design runs at 100 MHz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Bytes moved per SRAM access (8 words of 8 bytes).
+ACCESS_BYTES = 64
+
+# 45 nm SRAM constants (per Destiny-class modeling):
+_AREA_MM2_PER_KB = 0.0052          # ~0.65 mm^2 per Mbit
+_AREA_OVERHEAD_MM2 = 0.0008        # decoder/sense-amp floor per macro
+_ENERGY_PJ_PER_ACCESS_BASE = 5.0   # small-macro 64 B read
+_ENERGY_PJ_PER_ACCESS_SLOPE = 0.55  # growth with sqrt(capacity in KB)
+_LEAKAGE_UW_PER_KB = 9.0
+
+
+@dataclass(frozen=True)
+class SramMacro:
+    """One SRAM buffer: working buffer, twiddle ROM, or streaming FIFO."""
+
+    capacity_bytes: int
+
+    @property
+    def capacity_kb(self) -> float:
+        return self.capacity_bytes / 1024.0
+
+    @property
+    def area_mm2(self) -> float:
+        return _AREA_OVERHEAD_MM2 + _AREA_MM2_PER_KB * self.capacity_kb
+
+    @property
+    def access_energy_j(self) -> float:
+        """Joules per 64-byte access."""
+        pj = (_ENERGY_PJ_PER_ACCESS_BASE
+              + _ENERGY_PJ_PER_ACCESS_SLOPE * math.sqrt(max(self.capacity_kb, 0.015625)))
+        return pj * 1e-12
+
+    @property
+    def leakage_w(self) -> float:
+        return _LEAKAGE_UW_PER_KB * self.capacity_kb * 1e-6
+
+    def access_energy_for_bytes(self, num_bytes: float) -> float:
+        """Energy to stream *num_bytes* through this macro."""
+        return (num_bytes / ACCESS_BYTES) * self.access_energy_j
+
+
+def working_buffer(poly_degree: int) -> SramMacro:
+    """An NTT/INTT working buffer sized for one full residue polynomial.
+
+    "NTT and INTT algorithmically operate on a full polynomial, requiring
+    their SRAM to match the full polynomial size, e.g., 64 kB with N = 8192."
+    """
+    return SramMacro(capacity_bytes=poly_degree * 8)
+
+
+def streaming_buffer() -> SramMacro:
+    """A sub-1 kB streaming FIFO (the empirically optimal size, §4.2)."""
+    return SramMacro(capacity_bytes=512)
+
+
+def twiddle_rom(poly_degree: int) -> SramMacro:
+    """Twiddle-factor storage for one residue's NTT plan."""
+    return SramMacro(capacity_bytes=poly_degree * 8)

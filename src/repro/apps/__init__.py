@@ -1,0 +1,30 @@
+"""CHOCO's encrypted applications (§5.1).
+
+* :mod:`repro.apps.dnn` — client-aided DNN inference (BFV).
+* :mod:`repro.apps.pagerank` — encrypted PageRank (BFV and CKKS), fully
+  offloaded or client-aided.
+* :mod:`repro.apps.knn` — K-Nearest-Neighbors over encrypted distances (CKKS).
+* :mod:`repro.apps.kmeans` — K-Means clustering over encrypted distances (CKKS).
+"""
+
+from repro.apps.advisor import WorkloadAdvisor
+from repro.apps.dnn import ClientAidedDnnPlan, choose_dnn_parameters, run_encrypted_inference
+from repro.apps.knn import EncryptedKnn
+from repro.apps.kmeans import EncryptedKMeans
+from repro.apps.pagerank import (
+    ClientAidedPageRank,
+    FullyEncryptedPageRank,
+    pagerank_reference,
+)
+
+__all__ = [
+    "WorkloadAdvisor",
+    "ClientAidedDnnPlan",
+    "choose_dnn_parameters",
+    "run_encrypted_inference",
+    "EncryptedKnn",
+    "EncryptedKMeans",
+    "ClientAidedPageRank",
+    "FullyEncryptedPageRank",
+    "pagerank_reference",
+]

@@ -1,0 +1,139 @@
+"""The workload advisor of §5.8.
+
+"A quick analytical comparison of computation (MACs) versus communication
+(MBs) per layer helps an application designer decide if their DNN
+application will see an energy benefit in the CHOCO client-aided model."
+
+Offloading a layer trades local MAC energy for radio + client-crypto
+energy.  The break-even line is a MACs-per-byte threshold: layers above it
+(big filters, many channels at small spatial size — VGG-like) save energy
+offloaded; layers below it (SqueezeNet-like 1x1-dominated layers) should
+stay local.  The advisor computes the threshold from the platform models
+and renders a per-layer and whole-network verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.dnn import ClientAidedDnnPlan, choose_dnn_parameters
+from repro.core.protocol import ClientCostModel
+from repro.hecore.params import EncryptionParameters
+from repro.nn.layers import ConvLayer, FcLayer, FireLayer, Network
+from repro.platforms.local_inference import TfLiteLocalInference
+from repro.platforms.radio import BluetoothLink
+
+
+@dataclass(frozen=True)
+class LayerAdvice:
+    """One linear layer's offload economics."""
+
+    name: str
+    macs: int
+    comm_bytes: int
+    offload: bool           # True when offloading saves client energy
+
+    @property
+    def macs_per_byte(self) -> float:
+        return self.macs / max(self.comm_bytes, 1)
+
+
+@dataclass(frozen=True)
+class NetworkAdvice:
+    """Whole-network verdict plus the per-layer breakdown."""
+
+    network: str
+    threshold_macs_per_byte: float
+    layers: List[LayerAdvice]
+    total_macs: int
+    total_comm_bytes: int
+    offload_energy_j: float
+    local_energy_j: float
+
+    @property
+    def offload_network(self) -> bool:
+        return self.offload_energy_j < self.local_energy_j
+
+    @property
+    def energy_ratio(self) -> float:
+        """local / offload energy: >1 means offloading wins (§5.7's VGG)."""
+        return self.local_energy_j / self.offload_energy_j
+
+
+class WorkloadAdvisor:
+    """Computes §5.8's MACs-per-MB break-even analysis."""
+
+    def __init__(self, radio: Optional[BluetoothLink] = None,
+                 local: Optional[TfLiteLocalInference] = None):
+        self.radio = radio or BluetoothLink()
+        self.local = local or TfLiteLocalInference()
+
+    def _offload_joules_per_byte(self, params: EncryptionParameters) -> float:
+        """Radio energy plus amortized CHOCO-TACO crypto energy per byte."""
+        taco = ClientCostModel.choco_taco(params)
+        ct_bytes = params.ciphertext_bytes()
+        crypto_per_byte = (taco.encrypt_j + taco.decrypt_j) / (2 * ct_bytes)
+        radio_per_byte = self.radio.transfer_energy(1)
+        return radio_per_byte + crypto_per_byte
+
+    def _local_joules_per_mac(self) -> float:
+        return self.local.active_power_w / self.local.macs_per_second
+
+    def threshold(self, params: EncryptionParameters) -> float:
+        """MACs per communicated byte above which offloading saves energy."""
+        return self._offload_joules_per_byte(params) / self._local_joules_per_mac()
+
+    def analyze(self, network: Network,
+                params: Optional[EncryptionParameters] = None) -> NetworkAdvice:
+        params = params or choose_dnn_parameters(network)
+        plan = ClientAidedDnnPlan(network, params=params)
+        threshold = self.threshold(params)
+        ct_bytes = params.ciphertext_bytes()
+
+        layers = []
+        for rnd in plan.rounds:
+            comm = (rnd.up_cts + rnd.down_cts) * ct_bytes
+            layers.append(LayerAdvice(
+                name=rnd.name, macs=rnd.macs, comm_bytes=comm,
+                offload=(rnd.macs / max(comm, 1)) > threshold,
+            ))
+
+        total_macs = network.total_macs()
+        total_comm = plan.communication_bytes()
+        taco = ClientCostModel.choco_taco(params)
+        offload_energy = (plan.client_energy(taco)
+                          + self.radio.transfer_energy(total_comm))
+        local_energy = self.local.inference_energy(total_macs)
+        return NetworkAdvice(
+            network=network.name,
+            threshold_macs_per_byte=threshold,
+            layers=layers,
+            total_macs=total_macs,
+            total_comm_bytes=total_comm,
+            offload_energy_j=offload_energy,
+            local_energy_j=local_energy,
+        )
+
+    def render(self, advice: NetworkAdvice) -> str:
+        """A human-readable report for the designer."""
+        lines = [
+            f"network {advice.network}: {advice.total_macs / 1e6:.2f}M MACs, "
+            f"{advice.total_comm_bytes / 1e6:.2f} MB per inference",
+            f"break-even: {advice.threshold_macs_per_byte:.1f} MACs per byte",
+        ]
+        for layer in advice.layers:
+            verdict = "offload" if layer.offload else "keep local"
+            lines.append(
+                f"  {layer.name:14s} {layer.macs / 1e6:9.3f}M MACs  "
+                f"{layer.comm_bytes / 1e6:7.3f} MB  "
+                f"{layer.macs_per_byte:8.1f} MACs/B  -> {verdict}"
+            )
+        winner = "OFFLOAD (CHOCO)" if advice.offload_network else "LOCAL (TFLite)"
+        lines.append(
+            f"verdict: {winner} — local/offload energy = "
+            f"{advice.energy_ratio:.2f}x"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Prior-work comparison points.
+
+* :mod:`repro.baselines.protocols` — communication totals of the
+  privacy-preserving DNN protocols Figure 10 compares against.
+* :mod:`repro.baselines.gazelle` — the server-optimized client-aided
+  software baseline (Gazelle-style algorithms, SEAL default parameters)
+  used by Figures 2 and 12.
+"""
+
+from repro.baselines.gazelle import server_optimized_plan
+from repro.baselines.protocols import (
+    PRIOR_PROTOCOLS,
+    PriorProtocol,
+    communication_improvements,
+)
+
+__all__ = [
+    "PriorProtocol",
+    "PRIOR_PROTOCOLS",
+    "communication_improvements",
+    "server_optimized_plan",
+]

@@ -1,0 +1,35 @@
+"""The server-optimized software baseline (Figures 2 & 12).
+
+The paper's characterization prototype uses Gazelle's server-optimized HE
+algorithms with SEAL's default parameters: no rotational redundancy (so
+windowed rotations are arbitrary masked permutations, whose noise forces
+the default, larger coefficient modulus) and therefore bigger, slower
+client encryptions and decryptions.  §5.5 reports that CHOCO's software
+optimizations alone (rotational redundancy + minimized parameters) buy an
+average 1.7× over this baseline before any hardware acceleration.
+"""
+
+from __future__ import annotations
+
+from repro.apps.dnn import ClientAidedDnnPlan
+from repro.hecore.params import EncryptionParameters, seal_default_parameters
+from repro.nn.layers import Network
+
+#: SEAL default the baseline prototype runs with (N=8192, five residues).
+BASELINE_POLY_DEGREE = 8192
+
+
+def baseline_parameters(plain_bits: int = 20) -> EncryptionParameters:
+    """SEAL's default 128-bit parameter set at N=8192 (k=5)."""
+    return seal_default_parameters(BASELINE_POLY_DEGREE, plain_bits=plain_bits)
+
+
+def server_optimized_plan(network: Network) -> ClientAidedDnnPlan:
+    """The network's client-aided plan under baseline (Gazelle/SEAL-default)
+    parameters: same round structure, larger ciphertexts, slower client ops.
+
+    The masked permutations the baseline performs are server-side; their
+    client-visible cost is exactly the larger parameter selection this plan
+    carries (more residues, bigger N-independent per-op time).
+    """
+    return ClientAidedDnnPlan(network, params=baseline_parameters())

@@ -1,0 +1,80 @@
+"""Communication costs of prior privacy-preserving DNN protocols (Fig. 10).
+
+Single-image inference communication (offline preprocessing + online), as
+reported in the respective publications for MNIST-class and CIFAR-10-class
+networks.  CHOCO's improvements in the paper range from 14× (vs. LoLa's
+complete-HE offload on MNIST) to 2948× (vs. an MPC-heavy protocol on
+CIFAR-10), with ~90× against the most comparable protocol, Gazelle, on
+CIFAR-10.
+
+These are *published baseline values*, not measurements of this repository
+— the same way the paper itself uses them.  Each entry carries a note with
+its provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class PriorProtocol:
+    """One comparison protocol and its per-inference communication."""
+
+    name: str
+    technology: str           # "HE", "MPC", or "HE-MPC"
+    dataset: str              # "MNIST" or "CIFAR-10"
+    comm_mb: float            # offline + online, single image
+    note: str
+
+
+PRIOR_PROTOCOLS: List[PriorProtocol] = [
+    # ---------------------------------------------------------------- MNIST
+    PriorProtocol(
+        "CryptoNets", "HE", "MNIST", 595.5,
+        "Complete-HE batched inference [22]; ciphertexts sized for batch "
+        "throughput dominate (value as tabulated in the Gazelle comparison)."),
+    PriorProtocol(
+        "LoLa", "HE", "MNIST", 36.4,
+        "Complete-HE latency-optimized inference [8]; large N keeps input "
+        "ciphertexts in the tens of MB.  CHOCO's smallest margin (~14x)."),
+    PriorProtocol(
+        "MiniONN", "HE-MPC", "MNIST", 657.5,
+        "Client-aided with garbled-circuit activations [41]; GC tables "
+        "dominate communication."),
+    PriorProtocol(
+        "Gazelle", "HE-MPC", "MNIST", 70.0,
+        "The most closely comparable client-aided HE protocol [36]."),
+    PriorProtocol(
+        "nGraph-HE2", "HE", "MNIST", 336.0,
+        "Batched complete-HE framework [6]; per-image share of a batch's "
+        "multi-GB ciphertext traffic."),
+    # -------------------------------------------------------------- CIFAR-10
+    PriorProtocol(
+        "Gazelle", "HE-MPC", "CIFAR-10", 1236.0,
+        "Gazelle's CIFAR network [36]: ~1.2 GB per inference; CHOCO's "
+        "SqueezeNet is ~90x less."),
+    PriorProtocol(
+        "MiniONN", "HE-MPC", "CIFAR-10", 9272.0,
+        "MiniONN's CIFAR network [41]: 9.27 GB per inference."),
+    PriorProtocol(
+        "XONN", "MPC", "CIFAR-10", 2599.0,
+        "XNOR-based GC inference [60]; binarized but GC-heavy."),
+    PriorProtocol(
+        "Delphi", "HE-MPC", "CIFAR-10", 40690.0,
+        "Delphi-class preprocessing-heavy hybrid [47]: tens of GB of "
+        "offline triples/GC material.  CHOCO's largest margin (~2948x)."),
+]
+
+
+def protocols_for(dataset: str) -> List[PriorProtocol]:
+    return [p for p in PRIOR_PROTOCOLS if p.dataset == dataset]
+
+
+def communication_improvements(choco_comm_mb: float,
+                               dataset: str) -> Dict[str, float]:
+    """CHOCO's communication-reduction factor vs. every prior protocol."""
+    if choco_comm_mb <= 0:
+        raise ValueError("CHOCO communication must be positive")
+    return {p.name: p.comm_mb / choco_comm_mb for p in protocols_for(dataset)}

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``params``
+    Print Table 3's parameter selections and the SEAL defaults.
+``networks``
+    Print the Table 5 model zoo with measured plan costs.
+``accelerator``
+    Evaluate the CHOCO-TACO operating point; ``--dse`` runs the full sweep.
+``advisor --network NAME``
+    The §5.8 offload-vs-local energy analysis for one network.
+``demo``
+    A tiny end-to-end encrypted inference (real HE).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_params(_args) -> int:
+    from repro.hecore.params import (
+        PARAMETER_SET_A,
+        PARAMETER_SET_B,
+        PARAMETER_SET_C,
+        seal_default_parameters,
+    )
+
+    print("CHOCO parameter selections (Table 3):")
+    for p in (PARAMETER_SET_A, PARAMETER_SET_B, PARAMETER_SET_C):
+        print(f"  {p.describe()}")
+    default = seal_default_parameters(8192)
+    print("\nSEAL default baseline:")
+    print(f"  {default.describe()}")
+    ratio = default.ciphertext_bytes() / PARAMETER_SET_A.ciphertext_bytes()
+    print(f"\nCHOCO ciphertexts are {ratio:.0f}/2 the default size at N=8192.")
+    return 0
+
+
+def _cmd_networks(_args) -> int:
+    from repro.apps.dnn import ClientAidedDnnPlan
+    from repro.nn.models import NETWORK_BUILDERS, TABLE5_REFERENCE
+
+    print(f"{'network':8s} {'MACs(M)':>9s} {'params':>7s} {'comm MB':>8s} "
+          f"{'pub MB':>7s} {'enc':>4s} {'dec':>4s}")
+    for name, build in NETWORK_BUILDERS.items():
+        net = build()
+        plan = ClientAidedDnnPlan(net)
+        print(f"{name:8s} {net.total_macs() / 1e6:9.2f} "
+              f"{plan.params.label:>7s} "
+              f"{plan.communication_bytes() / 1e6:8.2f} "
+              f"{TABLE5_REFERENCE[name]['comm_mb']:7.2f} "
+              f"{plan.encrypt_ops:4d} {plan.decrypt_ops:4d}")
+    return 0
+
+
+def _cmd_accelerator(args) -> int:
+    from repro.accel.design import AcceleratorModel, CHOCO_TACO_CONFIG
+
+    model = AcceleratorModel(CHOCO_TACO_CONFIG, args.n, args.k)
+    enc, dec = model.encrypt_cost(), model.decrypt_cost()
+    print(f"CHOCO-TACO at (N={args.n}, k={args.k}):")
+    print(f"  encrypt: {enc.time_s * 1e3:7.3f} ms   {enc.energy_j * 1e6:8.1f} uJ")
+    print(f"  decrypt: {dec.time_s * 1e3:7.3f} ms   {dec.energy_j * 1e6:8.1f} uJ")
+    print(f"  area {model.area_mm2:.1f} mm^2, average power "
+          f"{model.average_power_w * 1e3:.0f} mW")
+    if args.dse:
+        from repro.accel.dse import explore_design_space, select_operating_point
+
+        print("\nsweeping 32,000 configurations ...")
+        points = explore_design_space(poly_degree=args.n, residues=args.k)
+        sel = select_operating_point(points)
+        print(f"operating point: {sel.config.as_dict()}")
+        print(f"  {sel.time_s * 1e3:.3f} ms | {sel.energy_j * 1e3:.4f} mJ | "
+              f"{sel.area_mm2:.1f} mm^2 | {sel.power_w * 1e3:.0f} mW")
+    return 0
+
+
+def _cmd_advisor(args) -> int:
+    from repro.apps.advisor import WorkloadAdvisor
+    from repro.nn.models import NETWORK_BUILDERS
+
+    build = NETWORK_BUILDERS.get(args.network)
+    if build is None:
+        print(f"unknown network {args.network!r}; choose from "
+              f"{sorted(NETWORK_BUILDERS)}", file=sys.stderr)
+        return 2
+    advisor = WorkloadAdvisor()
+    print(advisor.render(advisor.analyze(build())))
+    return 0
+
+
+def _cmd_report(_args) -> int:
+    """Regenerate every table/figure via the benchmark harness."""
+    import pathlib
+
+    import pytest
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    bench_dir = repo_root / "benchmarks"
+    if not bench_dir.is_dir():
+        print("benchmarks/ not found next to the package; run from a source "
+              "checkout", file=sys.stderr)
+        return 2
+    code = pytest.main([str(bench_dir), "--benchmark-only", "-q"])
+    if code == 0:
+        print(f"\nreports written under {bench_dir / 'results'}")
+    return int(code)
+
+
+def _cmd_demo(_args) -> int:
+    import numpy as np
+
+    from repro.core.packing import RedundantPacking, windowed_rotation_redundant
+    from repro.hecore.bfv import BfvContext
+    from repro.hecore.params import SchemeType, small_test_parameters
+
+    params = small_test_parameters(SchemeType.BFV, poly_degree=1024,
+                                   plain_bits=16, data_bits=(30, 30))
+    ctx = BfvContext(params, seed=0)
+    ctx.make_galois_keys([2])
+    packing = RedundantPacking(window=8, redundancy=2, count=1)
+    values = np.arange(1, 9)
+    ct = ctx.encrypt(packing.pack([values]).astype(np.int64))
+    print(f"encrypted {[int(v) for v in values]} "
+          f"(noise budget {ctx.noise_budget(ct)} bits)")
+    ct = windowed_rotation_redundant(ctx, ct, 2, packing.layout)
+    out = packing.unpack(ctx.decrypt(ct), rotation=2)[0]
+    print(f"windowed rotation by 2 via rotational redundancy -> "
+          f"{[int(v) for v in out]} (budget {ctx.noise_budget(ct)} bits)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CHOCO / CHOCO-TACO (ASPLOS 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("params", help="Table 3 parameter selections")
+    sub.add_parser("networks", help="Table 5 model zoo and plan costs")
+    acc = sub.add_parser("accelerator", help="CHOCO-TACO cost model")
+    acc.add_argument("--n", type=int, default=8192, help="polynomial degree")
+    acc.add_argument("--k", type=int, default=3, help="RNS residue count")
+    acc.add_argument("--dse", action="store_true",
+                     help="run the full design-space sweep")
+    adv = sub.add_parser("advisor", help="offload-vs-local energy advice (§5.8)")
+    adv.add_argument("--network", required=True,
+                     help="LeNetSm | LeNetLg | SqzNet | VGG16")
+    sub.add_parser("demo", help="tiny end-to-end encrypted demo")
+    sub.add_parser("report", help="regenerate every table/figure "
+                                  "(runs the benchmark harness)")
+    return parser
+
+
+_HANDLERS = {
+    "params": _cmd_params,
+    "networks": _cmd_networks,
+    "accelerator": _cmd_accelerator,
+    "advisor": _cmd_advisor,
+    "demo": _cmd_demo,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)

@@ -1,0 +1,31 @@
+"""CHOCO's core contribution: client-optimized client-aided HE.
+
+* :mod:`repro.core.packing` — rotational redundancy (Figure 4B).
+* :mod:`repro.core.permute` — arbitrary-permutation baseline (Figure 4A).
+* :mod:`repro.core.linalg` — encrypted convolution and matrix-vector products.
+* :mod:`repro.core.tiling` — multi-ciphertext (tiled) convolution.
+* :mod:`repro.core.distance` — the five distance-kernel packings (Figure 9).
+* :mod:`repro.core.lola` — alternating dense/spread products (LoLa-style).
+* :mod:`repro.core.compiler` — EVA-style CKKS program compilation (§3.2).
+* :mod:`repro.core.protocol` — the client-aided runtime and cost ledger.
+* :mod:`repro.core.paramsearch` — client-optimal HE parameter selection.
+* :mod:`repro.core.batching` — batched (CryptoNets-style) cost models (§2.1).
+"""
+
+from repro.core.packing import (
+    ChannelLayout,
+    RedundantPacking,
+    windowed_rotation_redundant,
+)
+from repro.core.permute import windowed_rotation_masked
+from repro.core.protocol import ClientAidedSession, ClientCostModel, CostLedger
+
+__all__ = [
+    "ChannelLayout",
+    "RedundantPacking",
+    "windowed_rotation_redundant",
+    "windowed_rotation_masked",
+    "ClientAidedSession",
+    "ClientCostModel",
+    "CostLedger",
+]

@@ -1,0 +1,428 @@
+"""Encrypted distance kernels: the five packings of Figure 9 (§5.1, §5.4).
+
+KNN and K-Means reduce to one-to-many squared-distance calculations
+``dist_i = sum_k (x_i[k] - q[k])^2`` between a query/centroid ``q`` and all
+stored points ``x_i`` — the access pattern of a matrix-vector product.  How
+points and dimensions are packed into ciphertexts determines the balance of
+server time, client time, and communication that Figure 11 explores:
+
+* ``point-major``       — one point's dimensions per ciphertext;
+* ``dimension-major``   — one dimension of every point per ciphertext;
+* ``stacked-point``     — several points per ciphertext;
+* ``stacked-dimension`` — several dimensions per ciphertext;
+* ``collapsed``         — stacked-point compute plus an extra server-side
+  mask-and-rotate round that compacts all distances into one dense
+  ciphertext: more server work, minimal client/communication cost — the
+  client-optimized choice (§5.4).
+
+All variants run on CKKS.  Dimensions are padded to a power of two so the
+log-rotation accumulation of :func:`repro.core.linalg.rotate_and_accumulate`
+applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple, Type
+
+import numpy as np
+
+from repro.core.linalg import _rotate, rotate_and_accumulate, row_slot_count
+
+
+def _pow2(n: int) -> int:
+    return 1 << max(0, (n - 1)).bit_length()
+
+
+@dataclass(frozen=True)
+class DistanceProblem:
+    """A one-to-many distance computation: *n_points* stored, *dims* each."""
+
+    n_points: int
+    dims: int
+
+    @property
+    def padded_dims(self) -> int:
+        return _pow2(self.dims)
+
+    @property
+    def padded_points(self) -> int:
+        return _pow2(self.n_points)
+
+
+class DistanceKernel:
+    """Base class: packing, server compute, and result decoding."""
+
+    name = "abstract"
+
+    def __init__(self, ctx, problem: DistanceProblem):
+        self.ctx = ctx
+        self.problem = problem
+        self.slots = row_slot_count(ctx)
+
+    # Subclasses implement these four.
+    def pack_points(self, points: np.ndarray) -> List[np.ndarray]:
+        raise NotImplementedError
+
+    def pack_query(self, query: np.ndarray) -> List[np.ndarray]:
+        raise NotImplementedError
+
+    def compute(self, point_cts, query_cts, galois_keys=None):
+        raise NotImplementedError
+
+    def decode(self, outputs: List[np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    # Shared helpers -------------------------------------------------------
+    def required_rotation_steps(self) -> Set[int]:
+        return set()
+
+    def encrypt_points(self, points: np.ndarray):
+        return [self.ctx.encrypt(v) for v in self.pack_points(points)]
+
+    def encrypt_query(self, query: np.ndarray):
+        return [self.ctx.encrypt(v) for v in self.pack_query(query)]
+
+    def distances(self, point_cts, query_cts, galois_keys=None) -> np.ndarray:
+        """End-to-end helper: compute, decrypt, decode."""
+        outputs = self.compute(point_cts, query_cts, galois_keys)
+        return self.decode([np.real(self.ctx.decrypt(ct)) for ct in outputs])
+
+    def _check(self, points: np.ndarray):
+        n, d = points.shape
+        if n != self.problem.n_points or d != self.problem.dims:
+            raise ValueError(f"points shape {points.shape} does not match problem")
+
+    def _squared_diff(self, a, b):
+        ctx = self.ctx
+        return ctx.rescale(ctx.square(ctx.sub(a, b)))
+
+    def reference(self, points: np.ndarray, query: np.ndarray) -> np.ndarray:
+        return np.sum((points - query) ** 2, axis=1)
+
+
+class PointMajorKernel(DistanceKernel):
+    """One ciphertext per point; outputs one sparse ciphertext per point."""
+
+    name = "point-major"
+
+    def pack_points(self, points):
+        self._check(points)
+        d = self.problem.padded_dims
+        out = []
+        for row in points:
+            v = np.zeros(d)
+            v[: self.problem.dims] = row
+            out.append(v)
+        return out
+
+    def pack_query(self, query):
+        v = np.zeros(self.problem.padded_dims)
+        v[: self.problem.dims] = query
+        return [v]
+
+    def required_rotation_steps(self):
+        d = self.problem.padded_dims
+        return {d >> k for k in range(1, d.bit_length())}
+
+    def compute(self, point_cts, query_cts, galois_keys=None):
+        q = query_cts[0]
+        out = []
+        for p in point_cts:
+            sq = self._squared_diff(p, q)
+            out.append(rotate_and_accumulate(self.ctx, sq, self.problem.padded_dims,
+                                             galois_keys))
+        return out
+
+    def decode(self, outputs):
+        return np.array([o[0] for o in outputs])
+
+
+class DimensionMajorKernel(DistanceKernel):
+    """One ciphertext per dimension; outputs one dense ciphertext."""
+
+    name = "dimension-major"
+
+    def pack_points(self, points):
+        self._check(points)
+        return [points[:, k].astype(float) for k in range(self.problem.dims)]
+
+    def pack_query(self, query):
+        n = self.problem.n_points
+        return [np.full(n, float(q_k)) for q_k in query]
+
+    def compute(self, point_cts, query_cts, galois_keys=None):
+        ctx = self.ctx
+        acc = None
+        for p, q in zip(point_cts, query_cts):
+            sq = self._squared_diff(p, q)
+            acc = sq if acc is None else ctx.add(acc, sq)
+        return [acc]
+
+    def decode(self, outputs):
+        return outputs[0][: self.problem.n_points]
+
+
+class StackedPointMajorKernel(DistanceKernel):
+    """Several points per ciphertext; output distances at stride ``d``."""
+
+    name = "stacked-point"
+
+    def __init__(self, ctx, problem):
+        super().__init__(ctx, problem)
+        d = problem.padded_dims
+        self.points_per_ct = max(1, self.slots // d)
+
+    def _groups(self):
+        n, per = self.problem.n_points, self.points_per_ct
+        return [(i, min(i + per, n)) for i in range(0, n, per)]
+
+    def pack_points(self, points):
+        self._check(points)
+        d = self.problem.padded_dims
+        out = []
+        for lo, hi in self._groups():
+            v = np.zeros(self.slots)
+            for idx in range(lo, hi):
+                v[(idx - lo) * d: (idx - lo) * d + self.problem.dims] = points[idx]
+            out.append(v)
+        return out
+
+    def pack_query(self, query):
+        d = self.problem.padded_dims
+        v = np.zeros(self.slots)
+        for i in range(self.points_per_ct):
+            v[i * d: i * d + self.problem.dims] = query
+        return [v]
+
+    def required_rotation_steps(self):
+        d = self.problem.padded_dims
+        return {d >> k for k in range(1, d.bit_length())}
+
+    def compute(self, point_cts, query_cts, galois_keys=None):
+        q = query_cts[0]
+        out = []
+        for p in point_cts:
+            sq = self._squared_diff(p, q)
+            out.append(rotate_and_accumulate(self.ctx, sq, self.problem.padded_dims,
+                                             galois_keys))
+        return out
+
+    def decode(self, outputs):
+        d = self.problem.padded_dims
+        dists = []
+        for lo, hi in self._groups():
+            block = outputs[lo // self.points_per_ct]
+            for idx in range(hi - lo):
+                dists.append(block[idx * d])
+        return np.array(dists[: self.problem.n_points])
+
+
+class StackedDimensionMajorKernel(DistanceKernel):
+    """Several dimensions per ciphertext; cross-window adds on the server."""
+
+    name = "stacked-dimension"
+
+    def __init__(self, ctx, problem):
+        super().__init__(ctx, problem)
+        n = problem.padded_points
+        self.dims_per_ct = max(1, self.slots // n)
+
+    def _groups(self):
+        d, per = self.problem.dims, self.dims_per_ct
+        return [(k, min(k + per, d)) for k in range(0, d, per)]
+
+    def pack_points(self, points):
+        self._check(points)
+        n = self.problem.padded_points
+        out = []
+        for lo, hi in self._groups():
+            v = np.zeros(self.slots)
+            for k in range(lo, hi):
+                v[(k - lo) * n: (k - lo) * n + self.problem.n_points] = points[:, k]
+            out.append(v)
+        return out
+
+    def pack_query(self, query):
+        n = self.problem.padded_points
+        out = []
+        for lo, hi in self._groups():
+            v = np.zeros(self.slots)
+            for k in range(lo, hi):
+                v[(k - lo) * n: (k - lo) * n + self.problem.n_points] = query[k]
+            out.append(v)
+        return out
+
+    def required_rotation_steps(self):
+        n = self.problem.padded_points
+        steps = set()
+        stride = self.dims_per_ct
+        while stride > 1:
+            steps.add((stride // 2) * n)
+            stride //= 2
+        return steps
+
+    def compute(self, point_cts, query_cts, galois_keys=None):
+        ctx = self.ctx
+        n = self.problem.padded_points
+        acc = None
+        for p, q in zip(point_cts, query_cts):
+            sq = self._squared_diff(p, q)
+            acc = sq if acc is None else ctx.add(acc, sq)
+        # Fold the per-window partial sums into window 0.
+        stride = _pow2(self.dims_per_ct)
+        while stride > 1:
+            acc = ctx.add(acc, _rotate(ctx, acc, (stride // 2) * n, galois_keys))
+            stride //= 2
+        return [acc]
+
+    def decode(self, outputs):
+        return outputs[0][: self.problem.n_points]
+
+
+class CollapsedPointMajorKernel(StackedPointMajorKernel):
+    """Stacked point-major plus a server-side collapse to one dense output.
+
+    After the per-point accumulation leaves distance *i* at slot ``i * d``,
+    the server masks each sparse distance and rotates it to slot ``i``,
+    producing one densely packed output ciphertext — extra masking
+    multiplies and rotations on the server buy minimal client decryption and
+    communication (the client-optimized pick of §5.4).
+    """
+
+    name = "collapsed"
+
+    def required_rotation_steps(self):
+        steps = set(super().required_rotation_steps())
+        d = self.problem.padded_dims
+        occupied = min(self.points_per_ct, self.problem.n_points)
+        for i in range(1, occupied):
+            steps.add(i * d - i)
+        for g in range(1, len(self._groups())):
+            steps.add(-(g * self.points_per_ct))
+        return {s for s in steps if s != 0}
+
+    def compute(self, point_cts, query_cts, galois_keys=None):
+        ctx = self.ctx
+        d = self.problem.padded_dims
+        sparse = super().compute(point_cts, query_cts, galois_keys)
+        collapsed = None
+        for g, (block, (lo, hi)) in enumerate(zip(sparse, self._groups())):
+            dense_block = None
+            for i in range(hi - lo):
+                mask = np.zeros(self.slots)
+                mask[i * d] = 1.0
+                encoded = ctx.encode(mask, base=block.level_base)
+                picked = ctx.rescale(ctx.multiply_plain(block, encoded))
+                if i * d - i:
+                    picked = _rotate(ctx, picked, i * d - i, galois_keys)
+                dense_block = picked if dense_block is None else ctx.add(dense_block, picked)
+            if g:
+                dense_block = _rotate(ctx, dense_block,
+                                      -(g * self.points_per_ct), galois_keys)
+            if collapsed is None:
+                collapsed = dense_block
+            else:
+                collapsed, dense_block = ctx.align(collapsed, dense_block)
+                collapsed = ctx.add(collapsed, dense_block)
+        return [collapsed]
+
+    def decode(self, outputs):
+        return outputs[0][: self.problem.n_points]
+
+
+class MultiQueryDimensionMajor(DimensionMajorKernel):
+    """Dimension-major distances for *several* queries in one pass.
+
+    The stored points stay packed once (single region per dimension); the
+    server replicates each dimension ciphertext across query regions with
+    ``log2(q)`` rotations, subtracts a multi-region query ciphertext, and
+    squares — producing every (query, point) distance in ONE output
+    ciphertext.  K-Means uses this to price all centroids per round with a
+    single server pass.
+    """
+
+    name = "multi-query"
+
+    def __init__(self, ctx, problem: DistanceProblem, max_queries: int):
+        super().__init__(ctx, problem)
+        if max_queries < 1:
+            raise ValueError("need at least one query")
+        self.max_queries = max_queries
+        self.stride = problem.padded_points
+        self._regions = _pow2(max_queries)
+        if self.stride * self._regions > self.slots:
+            raise ValueError(
+                f"{max_queries} queries x stride {self.stride} exceed "
+                f"{self.slots} slots"
+            )
+
+    def pack_queries(self, queries: np.ndarray) -> List[np.ndarray]:
+        """(q, dims) query matrix -> one slot vector per dimension."""
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2 or queries.shape[1] != self.problem.dims:
+            raise ValueError(f"bad query matrix shape {queries.shape}")
+        if len(queries) > self.max_queries:
+            raise ValueError(f"at most {self.max_queries} queries supported")
+        out = []
+        for k in range(self.problem.dims):
+            v = np.zeros(self.slots)
+            for j, query in enumerate(queries):
+                start = j * self.stride
+                v[start: start + self.problem.n_points] = query[k]
+            out.append(v)
+        return out
+
+    def required_rotation_steps(self) -> Set[int]:
+        steps = set()
+        copies = 1
+        while copies < self._regions:
+            steps.add(-(self.stride * copies))
+            copies *= 2
+        return steps
+
+    def _replicate_points(self, ct, galois_keys=None):
+        ctx = self.ctx
+        copies = 1
+        while copies < self._regions:
+            ct = ctx.add(ct, _rotate(ctx, ct, -(self.stride * copies),
+                                     galois_keys))
+            copies *= 2
+        return ct
+
+    def compute(self, point_cts, query_cts, galois_keys=None):
+        ctx = self.ctx
+        acc = None
+        for p, q in zip(point_cts, query_cts):
+            replicated = self._replicate_points(p, galois_keys)
+            sq = self._squared_diff(replicated, q)
+            acc = sq if acc is None else ctx.add(acc, sq)
+        return [acc]
+
+    def decode_matrix(self, outputs: List[np.ndarray],
+                      n_queries: int) -> np.ndarray:
+        """One decrypted output ciphertext -> (queries, points) distances."""
+        block = np.asarray(outputs[0])
+        rows = []
+        for j in range(n_queries):
+            start = j * self.stride
+            rows.append(block[start: start + self.problem.n_points])
+        return np.stack(rows)
+
+    def reference_matrix(self, points: np.ndarray,
+                         queries: np.ndarray) -> np.ndarray:
+        return np.stack([
+            np.sum((points - q) ** 2, axis=1) for q in np.asarray(queries)
+        ])
+
+
+KERNEL_VARIANTS: Dict[str, Type[DistanceKernel]] = {
+    k.name: k
+    for k in (
+        PointMajorKernel,
+        DimensionMajorKernel,
+        StackedPointMajorKernel,
+        StackedDimensionMajorKernel,
+        CollapsedPointMajorKernel,
+    )
+}

@@ -1,0 +1,235 @@
+"""The client-aided protocol runtime (Figure 3) and its cost ledger.
+
+A trusted, resource-constrained client and an untrusted offload server
+exchange ciphertexts: the server applies encrypted linear algebra; the
+client decrypts, applies plaintext non-linear operations (refreshing the
+noise budget and repacking vectors in the process), re-encrypts, and
+uploads.  The ledger tallies exactly the quantities the paper's evaluation
+reports: client encryption/decryption operations, client active time and
+energy, bytes moved in each direction, rounds, and server time.
+
+Costs follow §5.2's methodology — operation counts multiplied by
+per-operation platform costs — with the client's per-operation cost coming
+from either the software model (:class:`Imx6SoftwareClient`), a partial
+accelerator (HEAX/FPGA), or CHOCO-TACO (:class:`AcceleratorModel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.hecore.params import EncryptionParameters, SchemeType
+from repro.platforms.client_device import Imx6SoftwareClient
+from repro.platforms.radio import BluetoothLink
+from repro.platforms.server import XeonServer
+
+
+@dataclass
+class CostLedger:
+    """Everything the evaluation charges to the client, server, or link."""
+
+    client_encrypt_ops: int = 0
+    client_decrypt_ops: int = 0
+    client_compute_s: float = 0.0
+    client_energy_j: float = 0.0
+    bytes_up: int = 0
+    bytes_down: int = 0
+    rounds: int = 0
+    server_compute_s: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_up + self.bytes_down
+
+    def communication_time(self, radio: BluetoothLink) -> float:
+        return radio.transfer_time(self.total_bytes)
+
+    def communication_energy(self, radio: BluetoothLink) -> float:
+        return radio.transfer_energy(self.total_bytes)
+
+    def end_to_end_client_time(self, radio: BluetoothLink) -> float:
+        """Client-perceived latency: active compute + radio (bytes and
+        per-round link latency) + server."""
+        comm = radio.session_time(self.total_bytes, self.rounds) \
+            if hasattr(radio, "session_time") else self.communication_time(radio)
+        return self.client_compute_s + comm + self.server_compute_s
+
+    def end_to_end_client_energy(self, radio: BluetoothLink) -> float:
+        """Client energy: active compute plus radio (server energy is free
+        to the client — the point of offloading)."""
+        return self.client_energy_j + self.communication_energy(radio)
+
+    def merge(self, other: "CostLedger") -> None:
+        self.client_encrypt_ops += other.client_encrypt_ops
+        self.client_decrypt_ops += other.client_decrypt_ops
+        self.client_compute_s += other.client_compute_s
+        self.client_energy_j += other.client_energy_j
+        self.bytes_up += other.bytes_up
+        self.bytes_down += other.bytes_down
+        self.rounds += other.rounds
+        self.server_compute_s += other.server_compute_s
+
+
+class ClientCostModel:
+    """Per-HE-operation client costs under one hardware assumption."""
+
+    def __init__(self, name: str, encrypt_s: float, decrypt_s: float,
+                 encrypt_j: float, decrypt_j: float):
+        self.name = name
+        self.encrypt_s = encrypt_s
+        self.decrypt_s = decrypt_s
+        self.encrypt_j = encrypt_j
+        self.decrypt_j = decrypt_j
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def software(cls, params: EncryptionParameters,
+                 client: Optional[Imx6SoftwareClient] = None) -> "ClientCostModel":
+        client = client or Imx6SoftwareClient()
+        n = params.poly_degree
+        k = params.logical_residue_count
+        if params.scheme is SchemeType.CKKS:
+            enc = client.ckks_encrypt_time(n, k)
+            dec = client.ckks_decrypt_time(n, k)
+        else:
+            enc = client.encrypt_time(n, k)
+            dec = client.decrypt_time(n, k)
+        return cls("software", enc, dec, client.energy(enc), client.energy(dec))
+
+    @classmethod
+    def partial_accelerator(cls, params: EncryptionParameters, accelerator,
+                            client: Optional[Imx6SoftwareClient] = None):
+        """HEAX/FPGA-style NTT-only assistance applied to the software model."""
+        base = cls.software(params, client)
+        client = client or Imx6SoftwareClient()
+        enc = accelerator.accelerated_time(base.encrypt_s)
+        dec = accelerator.accelerated_time(base.decrypt_s)
+        return cls(accelerator.name, enc, dec, client.energy(enc), client.energy(dec))
+
+    @classmethod
+    def choco_taco(cls, params: EncryptionParameters, model=None) -> "ClientCostModel":
+        """Full CHOCO-TACO acceleration of encryption and decryption."""
+        from repro.accel.ckks_support import CkksAcceleration
+        from repro.accel.design import AcceleratorModel
+
+        n = params.poly_degree
+        k = params.logical_residue_count
+        if params.scheme is SchemeType.CKKS:
+            ckks = CkksAcceleration()
+            enc = ckks.encrypt_encode_time(n, k)
+            dec = ckks.decrypt_decode_time(n, k)
+            hw = (model or AcceleratorModel()).at_parameters(n, k)
+            enc_j = hw.encrypt_cost().energy_j + Imx6SoftwareClient().energy(enc) * 0.05
+            dec_j = hw.decrypt_cost().energy_j + Imx6SoftwareClient().energy(dec) * 0.44
+            return cls("choco-taco", enc, dec, enc_j, dec_j)
+        hw = (model or AcceleratorModel()).at_parameters(n, k)
+        enc_cost = hw.encrypt_cost()
+        dec_cost = hw.decrypt_cost()
+        return cls("choco-taco", enc_cost.time_s, dec_cost.time_s,
+                   enc_cost.energy_j, dec_cost.energy_j)
+
+
+class ProtocolViolation(RuntimeError):
+    """Server-side code touched a client-only capability.
+
+    The semi-honest model (§3.1) trusts the server to run the specified
+    encrypted operations — but nothing the server runs may require the
+    secret key.  The session enforces that boundary mechanically.
+    """
+
+
+class ClientAidedSession:
+    """Functional protocol driver: real HE plus cost accounting.
+
+    Wraps a :class:`BfvContext` or :class:`CkksContext`; client-side
+    encrypt/decrypt and transfers must go through this object so the ledger
+    stays faithful.  Server-side evaluation runs inside
+    :meth:`server_compute`, which meters HE operation counts into server
+    time and raises :class:`ProtocolViolation` if the computation decrypts
+    anything (the secret key never leaves the client, §3.1).
+    """
+
+    def __init__(self, ctx, cost_model: Optional[ClientCostModel] = None,
+                 server: Optional[XeonServer] = None,
+                 radio: Optional[BluetoothLink] = None,
+                 record_transcript: bool = False):
+        self.ctx = ctx
+        self.params = ctx.params
+        self.cost_model = cost_model or ClientCostModel.software(ctx.params)
+        self.server = server or XeonServer()
+        self.radio = radio or BluetoothLink()
+        self.ledger = CostLedger()
+        self.transcript: list = [] if record_transcript else None
+
+    def _record(self, event: str, detail: str) -> None:
+        if self.transcript is not None:
+            self.transcript.append((event, detail))
+
+    def format_transcript(self) -> str:
+        """The protocol run as a readable message trace."""
+        if not self.transcript:
+            return "(no transcript recorded)"
+        lines = []
+        for i, (event, detail) in enumerate(self.transcript):
+            lines.append(f"{i:3d}  {event:10s} {detail}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------- client
+    def client_encrypt(self, values):
+        ct = self.ctx.encrypt(values)
+        self.ledger.client_encrypt_ops += 1
+        self.ledger.client_compute_s += self.cost_model.encrypt_s
+        self.ledger.client_energy_j += self.cost_model.encrypt_j
+        self._record("encrypt", f"client encrypts ({ct.size_bytes()} B)")
+        return ct
+
+    def client_decrypt(self, ct):
+        out = self.ctx.decrypt(ct)
+        self.ledger.client_decrypt_ops += 1
+        self.ledger.client_compute_s += self.cost_model.decrypt_s
+        self.ledger.client_energy_j += self.cost_model.decrypt_j
+        self._record("decrypt", "client decrypts and refreshes noise")
+        return out
+
+    def client_plain_compute(self, seconds: float) -> None:
+        """Charge client-side plaintext work (activations, packing)."""
+        self.ledger.client_compute_s += seconds
+        self.ledger.client_energy_j += Imx6SoftwareClient().energy(seconds)
+
+    # ----------------------------------------------------------- transfers
+    def upload(self, ct):
+        self.ledger.bytes_up += ct.size_bytes()
+        self.ledger.rounds += 1
+        self._record("upload", f"client -> server, {ct.size_bytes()} B "
+                               f"(round {self.ledger.rounds})")
+        return ct
+
+    def download(self, ct):
+        self.ledger.bytes_down += ct.size_bytes()
+        self._record("download", f"server -> client, {ct.size_bytes()} B")
+        return ct
+
+    # -------------------------------------------------------------- server
+    def server_compute(self, fn: Callable, *args, **kwargs):
+        """Run server-side HE work, metering its operation counts.
+
+        Raises :class:`ProtocolViolation` if the work decrypts — server
+        code has no business holding the secret key (§3.1).
+        """
+        before = dict(self.ctx.counts)
+        result = fn(*args, **kwargs)
+        delta = {op: self.ctx.counts[op] - before.get(op, 0)
+                 for op in self.ctx.counts}
+        if delta.get("decrypt", 0):
+            raise ProtocolViolation(
+                "server-side computation performed a decryption; the secret "
+                "key must never leave the client"
+            )
+        residues = self.params.logical_data_residues
+        self.ledger.server_compute_s += self.server.time_for_counts(
+            delta, self.params.poly_degree, residues
+        )
+        ops = ", ".join(f"{op}x{n}" for op, n in sorted(delta.items()) if n)
+        self._record("server", f"encrypted compute: {ops or 'no-op'}")
+        return result

@@ -1,0 +1,186 @@
+"""Multi-ciphertext (tiled) encrypted convolution.
+
+:class:`repro.core.linalg.EncryptedConv2d` requires every channel span to
+fit one rotating row; real layers (Table 5's networks) need dozens of
+ciphertexts.  This module tiles channels across ciphertexts while keeping
+CHOCO's rotational-redundancy discipline: every alignment inside a tile is
+still a single rotation (span-aligned shift + tap offset, no masking
+permutations), and cross-tile channel reductions are plain ciphertext adds.
+
+Layout: input channels are packed ``spans_per_ct`` at a time into a list of
+ciphertexts; output channels likewise.  For an output tile position ``p_out``
+receiving input channel at tile position ``p_in`` of input ciphertext ``i``,
+the server rotates ciphertext ``i`` by ``(p_in - p_out) * span + delta`` and
+weight-multiplies — exactly the single-ciphertext algorithm, generalized.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.linalg import Conv2dSpec, _encode_vector, _rotate, row_slot_count
+from repro.core.packing import ChannelLayout, RedundantPacking
+
+
+@dataclass(frozen=True)
+class TiledLayout:
+    """How a channel list maps onto a list of ciphertexts."""
+
+    span: int
+    spans_per_ct: int
+    channels: int
+
+    @property
+    def ciphertexts(self) -> int:
+        return math.ceil(self.channels / self.spans_per_ct)
+
+    def position(self, channel: int) -> Tuple[int, int]:
+        """(ciphertext index, tile position) of *channel*."""
+        if not 0 <= channel < self.channels:
+            raise IndexError(f"channel {channel} out of range")
+        return divmod(channel, self.spans_per_ct)
+
+
+class TiledEncryptedConv2d:
+    """Encrypted convolution over channel-tiled ciphertext lists."""
+
+    def __init__(self, ctx, spec: Conv2dSpec, weights: np.ndarray):
+        weights = np.asarray(weights)
+        if weights.shape != (spec.out_channels, spec.in_channels,
+                             spec.kernel_size, spec.kernel_size):
+            raise ValueError(f"bad weight shape {weights.shape}")
+        self.ctx = ctx
+        self.spec = spec
+        self.weights = weights
+        row = row_slot_count(ctx)
+        window = spec.height * spec.width
+        redundancy = spec.max_tap_offset
+        span = 1 << max(0, (window + 2 * redundancy - 1)).bit_length()
+        if span > row:
+            raise ValueError(f"one channel needs {span} slots; row has {row}")
+        spans_per_ct = row // span
+        self.packing = RedundantPacking(window=window, redundancy=redundancy,
+                                        count=spans_per_ct)
+        self.in_layout = TiledLayout(span, spans_per_ct, spec.in_channels)
+        self.out_layout = TiledLayout(span, spans_per_ct, spec.out_channels)
+        self._plan = self._build_plan()
+
+    # ------------------------------------------------------------- packing
+    def pack_input(self, image: np.ndarray) -> List[np.ndarray]:
+        """(C_in, H, W) image -> one redundant slot vector per ciphertext."""
+        if image.shape != (self.spec.in_channels, self.spec.height,
+                           self.spec.width):
+            raise ValueError(f"bad image shape {image.shape}")
+        vectors = []
+        per = self.in_layout.spans_per_ct
+        for lo in range(0, self.spec.in_channels, per):
+            hi = min(lo + per, self.spec.in_channels)
+            channels = [image[c].ravel() for c in range(lo, hi)]
+            vectors.append(self.packing.pack(channels))
+        return vectors
+
+    def encrypt_input(self, image: np.ndarray):
+        return [self.ctx.encrypt(v.astype(self._dtype()))
+                for v in self.pack_input(image)]
+
+    def _dtype(self):
+        from repro.hecore.params import SchemeType
+
+        return np.int64 if self.ctx.params.scheme is SchemeType.BFV else np.float64
+
+    # ------------------------------------------------------------ planning
+    def _build_plan(self) -> Dict[int, List[Tuple[int, int, np.ndarray]]]:
+        """out-ct index -> [(in-ct index, rotation, weight mask), ...]."""
+        spec = self.spec
+        span = self.in_layout.span
+        row = row_slot_count(self.ctx)
+        plan: Dict[int, List[Tuple[int, int, np.ndarray]]] = {}
+        for out_ct in range(self.out_layout.ciphertexts):
+            terms: Dict[Tuple[int, int], np.ndarray] = {}
+            for o in range(spec.out_channels):
+                ct_o, p_out = self.out_layout.position(o)
+                if ct_o != out_ct:
+                    continue
+                for c in range(spec.in_channels):
+                    ct_i, p_in = self.in_layout.position(c)
+                    shift = (p_in - p_out) * span
+                    for dy, dx in spec.taps:
+                        w = self.weights[o, c, dy + spec.pad, dx + spec.pad]
+                        if not w:
+                            continue
+                        rotation = shift + spec.tap_offset(dy, dx)
+                        mask = terms.get((ct_i, rotation))
+                        if mask is None:
+                            mask = np.zeros(row)
+                            terms[(ct_i, rotation)] = mask
+                        start = p_out * span
+                        mask[start: start + span] = w
+            plan[out_ct] = [(ct_i, rot, mask)
+                            for (ct_i, rot), mask in sorted(terms.items())]
+        return plan
+
+    def required_rotation_steps(self) -> Set[int]:
+        steps = set()
+        for terms in self._plan.values():
+            steps.update(rot for _, rot, _ in terms if rot)
+        return steps
+
+    # ------------------------------------------------------------ execution
+    def __call__(self, input_cts, galois_keys=None) -> List:
+        """Evaluate; returns one output ciphertext per output tile."""
+        if len(input_cts) != self.in_layout.ciphertexts:
+            raise ValueError(
+                f"expected {self.in_layout.ciphertexts} input ciphertexts, "
+                f"got {len(input_cts)}"
+            )
+        ctx = self.ctx
+        outputs = []
+        rotated_cache: Dict[Tuple[int, int], object] = {}
+        encoded_cache = getattr(self, "_encoded_cache", None)
+        if encoded_cache is None:
+            encoded_cache = self._encoded_cache = {}
+        for out_ct in range(self.out_layout.ciphertexts):
+            acc = None
+            for term_idx, (ct_i, rotation, mask) in enumerate(self._plan[out_ct]):
+                key = (ct_i, rotation)
+                shifted = rotated_cache.get(key)
+                if shifted is None:
+                    shifted = (_rotate(ctx, input_cts[ct_i], rotation, galois_keys)
+                               if rotation else input_cts[ct_i])
+                    rotated_cache[key] = shifted
+                enc_key = (out_ct, term_idx, getattr(shifted, "level_base", None))
+                encoded = encoded_cache.get(enc_key)
+                if encoded is None:
+                    encoded = _encode_vector(ctx, mask, shifted)
+                    encoded_cache[enc_key] = encoded
+                term = ctx.multiply_plain(shifted, encoded)
+                acc = term if acc is None else ctx.add(acc, term)
+            if acc is None:
+                raise ValueError(f"output tile {out_ct} has no non-zero weights")
+            outputs.append(acc)
+        return outputs
+
+    # ----------------------------------------------------------- unpacking
+    def unpack_outputs(self, slot_vectors: Sequence[np.ndarray]) -> np.ndarray:
+        """Decrypted tile vectors -> (C_out, out_h, out_w) valid outputs."""
+        spec = self.spec
+        p = spec.pad
+        out = np.zeros((spec.out_channels, spec.out_height, spec.out_width),
+                       dtype=np.asarray(slot_vectors[0]).dtype)
+        for o in range(spec.out_channels):
+            ct_o, p_out = self.out_layout.position(o)
+            channels = self.packing.unpack(slot_vectors[ct_o])
+            grid = np.asarray(channels[p_out]).reshape(spec.height, spec.width)
+            out[o] = grid[p: spec.height - p, p: spec.width - p]
+        return out
+
+    def reference(self, image: np.ndarray) -> np.ndarray:
+        """Plaintext oracle (valid cross-correlation)."""
+        from repro.core.linalg import EncryptedConv2d
+
+        return EncryptedConv2d.reference(self, image)

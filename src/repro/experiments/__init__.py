@@ -1,0 +1,46 @@
+"""First-class experiment generators for the paper's tables and figures.
+
+The benchmark harness (``benchmarks/``) asserts shapes and writes reports;
+the *computations* live here so library users can regenerate any figure's
+data programmatically:
+
+>>> from repro.experiments import client_time_characterization
+>>> rows = client_time_characterization()
+>>> rows["VGG16"]["choco_taco"]      # seconds of active client compute
+"""
+
+from repro.experiments.accelerator import (
+    design_space_summary,
+    operating_point_report,
+)
+from repro.experiments.client_time import (
+    client_time_characterization,
+    seal_baseline_breakdown,
+)
+from repro.experiments.noise_budgets import (
+    measure_noise_budget_row,
+    table4_noise_budgets,
+)
+from repro.experiments.communication import (
+    figure10_comparison,
+    table5_rows,
+)
+from repro.experiments.endtoend import end_to_end_study
+from repro.experiments.microbench import conv_microbenchmark, network_layer_points
+from repro.experiments.scaling import decryption_comparison, scaling_study
+
+__all__ = [
+    "design_space_summary",
+    "operating_point_report",
+    "measure_noise_budget_row",
+    "table4_noise_budgets",
+    "client_time_characterization",
+    "seal_baseline_breakdown",
+    "figure10_comparison",
+    "table5_rows",
+    "end_to_end_study",
+    "conv_microbenchmark",
+    "network_layer_points",
+    "decryption_comparison",
+    "scaling_study",
+]

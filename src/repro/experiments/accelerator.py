@@ -1,0 +1,49 @@
+"""Accelerator design-space results as library API (Figure 7, §4.4)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.accel.design import AcceleratorModel, CHOCO_TACO_CONFIG
+from repro.accel.dse import (
+    DesignPoint,
+    explore_design_space,
+    pareto_frontier,
+    select_operating_point,
+)
+
+
+def design_space_summary(grid=None, poly_degree: int = 8192,
+                         residues: int = 3) -> Dict:
+    """Sweep, select, and summarize (the Figure 7 result object)."""
+    points = explore_design_space(grid, poly_degree, residues)
+    selected = select_operating_point(points)
+    sample = sorted(points, key=lambda p: p.time_s)[:: max(1, len(points) // 400)]
+    return {
+        "count": len(points),
+        "points": points,
+        "selected": selected,
+        "pareto_sample": pareto_frontier(sample),
+        "time_range_s": (min(p.time_s for p in points),
+                         max(p.time_s for p in points)),
+        "power_range_w": (min(p.power_w for p in points),
+                          max(p.power_w for p in points)),
+        "area_range_mm2": (min(p.area_mm2 for p in points),
+                           max(p.area_mm2 for p in points)),
+    }
+
+
+def operating_point_report(poly_degree: int = 8192,
+                           residues: int = 3) -> Dict[str, float]:
+    """The Figure 6 configuration's published-anchor metrics."""
+    model = AcceleratorModel(CHOCO_TACO_CONFIG, poly_degree, residues)
+    enc = model.encrypt_cost()
+    dec = model.decrypt_cost()
+    return {
+        "encrypt_time_s": enc.time_s,
+        "encrypt_energy_j": enc.energy_j,
+        "decrypt_time_s": dec.time_s,
+        "decrypt_energy_j": dec.energy_j,
+        "area_mm2": model.area_mm2,
+        "average_power_w": model.average_power_w,
+    }

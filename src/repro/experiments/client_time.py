@@ -1,0 +1,72 @@
+"""Client compute-time characterization (Figures 2 and 12).
+
+Per network, active client compute under each hardware assumption:
+
+* ``seal_baseline`` — server-optimized algorithms, SEAL default parameters;
+* ``choco_sw`` — CHOCO's algorithmic optimizations, software crypto;
+* ``choco_heax`` / ``choco_fpga`` — best-case partial (NTT-only) assistance;
+* ``choco_taco`` — comprehensive CHOCO-TACO acceleration;
+* ``local`` — the TFLite on-device bound.
+
+All values in seconds per single-image inference, derived by the paper's
+§5.2 methodology (operation counts × per-operation platform cost).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.accel.hwassist import ENCRYPTION_FPGA, HEAX
+from repro.apps.dnn import ClientAidedDnnPlan
+from repro.baselines.gazelle import server_optimized_plan
+from repro.core.protocol import ClientCostModel
+from repro.nn.models import NETWORK_BUILDERS
+from repro.platforms.local_inference import TfLiteLocalInference
+
+
+def client_time_characterization() -> Dict[str, Dict[str, float]]:
+    """The Figure 12 data: seconds of active client compute per network."""
+    local = TfLiteLocalInference()
+    out: Dict[str, Dict[str, float]] = {}
+    for name, build in NETWORK_BUILDERS.items():
+        net = build()
+        baseline = server_optimized_plan(net)
+        choco = ClientAidedDnnPlan(net)
+        out[name] = {
+            "seal_baseline": baseline.client_time(
+                ClientCostModel.software(baseline.params)),
+            "choco_sw": choco.client_time(
+                ClientCostModel.software(choco.params)),
+            "choco_heax": choco.client_time(
+                ClientCostModel.partial_accelerator(choco.params, HEAX)),
+            "choco_fpga": choco.client_time(
+                ClientCostModel.partial_accelerator(choco.params,
+                                                    ENCRYPTION_FPGA)),
+            "choco_taco": choco.client_time(
+                ClientCostModel.choco_taco(choco.params)),
+            "local": local.inference_time(net.total_macs()),
+        }
+    return out
+
+
+def seal_baseline_breakdown() -> Dict[str, Dict[str, float]]:
+    """The Figure 2 data: the SEAL-baseline client time split into HE versus
+    application (activation/quantization) work, plus partial-assist bounds."""
+    local = TfLiteLocalInference()
+    out: Dict[str, Dict[str, float]] = {}
+    for name, build in NETWORK_BUILDERS.items():
+        net = build()
+        plan = server_optimized_plan(net)
+        sw = ClientCostModel.software(plan.params)
+        out[name] = {
+            "software": plan.client_time(sw),
+            "heax": plan.client_time(
+                ClientCostModel.partial_accelerator(plan.params, HEAX)),
+            "fpga": plan.client_time(
+                ClientCostModel.partial_accelerator(plan.params,
+                                                    ENCRYPTION_FPGA)),
+            "app": plan.client_activation_time(),
+            "crypto_sw": plan.client_crypto_time(sw),
+            "local": local.inference_time(net.total_macs()),
+        }
+    return out

@@ -1,0 +1,44 @@
+"""Communication studies: Table 5's Comm. column and Figure 10."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps.dnn import ClientAidedDnnPlan
+from repro.baselines.protocols import communication_improvements
+from repro.nn.models import NETWORK_BUILDERS, TABLE5_REFERENCE
+
+
+def table5_rows() -> Dict[str, Dict]:
+    """Every Table 5 column, measured from this repository's models/plans."""
+    rows = {}
+    for name, build in NETWORK_BUILDERS.items():
+        net = build()
+        plan = ClientAidedDnnPlan(net)
+        rows[name] = {
+            "census": net.layer_census(),
+            "macs_e6": net.total_macs() / 1e6,
+            "float_mb": net.model_size_bytes(32) / 1e6,
+            "fourbit_mb": net.model_size_bytes(8) / 1e6,
+            "comm_mb": plan.communication_bytes() / 1e6,
+            "offline_key_mb": plan.offline_key_bytes() / 1e6,
+            "params": plan.params.label,
+            "published": TABLE5_REFERENCE[name],
+        }
+    return rows
+
+
+def figure10_comparison() -> Dict[Tuple[str, str], Tuple[float, Dict[str, float]]]:
+    """CHOCO's measured communication vs the prior-protocol totals.
+
+    Keys are ``(network, dataset)``; values are ``(choco_mb, {protocol:
+    improvement factor})``.
+    """
+    out = {}
+    for net_name, dataset in (("LeNetLg", "MNIST"), ("SqzNet", "CIFAR-10")):
+        plan = ClientAidedDnnPlan(NETWORK_BUILDERS[net_name]())
+        choco_mb = plan.communication_bytes() / 1e6
+        out[(net_name, dataset)] = (
+            choco_mb, communication_improvements(choco_mb, dataset)
+        )
+    return out

@@ -1,0 +1,39 @@
+"""End-to-end time and energy over Bluetooth (Figure 14, §5.7)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.apps.dnn import ClientAidedDnnPlan
+from repro.core.protocol import ClientCostModel
+from repro.nn.models import NETWORK_BUILDERS
+from repro.platforms.local_inference import TfLiteLocalInference
+from repro.platforms.radio import BluetoothLink
+
+
+def end_to_end_study(radio: Optional[BluetoothLink] = None
+                     ) -> Dict[str, Dict[str, float]]:
+    """Per network: the full CHOCO-TACO reference implementation vs local.
+
+    ``compute_s`` is accelerated client crypto + activations; ``comm_s`` is
+    the radio (bytes plus per-round link latency); energy charges compute
+    and radio to the client, with the server free (the point of offload).
+    """
+    radio = radio or BluetoothLink()
+    local = TfLiteLocalInference()
+    out: Dict[str, Dict[str, float]] = {}
+    for name, build in NETWORK_BUILDERS.items():
+        net = build()
+        plan = ClientAidedDnnPlan(net)
+        taco = ClientCostModel.choco_taco(plan.params)
+        led = plan.ledger(taco)
+        comm_s = radio.session_time(led.total_bytes, led.rounds)
+        out[name] = {
+            "compute_s": led.client_compute_s,
+            "comm_s": comm_s,
+            "total_s": led.client_compute_s + comm_s,
+            "energy_j": led.end_to_end_client_energy(radio),
+            "local_s": local.inference_time(net.total_macs()),
+            "local_j": local.inference_energy(net.total_macs()),
+        }
+    return out

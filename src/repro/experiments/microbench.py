@@ -1,0 +1,57 @@
+"""Convolution microbenchmarks: MACs vs communication (Figure 15, §5.8)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.apps.dnn import ClientAidedDnnPlan
+from repro.hecore.params import PARAMETER_SET_A
+from repro.nn.layers import ConvLayer, FireLayer, Network
+
+
+def conv_microbenchmark(
+    images=(2, 4, 8, 16, 32),
+    channel_counts=(32, 64, 128, 256, 512),
+    kernels=(1, 3),
+    slot_budget: int = 512 * 32 * 32,
+) -> List[Dict]:
+    """Synthetic square conv layers swept over shape (one Figure 15 dot each)."""
+    points = []
+    for image in images:
+        for channels in channel_counts:
+            if channels * image * image > slot_budget:
+                continue
+            for kernel in kernels:
+                conv = ConvLayer(channels, channels, kernel, padding="same")
+                net = Network(f"micro-c{channels}-i{image}-f{kernel}",
+                              (channels, image, image), [conv])
+                plan = ClientAidedDnnPlan(net, params=PARAMETER_SET_A)
+                points.append({
+                    "label": f"c{channels}/i{image}/f{kernel}",
+                    "macs": net.total_macs(),
+                    "comm": plan.communication_bytes(),
+                    "kernel": kernel,
+                    "channels": channels,
+                    "image": image,
+                })
+    return points
+
+
+def network_layer_points(net: Network) -> List[Tuple[int, int]]:
+    """(MACs, comm bytes) per convolutional layer of a real network."""
+    out = []
+    for layer, shape in net.linear_layers():
+        convs = []
+        if isinstance(layer, ConvLayer):
+            convs.append((layer, shape))
+        elif isinstance(layer, FireLayer):
+            _, h, w = shape
+            convs.append((layer.squeeze_conv, shape))
+            mid = (layer.squeeze, h, w)
+            convs.append((layer.expand1_conv, mid))
+            convs.append((layer.expand3_conv, mid))
+        for conv, conv_shape in convs:
+            sub = Network("one", conv_shape, [conv])
+            plan = ClientAidedDnnPlan(sub, params=PARAMETER_SET_A)
+            out.append((conv.macs(conv_shape), plan.communication_bytes()))
+    return out

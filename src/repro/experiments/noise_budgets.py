@@ -1,0 +1,68 @@
+"""Functional noise-budget measurement (Table 4), as library API.
+
+Runs real BFV for each parameter row: encrypt a redundantly packed window,
+perform the same windowed rotation via rotational redundancy (one rotation)
+and via arbitrary masked permutation (Figure 4A), and measure the three
+budgets Table 4 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.packing import RedundantPacking, windowed_rotation_redundant
+from repro.core.permute import windowed_rotation_masked
+from repro.hecore.bfv import BfvContext
+from repro.hecore.params import EncryptionParameters, SchemeType
+
+#: Table 4's parameter rows: (N, log2 t, logical {k}).
+TABLE4_ROWS: Tuple[Tuple[int, int, Tuple[int, ...]], ...] = (
+    (8192, 20, (58, 58, 59)),
+    (8192, 23, (58, 58, 59)),
+    (8192, 28, (58, 58, 59)),
+    (4096, 16, (36, 36, 37)),
+    (4096, 18, (36, 36, 37)),
+    (4096, 20, (36, 36, 37)),
+)
+
+#: Published budgets: (initial, post-rotate, post-permute) per row.
+TABLE4_PUBLISHED: Dict[Tuple[int, int], Tuple[int, int, int]] = {
+    (8192, 20): (68, 66, 42),
+    (8192, 23): (62, 59, 33),
+    (8192, 28): (52, 50, 18),
+    (4096, 16): (33, 31, 12),
+    (4096, 18): (29, 26, 5),
+    (4096, 20): (25, 22, 0),
+}
+
+WINDOW, ROTATION = 16, 3
+
+
+def measure_noise_budget_row(n: int, t_bits: int,
+                             logical_bits) -> Tuple[int, int, int]:
+    """(initial, post-rotate, post-permute) budgets for one Table 4 row."""
+    params = EncryptionParameters.create(
+        SchemeType.BFV, n, logical_bits, plain_bits=t_bits,
+        label=f"{n}/{t_bits}",
+    )
+    ctx = BfvContext(params, seed=t_bits * n)
+    ctx.make_galois_keys([ROTATION, -(WINDOW - ROTATION)])
+    packing = RedundantPacking(window=WINDOW, redundancy=4, count=1)
+    values = np.arange(1, WINDOW + 1, dtype=np.int64)
+    ct = ctx.encrypt(packing.pack([values]).astype(np.int64))
+
+    initial = ctx.noise_budget(ct)
+    rotated = windowed_rotation_redundant(ctx, ct, ROTATION, packing.layout)
+    offset = packing.layout.window_offset(0)
+    permuted = windowed_rotation_masked(ctx, ct, ROTATION, offset, WINDOW)
+    return initial, ctx.noise_budget(rotated), ctx.noise_budget(permuted)
+
+
+def table4_noise_budgets() -> Dict[Tuple[int, int], Tuple[int, int, int]]:
+    """Measured budgets for every published Table 4 row."""
+    return {
+        (n, t): measure_noise_budget_row(n, t, bits)
+        for n, t, bits in TABLE4_ROWS
+    }

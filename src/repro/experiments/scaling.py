@@ -1,0 +1,49 @@
+"""Hardware-vs-software scaling across HE parameters (Figure 8, §4.6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.accel.design import AcceleratorModel, CHOCO_TACO_CONFIG
+from repro.platforms.client_device import Imx6SoftwareClient
+
+#: The (N, k) points the Figure 8 sweep covers.
+DEFAULT_PARAMETER_POINTS: Tuple[Tuple[int, int], ...] = (
+    (2048, 1), (4096, 2), (4096, 3), (8192, 3), (8192, 5),
+    (16384, 9), (32768, 16),
+)
+
+
+def scaling_study(points=DEFAULT_PARAMETER_POINTS) -> List[Dict]:
+    """Per-(N, k): CHOCO-TACO vs IMX6-software encryption time and energy.
+
+    Software entries are ``None`` when the parameter set does not fit the
+    client's memory (§4.5 — the paper omits the (32768, 16) baseline bars).
+    """
+    client = Imx6SoftwareClient()
+    rows = []
+    for n, k in points:
+        hw = AcceleratorModel(CHOCO_TACO_CONFIG, n, k).encrypt_cost()
+        fits = client.can_hold_parameters(n, k)
+        sw_time: Optional[float] = client.encrypt_time(n, k) if fits else None
+        rows.append({
+            "n": n, "k": k,
+            "hw_time": hw.time_s, "hw_energy": hw.energy_j,
+            "sw_time": sw_time,
+            "sw_energy": client.energy(sw_time) if fits else None,
+        })
+    return rows
+
+
+def decryption_comparison(n: int = 8192, k: int = 3) -> Dict[str, float]:
+    """§4.6: hardware vs software decryption at the CHOCO selection."""
+    client = Imx6SoftwareClient()
+    model = AcceleratorModel(CHOCO_TACO_CONFIG, n, k)
+    dec = model.decrypt_cost()
+    enc = model.encrypt_cost()
+    return {
+        "hw_decrypt_s": dec.time_s,
+        "sw_decrypt_s": client.decrypt_time(n, k),
+        "decrypt_speedup": client.decrypt_time(n, k) / dec.time_s,
+        "encrypt_speedup": client.encrypt_time(n, k) / enc.time_s,
+    }

@@ -1,0 +1,337 @@
+"""The BFV somewhat-homomorphic scheme (Brakerski / Fan-Vercauteren).
+
+Implements the full operation set of Table 1 — encrypt, decrypt, plaintext
+and ciphertext add, plaintext and ciphertext multiply, and rotation — plus
+SEAL-style invariant-noise-budget measurement, which Table 4 of the paper is
+built on.
+
+Encryption follows the paper's Figure 5 pipeline: sample ``u`` (ternary) and
+``e1, e2`` (error), multiply with the public keys over the full RNS base,
+modulus-switch away the key primes, and only then add the scaled message
+``Δm`` over the remaining ``k − 1`` residues.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hecore import ntt
+from repro.hecore.ciphertext import Ciphertext
+from repro.hecore.keys import (
+    GaloisKeys,
+    KeyGenerator,
+    RelinKeys,
+    galois_element_for_conjugation,
+    galois_element_for_step,
+    switch_key,
+)
+from repro.hecore.params import EncryptionParameters, SchemeType
+from repro.hecore.plaintext import Plaintext
+from repro.hecore.polyring import RnsPoly, exact_negacyclic_multiply
+from repro.hecore.random import BlakePrng
+from repro.hecore.rns import centered_mod, scale_and_round
+
+
+class BatchEncoder:
+    """SIMD batching: N plaintext slots ↔ one polynomial modulo ``t``.
+
+    Slots form a 2 × (N/2) matrix; rotation moves values within each row and
+    conjugation swaps the rows, matching SEAL's ``BatchEncoder`` semantics.
+    """
+
+    def __init__(self, params: EncryptionParameters):
+        if params.scheme is not SchemeType.BFV:
+            raise ValueError("BatchEncoder is BFV-only")
+        self.params = params
+        self.modulus = params.plain_modulus
+        n = params.poly_degree
+        self._plan = ntt.get_plan(n, self.modulus)
+        # Slot i of row 0 evaluates the plaintext at psi^(3^i); row 1 at
+        # psi^(-3^i).  The forward NTT yields m(psi^(2j+1)) at position j.
+        m = 2 * n
+        positions = np.empty(n, dtype=np.int64)
+        power = 1
+        for i in range(n // 2):
+            positions[i] = (power - 1) // 2
+            positions[n // 2 + i] = (m - power - 1) // 2
+            power = (power * 3) % m
+        self._positions = positions
+
+    @property
+    def slot_count(self) -> int:
+        return self.params.poly_degree
+
+    def encode(self, values: Sequence[int]) -> Plaintext:
+        """Pack up to N integers (reduced mod t) into a plaintext."""
+        n = self.params.poly_degree
+        if len(values) > n:
+            raise ValueError(f"too many values ({len(values)}) for {n} slots")
+        slots = np.zeros(n, dtype=np.int64)
+        slots[: len(values)] = np.mod(np.asarray(values, dtype=np.int64), self.modulus)
+        evals = np.zeros(n, dtype=np.int64)
+        evals[self._positions] = slots
+        return Plaintext(self._plan.inverse(evals), self.modulus)
+
+    def decode(self, plaintext: Plaintext) -> np.ndarray:
+        """Unpack a plaintext back into its N slot values."""
+        evals = self._plan.forward(plaintext.coeffs)
+        return evals[self._positions]
+
+
+class BfvContext:
+    """Keys, encoder and evaluator for one BFV parameter set.
+
+    The ``counts`` attribute tallies every HE operation executed, which the
+    client-aided protocol layer multiplies by per-operation platform costs —
+    the paper's own §5.2 methodology.
+    """
+
+    def __init__(self, params: EncryptionParameters, seed: Optional[object] = None):
+        if params.scheme is not SchemeType.BFV:
+            raise ValueError("BfvContext requires BFV parameters")
+        self.params = params
+        self.keygen = KeyGenerator(params, seed)
+        self.encoder = BatchEncoder(params)
+        self._prng = BlakePrng(seed).fork("bfv-encryptor") if seed is not None else BlakePrng()
+        self._relin: Optional[RelinKeys] = None
+        self._galois: Optional[GaloisKeys] = None
+        self.counts: Counter = Counter()
+
+    # --------------------------------------------------------------- keys
+    def relin_keys(self) -> RelinKeys:
+        if self._relin is None:
+            self._relin = self.keygen.relin_keys()
+        return self._relin
+
+    def make_galois_keys(self, steps: Iterable[int], include_conjugation: bool = False):
+        """Generate (or extend) rotation keys for the given step set."""
+        new = self.keygen.galois_keys(steps, include_conjugation=include_conjugation)
+        if self._galois is None:
+            self._galois = new
+        else:
+            self._galois.keys.update(new.keys)
+        return self._galois
+
+    # ------------------------------------------------------------ encoding
+    def encode(self, values: Sequence[int]) -> Plaintext:
+        return self.encoder.encode(values)
+
+    def decode(self, plaintext: Plaintext) -> np.ndarray:
+        return self.encoder.decode(plaintext)
+
+    # ------------------------------------------------------- encrypt/decrypt
+    def encrypt(self, values) -> Ciphertext:
+        """Encrypt a slot vector (or a pre-encoded :class:`Plaintext`)."""
+        plaintext = values if isinstance(values, Plaintext) else self.encode(values)
+        self.counts["encrypt"] += 1
+        params = self.params
+        n = params.poly_degree
+        full = params.full_base
+        pk = self.keygen.public_key()
+
+        u = RnsPoly.from_signed_array(full, self._prng.sample_ternary(n)).to_ntt()
+        e1 = RnsPoly.from_signed_array(full, self._prng.sample_error(n))
+        e2 = RnsPoly.from_signed_array(full, self._prng.sample_error(n))
+        c0 = (pk.p0 * u).from_ntt() + e1
+        c1 = (pk.p1 * u).from_ntt() + e2
+        # Modulus-switch away the key primes (Figure 5's Mod Switching stage).
+        for _ in params.special_primes:
+            c0 = c0.divide_and_round_by_last()
+            c1 = c1.divide_and_round_by_last()
+        # Scale the encoded message by Δ = floor(q/t) and add over k−1 residues.
+        delta = params.data_base.modulus // params.plain_modulus
+        m_poly = RnsPoly.from_signed_array(params.data_base, plaintext.coeffs)
+        c0 = c0 + m_poly.scalar_multiply(delta)
+        return Ciphertext(params, [c0, c1])
+
+    def encrypt_symmetric(self, values, seed: Optional[bytes] = None) -> Ciphertext:
+        """Symmetric (secret-key) encryption with a seed-expanded ``c1``.
+
+        Fresh client uploads don't need public-key encryption: the client
+        owns the secret key, and deriving the uniform component from a seed
+        lets the wire format carry only ``c0`` plus 32 bytes (the
+        seed-compression extension; see Ciphertext.size_bytes).
+        """
+        from repro.hecore.keys import expand_uniform_poly
+
+        plaintext = values if isinstance(values, Plaintext) else self.encode(values)
+        self.counts["encrypt"] += 1
+        params = self.params
+        n = params.poly_degree
+        base = params.data_base
+        if seed is None:
+            seed = self._prng.random_bytes(32)
+        a = expand_uniform_poly(seed, base, n)
+        e = RnsPoly.from_signed_array(base, self._prng.sample_error(n))
+        s_ntt = self.keygen.secret_key().restricted_ntt(base, params.full_base)
+        c0 = -(a.to_ntt() * s_ntt).from_ntt() + e
+        delta = base.modulus // params.plain_modulus
+        m_poly = RnsPoly.from_signed_array(base, plaintext.coeffs)
+        c0 = c0 + m_poly.scalar_multiply(delta)
+        return Ciphertext(params, [c0, a], seed=bytes(seed))
+
+    def _raw_decrypt_ints(self, ct: Ciphertext) -> List[int]:
+        """CRT-composed ``[c0 + c1 s (+ c2 s^2)]_q`` as canonical integers."""
+        params = self.params
+        base = ct.level_base
+        s_ntt = self.keygen.secret_key().restricted_ntt(base, params.full_base)
+        acc = ct.components[0].from_ntt()
+        s_power = s_ntt
+        for comp in ct.components[1:]:
+            acc = acc + (comp.to_ntt() * s_power).from_ntt()
+            s_power = s_power * s_ntt
+        return acc.base.compose(acc.from_ntt().data)
+
+    def decrypt(self, ct: Ciphertext) -> np.ndarray:
+        """Decrypt to the slot vector (Eq. 3: round(t/q ⋅ [c0 + c1 s]_q) mod t)."""
+        self.counts["decrypt"] += 1
+        params = self.params
+        q = ct.level_base.modulus
+        t = params.plain_modulus
+        x = self._raw_decrypt_ints(ct)
+        coeffs = np.array([v % t for v in scale_and_round(x, t, q)], dtype=np.int64)
+        return self.decode(Plaintext(coeffs, t))
+
+    def noise_budget(self, ct: Ciphertext) -> int:
+        """Invariant noise budget in bits (SEAL's ``invariant_noise_budget``).
+
+        Exhausting the budget (0 bits) renders the ciphertext undecryptable —
+        the constraint Table 4 and rotational redundancy are about.
+        """
+        q = ct.level_base.modulus
+        t = self.params.plain_modulus
+        x = self._raw_decrypt_ints(ct)
+        worst = max(abs(centered_mod(t * v, q)) for v in x)
+        if worst == 0:
+            return q.bit_length() - 1
+        budget = q.bit_length() - 1 - worst.bit_length()
+        return max(0, budget)
+
+    # ------------------------------------------------------------ evaluator
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self.counts["add"] += 1
+        if len(a) != len(b):
+            raise ValueError("cannot add ciphertexts of different sizes")
+        comps = [x + y for x, y in zip(a.components, b.components)]
+        return Ciphertext(self.params, comps)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self.counts["add"] += 1
+        comps = [x - y for x, y in zip(a.components, b.components)]
+        return Ciphertext(self.params, comps)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return Ciphertext(self.params, [-c for c in a.components])
+
+    def add_plain(self, ct: Ciphertext, plaintext: Plaintext) -> Ciphertext:
+        self.counts["add_plain"] += 1
+        delta = ct.level_base.modulus // self.params.plain_modulus
+        m_poly = RnsPoly.from_signed_array(ct.level_base, plaintext.coeffs)
+        comps = [c.copy() for c in ct.components]
+        comps[0] = comps[0] + m_poly.scalar_multiply(delta)
+        return Ciphertext(self.params, comps)
+
+    def multiply_plain(self, ct: Ciphertext, plaintext: Plaintext) -> Ciphertext:
+        self.counts["multiply_plain"] += 1
+        m_ntt = RnsPoly.from_signed_array(ct.level_base, plaintext.coeffs).to_ntt()
+        comps = [(c.to_ntt() * m_ntt).from_ntt() for c in ct.components]
+        return Ciphertext(self.params, comps)
+
+    def multiply(self, a: Ciphertext, b: Ciphertext,
+                 relinearize: bool = True) -> Ciphertext:
+        """Ciphertext-ciphertext multiply (exact big-integer tensor + scale).
+
+        The tensor product is computed exactly over Z via an auxiliary CRT
+        base, scaled by t/q with correct rounding, and (by default)
+        relinearized back to two components.
+        """
+        self.counts["multiply"] += 1
+        if len(a) != 2 or len(b) != 2:
+            raise ValueError("multiply expects 2-component ciphertexts")
+        params = self.params
+        base = a.level_base
+        n = params.poly_degree
+        q = base.modulus
+        t = params.plain_modulus
+        bound_bits = 2 * (q.bit_length() + 1) + n.bit_length() + 2
+
+        ints = [c.to_int_coeffs(centered=True) for c in a.components]
+        ints += [c.to_int_coeffs(centered=True) for c in b.components]
+        a0, a1, b0, b1 = ints
+        d0 = exact_negacyclic_multiply(a0, b0, n, bound_bits)
+        d1a = exact_negacyclic_multiply(a0, b1, n, bound_bits)
+        d1b = exact_negacyclic_multiply(a1, b0, n, bound_bits)
+        d1 = [x + y for x, y in zip(d1a, d1b)]
+        d2 = exact_negacyclic_multiply(a1, b1, n, bound_bits)
+
+        comps = []
+        for d in (d0, d1, d2):
+            scaled = scale_and_round(d, t, q)
+            comps.append(RnsPoly.from_int_coeffs(base, scaled, n))
+        out = Ciphertext(params, comps)
+        if relinearize:
+            out = self.relinearize(out)
+        return out
+
+    def square(self, a: Ciphertext, relinearize: bool = True) -> Ciphertext:
+        return self.multiply(a, a, relinearize=relinearize)
+
+    def relinearize(self, ct: Ciphertext) -> Ciphertext:
+        """Reduce a 3-component ciphertext back to 2 via the relin keys."""
+        if len(ct) == 2:
+            return ct
+        if len(ct) != 3:
+            raise ValueError("relinearize expects a 3-component ciphertext")
+        self.counts["relinearize"] += 1
+        u0, u1 = switch_key(ct.components[2].from_ntt(), self.relin_keys(), self.params)
+        return Ciphertext(
+            self.params,
+            [ct.components[0] + u0, ct.components[1] + u1],
+        )
+
+    def mod_switch_down(self, ct: Ciphertext) -> Ciphertext:
+        """Drop the last data residue, rescaling the ciphertext by 1/p.
+
+        The invariant noise is (approximately) preserved — ``t·x/q`` is
+        unchanged when both ``x`` and ``q`` divide by the dropped prime —
+        at the cost of headroom: the budget ceiling falls by ~log2(p).
+        A server can use this to shrink result ciphertexts before
+        downloading them to the client (the ciphertext is about to be
+        decrypted anyway, so the lost headroom is free).
+        """
+        if len(ct.level_base) < 2:
+            raise ValueError("cannot drop the only remaining residue")
+        self.counts["mod_switch"] += 1
+        comps = [c.from_ntt().divide_and_round_by_last() for c in ct.components]
+        return Ciphertext(self.params, comps)
+
+    def rotate_rows(self, ct: Ciphertext, steps: int,
+                    galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
+        """Rotate each slot row left by *steps* (Table 1's Ciphertext Rotate)."""
+        self.counts["rotate"] += 1
+        g = galois_element_for_step(steps, self.params.poly_degree)
+        return self._apply_galois(ct, g, galois_keys)
+
+    def rotate_columns(self, ct: Ciphertext,
+                       galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
+        """Swap the two slot rows."""
+        self.counts["rotate"] += 1
+        g = galois_element_for_conjugation(self.params.poly_degree)
+        return self._apply_galois(ct, g, galois_keys)
+
+    def _apply_galois(self, ct: Ciphertext, galois_elt: int,
+                      galois_keys: Optional[GaloisKeys]) -> Ciphertext:
+        if galois_elt == 1:
+            return ct.copy()
+        keys = galois_keys or self._galois
+        if keys is None:
+            raise ValueError("rotation requires Galois keys")
+        if len(ct) != 2:
+            raise ValueError("relinearize before rotating")
+        c0 = ct.components[0].from_ntt().apply_automorphism(galois_elt)
+        c1 = ct.components[1].from_ntt().apply_automorphism(galois_elt)
+        u0, u1 = switch_key(c1, keys.key_for(galois_elt), self.params)
+        return Ciphertext(self.params, [c0 + u0, u1])

@@ -1,0 +1,287 @@
+"""The CKKS approximate-arithmetic scheme (Cheon/Kim/Kim/Song).
+
+CKKS packs N/2 complex (here: real) values via the canonical embedding and
+supports fixed-point arithmetic with per-level rescaling.  CHOCO uses CKKS
+for the distance-based algorithms (KNN, K-Means) and PageRank (§5.1), where
+values are not integers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.hecore.ciphertext import Ciphertext
+from repro.hecore.keys import (
+    GaloisKeys,
+    KeyGenerator,
+    RelinKeys,
+    galois_element_for_conjugation,
+    galois_element_for_step,
+    switch_key,
+)
+from repro.hecore.params import EncryptionParameters, SchemeType
+from repro.hecore.plaintext import CkksPlaintext
+from repro.hecore.polyring import RnsPoly
+from repro.hecore.random import BlakePrng
+from repro.hecore.rns import RnsBase
+
+
+class CkksEncoder:
+    """Canonical-embedding encoder: N/2 slots ↔ a scaled integer polynomial."""
+
+    def __init__(self, params: EncryptionParameters):
+        if params.scheme is not SchemeType.CKKS:
+            raise ValueError("CkksEncoder is CKKS-only")
+        self.params = params
+        n = params.poly_degree
+        m = 2 * n
+        # psi = exp(i*pi/N): primitive 2N-th complex root of unity.
+        self._psi_powers = np.exp(1j * np.pi * np.arange(n) / n)
+        # Slot i evaluates at psi^(3^i); position j holds psi^(2j+1).
+        positions = np.empty(n // 2, dtype=np.int64)
+        power = 1
+        for i in range(n // 2):
+            positions[i] = (power - 1) // 2
+            power = (power * 3) % m
+        self._positions = positions
+        self._conj_positions = n - 1 - positions
+
+    @property
+    def slot_count(self) -> int:
+        return self.params.poly_degree // 2
+
+    def encode(self, values: Sequence[float], scale: Optional[float] = None,
+               base: Optional[RnsBase] = None) -> CkksPlaintext:
+        """Encode up to N/2 values at the given *scale* over *base*."""
+        params = self.params
+        scale = params.scale if scale is None else float(scale)
+        base = params.data_base if base is None else base
+        n = params.poly_degree
+        if len(values) > n // 2:
+            raise ValueError(f"too many values ({len(values)}) for {n // 2} slots")
+        slots = np.zeros(n // 2, dtype=np.complex128)
+        slots[: len(values)] = np.asarray(values, dtype=np.complex128)
+        evals = np.zeros(n, dtype=np.complex128)
+        evals[self._positions] = slots
+        evals[self._conj_positions] = np.conj(slots)
+        x = np.fft.fft(evals) / n
+        coeffs = np.real(x * np.conj(self._psi_powers))
+        scaled = [int(round(c * scale)) for c in coeffs]
+        return CkksPlaintext(RnsPoly.from_int_coeffs(base, scaled, n), scale)
+
+    def decode(self, plaintext: CkksPlaintext) -> np.ndarray:
+        """Decode back to N/2 (complex) slot values."""
+        n = self.params.poly_degree
+        ints = plaintext.poly.to_int_coeffs(centered=True)
+        coeffs = np.array([float(v) for v in ints]) / plaintext.scale
+        evals = n * np.fft.ifft(coeffs * self._psi_powers)
+        return evals[self._positions]
+
+
+class CkksContext:
+    """Keys, encoder and evaluator for one CKKS parameter set."""
+
+    def __init__(self, params: EncryptionParameters, seed: Optional[object] = None):
+        if params.scheme is not SchemeType.CKKS:
+            raise ValueError("CkksContext requires CKKS parameters")
+        self.params = params
+        self.keygen = KeyGenerator(params, seed)
+        self.encoder = CkksEncoder(params)
+        self._prng = BlakePrng(seed).fork("ckks-encryptor") if seed is not None else BlakePrng()
+        self._relin: Optional[RelinKeys] = None
+        self._galois: Optional[GaloisKeys] = None
+        self.counts: Counter = Counter()
+
+    # --------------------------------------------------------------- keys
+    def relin_keys(self) -> RelinKeys:
+        if self._relin is None:
+            self._relin = self.keygen.relin_keys()
+        return self._relin
+
+    def make_galois_keys(self, steps: Iterable[int], include_conjugation: bool = False):
+        new = self.keygen.galois_keys(steps, include_conjugation=include_conjugation)
+        if self._galois is None:
+            self._galois = new
+        else:
+            self._galois.keys.update(new.keys)
+        return self._galois
+
+    # ------------------------------------------------------------ encoding
+    def encode(self, values: Sequence[float], scale: Optional[float] = None,
+               base: Optional[RnsBase] = None) -> CkksPlaintext:
+        return self.encoder.encode(values, scale=scale, base=base)
+
+    def decode(self, plaintext: CkksPlaintext) -> np.ndarray:
+        return self.encoder.decode(plaintext)
+
+    # ------------------------------------------------------- encrypt/decrypt
+    def encrypt(self, values) -> Ciphertext:
+        """Encrypt a value vector (or a pre-encoded :class:`CkksPlaintext`)."""
+        plaintext = values if isinstance(values, CkksPlaintext) else self.encode(values)
+        self.counts["encrypt"] += 1
+        params = self.params
+        n = params.poly_degree
+        full = params.full_base
+        pk = self.keygen.public_key()
+
+        u = RnsPoly.from_signed_array(full, self._prng.sample_ternary(n)).to_ntt()
+        e1 = RnsPoly.from_signed_array(full, self._prng.sample_error(n))
+        e2 = RnsPoly.from_signed_array(full, self._prng.sample_error(n))
+        c0 = (pk.p0 * u).from_ntt() + e1
+        c1 = (pk.p1 * u).from_ntt() + e2
+        for _ in params.special_primes:
+            c0 = c0.divide_and_round_by_last()
+            c1 = c1.divide_and_round_by_last()
+        c0 = c0 + plaintext.poly
+        return Ciphertext(params, [c0, c1], scale=plaintext.scale)
+
+    def encrypt_symmetric(self, values, seed: Optional[bytes] = None) -> Ciphertext:
+        """Symmetric (secret-key) encryption with a seed-expanded ``c1``.
+
+        See :meth:`BfvContext.encrypt_symmetric`; the CKKS variant adds the
+        scaled message directly (no Δ scaling).
+        """
+        from repro.hecore.keys import expand_uniform_poly
+
+        plaintext = values if isinstance(values, CkksPlaintext) else self.encode(values)
+        self.counts["encrypt"] += 1
+        params = self.params
+        n = params.poly_degree
+        base = params.data_base
+        if seed is None:
+            seed = self._prng.random_bytes(32)
+        a = expand_uniform_poly(seed, base, n)
+        e = RnsPoly.from_signed_array(base, self._prng.sample_error(n))
+        s_ntt = self.keygen.secret_key().restricted_ntt(base, params.full_base)
+        c0 = -(a.to_ntt() * s_ntt).from_ntt() + e + plaintext.poly
+        return Ciphertext(params, [c0, a], scale=plaintext.scale, seed=bytes(seed))
+
+    def decrypt(self, ct: Ciphertext) -> np.ndarray:
+        """Decrypt to the (approximate) slot vector."""
+        self.counts["decrypt"] += 1
+        base = ct.level_base
+        s_ntt = self.keygen.secret_key().restricted_ntt(base, self.params.full_base)
+        acc = ct.components[0].from_ntt()
+        s_power = s_ntt
+        for comp in ct.components[1:]:
+            acc = acc + (comp.to_ntt() * s_power).from_ntt()
+            s_power = s_power * s_ntt
+        return self.encoder.decode(CkksPlaintext(acc, ct.scale))
+
+    # ------------------------------------------------------------ evaluator
+    def _check_aligned(self, a: Ciphertext, b: Ciphertext) -> None:
+        if a.level_base != b.level_base:
+            raise ValueError("align ciphertext levels before combining them")
+        if not np.isclose(a.scale, b.scale, rtol=1e-9):
+            raise ValueError(f"scale mismatch: {a.scale} vs {b.scale}")
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self.counts["add"] += 1
+        self._check_aligned(a, b)
+        comps = [x + y for x, y in zip(a.components, b.components)]
+        return Ciphertext(self.params, comps, scale=a.scale)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self.counts["add"] += 1
+        self._check_aligned(a, b)
+        comps = [x - y for x, y in zip(a.components, b.components)]
+        return Ciphertext(self.params, comps, scale=a.scale)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return Ciphertext(self.params, [-c for c in a.components], scale=a.scale)
+
+    def add_plain(self, ct: Ciphertext, plaintext: CkksPlaintext) -> Ciphertext:
+        self.counts["add_plain"] += 1
+        comps = [c.copy() for c in ct.components]
+        comps[0] = comps[0] + plaintext.poly
+        return Ciphertext(self.params, comps, scale=ct.scale)
+
+    def multiply_plain(self, ct: Ciphertext, plaintext: CkksPlaintext) -> Ciphertext:
+        self.counts["multiply_plain"] += 1
+        m_ntt = plaintext.poly.to_ntt()
+        comps = [(c.to_ntt() * m_ntt).from_ntt() for c in ct.components]
+        return Ciphertext(self.params, comps, scale=ct.scale * plaintext.scale)
+
+    def multiply(self, a: Ciphertext, b: Ciphertext,
+                 relinearize: bool = True) -> Ciphertext:
+        """Ciphertext-ciphertext multiply; scales multiply, rescale after."""
+        self.counts["multiply"] += 1
+        if a.level_base != b.level_base:
+            raise ValueError("align ciphertext levels before multiplying")
+        a0, a1 = (c.to_ntt() for c in a.components)
+        b0, b1 = (c.to_ntt() for c in b.components)
+        d0 = a0 * b0
+        d1 = a0 * b1 + a1 * b0
+        d2 = a1 * b1
+        out = Ciphertext(self.params, [d0.from_ntt(), d1.from_ntt(), d2.from_ntt()],
+                         scale=a.scale * b.scale)
+        if relinearize:
+            out = self.relinearize(out)
+        return out
+
+    def square(self, a: Ciphertext, relinearize: bool = True) -> Ciphertext:
+        return self.multiply(a, a, relinearize=relinearize)
+
+    def relinearize(self, ct: Ciphertext) -> Ciphertext:
+        if len(ct) == 2:
+            return ct
+        if len(ct) != 3:
+            raise ValueError("relinearize expects a 3-component ciphertext")
+        self.counts["relinearize"] += 1
+        u0, u1 = switch_key(ct.components[2].from_ntt(), self.relin_keys(), self.params)
+        return Ciphertext(
+            self.params,
+            [ct.components[0].from_ntt() + u0, ct.components[1].from_ntt() + u1],
+            scale=ct.scale,
+        )
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Drop the last prime, dividing the scale by it (CKKS rescaling)."""
+        self.counts["rescale"] += 1
+        dropped = ct.level_base.moduli[-1]
+        comps = [c.from_ntt().divide_and_round_by_last() for c in ct.components]
+        return Ciphertext(self.params, comps, scale=ct.scale / dropped)
+
+    def drop_modulus(self, ct: Ciphertext) -> Ciphertext:
+        """Drop the last prime *without* changing the scale (level alignment)."""
+        comps = []
+        for c in ct.components:
+            c = c.from_ntt()
+            comps.append(RnsPoly(c.base.drop_last(), c.degree, c.data[:-1], is_ntt=False))
+        return Ciphertext(self.params, comps, scale=ct.scale)
+
+    def align(self, a: Ciphertext, b: Ciphertext):
+        """Bring two ciphertexts to a common level for add/multiply."""
+        while len(a.level_base) > len(b.level_base):
+            a = self.drop_modulus(a)
+        while len(b.level_base) > len(a.level_base):
+            b = self.drop_modulus(b)
+        return a, b
+
+    def rotate(self, ct: Ciphertext, steps: int,
+               galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
+        """Rotate the slot vector left by *steps*."""
+        self.counts["rotate"] += 1
+        g = galois_element_for_step(steps, self.params.poly_degree)
+        return self._apply_galois(ct, g, galois_keys)
+
+    def conjugate(self, ct: Ciphertext,
+                  galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
+        self.counts["rotate"] += 1
+        g = galois_element_for_conjugation(self.params.poly_degree)
+        return self._apply_galois(ct, g, galois_keys)
+
+    def _apply_galois(self, ct: Ciphertext, galois_elt: int,
+                      galois_keys: Optional[GaloisKeys]) -> Ciphertext:
+        if galois_elt == 1:
+            return ct.copy()
+        keys = galois_keys or self._galois
+        if keys is None:
+            raise ValueError("rotation requires Galois keys")
+        c0 = ct.components[0].from_ntt().apply_automorphism(galois_elt)
+        c1 = ct.components[1].from_ntt().apply_automorphism(galois_elt)
+        u0, u1 = switch_key(c1, keys.key_for(galois_elt), self.params)
+        return Ciphertext(self.params, [c0 + u0, u1], scale=ct.scale)

@@ -1,0 +1,233 @@
+"""Key generation and special-prime key switching.
+
+Implements the full SEAL-style key hierarchy: ternary secret keys, RLWE
+public keys (the ``P0, P1`` of the paper's Eq. 2), relinearization keys (for
+ciphertext multiplication) and Galois keys (for slot rotation — Table 1's
+"Ciphertext Rotate").
+
+Key switching uses RNS digit decomposition with a special-prime product ``P``
+(SEAL's hybrid method): each digit of the target polynomial multiplies a key
+that encrypts ``P · s_src`` concentrated on that digit's residue, and the
+accumulated result is scaled down by ``1/P``, keeping the added noise small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hecore.modmath import mod_add
+from repro.hecore.params import EncryptionParameters, SPECIAL_PRIME_COUNT
+from repro.hecore.polyring import RnsPoly
+from repro.hecore.random import BlakePrng
+from repro.hecore.rns import RnsBase
+
+
+class SecretKey:
+    """A ternary RLWE secret key over the full (data + special) base."""
+
+    def __init__(self, poly: RnsPoly):
+        self.poly = poly                      # coefficient form
+        self.poly_ntt = poly.to_ntt()
+
+    def restricted_ntt(self, base: RnsBase, full_base: RnsBase) -> RnsPoly:
+        """The secret key in NTT form over a sub-base of the full base."""
+        rows = [full_base.moduli.index(p) for p in base.moduli]
+        return RnsPoly(base, self.poly.degree, self.poly_ntt.data[rows], is_ntt=True)
+
+
+class PublicKey:
+    """The encryption key pair ``(P0, P1) = (-(a s + e), a)`` in NTT form."""
+
+    def __init__(self, p0: RnsPoly, p1: RnsPoly):
+        self.p0 = p0
+        self.p1 = p1
+
+
+class KeySwitchKey:
+    """One key-switching key: a pair of NTT polys per data-residue digit."""
+
+    def __init__(self, digits: List[Tuple[RnsPoly, RnsPoly]]):
+        self.digits = digits
+
+    def size_bytes(self, params: EncryptionParameters) -> int:
+        """Serialized size under logical accounting (k residues, 8 B words)."""
+        k = params.logical_residue_count
+        return len(self.digits) * 2 * k * params.poly_degree * 8
+
+
+class RelinKeys(KeySwitchKey):
+    """Key-switching key from ``s^2`` back to ``s``."""
+
+
+class GaloisKeys:
+    """Key-switching keys for a set of Galois automorphisms (rotations)."""
+
+    def __init__(self, keys: Dict[int, KeySwitchKey]):
+        self.keys = keys
+
+    def __contains__(self, galois_elt: int) -> bool:
+        return galois_elt in self.keys
+
+    def key_for(self, galois_elt: int) -> KeySwitchKey:
+        try:
+            return self.keys[galois_elt]
+        except KeyError:
+            raise KeyError(
+                f"no Galois key for element {galois_elt}; generate it with "
+                f"KeyGenerator.galois_keys"
+            ) from None
+
+    def size_bytes(self, params: EncryptionParameters) -> int:
+        return sum(k.size_bytes(params) for k in self.keys.values())
+
+
+def expand_uniform_poly(seed: bytes, base: RnsBase, degree: int) -> RnsPoly:
+    """Deterministically expand a 32-byte seed into a uniform polynomial.
+
+    Used for seed-compressed symmetric ciphertexts: instead of shipping the
+    uniform component ``c1``, the sender ships the seed and the receiver
+    regenerates ``c1`` — halving fresh-upload sizes.
+    """
+    prng = BlakePrng(bytes(seed))
+    rows = [prng.sample_uniform(degree, p) for p in base.moduli]
+    return RnsPoly(base, degree, np.stack(rows), is_ntt=False)
+
+
+def galois_element_for_step(step: int, poly_degree: int) -> int:
+    """Galois element implementing a rotation by *step* slots.
+
+    Positive steps rotate the slot vector left (matching SEAL's
+    ``rotate_rows``).  The generator 3 has order N/2 modulo 2N.
+    """
+    m = 2 * poly_degree
+    order = poly_degree // 2
+    step = step % order
+    return pow(3, step, m)
+
+
+def galois_element_for_conjugation(poly_degree: int) -> int:
+    """Galois element swapping the two slot rows (BFV) / conjugating (CKKS)."""
+    return 2 * poly_degree - 1
+
+
+class KeyGenerator:
+    """Deterministic key generation from a seed (for reproducible tests)."""
+
+    def __init__(self, params: EncryptionParameters, seed: Optional[object] = None):
+        self.params = params
+        self._prng = BlakePrng(seed)
+        n = params.poly_degree
+        full = params.full_base
+        s = RnsPoly.from_signed_array(full, self._prng.sample_ternary(n))
+        self._secret = SecretKey(s)
+        self._public = self._make_public_key()
+
+    # ----------------------------------------------------------- primitives
+    def _sample_uniform_ntt(self, base: RnsBase) -> RnsPoly:
+        n = self.params.poly_degree
+        rows = [self._prng.sample_uniform(n, p) for p in base.moduli]
+        return RnsPoly(base, n, np.stack(rows), is_ntt=True)
+
+    def _sample_error_ntt(self, base: RnsBase) -> RnsPoly:
+        n = self.params.poly_degree
+        return RnsPoly.from_signed_array(base, self._prng.sample_error(n)).to_ntt()
+
+    def _make_public_key(self) -> PublicKey:
+        full = self.params.full_base
+        a = self._sample_uniform_ntt(full)
+        e = self._sample_error_ntt(full)
+        s_ntt = self._secret.poly_ntt
+        p0 = -(a * s_ntt + e)
+        return PublicKey(p0, a)
+
+    # ------------------------------------------------------------- key API
+    def secret_key(self) -> SecretKey:
+        return self._secret
+
+    def public_key(self) -> PublicKey:
+        return self._public
+
+    def _make_keyswitch_key(self, source_key_ntt: RnsPoly) -> KeySwitchKey:
+        """Key-switching key from *source_key_ntt* (over full base) to s."""
+        params = self.params
+        full = params.full_base
+        data_count = len(params.data_base)
+        special_product = 1
+        for p in params.special_primes:
+            special_product *= p
+        s_ntt = self._secret.poly_ntt
+        digits = []
+        for i in range(data_count):
+            a_i = self._sample_uniform_ntt(full)
+            e_i = self._sample_error_ntt(full)
+            k0 = -(a_i * s_ntt + e_i)
+            # Add P * s_src concentrated on residue i (NTT form is per-row
+            # linear, so a row-local addition is valid).
+            p_i = full.moduli[i]
+            factor = np.int64(special_product % p_i)
+            k0.data[i] = mod_add(
+                k0.data[i],
+                (factor * source_key_ntt.data[i]) % p_i,
+                p_i,
+            )
+            digits.append((k0, a_i))
+        return KeySwitchKey(digits)
+
+    def relin_keys(self) -> RelinKeys:
+        s_sq = self._secret.poly_ntt * self._secret.poly_ntt
+        key = self._make_keyswitch_key(s_sq)
+        return RelinKeys(key.digits)
+
+    def galois_keys(self, steps: Iterable[int] = (), galois_elts: Iterable[int] = (),
+                    include_conjugation: bool = False) -> GaloisKeys:
+        """Galois keys for the given rotation *steps* and/or raw elements."""
+        n = self.params.poly_degree
+        elements = {galois_element_for_step(s, n) for s in steps}
+        elements.update(galois_elts)
+        if include_conjugation:
+            elements.add(galois_element_for_conjugation(n))
+        keys = {}
+        for g in sorted(elements):
+            s_g = self._secret.poly.apply_automorphism(g).to_ntt()
+            keys[g] = self._make_keyswitch_key(s_g)
+        return GaloisKeys(keys)
+
+
+def switch_key(
+    target: RnsPoly, ksk: KeySwitchKey, params: EncryptionParameters
+) -> Tuple[RnsPoly, RnsPoly]:
+    """Key-switch *target* (coefficient form, over the current data base).
+
+    Returns ``(u0, u1)`` over the same base such that
+    ``u0 + u1 * s ≈ target * s_src`` with small added noise.
+    """
+    if target.is_ntt:
+        target = target.from_ntt()
+    current = target.base
+    full = params.full_base
+    n = params.poly_degree
+    special = params.special_primes
+    ext_base = RnsBase(list(current.moduli) + list(special))
+    special_rows = [full.moduli.index(p) for p in special]
+
+    acc0 = RnsPoly.zero(ext_base, n, is_ntt=True)
+    acc1 = RnsPoly.zero(ext_base, n, is_ntt=True)
+    for i, p_i in enumerate(current.moduli):
+        digit = target.data[i]
+        lifted_rows = [np.mod(digit, p_j) for p_j in ext_base.moduli]
+        lifted = RnsPoly(ext_base, n, np.stack(lifted_rows), is_ntt=False).to_ntt()
+        k0, k1 = ksk.digits[i]
+        rows = list(range(len(current))) + special_rows
+        k0_r = RnsPoly(ext_base, n, k0.data[rows], is_ntt=True)
+        k1_r = RnsPoly(ext_base, n, k1.data[rows], is_ntt=True)
+        acc0 = acc0 + lifted * k0_r
+        acc1 = acc1 + lifted * k1_r
+
+    u0 = acc0.from_ntt()
+    u1 = acc1.from_ntt()
+    for _ in range(len(special)):
+        u0 = u0.divide_and_round_by_last()
+        u1 = u1.divide_and_round_by_last()
+    return u0, u1

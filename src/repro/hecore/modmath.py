@@ -1,0 +1,89 @@
+"""Vectorized modular arithmetic over word-sized primes.
+
+All computational moduli in this library are below 2**31 so that a product of
+two residues fits exactly in a signed 64-bit integer.  This mirrors SEAL's
+word-sized RNS limbs (SEAL uses up to 60-bit limbs on native 128-bit
+arithmetic, which numpy lacks); DESIGN.md documents the substitution.  The
+*total* modulus width, which is what determines noise budgets and ciphertext
+sizes, is preserved by using more limbs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Largest permitted computational modulus.  ``MAX_MODULUS_BITS``-bit residues
+#: guarantee that ``a * b`` for ``a, b < 2**31`` stays below ``2**62`` and is
+#: exact in int64.
+MAX_MODULUS_BITS = 31
+
+
+def check_modulus(p: int) -> int:
+    """Validate that *p* can be used as a computational modulus."""
+    if not 1 < p < (1 << MAX_MODULUS_BITS):
+        raise ValueError(f"modulus {p} outside supported range (2, 2**{MAX_MODULUS_BITS})")
+    return p
+
+
+def mod_add(a: np.ndarray, b: np.ndarray, p: int) -> np.ndarray:
+    """Element-wise ``(a + b) mod p`` for residue arrays."""
+    return np.mod(np.add(a, b, dtype=np.int64), p)
+
+
+def mod_sub(a: np.ndarray, b: np.ndarray, p: int) -> np.ndarray:
+    """Element-wise ``(a - b) mod p`` for residue arrays."""
+    return np.mod(np.subtract(a, b, dtype=np.int64), p)
+
+
+def mod_neg(a: np.ndarray, p: int) -> np.ndarray:
+    """Element-wise ``(-a) mod p``."""
+    return np.mod(np.negative(a.astype(np.int64)), p)
+
+
+def mod_mul(a: np.ndarray, b: np.ndarray, p: int) -> np.ndarray:
+    """Element-wise ``(a * b) mod p``.
+
+    Exact because residues are below ``2**31`` (see :data:`MAX_MODULUS_BITS`).
+    """
+    return np.mod(np.multiply(a, b, dtype=np.int64), p)
+
+
+def mod_pow(base: int, exponent: int, p: int) -> int:
+    """Scalar modular exponentiation."""
+    return pow(int(base), int(exponent), int(p))
+
+
+def mod_inv(a: int, p: int) -> int:
+    """Scalar modular inverse of *a* modulo prime *p*."""
+    a = int(a) % p
+    if a == 0:
+        raise ZeroDivisionError(f"0 has no inverse modulo {p}")
+    return pow(a, p - 2, p)
+
+
+def mod_inv_array(a: np.ndarray, p: int) -> np.ndarray:
+    """Element-wise modular inverse modulo prime *p*."""
+    flat = a.astype(np.int64).ravel()
+    out = np.array([mod_inv(int(x), p) for x in flat], dtype=np.int64)
+    return out.reshape(a.shape)
+
+
+def center(a: np.ndarray, p: int) -> np.ndarray:
+    """Map residues in ``[0, p)`` to the centered range ``(-p/2, p/2]``."""
+    a = np.mod(a.astype(np.int64), p)
+    return np.where(a > p // 2, a - p, a)
+
+
+def uncenter(a: np.ndarray, p: int) -> np.ndarray:
+    """Map centered values back to canonical residues in ``[0, p)``."""
+    return np.mod(a.astype(np.int64), p)
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when *n* is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def bit_length(n: int) -> int:
+    """Bit length of a non-negative integer (0 has bit length 0)."""
+    return int(n).bit_length()

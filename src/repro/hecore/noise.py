@@ -1,0 +1,119 @@
+"""Static noise-budget estimation (no cryptography executed).
+
+Client-aided scheduling needs to know *before running* whether an encrypted
+segment fits the noise budget — that's how CHOCO selects parameters (§3.2)
+and how the PageRank schedules of Figure 13 are priced.  This estimator
+mirrors the empirical model of :mod:`repro.core.paramsearch` at the
+granularity of individual operations, so a planned operation sequence can
+be budget-checked in microseconds instead of seconds of real HE.
+
+Validated against measured budgets in ``tests/test_noise_estimator.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.hecore.params import EncryptionParameters, SchemeType
+
+#: Fresh-budget constant: budget ≈ log2(q_data) − 2·log2(t) − FRESH_OFFSET.
+#: Calibrated to THIS library's measured fresh budgets (SEAL's constant is
+#: ~8 bits more pessimistic; repro.core.paramsearch keeps the conservative
+#: value because parameter selection should match SEAL-class systems).
+FRESH_OFFSET_BITS = 0
+
+#: Bits one rotation's key-switching contributes (two special primes).
+ROTATION_BITS = 2
+
+#: Safety slack applied by :meth:`NoiseEstimate.is_safe`.
+SAFETY_BITS = 3
+
+
+@dataclass(frozen=True)
+class NoiseEstimate:
+    """A predicted invariant-noise budget, in bits."""
+
+    budget_bits: float
+    params: EncryptionParameters
+
+    def is_safe(self, slack: float = SAFETY_BITS) -> bool:
+        """Whether decryption is predicted to succeed with margin."""
+        return self.budget_bits >= slack
+
+    def spent(self, fresh: "NoiseEstimate") -> float:
+        return fresh.budget_bits - self.budget_bits
+
+
+class NoiseEstimator:
+    """Per-operation budget arithmetic for one BFV parameter set."""
+
+    def __init__(self, params: EncryptionParameters):
+        if params.scheme is not SchemeType.BFV:
+            raise ValueError("the static estimator models BFV budgets")
+        self.params = params
+        self.t_bits = params.plain_modulus.bit_length()
+        self.q_bits = params.data_base.bit_size
+        self.log_n = math.log2(params.poly_degree)
+
+    # ------------------------------------------------------------ states
+    def fresh(self) -> NoiseEstimate:
+        budget = self.q_bits - 2 * self.t_bits - FRESH_OFFSET_BITS
+        return NoiseEstimate(budget_bits=float(max(0, budget)), params=self.params)
+
+    # --------------------------------------------------------- transitions
+    def _spend(self, est: NoiseEstimate, bits: float) -> NoiseEstimate:
+        return replace(est, budget_bits=max(0.0, est.budget_bits - bits))
+
+    def after_add(self, est: NoiseEstimate,
+                  other: Optional[NoiseEstimate] = None) -> NoiseEstimate:
+        """Adding ciphertexts: noise adds — at most one bit at the max."""
+        floor = min(est.budget_bits,
+                    other.budget_bits if other else est.budget_bits)
+        return replace(est, budget_bits=max(0.0, floor - 1))
+
+    def after_add_plain(self, est: NoiseEstimate) -> NoiseEstimate:
+        return self._spend(est, 0.5)
+
+    def after_rotation(self, est: NoiseEstimate) -> NoiseEstimate:
+        return self._spend(est, ROTATION_BITS)
+
+    def after_multiply_plain(self, est: NoiseEstimate) -> NoiseEstimate:
+        """Plain multiply scales noise by ~||encoded plaintext||: t·sqrt(N)."""
+        return self._spend(est, self.t_bits + self.log_n / 2)
+
+    def after_masked_permutation(self, est: NoiseEstimate) -> NoiseEstimate:
+        """Figure 4A: two rotations + two masking multiplies + one add.
+
+        The two masked halves are disjoint, so their noise combines like a
+        single masking multiply plus the rotations.
+        """
+        est = self.after_rotation(self.after_rotation(est))
+        est = self.after_multiply_plain(est)
+        return self.after_add(est)
+
+    def after_multiply(self, est: NoiseEstimate) -> NoiseEstimate:
+        """Ciphertext multiply: the Table 1 'large' growth."""
+        return self._spend(est, self.t_bits + self.log_n + 8)
+
+    # ------------------------------------------------------------ planning
+    def budget_after_conv(self, taps: int, shifts: int) -> NoiseEstimate:
+        """A rotationally-redundant convolution: parallel rotations of the
+        fresh input, one weight multiply each, log-tree accumulation."""
+        est = self.after_multiply_plain(self.after_rotation(self.fresh()))
+        accumulation = math.ceil(math.log2(max(taps * shifts, 2)))
+        return self._spend(est, accumulation)
+
+    def segment_is_feasible(self, plain_mult_depth: int, rotations: int,
+                            masked_permutations: int = 0) -> bool:
+        """Whether an encrypted segment finishes with budget to spare."""
+        est = self.fresh()
+        for _ in range(masked_permutations):
+            est = self.after_masked_permutation(est)
+        # Rotations within a linear op act on fresh copies in parallel and
+        # are then summed: one rotation of depth plus log2(count) additions.
+        est = self._spend(est, ROTATION_BITS + math.log2(rotations + 1))
+        for _ in range(plain_mult_depth):
+            est = self.after_multiply_plain(est)
+        return est.is_safe()

@@ -1,0 +1,218 @@
+"""Polynomials in ``R_q = Z_q[x]/(x^N + 1)`` in RNS representation.
+
+An :class:`RnsPoly` stores one residue row per modulus of its base, each row
+holding the ``N`` coefficients (or NTT evaluations) modulo that prime.  This
+is the object every HE operation in Table 1 of the paper manipulates, and the
+memory layout (``k`` independent residue "layers") is exactly the parallelism
+the CHOCO-TACO accelerator exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hecore import ntt
+from repro.hecore.modmath import center, mod_add, mod_inv, mod_mul, mod_neg, mod_sub
+from repro.hecore.primes import generate_ntt_primes
+from repro.hecore.rns import RnsBase
+
+
+class RnsPoly:
+    """A polynomial over an RNS base, optionally in NTT form."""
+
+    __slots__ = ("base", "degree", "data", "is_ntt")
+
+    def __init__(self, base: RnsBase, degree: int, data: np.ndarray, is_ntt: bool = False):
+        if data.shape != (len(base), degree):
+            raise ValueError(f"data shape {data.shape} != ({len(base)}, {degree})")
+        self.base = base
+        self.degree = degree
+        self.data = data.astype(np.int64, copy=False)
+        self.is_ntt = is_ntt
+
+    # ------------------------------------------------------------------ ctor
+    @classmethod
+    def zero(cls, base: RnsBase, degree: int, is_ntt: bool = False) -> "RnsPoly":
+        return cls(base, degree, np.zeros((len(base), degree), dtype=np.int64), is_ntt)
+
+    @classmethod
+    def from_int_coeffs(cls, base: RnsBase, coeffs: Sequence[int], degree: int) -> "RnsPoly":
+        """Build from (possibly big, possibly negative) integer coefficients."""
+        if len(coeffs) != degree:
+            raise ValueError(f"expected {degree} coefficients, got {len(coeffs)}")
+        return cls(base, degree, base.decompose(coeffs), is_ntt=False)
+
+    @classmethod
+    def from_signed_array(cls, base: RnsBase, values: np.ndarray) -> "RnsPoly":
+        """Build from a small signed int64 vector (e.g. error polynomials)."""
+        rows = [np.mod(values.astype(np.int64), p) for p in base.moduli]
+        return cls(base, len(values), np.stack(rows), is_ntt=False)
+
+    def copy(self) -> "RnsPoly":
+        return RnsPoly(self.base, self.degree, self.data.copy(), self.is_ntt)
+
+    # ------------------------------------------------------------- arithmetic
+    def _check_compatible(self, other: "RnsPoly") -> None:
+        if self.base != other.base or self.degree != other.degree:
+            raise ValueError("polynomials live in different rings")
+        if self.is_ntt != other.is_ntt:
+            raise ValueError("polynomials are in different representations")
+
+    def __add__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.base.moduli):
+            out[i] = mod_add(self.data[i], other.data[i], p)
+        return RnsPoly(self.base, self.degree, out, self.is_ntt)
+
+    def __sub__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.base.moduli):
+            out[i] = mod_sub(self.data[i], other.data[i], p)
+        return RnsPoly(self.base, self.degree, out, self.is_ntt)
+
+    def __neg__(self) -> "RnsPoly":
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.base.moduli):
+            out[i] = mod_neg(self.data[i], p)
+        return RnsPoly(self.base, self.degree, out, self.is_ntt)
+
+    def __mul__(self, other: "RnsPoly") -> "RnsPoly":
+        """Ring product.  Uses dyadic products in NTT form, else NTT round-trips."""
+        self._check_compatible(other)
+        out = np.empty_like(self.data)
+        if self.is_ntt:
+            for i, p in enumerate(self.base.moduli):
+                out[i] = mod_mul(self.data[i], other.data[i], p)
+            return RnsPoly(self.base, self.degree, out, is_ntt=True)
+        for i, p in enumerate(self.base.moduli):
+            plan = ntt.get_plan(self.degree, p)
+            out[i] = plan.negacyclic_multiply(self.data[i], other.data[i])
+        return RnsPoly(self.base, self.degree, out, is_ntt=False)
+
+    def scalar_multiply(self, scalar: int) -> "RnsPoly":
+        """Multiply every coefficient by a (possibly big) integer scalar."""
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.base.moduli):
+            out[i] = mod_mul(self.data[i], np.int64(int(scalar) % p), p)
+        return RnsPoly(self.base, self.degree, out, self.is_ntt)
+
+    # ---------------------------------------------------------- representation
+    def to_ntt(self) -> "RnsPoly":
+        if self.is_ntt:
+            return self
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.base.moduli):
+            out[i] = ntt.get_plan(self.degree, p).forward(self.data[i])
+        return RnsPoly(self.base, self.degree, out, is_ntt=True)
+
+    def from_ntt(self) -> "RnsPoly":
+        if not self.is_ntt:
+            return self
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.base.moduli):
+            out[i] = ntt.get_plan(self.degree, p).inverse(self.data[i])
+        return RnsPoly(self.base, self.degree, out, is_ntt=False)
+
+    # ------------------------------------------------------------- structure
+    def apply_automorphism(self, galois_elt: int) -> "RnsPoly":
+        """Apply ``x -> x^g`` for odd *g* (coefficient form only).
+
+        This is the Galois automorphism behind HE slot rotation (Table 1's
+        "Ciphertext Rotate" uses it followed by key switching).
+        """
+        if self.is_ntt:
+            raise ValueError("apply automorphisms in coefficient form")
+        n = self.degree
+        g = galois_elt % (2 * n)
+        if g % 2 == 0:
+            raise ValueError(f"Galois element {galois_elt} must be odd")
+        indices = (np.arange(n, dtype=np.int64) * g) % (2 * n)
+        negate = indices >= n
+        targets = np.where(negate, indices - n, indices)
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.base.moduli):
+            signed = np.where(negate, np.mod(-self.data[i], p), self.data[i])
+            row = np.zeros(n, dtype=np.int64)
+            row[targets] = signed
+            out[i] = row
+        return RnsPoly(self.base, self.degree, out, is_ntt=False)
+
+    def divide_and_round_by_last(self) -> "RnsPoly":
+        """Exact modulus switch: drop the base's last prime, scaling by 1/P.
+
+        Computes ``round(x / P)`` (up to ±1 rounding slack, as in SEAL) using
+        only word arithmetic: subtract the centered residue mod P, then
+        multiply by ``P^{-1}`` modulo each remaining prime.  This is the
+        "Mod Switching" module of the CHOCO-TACO pipeline (Figure 5) and the
+        only step that couples RNS residues.
+        """
+        if self.is_ntt:
+            raise ValueError("modulus switching requires coefficient form")
+        last = self.base.moduli[-1]
+        target = self.base.drop_last()
+        remainder = center(self.data[-1], last)
+        out = np.empty((len(target), self.degree), dtype=np.int64)
+        for i, p in enumerate(target.moduli):
+            inv_last = mod_inv(last % p, p)
+            diff = mod_sub(self.data[i], np.mod(remainder, p), p)
+            out[i] = mod_mul(diff, np.int64(inv_last), p)
+        return RnsPoly(target, self.degree, out, is_ntt=False)
+
+    def switch_base(self, target: RnsBase) -> "RnsPoly":
+        """Re-express this polynomial's rows over *target* without scaling.
+
+        Only valid when the coefficient values are small enough (or when an
+        approximate lift is acceptable, as in key-switch digit extension).
+        """
+        ints = self.base.compose_centered(self.data)
+        return RnsPoly.from_int_coeffs(target, ints, self.degree)
+
+    def to_int_coeffs(self, centered: bool = True) -> List[int]:
+        """CRT-compose the residues back to Python integers."""
+        poly = self.from_ntt()
+        if centered:
+            return poly.base.compose_centered(poly.data)
+        return poly.base.compose(poly.data)
+
+    def infinity_norm(self) -> int:
+        """Max absolute centered coefficient (used for noise measurement)."""
+        return max((abs(c) for c in self.to_int_coeffs(centered=True)), default=0)
+
+
+# --------------------------------------------------------------------------
+# Exact integer negacyclic multiplication via auxiliary CRT bases.
+# Used by BFV ciphertext-ciphertext multiplication, where the tensor product
+# must be computed over Z before scaling by t/q.
+# --------------------------------------------------------------------------
+
+_AUX_BASE_CACHE: Dict[Tuple[int, int], RnsBase] = {}
+
+
+def _aux_base(degree: int, bound_bits: int) -> RnsBase:
+    """An RNS base of NTT-friendly primes whose product exceeds 2**bound_bits."""
+    count = bound_bits // 28 + 2
+    key = (degree, count)
+    base = _AUX_BASE_CACHE.get(key)
+    if base is None:
+        base = RnsBase(generate_ntt_primes(29, count, degree))
+        _AUX_BASE_CACHE[key] = base
+    return base
+
+
+def exact_negacyclic_multiply(
+    a: Sequence[int], b: Sequence[int], degree: int, coeff_bound_bits: int
+) -> List[int]:
+    """Exact product of integer polynomials in ``Z[x]/(x^N + 1)``.
+
+    *coeff_bound_bits* bounds ``log2`` of the largest absolute result
+    coefficient; the function picks an auxiliary CRT base large enough to
+    recover the product exactly.
+    """
+    base = _aux_base(degree, coeff_bound_bits + 1)
+    pa = RnsPoly.from_int_coeffs(base, list(a), degree)
+    pb = RnsPoly.from_int_coeffs(base, list(b), degree)
+    return (pa * pb).to_int_coeffs(centered=True)

@@ -1,0 +1,114 @@
+"""NTT-friendly prime generation and primitive-root search.
+
+The NTT over ``Z_p[x]/(x^N + 1)`` requires a prime ``p ≡ 1 (mod 2N)`` so that
+a primitive ``2N``-th root of unity exists.  SEAL ships a table of such
+primes; we generate them on demand with a deterministic Miller–Rabin test
+(exact for all 64-bit integers with the standard witness set).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hecore.modmath import mod_pow
+
+_MILLER_RABIN_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test, exact for all integers below 2**64."""
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MILLER_RABIN_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_ntt_primes(bits: int, count: int, poly_degree: int) -> List[int]:
+    """Return *count* distinct primes of *bits* bits with ``p ≡ 1 (mod 2N)``.
+
+    Primes are returned in decreasing order starting just below ``2**bits``,
+    matching SEAL's convention of packing the largest usable primes first.
+    """
+    if bits < 2:
+        raise ValueError("prime bit size must be at least 2")
+    modulus = 2 * poly_degree
+    # Largest candidate of the requested bit size congruent to 1 mod 2N.
+    candidate = (1 << bits) - 1
+    candidate -= (candidate - 1) % modulus
+    primes: List[int] = []
+    while len(primes) < count:
+        if candidate < (1 << (bits - 1)):
+            raise ValueError(
+                f"exhausted {bits}-bit primes congruent to 1 mod {modulus}; "
+                f"found only {len(primes)} of {count}"
+            )
+        if is_prime(candidate):
+            primes.append(candidate)
+        candidate -= modulus
+    return primes
+
+
+def generate_plain_modulus(bits: int, poly_degree: int) -> int:
+    """Return a batching-capable plaintext modulus of *bits* bits.
+
+    Batching (packing one value per slot) needs ``t ≡ 1 (mod 2N)`` just like
+    the ciphertext primes.
+    """
+    return generate_ntt_primes(bits, 1, poly_degree)[0]
+
+
+def find_generator(p: int) -> int:
+    """Find a generator of the multiplicative group of ``Z_p`` (p prime)."""
+    order = p - 1
+    factors = _factorize(order)
+    for g in range(2, p):
+        if all(mod_pow(g, order // f, p) != 1 for f in factors):
+            return g
+    raise ValueError(f"no generator found for {p}")
+
+
+def primitive_root_of_unity(order: int, p: int) -> int:
+    """Return a primitive *order*-th root of unity modulo prime *p*."""
+    if (p - 1) % order != 0:
+        raise ValueError(f"{order} does not divide {p} - 1")
+    g = find_generator(p)
+    root = mod_pow(g, (p - 1) // order, p)
+    # Sanity: root^order == 1 and root^(order/2) == -1 for even orders.
+    if mod_pow(root, order, p) != 1:
+        raise AssertionError("root order check failed")
+    if order % 2 == 0 and mod_pow(root, order // 2, p) != p - 1:
+        raise AssertionError("root is not primitive")
+    return root
+
+
+def _factorize(n: int) -> List[int]:
+    """Distinct prime factors of *n* by trial division (n fits in 64 bits)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors

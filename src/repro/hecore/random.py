@@ -1,0 +1,67 @@
+"""Deterministic cryptographic-style randomness for HE sampling.
+
+The paper's accelerator devotes a module to a Blake3 PRNG feeding ternary and
+normal samplers (§4.2); SEAL itself uses a Blake2 extendable stream.  Blake3
+is not in the Python standard library, so this module derives seeds with
+BLAKE2b and expands them with numpy's PCG64 — preserving determinism,
+reproducibility, and the sampler distributions, which is what the functional
+scheme and the accelerator's bandwidth model depend on (see DESIGN.md
+substitution table).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+import numpy as np
+
+#: Standard deviation of the RLWE error distribution, matching SEAL's default.
+ERROR_STDDEV = 3.2
+
+#: Hard bound used when clipping error samples (SEAL uses 6 sigma).
+ERROR_BOUND = int(6 * ERROR_STDDEV)
+
+
+class BlakePrng:
+    """BLAKE2b-seeded deterministic pseudo-random generator.
+
+    Parameters
+    ----------
+    seed:
+        Any bytes-like or integer seed.  ``None`` draws entropy from the OS.
+    """
+
+    def __init__(self, seed: Optional[object] = None):
+        if seed is None:
+            material = np.random.SeedSequence().entropy.to_bytes(16, "little")
+        elif isinstance(seed, int):
+            material = seed.to_bytes((seed.bit_length() + 8) // 8 or 1, "little", signed=False)
+        elif isinstance(seed, (bytes, bytearray)):
+            material = bytes(seed)
+        else:
+            material = repr(seed).encode()
+        digest = hashlib.blake2b(material, digest_size=32).digest()
+        self._generator = np.random.Generator(np.random.PCG64(int.from_bytes(digest, "little")))
+
+    def fork(self, label: str) -> "BlakePrng":
+        """Derive an independent child stream for *label* (domain separation)."""
+        return BlakePrng(self.random_bytes(16) + label.encode())
+
+    def random_bytes(self, n: int) -> bytes:
+        """*n* pseudo-random bytes."""
+        return self._generator.bytes(n)
+
+    def sample_uniform(self, n: int, modulus: int) -> np.ndarray:
+        """*n* residues uniform in ``[0, modulus)``."""
+        return self._generator.integers(0, modulus, size=n, dtype=np.int64)
+
+    def sample_ternary(self, n: int) -> np.ndarray:
+        """*n* values uniform over {−1, 0, 1} — the secret/``u`` distribution."""
+        return self._generator.integers(-1, 2, size=n, dtype=np.int64)
+
+    def sample_error(self, n: int, stddev: float = ERROR_STDDEV) -> np.ndarray:
+        """*n* discrete-Gaussian-style error values (rounded normal, clipped)."""
+        raw = np.rint(self._generator.normal(0.0, stddev, size=n)).astype(np.int64)
+        bound = max(1, int(6 * stddev))
+        return np.clip(raw, -bound, bound)

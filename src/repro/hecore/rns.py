@@ -1,0 +1,119 @@
+"""Residue Number System (RNS) bases and exact CRT conversions.
+
+RLWE coefficient moduli are hundreds of bits wide; HE libraries represent
+each coefficient as residues modulo a base of word-sized coprime moduli
+(Table 2 of the paper: parameters ``k`` and ``{k}``).  Arithmetic stays in
+vectorized int64 residue-land; only decryption, noise measurement, and exact
+BFV multiplication compose back to Python big integers.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hecore.modmath import mod_inv, mod_mul
+
+
+class RnsBase:
+    """An ordered base of pairwise-coprime word-sized moduli."""
+
+    def __init__(self, moduli: Sequence[int]):
+        moduli = [int(m) for m in moduli]
+        if not moduli:
+            raise ValueError("RNS base must contain at least one modulus")
+        if len(set(moduli)) != len(moduli):
+            raise ValueError("RNS moduli must be distinct")
+        if any(m < 2 for m in moduli):
+            raise ValueError("RNS moduli must exceed 1")
+        for i, a in enumerate(moduli):
+            for b in moduli[i + 1:]:
+                if math.gcd(a, b) != 1:
+                    raise ValueError(f"moduli {a} and {b} are not coprime")
+        self.moduli: Tuple[int, ...] = tuple(moduli)
+        self.modulus: int = reduce(lambda a, b: a * b, moduli, 1)
+        # Punctured products q_i = q / p_i and their inverses mod p_i,
+        # needed for CRT composition and base conversion.
+        self._punctured = [self.modulus // p for p in moduli]
+        self._punctured_inv = [mod_inv(q_i % p, p) for q_i, p in zip(self._punctured, moduli)]
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RnsBase) and self.moduli == other.moduli
+
+    def __hash__(self) -> int:
+        return hash(self.moduli)
+
+    def __repr__(self) -> str:
+        return f"RnsBase({list(self.moduli)})"
+
+    @property
+    def bit_size(self) -> int:
+        """Total bit width of the composed modulus."""
+        return self.modulus.bit_length()
+
+    def drop_last(self) -> "RnsBase":
+        """The base with its final modulus removed (modulus switching)."""
+        if len(self.moduli) < 2:
+            raise ValueError("cannot drop the only modulus in a base")
+        return RnsBase(self.moduli[:-1])
+
+    def decompose(self, values: Sequence[int]) -> np.ndarray:
+        """Integer vector → residue matrix of shape ``(k, len(values))``.
+
+        Accepts arbitrarily large (and negative) Python integers.
+        """
+        rows = []
+        for p in self.moduli:
+            rows.append(np.array([int(v) % p for v in values], dtype=np.int64))
+        return np.stack(rows)
+
+    def compose(self, residues: np.ndarray) -> List[int]:
+        """Residue matrix ``(k, n)`` → canonical integers in ``[0, q)``."""
+        if residues.shape[0] != len(self.moduli):
+            raise ValueError(
+                f"residue matrix has {residues.shape[0]} rows, base has {len(self.moduli)}"
+            )
+        q = self.modulus
+        n = residues.shape[1]
+        acc = [0] * n
+        for row, q_i, inv_i, p in zip(
+            residues, self._punctured, self._punctured_inv, self.moduli
+        ):
+            # term = [x]_p * (q/p) * ((q/p)^-1 mod p)
+            scaled = mod_mul(row, np.int64(inv_i), p)
+            for j in range(n):
+                acc[j] = (acc[j] + int(scaled[j]) * q_i) % q
+        return acc
+
+    def compose_centered(self, residues: np.ndarray) -> List[int]:
+        """Like :meth:`compose` but mapped to the centered range (−q/2, q/2]."""
+        q = self.modulus
+        half = q // 2
+        return [v - q if v > half else v for v in self.compose(residues)]
+
+
+def scale_and_round(values: Sequence[int], numerator: int, denominator: int) -> List[int]:
+    """Exact ``round(v * numerator / denominator)`` for big integers.
+
+    Rounds half away from zero, matching SEAL's BFV scaling convention.
+    """
+    out = []
+    for v in values:
+        num = int(v) * numerator
+        if num >= 0:
+            out.append((2 * num + denominator) // (2 * denominator))
+        else:
+            out.append(-((-2 * num + denominator) // (2 * denominator)))
+    return out
+
+
+def centered_mod(value: int, modulus: int) -> int:
+    """``value mod modulus`` mapped to (−modulus/2, modulus/2]."""
+    r = int(value) % modulus
+    return r - modulus if r > modulus // 2 else r

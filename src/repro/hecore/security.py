@@ -1,0 +1,81 @@
+"""Security estimation for RLWE parameter sets.
+
+The Homomorphic Encryption Standard tabulates, for each polynomial degree
+``N`` and secret distribution, the largest total coefficient-modulus width
+``log2 q`` at a given security level.  SEAL enforces the 128-bit column;
+Table 3's parameter sets are "chosen to satisfy at least 128-bit security".
+
+This module carries the ternary-secret table for 128/192/256-bit security,
+with log-linear interpolation for intermediate moduli — enough to validate
+any parameter set this repository constructs and to reason about the
+security slack CHOCO's minimized parameters leave (smaller ``q`` at fixed
+``N`` is *more* secure).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+#: Max log2(q) for ternary secrets at each (N, security level), per the
+#: HE Standard tables.
+MAX_LOG_Q: Dict[int, Dict[int, int]] = {
+    1024: {128: 27, 192: 19, 256: 14},
+    2048: {128: 54, 192: 37, 256: 29},
+    4096: {128: 109, 192: 75, 256: 58},
+    8192: {128: 218, 192: 152, 256: 118},
+    16384: {128: 438, 192: 305, 256: 237},
+    32768: {128: 881, 192: 611, 256: 476},
+}
+
+SECURITY_LEVELS = (128, 192, 256)
+
+
+def max_coeff_modulus_bits(poly_degree: int, security: int = 128) -> int:
+    """Largest permitted total log2(q) at *security* bits."""
+    by_level = MAX_LOG_Q.get(poly_degree)
+    if by_level is None:
+        raise ValueError(f"no security data for N={poly_degree}")
+    if security not in by_level:
+        raise ValueError(f"unsupported security level {security}")
+    return by_level[security]
+
+
+def meets_security(poly_degree: int, total_coeff_bits: int,
+                   security: int = 128) -> bool:
+    """Whether (N, log2 q) meets *security* bits."""
+    return total_coeff_bits <= max_coeff_modulus_bits(poly_degree, security)
+
+
+def estimated_security_bits(poly_degree: int, total_coeff_bits: int) -> float:
+    """Approximate security level of (N, log2 q) in bits.
+
+    Interpolates/extrapolates the standard's table: at fixed N, security is
+    roughly inversely proportional to ``log2 q`` (lattice attacks get easier
+    as the modulus grows relative to the noise).
+    """
+    by_level = MAX_LOG_Q.get(poly_degree)
+    if by_level is None:
+        raise ValueError(f"no security data for N={poly_degree}")
+    if total_coeff_bits <= 0:
+        raise ValueError("modulus width must be positive")
+    # lambda * log2(q) is approximately constant at fixed N.
+    constant = sum(level * bits for level, bits in by_level.items()) / len(by_level)
+    return constant / total_coeff_bits
+
+
+def minimum_poly_degree(total_coeff_bits: int, security: int = 128) -> int:
+    """Smallest standard N accommodating *total_coeff_bits* at *security*."""
+    for n in sorted(MAX_LOG_Q):
+        if max_coeff_modulus_bits(n, security) >= total_coeff_bits:
+            return n
+    raise ValueError(
+        f"no standard degree supports log2(q)={total_coeff_bits} "
+        f"at {security}-bit security"
+    )
+
+
+def security_margin_bits(poly_degree: int, total_coeff_bits: int,
+                         security: int = 128) -> int:
+    """Unused modulus budget: how much more q the parameters could carry."""
+    return max_coeff_modulus_bits(poly_degree, security) - total_coeff_bits

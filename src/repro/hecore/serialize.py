@@ -1,0 +1,146 @@
+"""Binary serialization for ciphertexts and public keys.
+
+The paper's communication costs are serialized-ciphertext bytes; this module
+provides the actual wire format so byte counts are measurable, not just
+modeled.  Two representations exist:
+
+* **full** — every polynomial component, 8 bytes per (residue, coefficient);
+* **seed-compressed** — for fresh symmetric ciphertexts, only ``c0`` plus
+  the 32-byte seed of the uniform component (the receiver regenerates
+  ``c1``), halving upload sizes.
+
+Format (little-endian):
+
+    magic "CHOC" | version u8 | scheme u8 | flags u8 | n_components u8
+    poly_degree u32 | scale f64 | n_moduli u8 | moduli u64[n]
+    [seed: 32 bytes, if flag SEEDED]
+    component data: int64[n_moduli * poly_degree] per stored component
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+import numpy as np
+
+from repro.hecore.ciphertext import Ciphertext
+from repro.hecore.keys import PublicKey, expand_uniform_poly
+from repro.hecore.params import EncryptionParameters, SchemeType
+from repro.hecore.polyring import RnsPoly
+from repro.hecore.rns import RnsBase
+
+MAGIC = b"CHOC"
+VERSION = 1
+
+_FLAG_SEEDED = 1
+_FLAG_NTT = 2
+
+_SCHEME_CODES = {SchemeType.BFV: 0, SchemeType.CKKS: 1}
+_SCHEME_FROM_CODE = {v: k for k, v in _SCHEME_CODES.items()}
+
+_HEADER = struct.Struct("<4sBBBBIdB")
+
+
+def serialize_ciphertext(ct: Ciphertext, compress_seed: bool = True) -> bytes:
+    """Serialize a ciphertext, seed-compressing when possible."""
+    seeded = compress_seed and ct.seed is not None and len(ct.components) == 2
+    flags = (_FLAG_SEEDED if seeded else 0) | (_FLAG_NTT if ct.is_ntt else 0)
+    moduli = ct.level_base.moduli
+    parts = [_HEADER.pack(
+        MAGIC, VERSION, _SCHEME_CODES[ct.params.scheme], flags,
+        len(ct.components), ct.params.poly_degree, float(ct.scale),
+        len(moduli),
+    )]
+    parts.append(struct.pack(f"<{len(moduli)}Q", *moduli))
+    if seeded:
+        if len(ct.seed) != 32:
+            raise ValueError("seed must be 32 bytes")
+        parts.append(ct.seed)
+        stored = ct.components[:1]
+    else:
+        stored = ct.components
+    for comp in stored:
+        parts.append(comp.data.astype("<i8").tobytes())
+    return b"".join(parts)
+
+
+def deserialize_ciphertext(blob: bytes,
+                           params: EncryptionParameters) -> Ciphertext:
+    """Reconstruct a ciphertext serialized by :func:`serialize_ciphertext`."""
+    magic, version, scheme_code, flags, n_components, degree, scale, n_moduli = (
+        _HEADER.unpack_from(blob, 0)
+    )
+    if magic != MAGIC:
+        raise ValueError("not a CHOCO ciphertext blob")
+    if version != VERSION:
+        raise ValueError(f"unsupported version {version}")
+    scheme = _SCHEME_FROM_CODE[scheme_code]
+    if scheme is not params.scheme or degree != params.poly_degree:
+        raise ValueError("blob does not match the supplied parameters")
+    offset = _HEADER.size
+    moduli = struct.unpack_from(f"<{n_moduli}Q", blob, offset)
+    offset += 8 * n_moduli
+    base = RnsBase(moduli)
+
+    seed: Optional[bytes] = None
+    if flags & _FLAG_SEEDED:
+        seed = blob[offset: offset + 32]
+        offset += 32
+        stored_count = n_components - 1
+    else:
+        stored_count = n_components
+
+    is_ntt = bool(flags & _FLAG_NTT)
+    components = []
+    row_bytes = 8 * n_moduli * degree
+    for _ in range(stored_count):
+        data = np.frombuffer(blob, dtype="<i8", count=n_moduli * degree,
+                             offset=offset).reshape(n_moduli, degree)
+        offset += row_bytes
+        components.append(RnsPoly(base, degree, data.astype(np.int64),
+                                  is_ntt=is_ntt))
+    if offset != len(blob):
+        raise ValueError("trailing bytes in ciphertext blob")
+
+    if seed is not None:
+        c1 = expand_uniform_poly(seed, base, degree)
+        components.append(c1.to_ntt() if is_ntt else c1)
+    return Ciphertext(params, components, scale=scale, seed=seed)
+
+
+def serialize_public_key(pk: PublicKey) -> bytes:
+    """Serialize a public key (both components over the full base, NTT)."""
+    p0, p1 = pk.p0, pk.p1
+    moduli = p0.base.moduli
+    parts = [struct.pack("<4sBIB", MAGIC, VERSION, p0.degree, len(moduli))]
+    parts.append(struct.pack(f"<{len(moduli)}Q", *moduli))
+    parts.append(p0.data.astype("<i8").tobytes())
+    parts.append(p1.data.astype("<i8").tobytes())
+    return b"".join(parts)
+
+
+def deserialize_public_key(blob: bytes) -> PublicKey:
+    magic, version, degree, n_moduli = struct.unpack_from("<4sBIB", blob, 0)
+    if magic != MAGIC or version != VERSION:
+        raise ValueError("not a CHOCO public-key blob")
+    offset = struct.calcsize("<4sBIB")
+    moduli = struct.unpack_from(f"<{n_moduli}Q", blob, offset)
+    offset += 8 * n_moduli
+    base = RnsBase(moduli)
+    polys = []
+    for _ in range(2):
+        data = np.frombuffer(blob, dtype="<i8", count=n_moduli * degree,
+                             offset=offset).reshape(n_moduli, degree)
+        offset += 8 * n_moduli * degree
+        polys.append(RnsPoly(base, degree, data.astype(np.int64), is_ntt=True))
+    return PublicKey(polys[0], polys[1])
+
+
+def serialized_size(ct: Ciphertext, compress_seed: bool = True) -> int:
+    """Exact wire size without materializing the blob."""
+    seeded = compress_seed and ct.seed is not None and len(ct.components) == 2
+    n_moduli = len(ct.level_base)
+    header = _HEADER.size + 8 * n_moduli + (32 if seeded else 0)
+    stored = 1 if seeded else len(ct.components)
+    return header + stored * 8 * n_moduli * ct.params.poly_degree

@@ -1,0 +1,44 @@
+"""Quantized DNN substrate and the Table 5 model zoo.
+
+Provides plaintext (client-side / local-baseline) layer implementations with
+exact MAC, parameter, and shape accounting — the quantities every cost model
+in the paper's evaluation consumes — plus builders for the four evaluated
+networks: LeNet-Small, LeNet-Large, SqueezeNet (CIFAR-10), and VGG16.
+"""
+
+from repro.nn.layers import (
+    AvgPoolLayer,
+    ConvLayer,
+    FcLayer,
+    FlattenLayer,
+    MaxPoolLayer,
+    Network,
+    ReluLayer,
+)
+from repro.nn.models import (
+    NETWORK_BUILDERS,
+    TABLE5_REFERENCE,
+    lenet_small,
+    lenet_large,
+    squeezenet_cifar10,
+    vgg16_cifar10,
+)
+from repro.nn.quantize import dequantize, quantize_tensor
+
+__all__ = [
+    "ConvLayer",
+    "FcLayer",
+    "ReluLayer",
+    "MaxPoolLayer",
+    "AvgPoolLayer",
+    "FlattenLayer",
+    "Network",
+    "NETWORK_BUILDERS",
+    "TABLE5_REFERENCE",
+    "lenet_small",
+    "lenet_large",
+    "squeezenet_cifar10",
+    "vgg16_cifar10",
+    "quantize_tensor",
+    "dequantize",
+]

@@ -1,0 +1,73 @@
+"""Synthetic datasets standing in for MNIST and CIFAR-10 (see DESIGN.md).
+
+The paper's evaluation consumes image *shapes* and client costs, which are
+data-independent; examples and tests still need realistic inputs, so these
+generators produce class-structured images of the right geometry with
+deterministic seeding.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def synthetic_mnist(count: int, seed: int = 0,
+                    levels: int = 4) -> Tuple[np.ndarray, np.ndarray]:
+    """*count* MNIST-shaped (1, 28, 28) images with 10 stroke-pattern classes.
+
+    Pixel values are quantized to ``levels`` (default 4 = 2-bit inputs,
+    matching CHOCO's aggressive quantization story).
+    Returns (images, labels).
+    """
+    rng = np.random.default_rng(seed)
+    images = np.zeros((count, 1, 28, 28), dtype=np.int64)
+    labels = rng.integers(0, 10, count)
+    peak = levels - 1
+    for i, label in enumerate(labels):
+        img = images[i, 0]
+        if label % 2 == 0:                       # ring of class-dependent size
+            r = 4 + label
+            img[14 - r // 2: 14 + r // 2, 14 - r // 2: 14 + r // 2] = peak
+            inner = max(1, r // 2 - 2)
+            img[14 - inner: 14 + inner, 14 - inner: 14 + inner] = 0
+        else:                                    # bar at class-dependent slant
+            for y in range(4, 24):
+                x = 4 + (y * (label % 5 + 1)) % 20
+                img[y, max(0, x - 1): min(28, x + 2)] = peak
+        noise = rng.integers(0, 2, (28, 28))
+        np.clip(img + noise, 0, peak, out=img)
+    return images, labels
+
+
+def synthetic_cifar(count: int, seed: int = 0,
+                    levels: int = 4) -> Tuple[np.ndarray, np.ndarray]:
+    """*count* CIFAR-shaped (3, 32, 32) images with 10 color-texture classes."""
+    rng = np.random.default_rng(seed)
+    images = np.zeros((count, 3, 32, 32), dtype=np.int64)
+    labels = rng.integers(0, 10, count)
+    peak = levels - 1
+    for i, label in enumerate(labels):
+        dominant = label % 3
+        stride = 2 + label % 4
+        base = rng.integers(0, 2, (3, 32, 32))
+        base[dominant] += peak - 1
+        base[dominant, ::stride, :] = peak       # class texture: stripes
+        np.clip(base, 0, peak, out=base)
+        images[i] = base
+    return images, labels
+
+
+def clustered_points(n_per_cluster: int, centers: np.ndarray,
+                     spread: float = 0.25,
+                     seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian clusters for the distance-based algorithms (KNN, K-Means)."""
+    rng = np.random.default_rng(seed)
+    centers = np.asarray(centers, dtype=float)
+    points = np.vstack([
+        rng.normal(c, spread, (n_per_cluster, centers.shape[1]))
+        for c in centers
+    ])
+    labels = np.repeat(np.arange(len(centers)), n_per_cluster)
+    return points, labels

@@ -1,0 +1,313 @@
+"""Plaintext DNN layers with exact shape / MAC / parameter accounting.
+
+Linear layers (conv, FC) run encrypted on the server in client-aided
+inference; non-linear layers (ReLU, pooling) run in plaintext on the client.
+Every layer knows its multiply-accumulate count and parameter count — the
+quantities Table 5, Figure 2, and Figure 15 are built from — and implements
+a numpy ``forward`` used for the local-inference baseline and for the
+client-side halves of the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Shape = Tuple[int, ...]
+
+
+class Layer:
+    """Base layer: shape propagation, cost accounting, forward."""
+
+    #: True when the layer is linear and therefore offloaded to the HE server.
+    is_linear = False
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        raise NotImplementedError
+
+    def macs(self, input_shape: Shape) -> int:
+        return 0
+
+    def param_count(self) -> int:
+        return 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass
+class ConvLayer(Layer):
+    """2-D convolution, stride 1 or 2, 'same' or 'valid' padding."""
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int = 1
+    padding: str = "same"
+    weights: Optional[np.ndarray] = field(default=None, repr=False)
+
+    is_linear = True
+
+    def __post_init__(self):
+        if self.padding not in ("same", "valid"):
+            raise ValueError(f"unknown padding {self.padding}")
+        if self.weights is None:
+            rng = np.random.default_rng(self.in_channels * 1009 + self.out_channels)
+            shape = (self.out_channels, self.in_channels,
+                     self.kernel_size, self.kernel_size)
+            self.weights = rng.normal(0, 0.5, shape)
+
+    @property
+    def pad(self) -> int:
+        return self.kernel_size // 2 if self.padding == "same" else 0
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        out_h = (h + 2 * self.pad - self.kernel_size) // self.stride + 1
+        out_w = (w + 2 * self.pad - self.kernel_size) // self.stride + 1
+        return (self.out_channels, out_h, out_w)
+
+    def macs(self, input_shape: Shape) -> int:
+        _, out_h, out_w = self.output_shape(input_shape)
+        return (out_h * out_w * self.out_channels
+                * self.in_channels * self.kernel_size ** 2)
+
+    def param_count(self) -> int:
+        return self.out_channels * self.in_channels * self.kernel_size ** 2
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        c, h, w = x.shape
+        out_c, out_h, out_w = self.output_shape(x.shape)
+        p, f, s = self.pad, self.kernel_size, self.stride
+        padded = np.pad(x, ((0, 0), (p, p), (p, p)))
+        out = np.zeros((out_c, out_h, out_w), dtype=np.result_type(x, self.weights))
+        for o in range(out_c):
+            for y in range(out_h):
+                for xx in range(out_w):
+                    patch = padded[:, y * s: y * s + f, xx * s: xx * s + f]
+                    out[o, y, xx] = np.sum(patch * self.weights[o])
+        return out
+
+
+@dataclass
+class FcLayer(Layer):
+    """Fully-connected layer."""
+
+    in_features: int
+    out_features: int
+    weights: Optional[np.ndarray] = field(default=None, repr=False)
+
+    is_linear = True
+
+    def __post_init__(self):
+        if self.weights is None:
+            rng = np.random.default_rng(self.in_features * 31 + self.out_features)
+            self.weights = rng.normal(0, 0.5, (self.out_features, self.in_features))
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if int(np.prod(input_shape)) != self.in_features:
+            raise ValueError(
+                f"expected {self.in_features} inputs, got shape {input_shape}"
+            )
+        return (self.out_features,)
+
+    def macs(self, input_shape: Shape) -> int:
+        return self.in_features * self.out_features
+
+    def param_count(self) -> int:
+        return self.in_features * self.out_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.weights @ x.ravel()
+
+
+@dataclass
+class ReluLayer(Layer):
+    """ReLU activation (client-side, plaintext)."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0)
+
+
+@dataclass
+class _PoolLayer(Layer):
+    size: int = 2
+    stride: int = 2
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        c, h, w = input_shape
+        return (c, (h - self.size) // self.stride + 1,
+                (w - self.size) // self.stride + 1)
+
+    def _windows(self, x: np.ndarray):
+        c, out_h, out_w = self.output_shape(x.shape)
+        for y in range(out_h):
+            for xx in range(out_w):
+                yield (y, xx), x[:, y * self.stride: y * self.stride + self.size,
+                                 xx * self.stride: xx * self.stride + self.size]
+
+
+@dataclass
+class MaxPoolLayer(_PoolLayer):
+    """Max pooling (client-side, plaintext)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.output_shape(x.shape), dtype=x.dtype)
+        for (y, xx), window in self._windows(x):
+            out[:, y, xx] = window.reshape(x.shape[0], -1).max(axis=1)
+        return out
+
+
+@dataclass
+class AvgPoolLayer(_PoolLayer):
+    """Average pooling (client-side, plaintext)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.output_shape(x.shape), dtype=np.float64)
+        for (y, xx), window in self._windows(x):
+            out[:, y, xx] = window.reshape(x.shape[0], -1).mean(axis=1)
+        return out
+
+
+@dataclass
+class FireLayer(Layer):
+    """A SqueezeNet fire module: squeeze 1x1, then parallel expand 1x1 and
+    expand 3x3 branches over the squeeze output, channel-concatenated.
+
+    Counts as three convolutional layers (matching how the paper's Table 5
+    tallies SqueezeNet's 10 conv layers).
+    """
+
+    in_channels: int
+    squeeze: int
+    expand1: int
+    expand3: int
+
+    is_linear = True
+
+    def __post_init__(self):
+        self.squeeze_conv = ConvLayer(self.in_channels, self.squeeze, 1)
+        self.expand1_conv = ConvLayer(self.squeeze, self.expand1, 1)
+        self.expand3_conv = ConvLayer(self.squeeze, self.expand3, 3, padding="same")
+
+    @property
+    def convs(self):
+        return (self.squeeze_conv, self.expand1_conv, self.expand3_conv)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        _, h, w = self.squeeze_conv.output_shape(input_shape)
+        return (self.expand1 + self.expand3, h, w)
+
+    def macs(self, input_shape: Shape) -> int:
+        mid = self.squeeze_conv.output_shape(input_shape)
+        return (self.squeeze_conv.macs(input_shape)
+                + self.expand1_conv.macs(mid) + self.expand3_conv.macs(mid))
+
+    def param_count(self) -> int:
+        return sum(c.param_count() for c in self.convs)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        squeezed = np.maximum(self.squeeze_conv.forward(x), 0)
+        expanded = np.concatenate(
+            [self.expand1_conv.forward(squeezed), self.expand3_conv.forward(squeezed)]
+        )
+        return np.maximum(expanded, 0)
+
+
+@dataclass
+class GlobalAvgPoolLayer(Layer):
+    """Global average pooling to one value per channel (not tallied as a
+    pooling layer, matching Table 5's census)."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (input_shape[0],)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1).mean(axis=1)
+
+
+@dataclass
+class FlattenLayer(Layer):
+    """Flatten to a vector (free)."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.ravel()
+
+
+@dataclass
+class Network:
+    """A named stack of layers with an input shape (Table 5 row)."""
+
+    name: str
+    input_shape: Shape
+    layers: List[Layer]
+
+    def shapes(self) -> List[Shape]:
+        """Input shape of every layer (plus the final output shape)."""
+        shapes = [self.input_shape]
+        for layer in self.layers:
+            shapes.append(layer.output_shape(shapes[-1]))
+        return shapes
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.shapes()[-1]
+
+    def total_macs(self) -> int:
+        shapes = self.shapes()
+        return sum(layer.macs(shape) for layer, shape in zip(self.layers, shapes))
+
+    def total_params(self) -> int:
+        return sum(layer.param_count() for layer in self.layers)
+
+    def model_size_bytes(self, bits_per_weight: float = 32) -> float:
+        """Serialized model size (Table 5's ``Mod. Sz.`` columns)."""
+        return self.total_params() * bits_per_weight / 8
+
+    def layer_census(self) -> dict:
+        """Counts per layer kind (Table 5's ``# Layers`` columns)."""
+        census = {"conv": 0, "fc": 0, "act": 0, "pool": 0}
+        for layer in self.layers:
+            if isinstance(layer, ConvLayer):
+                census["conv"] += 1
+            elif isinstance(layer, FireLayer):
+                census["conv"] += 3   # squeeze + two expand branches
+                census["act"] += 3    # each branch conv is ReLU'd
+            elif isinstance(layer, FcLayer):
+                census["fc"] += 1
+            elif isinstance(layer, ReluLayer):
+                census["act"] += 1
+            elif isinstance(layer, _PoolLayer):
+                census["pool"] += 1
+        return census
+
+    def linear_layers(self) -> List[Tuple[Layer, Shape]]:
+        """The offloaded (linear) layers with their input shapes."""
+        shapes = self.shapes()
+        return [(layer, shape) for layer, shape in zip(self.layers, shapes)
+                if layer.is_linear]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Plaintext end-to-end inference (the TFLite-baseline computation)."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def activation_op_count(self) -> int:
+        """Client-side plaintext operations (activations, pooling, requant)."""
+        shapes = self.shapes()
+        ops = 0
+        for layer, shape in zip(self.layers, shapes):
+            if not layer.is_linear:
+                ops += int(np.prod(shape))
+        return ops

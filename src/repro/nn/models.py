@@ -1,0 +1,142 @@
+"""The Table 5 model zoo: the four DNNs the paper evaluates.
+
+Architectures follow the cited sources (mlpack's digit recognizer, the
+TensorFlow tutorial LeNet, the CIFAR-10 SqueezeNet of [17], and the CIFAR
+VGG16 of [42]); weights are synthetic (the evaluation consumes shapes, MAC
+counts, model sizes, and ciphertext counts, not accuracy — accuracy columns
+are carried as published reference values in :data:`TABLE5_REFERENCE`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.nn.layers import (
+    AvgPoolLayer,
+    ConvLayer,
+    FcLayer,
+    FireLayer,
+    FlattenLayer,
+    GlobalAvgPoolLayer,
+    MaxPoolLayer,
+    Network,
+    ReluLayer,
+)
+
+
+def lenet_small() -> Network:
+    """LeNet-Small [24]: 2 conv, 1 FC, 2 act, 2 pool, ~0.24M MACs (MNIST)."""
+    return Network(
+        name="LeNetSm",
+        input_shape=(1, 28, 28),
+        layers=[
+            ConvLayer(1, 8, 5, padding="valid"),
+            ReluLayer(),
+            MaxPoolLayer(),
+            ConvLayer(8, 10, 5, padding="valid"),
+            ReluLayer(),
+            MaxPoolLayer(),
+            FlattenLayer(),
+            FcLayer(160, 10),
+        ],
+    )
+
+
+def lenet_large() -> Network:
+    """LeNet-Large [69]: 2 conv, 2 FC, 3 act, 2 pool, ~12.27M MACs (MNIST)."""
+    return Network(
+        name="LeNetLg",
+        input_shape=(1, 28, 28),
+        layers=[
+            ConvLayer(1, 32, 5, padding="same"),
+            ReluLayer(),
+            MaxPoolLayer(),
+            ConvLayer(32, 64, 5, padding="same"),
+            ReluLayer(),
+            MaxPoolLayer(),
+            FlattenLayer(),
+            FcLayer(3136, 512),
+            ReluLayer(),
+            FcLayer(512, 10),
+        ],
+    )
+
+
+def squeezenet_cifar10() -> Network:
+    """SqueezeNet for CIFAR-10 [17]: 10 conv, 0 FC, 10 act, 3 pool, ~32.6M MACs.
+
+    Two fire modules at 16x16 followed by a squeeze-style reduce/expand pair
+    and a 1x1 classifier conv with global average pooling (no FC layers),
+    sized to match the published MAC count.
+    """
+    layers = [
+        ConvLayer(3, 128, 3, padding="same"),
+        ReluLayer(),
+        MaxPoolLayer(),                         # 32 -> 16
+        FireLayer(128, squeeze=32, expand1=64, expand3=80),    # -> 144 @ 16
+        FireLayer(144, squeeze=32, expand1=96, expand3=96),    # -> 192 @ 16
+        MaxPoolLayer(),                         # 16 -> 8
+        ConvLayer(192, 64, 1),                  # squeeze-style reduce
+        ReluLayer(),
+        ConvLayer(64, 320, 3, padding="same"),
+        ReluLayer(),
+        MaxPoolLayer(),                         # 8 -> 4
+        ConvLayer(320, 10, 1),                  # 1x1 classifier conv
+        ReluLayer(),
+        GlobalAvgPoolLayer(),
+    ]
+    return Network(name="SqzNet", input_shape=(3, 32, 32), layers=layers)
+
+
+def vgg16_cifar10() -> Network:
+    """VGG16 for CIFAR-10 [42]: 13 conv, 2 FC, 14 act, 5 pool, ~313M MACs."""
+    cfg = [64, 64, "P", 128, 128, "P", 256, 256, 256, "P",
+           512, 512, 512, "P", 512, 512, 512, "P"]
+    layers = []
+    in_ch = 3
+    for item in cfg:
+        if item == "P":
+            layers.append(MaxPoolLayer())
+        else:
+            layers += [ConvLayer(in_ch, item, 3, padding="same"), ReluLayer()]
+            in_ch = item
+    layers += [
+        FlattenLayer(),
+        FcLayer(512, 512),
+        ReluLayer(),
+        FcLayer(512, 10),
+    ]
+    return Network(name="VGG16", input_shape=(3, 32, 32), layers=layers)
+
+
+NETWORK_BUILDERS: Dict[str, Callable[[], Network]] = {
+    "LeNetSm": lenet_small,
+    "LeNetLg": lenet_large,
+    "SqzNet": squeezenet_cifar10,
+    "VGG16": vgg16_cifar10,
+}
+
+#: Table 5 as published: layer census, MACs (x1e6), accuracy (float/8b/4b %),
+#: model size (MB, float/4b), and per-inference communication (MB).
+TABLE5_REFERENCE = {
+    "LeNetSm": {
+        "layers": {"conv": 2, "fc": 1, "act": 2, "pool": 2},
+        "macs_e6": 0.24, "acc": (99.0, 94.9, 93.8),
+        "size_mb": (0.02, 0.01), "comm_mb": 0.66, "dataset": "MNIST",
+    },
+    "LeNetLg": {
+        "layers": {"conv": 2, "fc": 2, "act": 3, "pool": 2},
+        "macs_e6": 12.27, "acc": (98.7, 97.2, 96.4),
+        "size_mb": (8.22, 2.07), "comm_mb": 2.6, "dataset": "MNIST",
+    },
+    "SqzNet": {
+        "layers": {"conv": 10, "fc": 0, "act": 10, "pool": 3},
+        "macs_e6": 32.60, "acc": (76.5, 74.0, 15.0),
+        "size_mb": (0.57, 0.16), "comm_mb": 13.8, "dataset": "CIFAR-10",
+    },
+    "VGG16": {
+        "layers": {"conv": 13, "fc": 2, "act": 14, "pool": 5},
+        "macs_e6": 313.26, "acc": (70.0, 66.0, 21.0),
+        "size_mb": (56.40, 14.13), "comm_mb": 22.2, "dataset": "CIFAR-10",
+    },
+}

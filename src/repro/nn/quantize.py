@@ -1,0 +1,61 @@
+"""Symmetric linear quantization (§3.2: aggressive 4-bit input quantization).
+
+CHOCO minimizes the BFV plaintext modulus by quantizing DNN weights and
+activations to 4 bits (8-bit also supported; Table 5 reports accuracy for
+float/8b/4b).  Quantized values are signed integers in
+``[-2^(bits-1), 2^(bits-1) - 1]`` with a per-tensor power-of-two-free scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """Integer values plus the scale that maps them back to reals."""
+
+    values: np.ndarray
+    scale: float
+    bits: int
+
+    def dequantize(self) -> np.ndarray:
+        return self.values.astype(np.float64) * self.scale
+
+
+def quantization_range(bits: int) -> int:
+    """Largest representable magnitude at *bits* (symmetric signed)."""
+    if bits < 2:
+        raise ValueError("need at least 2 bits for signed quantization")
+    return (1 << (bits - 1)) - 1
+
+
+def quantize_tensor(tensor: np.ndarray, bits: int = 4) -> QuantizedTensor:
+    """Quantize symmetrically to *bits* with a per-tensor scale."""
+    tensor = np.asarray(tensor, dtype=np.float64)
+    limit = quantization_range(bits)
+    peak = float(np.max(np.abs(tensor))) or 1.0
+    scale = peak / limit
+    values = np.clip(np.rint(tensor / scale), -limit, limit).astype(np.int64)
+    return QuantizedTensor(values=values, scale=scale, bits=bits)
+
+
+def dequantize(values: np.ndarray, scale: float) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64) * scale
+
+
+def requantize(accumulator: np.ndarray, in_scale: float, bits: int = 4) -> QuantizedTensor:
+    """Re-quantize a wide accumulator back to *bits* (the client-side step
+    between DNN layers in client-aided inference)."""
+    return quantize_tensor(accumulator.astype(np.float64) * in_scale, bits)
+
+
+def accumulation_bits(bits: int, fan_in: int) -> int:
+    """Worst-case accumulator width for a dot product of *fan_in* terms.
+
+    This drives plaintext-modulus selection: ``t`` must exceed the widest
+    encrypted accumulation (§3.2, Table 4's ``log2 t`` column).
+    """
+    return 2 * bits + int(np.ceil(np.log2(max(fan_in, 1))))

@@ -1,0 +1,19 @@
+"""Platform cost models: client device, server, radio, local inference.
+
+These reproduce the paper's §5.2 methodology: client costs are computed by
+counting encryption/decryption operations and multiplying by per-operation
+platform costs; communication costs follow analytically from ciphertext
+sizes and the radio model.
+"""
+
+from repro.platforms.client_device import Imx6SoftwareClient
+from repro.platforms.local_inference import TfLiteLocalInference
+from repro.platforms.radio import BluetoothLink
+from repro.platforms.server import XeonServer
+
+__all__ = [
+    "Imx6SoftwareClient",
+    "TfLiteLocalInference",
+    "BluetoothLink",
+    "XeonServer",
+]

@@ -1,0 +1,109 @@
+"""Software HE cost model for the paper's client device (§5.2).
+
+The paper's client baseline is an NXP IMX6 evaluation kit: ARM Cortex-A7 at
+528 MHz, 32/128 kB L1/L2, running SEAL.  Active power is 269.5 mW (NXP
+application note AN5345, running Dhrystone).
+
+Anchor points published in the paper calibrate the model:
+
+* §4.4/§4.5 — CHOCO-TACO encrypts in 0.66 ms at (N=8192, k=3) and is 417×
+  faster than the software baseline  ⇒  software encryption ≈ 275.2 ms.
+* §4.6 — decryption takes 0.65 ms in hardware, a 125× speedup
+  ⇒  software decryption ≈ 81.25 ms.
+* §4.7 — CKKS software encode+encrypt is 310 ms, decode+decrypt 37 ms.
+
+Scaling follows Table 1's complexities: encryption and decryption are
+``O(N log N × r)`` with ``r`` the residue count — the full base ``k`` for
+encryption (the key prime participates before mod switching) and the data
+base ``k − 1`` for decryption.  Figure 8's observation that "software scales
+up with both N and k" is this model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Active-power characterization from NXP AN5345 (Dhrystone), in watts.
+IMX6_ACTIVE_POWER_W = 0.2695
+
+#: Client CPU clock, Hz.
+IMX6_CLOCK_HZ = 528e6
+
+#: Published anchor: software BFV encryption time at (N=8192, k=3), seconds.
+SW_ENC_TIME_ANCHOR_S = 417 * 0.66e-3       # = 275.2 ms
+
+#: Published anchor: software BFV decryption time at (N=8192, k=3), seconds.
+SW_DEC_TIME_ANCHOR_S = 125 * 0.65e-3       # = 81.25 ms
+
+#: Published anchors for CKKS at parameter set C (N=8192), seconds (§4.7).
+SW_CKKS_ENC_ENCODE_S = 0.310
+SW_CKKS_DEC_DECODE_S = 0.037
+
+_ANCHOR_N = 8192
+_ANCHOR_K = 3
+
+#: Usable client memory for HE contexts/keys; the paper's IMX6 cannot hold
+#: the (32768, 16) parameter set (§4.5, Figure 8 omits its baseline bars).
+CLIENT_MEMORY_LIMIT_BYTES = 512 * 1024 * 1024
+
+#: Rough memory model: Galois/relin key material dominates at large (N, k).
+_KEYSET_GALOIS_COUNT = 16
+
+
+def _nlogn(n: int) -> float:
+    return n * math.log2(n)
+
+
+@dataclass(frozen=True)
+class Imx6SoftwareClient:
+    """Per-operation software HE costs on the IMX6 client."""
+
+    active_power_w: float = IMX6_ACTIVE_POWER_W
+
+    # ----------------------------------------------------------------- BFV
+    def encrypt_time(self, poly_degree: int, residues: int) -> float:
+        """Seconds for one software BFV encryption at (N, k)."""
+        scale = (_nlogn(poly_degree) * residues) / (_nlogn(_ANCHOR_N) * _ANCHOR_K)
+        return SW_ENC_TIME_ANCHOR_S * scale
+
+    def decrypt_time(self, poly_degree: int, residues: int) -> float:
+        """Seconds for one software BFV decryption at (N, k)."""
+        data_residues = max(1, residues - 1)
+        anchor_data = _ANCHOR_K - 1
+        scale = (_nlogn(poly_degree) * data_residues) / (_nlogn(_ANCHOR_N) * anchor_data)
+        return SW_DEC_TIME_ANCHOR_S * scale
+
+    # ---------------------------------------------------------------- CKKS
+    def ckks_encrypt_time(self, poly_degree: int, residues: int) -> float:
+        """Seconds for software CKKS encode+encrypt (anchored at set C)."""
+        scale = (_nlogn(poly_degree) * residues) / (_nlogn(_ANCHOR_N) * 3)
+        return SW_CKKS_ENC_ENCODE_S * scale
+
+    def ckks_decrypt_time(self, poly_degree: int, residues: int) -> float:
+        """Seconds for software CKKS decrypt+decode (anchored at set C)."""
+        data_residues = max(1, residues - 1)
+        scale = (_nlogn(poly_degree) * data_residues) / (_nlogn(_ANCHOR_N) * 2)
+        return SW_CKKS_DEC_DECODE_S * scale
+
+    # --------------------------------------------------------------- shared
+    def energy(self, seconds: float) -> float:
+        """Joules consumed by *seconds* of active client computation."""
+        return seconds * self.active_power_w
+
+    def plain_compute_time(self, operations: float) -> float:
+        """Seconds for client-side plaintext work (activations, packing).
+
+        Modeled at one simple op per cycle; these costs are <1% of client
+        time (Figure 2), so precision here is immaterial.
+        """
+        return operations / IMX6_CLOCK_HZ
+
+    def keyset_memory_bytes(self, poly_degree: int, residues: int) -> int:
+        """Rough context+keys memory footprint at (N, k)."""
+        per_key = residues * residues * 2 * poly_degree * 8
+        return _KEYSET_GALOIS_COUNT * per_key
+
+    def can_hold_parameters(self, poly_degree: int, residues: int) -> bool:
+        """Whether the client has memory for this parameter set (§4.5)."""
+        return self.keyset_memory_bytes(poly_degree, residues) <= CLIENT_MEMORY_LIMIT_BYTES

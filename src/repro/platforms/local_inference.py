@@ -1,0 +1,39 @@
+"""Local (non-offloaded) inference cost model: TFLite on the IMX6 (§5.2).
+
+The paper's lower-bound baseline runs quantized TFLite inference on the
+client's Cortex-A7.  We model it as a sustained MAC rate.  The rate below is
+calibrated so that the Figure 12/14 relationships hold in shape: tiny
+networks (LeNet-Sm) favor local compute, large networks (VGG16) favor
+CHOCO-TACO offload, with the crossover near SqueezeNet — the workload-
+dependence result of §5.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platforms.client_device import IMX6_ACTIVE_POWER_W
+
+#: Sustained quantized-MAC throughput of TFLite on a 528 MHz Cortex-A7 with
+#: NEON.  (~0.66 MACs/cycle; quantized TFLite kernels reach this range.)
+TFLITE_MACS_PER_SECOND = 0.35e9
+
+#: Fixed per-inference overhead (interpreter dispatch, im2col, requantize).
+TFLITE_OVERHEAD_S = 0.5e-3
+
+
+@dataclass(frozen=True)
+class TfLiteLocalInference:
+    """MAC-rate model of on-device quantized DNN inference."""
+
+    macs_per_second: float = TFLITE_MACS_PER_SECOND
+    overhead_s: float = TFLITE_OVERHEAD_S
+    active_power_w: float = IMX6_ACTIVE_POWER_W
+
+    def inference_time(self, macs: float) -> float:
+        """Seconds for one single-image inference of a *macs*-sized network."""
+        return self.overhead_s + macs / self.macs_per_second
+
+    def inference_energy(self, macs: float) -> float:
+        """Client joules for one local inference."""
+        return self.inference_time(macs) * self.active_power_w

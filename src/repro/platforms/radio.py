@@ -1,0 +1,39 @@
+"""Radio link model: 10 mW Bluetooth at 22 Mbps (§5.7).
+
+The paper's end-to-end reference implementation communicates ciphertexts
+over a low-power, low-data-rate channel; communication time and energy
+follow analytically from byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BluetoothLink:
+    """A half-duplex client radio."""
+
+    rate_bits_per_s: float = 22e6
+    power_w: float = 0.010
+    round_trip_s: float = 0.015     # connection-interval latency per exchange
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move *num_bytes* in either direction."""
+        return 8.0 * num_bytes / self.rate_bits_per_s
+
+    def transfer_energy(self, num_bytes: float) -> float:
+        """Client joules to move *num_bytes*."""
+        return self.transfer_time(num_bytes) * self.power_w
+
+    def session_time(self, num_bytes: float, rounds: int = 0) -> float:
+        """Bytes on the wire plus per-round connection latency."""
+        return self.transfer_time(num_bytes) + rounds * self.round_trip_s
+
+
+@dataclass(frozen=True)
+class WiFiLink(BluetoothLink):
+    """A faster, hungrier alternative for sensitivity studies."""
+
+    rate_bits_per_s: float = 100e6
+    power_w: float = 0.400

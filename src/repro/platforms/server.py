@@ -1,0 +1,73 @@
+"""Offload-server cost model: SEAL-class HE throughput on a Xeon (§5.2).
+
+Server results in the paper come from an Intel Xeon at 2.50 GHz.  Per-
+operation times follow Table 1's complexities with constants in the range
+SEAL exhibits on server-class x86; they are used for the server-time
+component of Figure 11 and for sanity bounds (server costs are
+"consistently high", §2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Calibration constants: seconds per (N log2 N x residues) unit, set so that
+# N=8192, k=2 yields roughly SEAL-on-Xeon magnitudes:
+#   add ~ 0.05 ms, plain multiply ~ 0.5 ms, rotate ~ 2 ms, ct multiply ~ 6 ms.
+_UNIT = 8192 * math.log2(8192) * 2
+_ADD_CONST = 0.05e-3 / (8192 * 2)
+_PLAIN_MULT_CONST = 0.5e-3 / _UNIT
+_ROTATE_CONST = 2.0e-3 / (_UNIT * 2)
+_CT_MULT_CONST = 6.0e-3 / (_UNIT * 2)
+_ENC_CONST = 1.5e-3 / _UNIT
+_DEC_CONST = 0.8e-3 / _UNIT
+
+
+@dataclass(frozen=True)
+class XeonServer:
+    """Per-HE-operation server times at (N, data residues r)."""
+
+    clock_hz: float = 2.5e9
+
+    def _nlogn_r(self, poly_degree: int, residues: int) -> float:
+        return poly_degree * math.log2(poly_degree) * residues
+
+    def add_time(self, poly_degree: int, residues: int) -> float:
+        return _ADD_CONST * poly_degree * residues
+
+    def plain_multiply_time(self, poly_degree: int, residues: int) -> float:
+        return _PLAIN_MULT_CONST * self._nlogn_r(poly_degree, residues)
+
+    def rotate_time(self, poly_degree: int, residues: int) -> float:
+        # Table 1: rotation is O(N log N x r^2) (key switching).
+        return _ROTATE_CONST * self._nlogn_r(poly_degree, residues) * residues
+
+    def ct_multiply_time(self, poly_degree: int, residues: int) -> float:
+        return _CT_MULT_CONST * self._nlogn_r(poly_degree, residues) * residues
+
+    def encrypt_time(self, poly_degree: int, residues: int) -> float:
+        return _ENC_CONST * self._nlogn_r(poly_degree, residues)
+
+    def decrypt_time(self, poly_degree: int, residues: int) -> float:
+        return _DEC_CONST * self._nlogn_r(poly_degree, residues)
+
+    def time_for_counts(self, counts, poly_degree: int, residues: int) -> float:
+        """Total server seconds for a Counter of HE operations."""
+        table = {
+            "add": self.add_time,
+            "add_plain": self.add_time,
+            "multiply_plain": self.plain_multiply_time,
+            "rotate": self.rotate_time,
+            "multiply": self.ct_multiply_time,
+            "relinearize": self.rotate_time,
+            "rescale": self.add_time,
+            "encrypt": self.encrypt_time,
+            "decrypt": self.decrypt_time,
+        }
+        total = 0.0
+        for op, n in counts.items():
+            fn = table.get(op)
+            if fn is not None:
+                total += n * fn(poly_degree, residues)
+        return total

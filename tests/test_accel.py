@@ -1,0 +1,217 @@
+"""Tests for the CHOCO-TACO accelerator model, DSE, and assist models."""
+
+import pytest
+
+from repro.accel.blocks import BUTTERFLY_PE, FunctionalBlock
+from repro.accel.ckks_support import CkksAcceleration
+from repro.accel.design import (
+    CHOCO_TACO_CONFIG,
+    CLOCK_HZ,
+    AcceleratorConfig,
+    AcceleratorModel,
+)
+from repro.accel.dse import (
+    POWER_LIMIT_W,
+    DesignPoint,
+    evaluate,
+    explore_design_space,
+    iter_configs,
+    pareto_frontier,
+    select_operating_point,
+)
+from repro.accel.hwassist import ENCRYPTION_FPGA, HEAX, NTT_POLYMULT_FRACTION
+from repro.accel.memory import SramMacro, streaming_buffer, working_buffer
+from repro.platforms.client_device import Imx6SoftwareClient
+
+
+# ------------------------------------------------------------------- memory
+def test_sram_scales_with_capacity():
+    small, big = SramMacro(1024), SramMacro(64 * 1024)
+    assert big.area_mm2 > small.area_mm2
+    assert big.access_energy_j > small.access_energy_j
+    assert big.leakage_w > small.leakage_w
+
+
+def test_working_buffer_matches_polynomial():
+    assert working_buffer(8192).capacity_bytes == 64 * 1024
+    assert streaming_buffer().capacity_bytes < 1024
+
+
+# ------------------------------------------------------------------- blocks
+def test_functional_block_throughput():
+    block = FunctionalBlock(BUTTERFLY_PE, count=4)
+    assert block.cycles(400) == pytest.approx(100 + block.pipeline_depth)
+    assert FunctionalBlock(BUTTERFLY_PE, 8).cycles(400) < block.cycles(400)
+    assert block.cycles(0) == 0
+
+
+# ----------------------------------------------------------- published point
+def test_flagship_matches_published_operating_point():
+    """§4.4: 19.3 mm^2, 0.1228 mJ, 0.66 ms at (8192, 3), under 200 mW."""
+    model = AcceleratorModel(CHOCO_TACO_CONFIG, 8192, 3)
+    enc = model.encrypt_cost()
+    assert enc.time_s == pytest.approx(0.66e-3, rel=0.02)
+    assert enc.energy_j == pytest.approx(0.1228e-3, rel=0.02)
+    assert model.area_mm2 == pytest.approx(19.3, rel=0.02)
+    assert model.average_power_w <= 0.200
+
+
+def test_flagship_decrypt_near_published():
+    """§4.6: decryption takes ~0.65 ms at the (8192, 3) selection."""
+    dec = AcceleratorModel(CHOCO_TACO_CONFIG, 8192, 3).decrypt_cost()
+    assert dec.time_s == pytest.approx(0.65e-3, rel=0.05)
+
+
+def test_encryption_speedup_417x():
+    """§4.5: 417x time and 603x energy savings over IMX6 software."""
+    client = Imx6SoftwareClient()
+    hw = AcceleratorModel(CHOCO_TACO_CONFIG, 8192, 3).encrypt_cost()
+    speedup = client.encrypt_time(8192, 3) / hw.time_s
+    energy_ratio = client.energy(client.encrypt_time(8192, 3)) / hw.energy_j
+    assert speedup == pytest.approx(417, rel=0.05)
+    assert energy_ratio == pytest.approx(603, rel=0.05)
+
+
+def test_decryption_speedup_125x():
+    client = Imx6SoftwareClient()
+    hw = AcceleratorModel(CHOCO_TACO_CONFIG, 8192, 3).decrypt_cost()
+    assert client.decrypt_time(8192, 3) / hw.time_s == pytest.approx(125, rel=0.08)
+
+
+def test_stage_breakdown_sums_to_total():
+    model = AcceleratorModel(CHOCO_TACO_CONFIG, 8192, 3)
+    stages = model.encrypt_stage_cycles()
+    total = model.encrypt_cost().cycles
+    from repro.accel.design import _TIME_CALIBRATION
+
+    assert sum(stages.values()) * _TIME_CALIBRATION == pytest.approx(total)
+    # The Figure 5 pipeline: butterflies (NTT+INTT) dominate.
+    butterflies = stages["ntt_u"] + stages["intt"]
+    assert butterflies > 0.4 * sum(stages.values())
+
+
+def test_area_breakdown_sums_and_sram_dominates():
+    model = AcceleratorModel(CHOCO_TACO_CONFIG, 8192, 3)
+    parts = model.area_breakdown_mm2()
+    assert sum(parts.values()) == pytest.approx(model.area_mm2)
+    sram = parts["layer_sram"] + parts["shared_sram"]
+    pes = parts["layer_pes"] + parts["prng"] + parts["encode"]
+    # Full-polynomial working buffers dominate the floorplan (§4.2).
+    assert sram > pes
+
+
+def test_stage_breakdown_responds_to_config():
+    base = AcceleratorModel(CHOCO_TACO_CONFIG, 8192, 3).encrypt_stage_cycles()
+    fast_ntt = AcceleratorModel(
+        AcceleratorConfig(ntt_pes=16), 8192, 3).encrypt_stage_cycles()
+    assert fast_ntt["ntt_u"] < base["ntt_u"]
+    assert fast_ntt["dyadic"] == base["dyadic"]
+
+
+# ------------------------------------------------------------------ scaling
+def test_hw_time_scales_with_n_not_k():
+    """Figure 8: hardware time scales with N; k layers run in parallel."""
+    base = AcceleratorModel(CHOCO_TACO_CONFIG, 8192, 3).encrypt_cost().time_s
+    more_k = AcceleratorModel(CHOCO_TACO_CONFIG, 8192, 5).encrypt_cost().time_s
+    bigger_n = AcceleratorModel(CHOCO_TACO_CONFIG, 16384, 3).encrypt_cost().time_s
+    assert more_k / base < 1.8          # k affects only mod-switching
+    assert bigger_n / base > 1.7        # N roughly doubles the time
+
+
+def test_sw_scales_with_n_and_k():
+    client = Imx6SoftwareClient()
+    base = client.encrypt_time(8192, 3)
+    assert client.encrypt_time(8192, 6) / base == pytest.approx(2.0)
+    assert client.encrypt_time(16384, 3) / base > 2.0
+
+
+def test_speedup_grows_with_k():
+    """Figure 8's scaling trend: bigger k, bigger hardware advantage."""
+    client = Imx6SoftwareClient()
+
+    def speedup(n, k):
+        hw = AcceleratorModel(CHOCO_TACO_CONFIG, n, k).encrypt_cost().time_s
+        return client.encrypt_time(n, k) / hw
+
+    assert speedup(8192, 5) > speedup(8192, 3)
+    assert speedup(32768, 16) > speedup(8192, 3)
+    # "up to 1094x" at the largest setting: same order of magnitude.
+    assert 500 < speedup(32768, 16) < 2500
+
+
+def test_client_memory_gate():
+    """§4.5: the IMX6 cannot hold the (32768, 16) parameters."""
+    client = Imx6SoftwareClient()
+    assert client.can_hold_parameters(8192, 3)
+    assert client.can_hold_parameters(16384, 9)
+    assert not client.can_hold_parameters(32768, 16)
+
+
+# ---------------------------------------------------------------------- DSE
+def test_sweep_size_near_paper():
+    count = sum(1 for _ in iter_configs())
+    assert 30000 <= count <= 33000   # paper: 31,340
+
+
+def test_evaluate_monotone_in_parallelism():
+    slow = evaluate(AcceleratorConfig(1, 1, 1, 1, 1, 1, 1))
+    fast = evaluate(AcceleratorConfig(8, 16, 16, 16, 8, 8, 8))
+    assert fast.time_s < slow.time_s
+    assert fast.area_mm2 > slow.area_mm2
+    assert fast.power_w > slow.power_w
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    grid = {
+        "prng_lanes": (2, 8), "ntt_pes": (2, 4, 8), "intt_pes": (2, 8),
+        "dyadic_pes": (2, 4), "add_pes": (4, 8), "modswitch_pes": (4,),
+        "encode_pes": (4, 8),
+    }
+    return explore_design_space(grid)
+
+
+def test_pareto_frontier_nonempty_and_subset(small_sweep):
+    frontier = pareto_frontier(small_sweep)
+    assert frontier
+    assert all(p in small_sweep for p in frontier)
+    for p in frontier:
+        assert not any(q.dominates(p) for q in small_sweep)
+
+
+def test_operating_point_rule(small_sweep):
+    point = select_operating_point(small_sweep)
+    assert point.power_w <= POWER_LIMIT_W
+    feasible = [p for p in small_sweep if p.power_w <= POWER_LIMIT_W]
+    best = min(p.time_s for p in feasible)
+    assert point.time_s <= best * 1.01
+
+
+def test_operating_point_infeasible_cap():
+    points = [DesignPoint(AcceleratorConfig(), 1e-3, 1e-3, 10.0, 1.0)]
+    with pytest.raises(ValueError):
+        select_operating_point(points)
+
+
+# ---------------------------------------------------------------- hw assist
+def test_partial_acceleration_amdahl_bound():
+    """§2.2: accelerating only NTT/poly-mult cannot beat 1/(1-f)."""
+    bound = 1 / (1 - NTT_POLYMULT_FRACTION)
+    assert HEAX.effective_speedup() < bound
+    assert ENCRYPTION_FPGA.effective_speedup() < bound
+    assert HEAX.accelerated_time(1.0) > 1.0 - NTT_POLYMULT_FRACTION
+
+
+def test_taco_vs_heax_ratio():
+    """§5: 123.27x over software and 54.3x over HEAX -> HEAX buys ~2.27x."""
+    ratio = 123.27 / 54.3
+    assert HEAX.effective_speedup() == pytest.approx(ratio, rel=0.05)
+
+
+# ---------------------------------------------------------------- CKKS §4.7
+def test_ckks_acceleration_anchors():
+    accel = CkksAcceleration()
+    assert accel.encrypt_encode_time() == pytest.approx(18e-3, rel=0.05)
+    assert accel.decrypt_decode_time() == pytest.approx(16e-3, rel=0.05)
+    assert accel.encrypt_speedup() == pytest.approx(18, rel=0.1)
+    assert accel.decrypt_speedup() == pytest.approx(2.3, rel=0.1)

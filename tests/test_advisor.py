@@ -1,0 +1,57 @@
+"""Tests for the §5.8 workload advisor."""
+
+import pytest
+
+from repro.apps.advisor import WorkloadAdvisor
+from repro.nn.models import (
+    lenet_small,
+    squeezenet_cifar10,
+    vgg16_cifar10,
+)
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return WorkloadAdvisor()
+
+
+def test_threshold_positive(advisor):
+    from repro.hecore.params import PARAMETER_SET_A
+
+    threshold = advisor.threshold(PARAMETER_SET_A)
+    assert threshold > 0
+    # Bluetooth at 10 mW / 22 Mbps against a ~0.77 nJ/MAC client: the
+    # break-even sits in the single-to-tens of MACs-per-byte range.
+    assert 1 < threshold < 100
+
+
+def test_vgg_offloads_squeezenet_does_not(advisor):
+    """§5.8: VGG-like workloads win by offloading; SqueezeNet breaks even
+    or loses."""
+    vgg = advisor.analyze(vgg16_cifar10())
+    sqz = advisor.analyze(squeezenet_cifar10())
+    assert vgg.offload_network
+    assert not sqz.offload_network
+    assert vgg.energy_ratio > 1 > sqz.energy_ratio
+
+
+def test_tiny_network_stays_local(advisor):
+    advice = advisor.analyze(lenet_small())
+    assert not advice.offload_network
+
+
+def test_layer_verdicts_follow_macs_per_byte(advisor):
+    advice = advisor.analyze(vgg16_cifar10())
+    for layer in advice.layers:
+        assert layer.offload == (layer.macs_per_byte
+                                 > advice.threshold_macs_per_byte)
+    # VGG's deep, small-spatial conv layers are the offload-friendly ones.
+    assert any(layer.offload for layer in advice.layers)
+
+
+def test_render_mentions_verdict(advisor):
+    text = advisor.render(advisor.analyze(vgg16_cifar10()))
+    assert "OFFLOAD" in text
+    assert "MACs per byte" in text
+    text_sqz = advisor.render(advisor.analyze(squeezenet_cifar10()))
+    assert "LOCAL" in text_sqz

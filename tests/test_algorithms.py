@@ -1,0 +1,104 @@
+"""Tests for the scheme-generic evaluator conveniences."""
+
+import numpy as np
+import pytest
+
+from repro.hecore.algorithms import add_many, multiply_many, polyval
+from repro.hecore.bfv import BfvContext
+from repro.hecore.ckks import CkksContext
+from repro.hecore.params import SchemeType, small_test_parameters
+
+
+@pytest.fixture(scope="module")
+def bfv_deep():
+    params = small_test_parameters(SchemeType.BFV, poly_degree=256,
+                                   plain_bits=17, data_bits=(30, 30, 30, 30))
+    return BfvContext(params, seed=55)
+
+
+@pytest.fixture(scope="module")
+def ckks_deep():
+    params = small_test_parameters(SchemeType.CKKS, poly_degree=512,
+                                   data_bits=(30, 24, 24, 24, 24))
+    return CkksContext(params, seed=56)
+
+
+def test_add_many_bfv(bfv_deep):
+    t = bfv_deep.params.plain_modulus
+    vectors = [np.arange(8, dtype=np.int64) + i for i in range(5)]
+    out = bfv_deep.decrypt(add_many(bfv_deep, [bfv_deep.encrypt(v) for v in vectors]))
+    assert np.array_equal(out[:8], sum(vectors) % t)
+
+
+def test_add_many_single(bfv_deep):
+    ct = bfv_deep.encrypt([9])
+    assert add_many(bfv_deep, [ct]) is ct
+
+
+def test_add_many_empty_rejected(bfv_deep):
+    with pytest.raises(ValueError):
+        add_many(bfv_deep, [])
+
+
+def test_multiply_many_bfv(bfv_deep):
+    t = bfv_deep.params.plain_modulus
+    vectors = [np.array([2, 3, 1], dtype=np.int64),
+               np.array([5, 2, 4], dtype=np.int64),
+               np.array([3, 3, 3], dtype=np.int64)]
+    out = bfv_deep.decrypt(
+        multiply_many(bfv_deep, [bfv_deep.encrypt(v) for v in vectors]))
+    want = vectors[0] * vectors[1] * vectors[2] % t
+    assert np.array_equal(out[:3], want)
+
+
+def test_multiply_many_ckks(ckks_deep):
+    vectors = [np.array([0.5, 1.5, -0.5]), np.array([2.0, 0.25, 1.0]),
+               np.array([1.0, 2.0, 2.0]), np.array([0.5, 0.5, 0.5])]
+    cts = [ckks_deep.encrypt(v) for v in vectors]
+    out = np.real(ckks_deep.decrypt(multiply_many(ckks_deep, cts)))
+    want = vectors[0] * vectors[1] * vectors[2] * vectors[3]
+    assert np.allclose(out[:3], want, atol=0.05)
+
+
+def test_polyval_bfv_quadratic(bfv_deep):
+    t = bfv_deep.params.plain_modulus
+    x = np.array([0, 1, 2, 3, 4], dtype=np.int64)
+    # p(x) = 3 + 2x + x^2
+    out = bfv_deep.decrypt(polyval(bfv_deep, bfv_deep.encrypt(x), [3, 2, 1]))
+    assert np.array_equal(out[:5], (3 + 2 * x + x * x) % t)
+
+
+def test_polyval_ckks_cubic(ckks_deep):
+    x = np.array([-0.5, 0.0, 0.5, 1.0])
+    coeffs = [0.25, -1.0, 0.5, 2.0]      # 0.25 - x + 0.5x^2 + 2x^3
+    out = np.real(ckks_deep.decrypt(
+        polyval(ckks_deep, ckks_deep.encrypt(x), coeffs)))
+    want = coeffs[0] + coeffs[1] * x + coeffs[2] * x ** 2 + coeffs[3] * x ** 3
+    assert np.allclose(out[:4], want, atol=0.05)
+
+
+def test_polyval_linear(ckks_deep):
+    x = np.array([0.1, 0.2, 0.3])
+    out = np.real(ckks_deep.decrypt(
+        polyval(ckks_deep, ckks_deep.encrypt(x), [1.0, 3.0])))
+    assert np.allclose(out[:3], 1 + 3 * x, atol=0.02)
+
+
+def test_polyval_relu_approximation(ckks_deep):
+    """The server-only trick of §2.1: a quadratic 'activation'."""
+    x = np.linspace(-1, 1, 8)
+    coeffs = [0.125, 0.5, 0.25]          # smooth ReLU-ish approximation
+    out = np.real(ckks_deep.decrypt(
+        polyval(ckks_deep, ckks_deep.encrypt(x), coeffs)))
+    want = coeffs[0] + coeffs[1] * x + coeffs[2] * x ** 2
+    assert np.allclose(out[:8], want, atol=0.05)
+    # Crude but monotone-ish: ends ordered like ReLU.
+    assert out[7] > out[0]
+
+
+def test_polyval_validations(bfv_deep):
+    ct = bfv_deep.encrypt([1])
+    with pytest.raises(ValueError):
+        polyval(bfv_deep, ct, [])
+    with pytest.raises(ValueError):
+        polyval(bfv_deep, ct, [5])

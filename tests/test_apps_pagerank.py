@@ -1,0 +1,104 @@
+"""Tests for encrypted PageRank (both schemes, both execution styles)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import (
+    ClientAidedPageRank,
+    SchedulePoint,
+    google_matrix,
+    pagerank_reference,
+    schedule_communication_bytes,
+    segment_profile,
+    sweep_schedules,
+)
+from repro.core.protocol import ClientAidedSession
+from repro.hecore.params import SchemeType
+
+ADJ = np.array([
+    [0, 1, 0, 0],
+    [1, 0, 1, 1],
+    [0, 1, 0, 1],
+    [1, 0, 1, 0],
+], dtype=float)
+
+
+def _normalized_reference(iterations):
+    ref = pagerank_reference(ADJ, iterations=iterations)
+    return ref / ref.sum()
+
+
+def test_google_matrix_is_stochastic():
+    m = google_matrix(ADJ)
+    assert np.allclose(m.sum(axis=0), 1.0)
+    assert np.all(m > 0)
+
+
+def test_reference_converges():
+    r10 = pagerank_reference(ADJ, iterations=10)
+    r40 = pagerank_reference(ADJ, iterations=40)
+    assert np.allclose(r10, r40, atol=1e-3)
+    # Node 1 has the most in-links: highest rank.
+    assert np.argmax(r40) == 1
+
+
+def test_encrypted_pagerank_ckks_per_iteration_refresh(ckks):
+    pr = ClientAidedPageRank(ckks, ADJ)
+    ranks, ledger = pr.run([1] * 6)
+    assert np.allclose(ranks, _normalized_reference(6), atol=1e-3)
+    assert ledger.client_encrypt_ops == 6
+    assert ledger.client_decrypt_ops == 6
+
+
+def test_encrypted_pagerank_ckks_two_iteration_segments(ckks):
+    pr = ClientAidedPageRank(ckks, ADJ)
+    ranks, ledger = pr.run([2] * 3)
+    assert np.allclose(ranks, _normalized_reference(6), atol=1e-3)
+    # Fewer refreshes: fewer client ops than the per-iteration schedule.
+    assert ledger.client_encrypt_ops == 3
+
+
+def test_encrypted_pagerank_bfv(bfv):
+    pr = ClientAidedPageRank(bfv, ADJ, quant_bits=6)
+    ranks, _ = pr.run([1] * 5)
+    assert np.allclose(ranks, _normalized_reference(5), atol=0.02)
+
+
+def test_segment_profile_scales_with_depth():
+    shallow = segment_profile(1, 64, SchemeType.CKKS)
+    deep = segment_profile(8, 64, SchemeType.CKKS)
+    assert deep.plain_mult_depth == 8
+    assert deep.rotations > shallow.rotations
+
+
+def test_schedule_point_accounting():
+    point = schedule_communication_bytes(12, 3, 64, SchemeType.CKKS)
+    assert isinstance(point, SchedulePoint)
+    assert point.communication_bytes == 4 * 2 * point.choice.ciphertext_bytes
+
+
+def test_schedule_rejects_non_divisor():
+    with pytest.raises(ValueError):
+        schedule_communication_bytes(12, 5, 64, SchemeType.CKKS)
+
+
+def test_sweep_fully_offloaded_loses(paper_iterations=24, nodes=64):
+    """§5.6: client-aided beats continuous encrypted execution, and the
+    optimal schedules fit CHOCO-TACO's (N<=8192, k<=3) envelope."""
+    points = sweep_schedules(paper_iterations, nodes, SchemeType.CKKS)
+    by_segment = {p.segment: p for p in points}
+    assert len(points) >= 4
+    full = by_segment.get(paper_iterations)
+    best = min(points, key=lambda p: p.communication_bytes)
+    if full is not None:
+        assert best.communication_bytes < full.communication_bytes
+        assert best.segment < paper_iterations
+    assert best.taco_compatible
+
+
+def test_ckks_beats_bfv_communication():
+    """§5.6: CKKS's smaller parameters reduce communication across the board."""
+    for segment in (1, 2, 4):
+        ckks = schedule_communication_bytes(8, segment, 64, SchemeType.CKKS)
+        bfv = schedule_communication_bytes(8, segment, 64, SchemeType.BFV)
+        assert ckks.communication_bytes <= bfv.communication_bytes

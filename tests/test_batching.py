@@ -1,0 +1,54 @@
+"""Tests for the batched-vs-packed algorithm tradeoff (§2.1)."""
+
+import pytest
+
+from repro.apps.dnn import ClientAidedDnnPlan
+from repro.core.batching import BatchedDnnPlan, crossover_batch_size
+from repro.nn.models import lenet_large, lenet_small
+
+
+def test_batched_counts_match_activations():
+    plan = BatchedDnnPlan(lenet_small(), batch_size=128)
+    # conv1: 28x28 input -> 8x24x24 output; conv2: 8x12x12 -> 10x8x8; fc.
+    assert plan.layers[0].input_elements == 28 * 28
+    assert plan.layers[0].output_elements == 8 * 24 * 24
+    assert plan.layers[-1].name == "fc"
+    assert plan.layers[-1].output_elements == 10
+
+
+def test_batched_rejects_oversized_batch():
+    with pytest.raises(ValueError):
+        BatchedDnnPlan(lenet_small(), batch_size=10**6)
+
+
+def test_single_image_batching_is_catastrophic():
+    """§2.1: batching algorithms are highly inefficient for few inputs."""
+    packed = ClientAidedDnnPlan(lenet_large())
+    batched = BatchedDnnPlan(lenet_large(), batch_size=1)
+    overhead = (batched.communication_bytes_per_batch()
+                / packed.communication_bytes())
+    assert overhead > 100
+
+
+def test_full_batch_amortizes():
+    """At full batches the per-image cost drops by the slot count."""
+    plan_full = BatchedDnnPlan(lenet_large())
+    plan_one = BatchedDnnPlan(lenet_large(), batch_size=1)
+    assert (plan_one.communication_bytes_per_image()
+            / plan_full.communication_bytes_per_image()
+            == plan_full.batch_size)
+
+
+def test_crossover_exists_for_small_networks():
+    packed = ClientAidedDnnPlan(lenet_small())
+    crossover = crossover_batch_size(lenet_small(),
+                                     packed.communication_bytes())
+    # Batching only wins with hundreds-to-thousands of simultaneous inputs.
+    assert crossover == -1 or crossover > 100
+
+
+def test_crypto_ops_scale_with_activations():
+    enc, dec = BatchedDnnPlan(lenet_small(), batch_size=64).client_crypto_ops_per_batch()
+    packed = ClientAidedDnnPlan(lenet_small())
+    assert enc > 50 * packed.encrypt_ops
+    assert dec > 50 * packed.decrypt_ops

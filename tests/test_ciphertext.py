@@ -1,0 +1,90 @@
+"""Container-level tests for Ciphertext and Plaintext objects."""
+
+import numpy as np
+import pytest
+
+from repro.hecore.ciphertext import Ciphertext
+from repro.hecore.plaintext import CkksPlaintext, Plaintext
+from repro.hecore.polyring import RnsPoly
+
+
+def test_requires_components(bfv):
+    with pytest.raises(ValueError):
+        Ciphertext(bfv.params, [])
+
+
+def test_rejects_mixed_bases(ckks):
+    ct = ckks.encrypt([1.0])
+    dropped = ckks.drop_modulus(ct)
+    with pytest.raises(ValueError):
+        Ciphertext(ckks.params, [ct.components[0], dropped.components[0]])
+
+
+def test_copy_is_deep(bfv):
+    ct = bfv.encrypt([1, 2, 3])
+    dup = ct.copy()
+    dup.components[0].data[0, 0] = (dup.components[0].data[0, 0] + 1) % 97
+    assert not np.array_equal(dup.components[0].data[0, :1],
+                              ct.components[0].data[0, :1])
+    assert np.array_equal(bfv.decrypt(ct)[:3], [1, 2, 3])
+
+
+def test_copy_preserves_seed(bfv):
+    ct = bfv.encrypt_symmetric([5])
+    assert ct.copy().seed == ct.seed
+
+
+def test_ntt_roundtrip_preserves_decryption(bfv):
+    ct = bfv.encrypt([7, 8, 9])
+    roundtrip = ct.to_ntt().from_ntt()
+    assert np.array_equal(bfv.decrypt(roundtrip)[:3], [7, 8, 9])
+    assert ct.to_ntt().is_ntt and not ct.is_ntt
+
+
+def test_size_bytes_logical_accounting(bfv):
+    ct = bfv.encrypt([1])
+    k_data = bfv.params.logical_data_residues
+    assert ct.size_bytes() == 2 * k_data * bfv.params.poly_degree * 8
+
+
+def test_size_bytes_seeded_half(bfv):
+    full = bfv.encrypt([1]).size_bytes()
+    seeded = bfv.encrypt_symmetric([1]).size_bytes()
+    assert seeded == full // 2 + 32
+
+
+def test_size_bytes_three_components(bfv):
+    ct = bfv.multiply(bfv.encrypt([2]), bfv.encrypt([3]), relinearize=False)
+    assert len(ct) == 3
+    assert ct.size_bytes() == 3 * bfv.params.logical_data_residues \
+        * bfv.params.poly_degree * 8
+
+
+def test_ckks_size_shrinks_with_level(ckks):
+    fresh = ckks.encrypt([1.0])
+    rescaled = ckks.rescale(ckks.square(fresh))
+    assert rescaled.size_bytes() < fresh.size_bytes()
+
+
+def test_plaintext_equality():
+    a = Plaintext(np.array([1, 2, 3]), 17)
+    b = Plaintext(np.array([1, 2, 3]), 17)
+    c = Plaintext(np.array([1, 2, 4]), 17)
+    assert a == b and a != c
+    assert a != Plaintext(np.array([1, 2, 3]), 19)
+
+
+def test_plaintext_copy_independent():
+    a = Plaintext(np.array([1, 2, 3]), 17)
+    b = a.copy()
+    b.coeffs[0] = 9
+    assert a.coeffs[0] == 1
+
+
+def test_ckks_plaintext_copy(ckks):
+    pt = ckks.encode([0.5])
+    dup = pt.copy()
+    assert dup.scale == pt.scale
+    assert np.array_equal(dup.poly.data, pt.poly.data)
+    dup.poly.data[0, 0] += 1
+    assert not np.array_equal(dup.poly.data[0, :1], pt.poly.data[0, :1])

@@ -1,0 +1,136 @@
+"""Integration tests for the CKKS scheme."""
+
+import numpy as np
+import pytest
+
+from repro.hecore.ckks import CkksContext
+from repro.hecore.params import SchemeType, small_test_parameters
+
+TOL = 1e-2
+
+
+def values(ckks, scale=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-scale, scale, ckks.params.poly_degree // 2)
+
+
+def test_encode_decode_roundtrip(ckks):
+    v = values(ckks)
+    out = np.real(ckks.decode(ckks.encode(v)))
+    assert np.allclose(out, v, atol=1e-5)
+
+
+def test_encode_rejects_oversize(ckks):
+    with pytest.raises(ValueError):
+        ckks.encode(np.zeros(ckks.params.poly_degree))
+
+
+def test_encrypt_decrypt_roundtrip(ckks):
+    v = values(ckks)
+    out = np.real(ckks.decrypt(ckks.encrypt(v)))
+    assert np.allclose(out, v, atol=TOL)
+
+
+def test_add(ckks):
+    a, b = values(ckks, seed=1), values(ckks, seed=2)
+    out = np.real(ckks.decrypt(ckks.add(ckks.encrypt(a), ckks.encrypt(b))))
+    assert np.allclose(out, a + b, atol=TOL)
+
+
+def test_sub(ckks):
+    a, b = values(ckks, seed=3), values(ckks, seed=4)
+    out = np.real(ckks.decrypt(ckks.sub(ckks.encrypt(a), ckks.encrypt(b))))
+    assert np.allclose(out, a - b, atol=TOL)
+
+
+def test_add_plain(ckks):
+    a, b = values(ckks, seed=5), values(ckks, seed=6)
+    out = np.real(ckks.decrypt(ckks.add_plain(ckks.encrypt(a), ckks.encode(b))))
+    assert np.allclose(out, a + b, atol=TOL)
+
+
+def test_multiply_plain_and_rescale(ckks):
+    a, b = values(ckks, seed=7), values(ckks, seed=8)
+    ct = ckks.multiply_plain(ckks.encrypt(a), ckks.encode(b))
+    assert ct.scale == pytest.approx(ckks.params.scale ** 2)
+    ct = ckks.rescale(ct)
+    out = np.real(ckks.decrypt(ct))
+    assert np.allclose(out, a * b, atol=TOL)
+
+
+def test_ciphertext_multiply(ckks):
+    a, b = values(ckks, seed=9), values(ckks, seed=10)
+    ct = ckks.multiply(ckks.encrypt(a), ckks.encrypt(b))
+    out = np.real(ckks.decrypt(ckks.rescale(ct)))
+    assert np.allclose(out, a * b, atol=TOL)
+
+
+def test_square(ckks):
+    a = values(ckks, seed=11)
+    out = np.real(ckks.decrypt(ckks.rescale(ckks.square(ckks.encrypt(a)))))
+    assert np.allclose(out, a * a, atol=TOL)
+
+
+def test_squared_distance_kernel(ckks):
+    # The modified Euclidean kernel of Section 5.1: sum of squared diffs.
+    a, b = values(ckks, seed=12), values(ckks, seed=13)
+    diff = ckks.sub(ckks.encrypt(a), ckks.encrypt(b))
+    sq = ckks.rescale(ckks.square(diff))
+    out = np.real(ckks.decrypt(sq))
+    assert np.allclose(out, (a - b) ** 2, atol=TOL)
+
+
+def test_rescale_reduces_level(ckks):
+    ct = ckks.encrypt(values(ckks))
+    levels_before = len(ct.level_base)
+    ct2 = ckks.rescale(ckks.square(ct))
+    assert len(ct2.level_base) == levels_before - 1
+
+
+def test_drop_modulus_preserves_value(ckks):
+    v = values(ckks, seed=14)
+    ct = ckks.drop_modulus(ckks.encrypt(v))
+    out = np.real(ckks.decrypt(ct))
+    assert np.allclose(out, v, atol=TOL)
+
+
+def test_align_levels(ckks):
+    a = ckks.encrypt(values(ckks, seed=15))
+    b = ckks.drop_modulus(ckks.encrypt(values(ckks, seed=16)))
+    a2, b2 = ckks.align(a, b)
+    assert a2.level_base == b2.level_base
+
+
+def test_rotate(ckks):
+    ckks.make_galois_keys([1, 4])
+    v = values(ckks, seed=17)
+    out = np.real(ckks.decrypt(ckks.rotate(ckks.encrypt(v), 4)))
+    assert np.allclose(out, np.roll(v, -4), atol=TOL)
+
+
+def test_conjugate(ckks):
+    ckks.make_galois_keys([], include_conjugation=True)
+    v = values(ckks, seed=18)
+    out = ckks.decrypt(ckks.conjugate(ckks.encrypt(v)))
+    assert np.allclose(np.real(out), v, atol=TOL)
+    assert np.allclose(np.imag(out), 0, atol=TOL)
+
+
+def test_rotate_then_accumulate_dot_product(ckks):
+    # log-rotation accumulation: the core of encrypted dot products.
+    n = 8
+    ckks.make_galois_keys([1, 2, 4])
+    v = np.zeros(ckks.params.poly_degree // 2)
+    v[:n] = np.arange(1, n + 1)
+    ct = ckks.encrypt(v)
+    for step in (4, 2, 1):
+        ct = ckks.add(ct, ckks.rotate(ct, step))
+    out = np.real(ckks.decrypt(ct))
+    assert out[0] == pytest.approx(v[:n].sum(), abs=TOL)
+
+
+def test_scale_mismatch_rejected(ckks):
+    a = ckks.encrypt(values(ckks, seed=19))
+    b = ckks.multiply_plain(ckks.encrypt(values(ckks, seed=20)), ckks.encode([1.0]))
+    with pytest.raises(ValueError):
+        ckks.add(a, b)

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_params_command(capsys):
+    assert main(["params"]) == 0
+    out = capsys.readouterr().out
+    assert "BFV N=8192" in out
+    assert "262144 B" in out
+    assert "SEAL default" in out
+
+
+def test_networks_command(capsys):
+    assert main(["networks"]) == 0
+    out = capsys.readouterr().out
+    for name in ("LeNetSm", "LeNetLg", "SqzNet", "VGG16"):
+        assert name in out
+
+
+def test_accelerator_command(capsys):
+    assert main(["accelerator", "--n", "8192", "--k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "encrypt:" in out and "mm^2" in out
+    assert "0.660 ms" in out
+
+
+def test_advisor_command(capsys):
+    assert main(["advisor", "--network", "VGG16"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict" in out
+
+
+def test_advisor_unknown_network(capsys):
+    assert main(["advisor", "--network", "ResNet"]) == 2
+    assert "unknown network" in capsys.readouterr().err
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "rotational redundancy" in out
+    assert "[3, 4, 5, 6, 7, 8, 1, 2]" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

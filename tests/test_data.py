@@ -1,0 +1,69 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import clustered_points, synthetic_cifar, synthetic_mnist
+
+
+def test_mnist_shapes_and_range():
+    images, labels = synthetic_mnist(12, seed=1)
+    assert images.shape == (12, 1, 28, 28)
+    assert labels.shape == (12,)
+    assert images.min() >= 0 and images.max() <= 3
+    assert set(labels) <= set(range(10))
+
+
+def test_mnist_deterministic():
+    a, la = synthetic_mnist(5, seed=3)
+    b, lb = synthetic_mnist(5, seed=3)
+    c, _ = synthetic_mnist(5, seed=4)
+    assert np.array_equal(a, b) and np.array_equal(la, lb)
+    assert not np.array_equal(a, c)
+
+
+def test_mnist_classes_distinguishable():
+    """Different classes should differ more than same-class noise."""
+    images, labels = synthetic_mnist(40, seed=2)
+    by_class = {}
+    for img, label in zip(images, labels):
+        by_class.setdefault(int(label), []).append(img.astype(float))
+    usable = {k: v for k, v in by_class.items() if len(v) >= 2}
+    assert len(usable) >= 3
+    keys = sorted(usable)
+    same = np.mean([np.abs(usable[k][0] - usable[k][1]).mean() for k in keys])
+    diff = np.mean([
+        np.abs(usable[a][0] - usable[b][0]).mean()
+        for a in keys for b in keys if (a % 2) != (b % 2)
+    ])
+    assert diff > same
+
+
+def test_cifar_shapes():
+    images, labels = synthetic_cifar(8, seed=5)
+    assert images.shape == (8, 3, 32, 32)
+    assert images.max() <= 3
+    assert len(labels) == 8
+
+
+def test_quantization_levels():
+    images, _ = synthetic_mnist(4, seed=6, levels=8)
+    assert images.max() <= 7
+
+
+def test_clustered_points():
+    centers = np.array([[0, 0], [3, 3]])
+    points, labels = clustered_points(10, centers, spread=0.1, seed=7)
+    assert points.shape == (20, 2)
+    assert np.all(labels[:10] == 0) and np.all(labels[10:] == 1)
+    # Tight clusters: class means land near the centers.
+    assert np.allclose(points[:10].mean(axis=0), [0, 0], atol=0.2)
+    assert np.allclose(points[10:].mean(axis=0), [3, 3], atol=0.2)
+
+
+def test_mnist_feeds_lenet():
+    from repro.nn.models import lenet_small
+
+    images, _ = synthetic_mnist(1, seed=8)
+    logits = lenet_small().forward(images[0].astype(float))
+    assert logits.shape == (10,)

@@ -1,0 +1,149 @@
+"""Tests for the five Figure 9 distance-kernel packings."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import (
+    KERNEL_VARIANTS,
+    CollapsedPointMajorKernel,
+    DimensionMajorKernel,
+    DistanceProblem,
+    PointMajorKernel,
+    StackedDimensionMajorKernel,
+    StackedPointMajorKernel,
+)
+
+TOL = 0.05
+
+
+def _run(ckks, kernel_cls, n_points=4, dims=3, seed=0):
+    problem = DistanceProblem(n_points=n_points, dims=dims)
+    kernel = kernel_cls(ckks, problem)
+    ckks.make_galois_keys(kernel.required_rotation_steps())
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(-1, 1, (n_points, dims))
+    query = rng.uniform(-1, 1, dims)
+    got = kernel.distances(kernel.encrypt_points(points), kernel.encrypt_query(query))
+    want = kernel.reference(points, query)
+    assert np.allclose(got, want, atol=TOL), kernel.name
+    return kernel
+
+
+def test_problem_padding():
+    p = DistanceProblem(n_points=5, dims=3)
+    assert p.padded_dims == 4
+    assert p.padded_points == 8
+
+
+def test_point_major(ckks):
+    _run(ckks, PointMajorKernel, seed=1)
+
+
+def test_dimension_major(ckks):
+    _run(ckks, DimensionMajorKernel, seed=2)
+
+
+def test_stacked_point_major(ckks):
+    _run(ckks, StackedPointMajorKernel, n_points=6, dims=4, seed=3)
+
+
+def test_stacked_dimension_major(ckks):
+    _run(ckks, StackedDimensionMajorKernel, n_points=5, dims=3, seed=4)
+
+
+def test_collapsed_point_major(ckks):
+    _run(ckks, CollapsedPointMajorKernel, n_points=4, dims=4, seed=5)
+
+
+def test_all_variants_agree(ckks):
+    rng = np.random.default_rng(6)
+    n_points, dims = 4, 4
+    points = rng.uniform(-1, 1, (n_points, dims))
+    query = rng.uniform(-1, 1, dims)
+    problem = DistanceProblem(n_points=n_points, dims=dims)
+    results = {}
+    for name, cls in KERNEL_VARIANTS.items():
+        kernel = cls(ckks, problem)
+        ckks.make_galois_keys(kernel.required_rotation_steps())
+        results[name] = kernel.distances(
+            kernel.encrypt_points(points), kernel.encrypt_query(query)
+        )
+    reference = np.sum((points - query) ** 2, axis=1)
+    for name, got in results.items():
+        assert np.allclose(got, reference, atol=TOL), name
+
+
+def test_multi_query_kernel(ckks):
+    from repro.core.distance import MultiQueryDimensionMajor
+
+    problem = DistanceProblem(n_points=6, dims=3)
+    kernel = MultiQueryDimensionMajor(ckks, problem, max_queries=3)
+    ckks.make_galois_keys(kernel.required_rotation_steps())
+    rng = np.random.default_rng(21)
+    points = rng.uniform(-1, 1, (6, 3))
+    queries = rng.uniform(-1, 1, (3, 3))
+    point_cts = kernel.encrypt_points(points)
+    query_cts = [ckks.encrypt(v) for v in kernel.pack_queries(queries)]
+    out = kernel.compute(point_cts, query_cts)
+    assert len(out) == 1                          # ONE result ciphertext
+    got = kernel.decode_matrix(
+        [np.real(ckks.decrypt(ct)) for ct in out], 3)
+    assert np.allclose(got, kernel.reference_matrix(points, queries),
+                       atol=TOL)
+
+
+def test_multi_query_validations(ckks):
+    from repro.core.distance import MultiQueryDimensionMajor
+
+    problem = DistanceProblem(n_points=6, dims=3)
+    with pytest.raises(ValueError):
+        MultiQueryDimensionMajor(ckks, problem, max_queries=0)
+    with pytest.raises(ValueError):
+        MultiQueryDimensionMajor(ckks, problem, max_queries=1000)
+    kernel = MultiQueryDimensionMajor(ckks, problem, max_queries=2)
+    with pytest.raises(ValueError):
+        kernel.pack_queries(np.zeros((3, 3)))    # too many queries
+    with pytest.raises(ValueError):
+        kernel.pack_queries(np.zeros((2, 5)))    # wrong dimensionality
+
+
+def test_ciphertext_count_tradeoffs(ckks):
+    """Point-major sends many outputs; collapsed sends exactly one."""
+    problem = DistanceProblem(n_points=8, dims=4)
+    pm = PointMajorKernel(ckks, problem)
+    collapsed = CollapsedPointMajorKernel(ckks, problem)
+    dm = DimensionMajorKernel(ckks, problem)
+    points = np.ones((8, 4))
+    query = np.zeros(4)
+    assert len(pm.pack_points(points)) == 8          # one ct per point
+    assert len(dm.pack_points(points)) == 4          # one ct per dimension
+    assert len(collapsed.pack_points(points)) == 1   # everything stacked
+    ckks.make_galois_keys(
+        pm.required_rotation_steps() | collapsed.required_rotation_steps()
+    )
+    pm_out = pm.compute(pm.encrypt_points(points), pm.encrypt_query(query))
+    col_out = collapsed.compute(collapsed.encrypt_points(points),
+                                collapsed.encrypt_query(query))
+    assert len(pm_out) == 8
+    assert len(col_out) == 1
+
+
+def test_collapsed_puts_extra_work_on_server(ckks):
+    """The collapse round costs extra server multiplies (the §5.4 tradeoff)."""
+    problem = DistanceProblem(n_points=4, dims=4)
+    stacked = StackedPointMajorKernel(ckks, problem)
+    collapsed = CollapsedPointMajorKernel(ckks, problem)
+    ckks.make_galois_keys(
+        stacked.required_rotation_steps() | collapsed.required_rotation_steps()
+    )
+    points = np.random.default_rng(7).uniform(-1, 1, (4, 4))
+    query = np.zeros(4)
+
+    base = ckks.counts["multiply_plain"]
+    stacked.compute(stacked.encrypt_points(points), stacked.encrypt_query(query))
+    stacked_mults = ckks.counts["multiply_plain"] - base
+
+    base = ckks.counts["multiply_plain"]
+    collapsed.compute(collapsed.encrypt_points(points), collapsed.encrypt_query(query))
+    collapsed_mults = ckks.counts["multiply_plain"] - base
+    assert collapsed_mults > stacked_mults

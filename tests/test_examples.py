@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs clean end to end.
+
+Examples are documentation that executes; this module keeps them from
+rotting.  Each runs in a subprocess exactly as a user would invoke it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "eva_compiler.py",
+    "accelerator_dse.py",
+    "encrypted_knn.py",
+    "encrypted_kmeans.py",
+    "encrypted_pagerank.py",
+    "workload_advisor.py",
+]
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    out = _run(name)
+    assert out.strip(), name
+
+
+def test_quickstart_output_content():
+    out = _run("quickstart.py")
+    assert "45" in out and "84" in out          # Figure 1's product
+    assert "noise budget" in out
+    assert "CHOCO-TACO" in out
+
+
+def test_mnist_inference_example():
+    """The heavyweight example: full encrypted inference, 6 images."""
+    out = _run("encrypted_mnist_inference.py")
+    assert "encrypted == plaintext on 6/6 images" in out
+
+
+def test_lenet_small_full_scale_example():
+    """The flagship artifact: the actual Table 5 LeNet-Small network, fully
+    encrypted at the paper's parameter set B, matching plaintext exactly."""
+    out = _run("encrypted_lenet_small.py")
+    assert "exact match: True" in out
+    assert "N=4096" in out

@@ -1,0 +1,130 @@
+"""Tests for the first-class experiment generators."""
+
+import pytest
+
+from repro.experiments import (
+    client_time_characterization,
+    conv_microbenchmark,
+    decryption_comparison,
+    end_to_end_study,
+    figure10_comparison,
+    network_layer_points,
+    scaling_study,
+    seal_baseline_breakdown,
+    table5_rows,
+)
+from repro.nn.models import NETWORK_BUILDERS, vgg16_cifar10
+
+ALL_NETWORKS = set(NETWORK_BUILDERS)
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return client_time_characterization()
+
+
+def test_client_time_covers_all_networks(fig12):
+    assert set(fig12) == ALL_NETWORKS
+    for name, row in fig12.items():
+        assert set(row) == {"seal_baseline", "choco_sw", "choco_heax",
+                            "choco_fpga", "choco_taco", "local"}
+        assert all(v > 0 for v in row.values())
+
+
+def test_client_time_orderings_hold(fig12):
+    for name, row in fig12.items():
+        assert row["choco_taco"] < row["choco_heax"] < row["choco_sw"]
+        assert row["choco_sw"] <= row["seal_baseline"] * 1.001
+
+
+def test_fig2_breakdown_structure():
+    data = seal_baseline_breakdown()
+    assert set(data) == ALL_NETWORKS
+    for row in data.values():
+        assert row["crypto_sw"] / row["software"] > 0.99
+        assert row["app"] < 0.01 * row["software"]
+
+
+def test_scaling_study_rows():
+    rows = scaling_study()
+    by_point = {(r["n"], r["k"]): r for r in rows}
+    assert by_point[(32768, 16)]["sw_time"] is None
+    anchor = by_point[(8192, 3)]
+    assert anchor["sw_time"] / anchor["hw_time"] == pytest.approx(417, rel=0.05)
+
+
+def test_scaling_study_custom_points():
+    rows = scaling_study(points=[(4096, 2)])
+    assert len(rows) == 1 and rows[0]["n"] == 4096
+
+
+def test_decryption_comparison():
+    result = decryption_comparison()
+    assert result["decrypt_speedup"] == pytest.approx(125, rel=0.08)
+    assert result["encrypt_speedup"] > result["decrypt_speedup"]
+
+
+def test_table5_rows_carry_published_reference():
+    rows = table5_rows()
+    assert set(rows) == ALL_NETWORKS
+    for name, row in rows.items():
+        assert row["published"]["layers"] == row["census"]
+        assert row["offline_key_mb"] > 0
+
+
+def test_figure10_structure():
+    data = figure10_comparison()
+    assert ("LeNetLg", "MNIST") in data
+    choco_mb, ratios = data[("SqzNet", "CIFAR-10")]
+    assert choco_mb > 0
+    assert all(r > 10 for r in ratios.values())
+
+
+def test_end_to_end_energy_crossover():
+    data = end_to_end_study()
+    assert data["VGG16"]["energy_j"] < data["VGG16"]["local_j"]
+    assert data["LeNetSm"]["energy_j"] > data["LeNetSm"]["local_j"]
+
+
+def test_microbenchmark_points():
+    points = conv_microbenchmark(images=(4, 8), channel_counts=(32, 64),
+                                 kernels=(1, 3))
+    assert len(points) == 8
+    for p in points:
+        assert p["macs"] > 0 and p["comm"] > 0
+
+
+def test_operating_point_report_anchors():
+    from repro.experiments import operating_point_report
+
+    report = operating_point_report()
+    assert report["encrypt_time_s"] == pytest.approx(0.66e-3, rel=0.02)
+    assert report["area_mm2"] == pytest.approx(19.3, rel=0.02)
+    assert report["average_power_w"] <= 0.2
+
+
+def test_design_space_summary_small_grid():
+    from repro.experiments import design_space_summary
+
+    grid = {"prng_lanes": (2, 8), "ntt_pes": (2, 8), "intt_pes": (2, 8),
+            "dyadic_pes": (4,), "add_pes": (4,), "modswitch_pes": (4,),
+            "encode_pes": (4,)}
+    summary = design_space_summary(grid)
+    assert summary["count"] == 8
+    assert summary["selected"].power_w <= 0.2
+    assert summary["time_range_s"][0] < summary["time_range_s"][1]
+    assert summary["pareto_sample"]
+
+
+def test_table4_measurement_single_row():
+    from repro.experiments import measure_noise_budget_row
+
+    initial, post_rotate, post_permute = measure_noise_budget_row(
+        4096, 18, (36, 36, 37))
+    assert initial >= post_rotate > post_permute
+
+
+def test_network_layer_points_cover_convs():
+    points = network_layer_points(vgg16_cifar10())
+    assert len(points) == 13      # VGG16's 13 conv layers
+    assert all(m > 0 and c > 0 for m, c in points)

@@ -1,0 +1,106 @@
+"""Direct tests for key generation and key switching internals."""
+
+import numpy as np
+import pytest
+
+from repro.hecore.keys import (
+    KeyGenerator,
+    expand_uniform_poly,
+    galois_element_for_conjugation,
+    galois_element_for_step,
+    switch_key,
+)
+from repro.hecore.params import SchemeType, small_test_parameters
+from repro.hecore.polyring import RnsPoly
+from repro.hecore.random import BlakePrng
+
+
+@pytest.fixture(scope="module")
+def params():
+    return small_test_parameters(SchemeType.BFV, poly_degree=256,
+                                 plain_bits=14, data_bits=(29, 29))
+
+
+@pytest.fixture(scope="module")
+def keygen(params):
+    return KeyGenerator(params, seed=4321)
+
+
+def test_secret_key_is_ternary(keygen):
+    ints = keygen.secret_key().poly.to_int_coeffs(centered=True)
+    assert set(ints) <= {-1, 0, 1}
+
+
+def test_public_key_decrypts_to_small_error(params, keygen):
+    """p0 + p1*s must be a small error polynomial (an encryption of zero)."""
+    pk = keygen.public_key()
+    s = keygen.secret_key().poly_ntt
+    zero_enc = (pk.p0 + pk.p1 * s).from_ntt()
+    assert zero_enc.infinity_norm() < 64 * 20
+
+
+def test_galois_elements():
+    n = 256
+    assert galois_element_for_step(0, n) == 1
+    assert galois_element_for_step(1, n) == 3
+    assert galois_element_for_step(-1, n) == pow(3, n // 2 - 1, 2 * n)
+    assert galois_element_for_conjugation(n) == 2 * n - 1
+    # The generator has order N/2: a full cycle returns to the identity.
+    assert galois_element_for_step(n // 2, n) == 1
+
+
+def test_switch_key_preserves_relation(params, keygen):
+    """switch_key(d, ksk) yields u0 + u1*s ≈ d*s_src with small noise."""
+    n = params.poly_degree
+    s = keygen.secret_key()
+    s_sq = s.poly_ntt * s.poly_ntt
+    ksk = keygen.relin_keys()
+
+    rng = np.random.default_rng(0)
+    d = RnsPoly.from_signed_array(params.data_base,
+                                  rng.integers(-100, 100, n))
+    u0, u1 = switch_key(d, ksk, params)
+
+    s_data = s.restricted_ntt(params.data_base, params.full_base)
+    s_sq_data = (s_data * s_data)
+    lhs = (u0.to_ntt() + u1.to_ntt() * s_data).from_ntt()
+    rhs = (d.to_ntt() * s_sq_data).from_ntt()
+    noise = (lhs - rhs).infinity_norm()
+    # Key-switch noise divided by the two special primes is tiny relative
+    # to the data modulus.
+    assert noise < params.data_base.modulus >> 20
+
+
+def test_galois_keys_cover_requested_steps(keygen, params):
+    keys = keygen.galois_keys([1, 2, 5], include_conjugation=True)
+    n = params.poly_degree
+    for step in (1, 2, 5):
+        assert galois_element_for_step(step, n) in keys
+    assert galois_element_for_conjugation(n) in keys
+    with pytest.raises(KeyError):
+        keys.key_for(999999)
+
+
+def test_key_sizes_scale_with_parameters(params, keygen):
+    ksk = keygen.relin_keys()
+    size = ksk.size_bytes(params)
+    digits = len(params.data_base)
+    k = params.logical_residue_count
+    assert size == digits * 2 * k * params.poly_degree * 8
+
+
+def test_expand_uniform_poly_deterministic(params):
+    seed = b"\x01" * 32
+    a = expand_uniform_poly(seed, params.data_base, params.poly_degree)
+    b = expand_uniform_poly(seed, params.data_base, params.poly_degree)
+    c = expand_uniform_poly(b"\x02" * 32, params.data_base, params.poly_degree)
+    assert np.array_equal(a.data, b.data)
+    assert not np.array_equal(a.data, c.data)
+
+
+def test_keygen_deterministic_with_seed(params):
+    a = KeyGenerator(params, seed=7).secret_key().poly.data
+    b = KeyGenerator(params, seed=7).secret_key().poly.data
+    c = KeyGenerator(params, seed=8).secret_key().poly.data
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)

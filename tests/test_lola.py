@@ -1,0 +1,111 @@
+"""Tests for LoLa-style alternating dot-product representations."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import FullyEncryptedPageRank, pagerank_reference
+from repro.core.lola import AlternatingMatVec
+from repro.core.protocol import ClientAidedSession
+from repro.hecore.ckks import CkksContext
+from repro.hecore.params import SchemeType, small_test_parameters
+
+TOL = 0.05
+
+
+@pytest.fixture(scope="module")
+def deep_ckks():
+    """A CKKS context with enough levels for several chained products
+    (each alternating product costs two levels: weights + cleanup)."""
+    params = small_test_parameters(
+        SchemeType.CKKS, poly_degree=1024,
+        data_bits=(30, 24, 24, 24, 24, 24, 24, 24))
+    return CkksContext(params, seed=21)
+
+
+@pytest.fixture(scope="module")
+def matvec(deep_ckks):
+    rng = np.random.default_rng(2)
+    matrix = rng.uniform(-0.5, 0.5, (4, 4))
+    mv = AlternatingMatVec(deep_ckks, matrix)
+    deep_ckks.make_galois_keys(mv.required_rotation_steps())
+    return mv
+
+
+def test_rejects_non_square(deep_ckks):
+    with pytest.raises(ValueError):
+        AlternatingMatVec(deep_ckks, np.ones((2, 3)))
+
+
+def test_rejects_oversized(deep_ckks):
+    with pytest.raises(ValueError):
+        AlternatingMatVec(deep_ckks, np.ones((64, 64)))  # needs 4096 slots
+
+
+def test_dense_to_spread(matvec, deep_ckks):
+    x = np.array([0.5, -0.25, 1.0, 0.75])
+    ct = deep_ckks.encrypt(matvec.pack_dense(x))
+    out = matvec.dense_to_spread(ct)
+    got = matvec.unpack_spread(np.real(deep_ckks.decrypt(out)))
+    assert np.allclose(got, matvec.matrix @ x, atol=TOL)
+
+
+def test_spread_to_dense_composes(matvec, deep_ckks):
+    """dense -> spread -> dense equals M @ (M @ x): the alternation works."""
+    x = np.array([0.5, -0.25, 1.0, 0.75])
+    ct = deep_ckks.encrypt(matvec.pack_dense(x))
+    spread = matvec.dense_to_spread(ct)
+    dense = matvec.spread_to_dense(spread)
+    got = matvec.unpack_dense(np.real(deep_ckks.decrypt(dense)))
+    want = matvec.matrix @ (matvec.matrix @ x)
+    assert np.allclose(got, want, atol=TOL)
+
+
+def test_power_iteration_three_steps(matvec, deep_ckks):
+    x = np.array([1.0, 0.0, 0.5, -0.5])
+    ct = deep_ckks.encrypt(matvec.pack_dense(x))
+    out, fmt = matvec.power_iteration(ct, 3)
+    assert fmt == "spread"
+    got = matvec.unpack(np.real(deep_ckks.decrypt(out)), fmt)
+    want = np.linalg.matrix_power(matvec.matrix, 3) @ x
+    assert np.allclose(got, want, atol=TOL)
+
+
+def test_no_repacking_interaction(matvec, deep_ckks):
+    """The alternation is server-only: no decrypt between iterations, and
+    exactly two plaintext multiplies per product (weights + cleanup)."""
+    x = np.array([0.2, 0.4, 0.6, 0.8])
+    ct = deep_ckks.encrypt(matvec.pack_dense(x))
+    before_dec = deep_ckks.counts["decrypt"]
+    before_mult = deep_ckks.counts["multiply_plain"]
+    matvec.power_iteration(ct, 2)
+    assert deep_ckks.counts["decrypt"] == before_dec
+    assert deep_ckks.counts["multiply_plain"] - before_mult == 4
+
+
+def test_fully_encrypted_pagerank(deep_ckks):
+    adjacency = np.array([
+        [0, 1, 0, 0],
+        [1, 0, 1, 1],
+        [0, 1, 0, 1],
+        [1, 0, 1, 0],
+    ], dtype=float)
+    pr = FullyEncryptedPageRank(deep_ckks, adjacency)
+    session = ClientAidedSession(deep_ckks)
+    ranks, ledger = pr.run(3, session=session)
+    want = pagerank_reference(adjacency, iterations=3)
+    assert np.allclose(ranks, want / want.sum(), atol=0.02)
+    # Zero mid-run client interaction: one upload, one download.
+    assert ledger.client_encrypt_ops == 1
+    assert ledger.client_decrypt_ops == 1
+
+
+def test_fully_encrypted_depth_limit(deep_ckks):
+    adjacency = np.eye(4)
+    pr = FullyEncryptedPageRank(deep_ckks, adjacency)
+    with pytest.raises(ValueError):
+        pr.run(pr.max_iterations() + 1)
+
+
+def test_fully_encrypted_rejects_bfv(bfv):
+    with pytest.raises(ValueError):
+        FullyEncryptedPageRank(bfv, np.eye(4))

@@ -1,0 +1,81 @@
+"""Unit tests for vectorized modular arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hecore import modmath
+
+PRIME = (1 << 30) - 35  # 30-bit prime 1073741789
+
+
+def test_mod_add_wraps():
+    a = np.array([PRIME - 1, 5], dtype=np.int64)
+    b = np.array([2, 7], dtype=np.int64)
+    assert list(modmath.mod_add(a, b, PRIME)) == [1, 12]
+
+
+def test_mod_sub_wraps():
+    a = np.array([0, 10], dtype=np.int64)
+    b = np.array([1, 3], dtype=np.int64)
+    assert list(modmath.mod_sub(a, b, PRIME)) == [PRIME - 1, 7]
+
+
+def test_mod_mul_matches_python():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, PRIME, 1000, dtype=np.int64)
+    b = rng.integers(0, PRIME, 1000, dtype=np.int64)
+    out = modmath.mod_mul(a, b, PRIME)
+    for x, y, z in zip(a[:50], b[:50], out[:50]):
+        assert int(z) == (int(x) * int(y)) % PRIME
+
+
+def test_mod_neg():
+    a = np.array([0, 1, PRIME - 1], dtype=np.int64)
+    assert list(modmath.mod_neg(a, PRIME)) == [0, PRIME - 1, 1]
+
+
+@given(st.integers(min_value=1, max_value=PRIME - 1))
+@settings(max_examples=50)
+def test_mod_inv_property(a):
+    inv = modmath.mod_inv(a, PRIME)
+    assert (a * inv) % PRIME == 1
+
+
+def test_mod_inv_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        modmath.mod_inv(0, PRIME)
+
+
+def test_mod_inv_array():
+    a = np.array([1, 2, 3, PRIME - 1], dtype=np.int64)
+    inv = modmath.mod_inv_array(a, PRIME)
+    assert list(modmath.mod_mul(a, inv, PRIME)) == [1, 1, 1, 1]
+
+
+def test_center_roundtrip():
+    a = np.array([0, 1, PRIME // 2, PRIME // 2 + 1, PRIME - 1], dtype=np.int64)
+    centered = modmath.center(a, PRIME)
+    assert centered[3] < 0 and centered[4] == -1
+    assert list(modmath.uncenter(centered, PRIME)) == list(a)
+
+
+@given(st.integers(min_value=0, max_value=PRIME - 1))
+@settings(max_examples=50)
+def test_center_bounds(x):
+    c = int(modmath.center(np.array([x], dtype=np.int64), PRIME)[0])
+    assert -PRIME // 2 <= c <= PRIME // 2
+    assert c % PRIME == x
+
+
+def test_check_modulus_rejects_wide():
+    with pytest.raises(ValueError):
+        modmath.check_modulus(1 << 32)
+    assert modmath.check_modulus(PRIME) == PRIME
+
+
+def test_is_power_of_two():
+    assert modmath.is_power_of_two(1024)
+    assert not modmath.is_power_of_two(0)
+    assert not modmath.is_power_of_two(1000)

@@ -1,0 +1,78 @@
+"""Cross-check: the GC model derives the published Figure 10 magnitudes."""
+
+import pytest
+
+from repro.baselines.mpc import (
+    GarbledCircuitModel,
+    choco_hybrid_mpc_comm_mb,
+    derived_delphi_class_comm_mb,
+    derived_gazelle_class_comm_mb,
+)
+from repro.baselines.protocols import protocols_for
+from repro.nn.models import lenet_large, squeezenet_cifar10
+
+
+def _published(dataset, name):
+    return next(p.comm_mb for p in protocols_for(dataset) if p.name == name)
+
+
+def test_relu_bytes_scale_with_bits_and_count():
+    model = GarbledCircuitModel(share_bits=16)
+    one = model.relu_bytes(1)
+    assert one == pytest.approx(16 * (2 * 32 + 32))
+    assert model.relu_bytes(10) == pytest.approx(10 * one)
+    wider = GarbledCircuitModel(share_bits=32)
+    assert wider.relu_bytes(1) == pytest.approx(2 * one)
+
+
+def test_gc_dominates_hybrid_communication():
+    """In Gazelle-class protocols the GC activations, not the HE
+    ciphertexts, dominate — the structural reason CHOCO's all-HE
+    client-aided design communicates orders of magnitude less."""
+    model = GarbledCircuitModel()
+    net = squeezenet_cifar10()
+    gc = model.network_gc_bytes(net)
+    he = 2 * 0.5e6 * len(net.linear_layers())
+    assert gc > 5 * he
+
+
+def test_derived_gazelle_within_3x_of_published():
+    derived = derived_gazelle_class_comm_mb(squeezenet_cifar10())
+    published = _published("CIFAR-10", "Gazelle")
+    assert published / 3 < derived < published * 3
+
+
+def test_derived_gazelle_mnist_within_3x():
+    derived = derived_gazelle_class_comm_mb(lenet_large())
+    published = _published("MNIST", "Gazelle")
+    assert published / 3 < derived < published * 3
+
+
+def test_derived_delphi_class_order_of_magnitude():
+    derived = derived_delphi_class_comm_mb(squeezenet_cifar10())
+    published = _published("CIFAR-10", "Delphi")
+    assert published / 5 < derived < published * 5
+
+
+def test_choco_hybrid_sits_between_choco_and_gazelle():
+    """§3.1: even with MPC activations for model privacy, CHOCO's minimized
+    HE keeps the hybrid cheaper than the published Gazelle total (the GC
+    share is identical; CHOCO only shrinks the HE share)."""
+    from repro.apps.dnn import ClientAidedDnnPlan
+
+    net = squeezenet_cifar10()
+    choco = ClientAidedDnnPlan(net).communication_bytes() / 1e6
+    hybrid = choco_hybrid_mpc_comm_mb(net)
+    published_gazelle = _published("CIFAR-10", "Gazelle")
+    assert choco < hybrid < published_gazelle
+    # The hybrid's GC share dominates: client-aided all-HE (plain CHOCO)
+    # is what buys the orders of magnitude.
+    assert hybrid / choco > 10
+
+
+def test_choco_beats_derived_baselines_too():
+    from repro.apps.dnn import ClientAidedDnnPlan
+
+    plan = ClientAidedDnnPlan(squeezenet_cifar10())
+    choco_mb = plan.communication_bytes() / 1e6
+    assert derived_gazelle_class_comm_mb(squeezenet_cifar10()) / choco_mb > 10

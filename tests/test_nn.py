@@ -1,0 +1,118 @@
+"""Tests for the DNN substrate and the Table 5 model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPoolLayer,
+    ConvLayer,
+    FcLayer,
+    FireLayer,
+    FlattenLayer,
+    GlobalAvgPoolLayer,
+    MaxPoolLayer,
+    Network,
+    ReluLayer,
+)
+from repro.nn.models import NETWORK_BUILDERS, TABLE5_REFERENCE
+
+
+def test_conv_shapes_same_and_valid():
+    same = ConvLayer(3, 8, 3, padding="same")
+    valid = ConvLayer(3, 8, 5, padding="valid")
+    assert same.output_shape((3, 16, 16)) == (8, 16, 16)
+    assert valid.output_shape((3, 16, 16)) == (8, 12, 12)
+
+
+def test_conv_stride_two():
+    conv = ConvLayer(3, 8, 3, stride=2, padding="same")
+    assert conv.output_shape((3, 32, 32)) == (8, 16, 16)
+
+
+def test_conv_macs_and_params():
+    conv = ConvLayer(2, 4, 3, padding="same")
+    assert conv.macs((2, 8, 8)) == 8 * 8 * 4 * 2 * 9
+    assert conv.param_count() == 4 * 2 * 9
+
+
+def test_conv_forward_matches_manual():
+    conv = ConvLayer(1, 1, 3, padding="valid",
+                     weights=np.ones((1, 1, 3, 3)))
+    x = np.arange(16, dtype=float).reshape(1, 4, 4)
+    out = conv.forward(x)
+    assert out.shape == (1, 2, 2)
+    assert out[0, 0, 0] == x[0, :3, :3].sum()
+
+
+def test_conv_rejects_wrong_channels():
+    with pytest.raises(ValueError):
+        ConvLayer(2, 4, 3).output_shape((3, 8, 8))
+
+
+def test_fc_forward():
+    fc = FcLayer(4, 2, weights=np.array([[1, 0, 0, 0], [0, 1, 0, 0]], dtype=float))
+    assert np.array_equal(fc.forward(np.array([5.0, 6, 7, 8])), [5, 6])
+    assert fc.macs((4,)) == 8
+
+
+def test_relu_and_pools():
+    x = np.array([[[1.0, -2, 3, -4], [5, -6, 7, -8],
+                   [-1, 2, -3, 4], [-5, 6, -7, 8]]])
+    assert np.min(ReluLayer().forward(x)) == 0
+    assert MaxPoolLayer().forward(x).shape == (1, 2, 2)
+    assert MaxPoolLayer().forward(x)[0, 0, 0] == 5
+    assert AvgPoolLayer().forward(x)[0, 0, 0] == pytest.approx(-0.5)
+    assert GlobalAvgPoolLayer().forward(x).shape == (1,)
+
+
+def test_fire_layer_accounting_and_forward():
+    fire = FireLayer(4, squeeze=2, expand1=3, expand3=3)
+    shape = (4, 6, 6)
+    assert fire.output_shape(shape) == (6, 6, 6)
+    expected_macs = (2 * 4 * 36) + (3 * 2 * 36) + (3 * 2 * 9 * 36)
+    assert fire.macs(shape) == expected_macs
+    out = fire.forward(np.random.default_rng(0).uniform(-1, 1, shape))
+    assert out.shape == (6, 6, 6)
+    assert np.min(out) >= 0   # expands are ReLU'd
+
+
+def test_network_shapes_and_forward():
+    net = Network("tiny", (1, 8, 8), [
+        ConvLayer(1, 2, 3, padding="same"),
+        ReluLayer(),
+        MaxPoolLayer(),
+        FlattenLayer(),
+        FcLayer(32, 4),
+    ])
+    assert net.output_shape == (4,)
+    assert net.forward(np.ones((1, 8, 8))).shape == (4,)
+    assert net.total_macs() == 8 * 8 * 2 * 9 + 32 * 4
+    assert len(net.linear_layers()) == 2
+
+
+@pytest.mark.parametrize("name", list(NETWORK_BUILDERS))
+def test_table5_census_matches(name):
+    net = NETWORK_BUILDERS[name]()
+    assert net.layer_census() == TABLE5_REFERENCE[name]["layers"]
+
+
+@pytest.mark.parametrize("name", list(NETWORK_BUILDERS))
+def test_table5_macs_within_3pct(name):
+    net = NETWORK_BUILDERS[name]()
+    ref = TABLE5_REFERENCE[name]["macs_e6"] * 1e6
+    assert abs(net.total_macs() - ref) / ref < 0.03
+
+
+@pytest.mark.parametrize("name", list(NETWORK_BUILDERS))
+def test_model_sizes_same_order(name):
+    net = NETWORK_BUILDERS[name]()
+    ref_mb = TABLE5_REFERENCE[name]["size_mb"][0]
+    got_mb = net.model_size_bytes() / 1e6
+    assert ref_mb / 3 < got_mb < ref_mb * 3
+
+
+def test_mnist_networks_run_forward():
+    x = np.random.default_rng(1).uniform(0, 1, (1, 28, 28))
+    for name in ("LeNetSm", "LeNetLg"):
+        out = NETWORK_BUILDERS[name]().forward(x)
+        assert out.shape == (10,)

@@ -1,0 +1,80 @@
+"""Integration: the static noise estimator vs real protocol execution.
+
+The estimator's feasibility verdicts are what scheduling decisions (§3.2,
+Figure 13) rest on — so a segment it declares feasible must actually
+decrypt correctly when run with real HE, and a workload it rejects must in
+fact exhaust the budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hecore.bfv import BfvContext
+from repro.hecore.noise import NoiseEstimator
+from repro.hecore.params import EncryptionParameters, SchemeType
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # Three data residues plus the logical key prime: q_data = 90 bits.
+    params = EncryptionParameters.create(
+        SchemeType.BFV, 1024, (30, 30, 30, 30), plain_bits=16,
+        enforce_security=False)
+    context = BfvContext(params, seed=321)
+    context.make_galois_keys([1])
+    return context
+
+
+def _run_segment(ctx, plain_mult_depth: int, rotations: int):
+    """Run the profiled segment with real HE; return (decrypts_ok, budget).
+
+    Multipliers are full-entropy slot vectors — the worst case the static
+    model assumes (a constant multiplier encodes to a tiny-norm polynomial
+    and would consume almost no budget).
+    """
+    t = ctx.params.plain_modulus
+    n = ctx.params.poly_degree
+    half = n // 2
+    values = np.array([1, 2, 1, 2], dtype=np.int64)
+    expected = values.copy().astype(object)
+    ct = ctx.encrypt(values)
+    for _ in range(rotations):
+        ct = ctx.rotate_rows(ct, 1)
+        padded = np.zeros(half, dtype=object)
+        padded[:4] = expected
+        expected = np.roll(padded, -1)[:4]
+    m_slots = (np.arange(n, dtype=np.int64) * 2654435761) % (t - 1) + 1
+    multiplier = ctx.encode(m_slots)
+    for _ in range(plain_mult_depth):
+        ct = ctx.multiply_plain(ct, multiplier)
+        expected = expected * m_slots[:4].astype(object) % t
+    out = ctx.decrypt(ct)
+    return np.array_equal(out[:4].astype(object), expected), ctx.noise_budget(ct)
+
+
+def test_feasible_segment_decrypts(ctx):
+    estimator = NoiseEstimator(ctx.params)
+    assert estimator.segment_is_feasible(plain_mult_depth=2, rotations=3)
+    ok, budget = _run_segment(ctx, plain_mult_depth=2, rotations=3)
+    assert ok
+    assert budget > 0
+
+
+def test_infeasible_segment_fails(ctx):
+    estimator = NoiseEstimator(ctx.params)
+    # Depth 5 at t=16: predicted to blow the 90-bit data modulus.
+    assert not estimator.segment_is_feasible(plain_mult_depth=5, rotations=3)
+    ok, budget = _run_segment(ctx, plain_mult_depth=5, rotations=3)
+    assert budget == 0
+    assert not ok
+
+
+def test_estimator_boundary_is_ordered(ctx):
+    """Feasibility is monotone in depth: once infeasible, always infeasible."""
+    estimator = NoiseEstimator(ctx.params)
+    verdicts = [estimator.segment_is_feasible(plain_mult_depth=d, rotations=2)
+                for d in range(1, 8)]
+    # True...True False...False
+    assert verdicts[0]
+    assert not verdicts[-1]
+    assert verdicts == sorted(verdicts, reverse=True)

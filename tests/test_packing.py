@@ -1,0 +1,104 @@
+"""Tests for rotational redundancy packing (Figure 4B) and its layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packing import (
+    ChannelLayout,
+    RedundantPacking,
+    windowed_rotation_redundant,
+)
+
+
+def test_layout_validates():
+    with pytest.raises(ValueError):
+        ChannelLayout(window=10, redundancy=4, span=16, count=1)  # 10+8 > 16
+    with pytest.raises(ValueError):
+        ChannelLayout(window=4, redundancy=0, span=5, count=1)    # not pow2
+    ChannelLayout(window=8, redundancy=4, span=16, count=2)
+
+
+def test_layout_density():
+    layout = ChannelLayout(window=8, redundancy=4, span=16, count=2)
+    assert layout.density == pytest.approx(0.5)
+    assert layout.total_slots == 32
+    assert layout.window_offset(1) == 20
+
+
+def test_pack_places_redundant_copies():
+    packing = RedundantPacking(window=4, redundancy=2, count=1)
+    out = packing.pack([np.array([1, 2, 3, 4])])
+    # Figure 4B layout: [c d | a b c d | a b] inside a pow2 span.
+    assert list(out[:8]) == [3, 4, 1, 2, 3, 4, 1, 2]
+
+
+def test_pack_unpack_roundtrip_multichannel():
+    packing = RedundantPacking(window=6, redundancy=2, count=3)
+    channels = [np.arange(6) + 10 * c for c in range(3)]
+    slots = packing.pack(channels)
+    for got, want in zip(packing.unpack(slots), channels):
+        assert np.array_equal(got, want)
+
+
+def test_unpack_rejects_excess_rotation():
+    packing = RedundantPacking(window=4, redundancy=1, count=1)
+    slots = packing.pack([np.arange(4)])
+    with pytest.raises(ValueError):
+        packing.unpack(slots, rotation=2)
+
+
+def test_plaintext_rotation_semantics():
+    """np.roll of the packed vector must equal a windowed rotation."""
+    packing = RedundantPacking(window=4, redundancy=2, count=2)
+    channels = [np.array([1, 2, 3, 4]), np.array([5, 6, 7, 8])]
+    slots = packing.pack(channels)
+    for rot in (-2, -1, 0, 1, 2):
+        rolled = np.roll(slots, -rot)   # global left rotation by rot
+        got = packing.unpack(rolled, rotation=rot)
+        want = packing.expected_after_rotation(channels, rot)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w), f"rotation {rot}"
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=4),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=50)
+def test_pack_unpack_property(window, redundancy, count):
+    packing = RedundantPacking(window=window, redundancy=min(redundancy, window),
+                               count=count)
+    rng = np.random.default_rng(window * 100 + count)
+    channels = [rng.integers(0, 100, window) for _ in range(count)]
+    for got, want in zip(packing.unpack(packing.pack(channels)), channels):
+        assert np.array_equal(got, want)
+
+
+def test_slot_limit_enforced():
+    with pytest.raises(ValueError):
+        RedundantPacking(window=100, redundancy=10, count=10, slot_limit=256)
+
+
+def test_encrypted_windowed_rotation_single_op(bfv):
+    """Rotational redundancy: one HE rotation implements a windowed rotation."""
+    packing = RedundantPacking(window=8, redundancy=3, count=2)
+    channels = [np.arange(1, 9), np.arange(11, 19)]
+    bfv.make_galois_keys([2])
+    ct = bfv.encrypt(packing.pack(channels).astype(np.int64))
+    rotations_before = bfv.counts["rotate"]
+    mults_before = bfv.counts["multiply_plain"]
+    out = windowed_rotation_redundant(bfv, ct, 2, packing.layout)
+    assert bfv.counts["rotate"] - rotations_before == 1
+    assert bfv.counts["multiply_plain"] == mults_before  # no masking multiplies
+    slots = bfv.decrypt(out)
+    got = packing.unpack(slots, rotation=2)
+    want = packing.expected_after_rotation(channels, 2)
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+
+
+def test_redundant_rotation_rejects_excess(bfv):
+    packing = RedundantPacking(window=8, redundancy=1, count=1)
+    ct = bfv.encrypt(packing.pack([np.arange(8)]).astype(np.int64))
+    with pytest.raises(ValueError):
+        windowed_rotation_redundant(bfv, ct, 2, packing.layout)

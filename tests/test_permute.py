@@ -1,0 +1,93 @@
+"""Tests for the masking-permutation baseline (Figure 4A) vs redundancy."""
+
+import numpy as np
+import pytest
+
+from repro.core.packing import RedundantPacking, windowed_rotation_redundant
+from repro.core.permute import required_rotation_steps, windowed_rotation_masked
+
+
+def _setup(bfv, window=8, offset=4):
+    values = np.arange(1, window + 1)
+    slots = np.zeros(bfv.params.poly_degree // 2, dtype=np.int64)
+    slots[offset: offset + window] = values
+    return values, slots
+
+
+def test_masked_windowed_rotation_correct(bfv):
+    window, offset, rot = 8, 4, 3
+    values, slots = _setup(bfv, window, offset)
+    bfv.make_galois_keys([rot, -(window - rot)])
+    ct = bfv.encrypt(slots)
+    out = bfv.decrypt(windowed_rotation_masked(bfv, ct, rot, offset, window))
+    assert np.array_equal(out[offset: offset + window], np.roll(values, -rot))
+
+
+def test_masked_rotation_zero_is_identity(bfv):
+    values, slots = _setup(bfv)
+    ct = bfv.encrypt(slots)
+    out = bfv.decrypt(windowed_rotation_masked(bfv, ct, 0, 4, 8))
+    assert np.array_equal(out[4:12], values)
+
+
+def test_masked_costs_two_rotations_two_multiplies(bfv):
+    window, offset, rot = 8, 4, 2
+    _, slots = _setup(bfv, window, offset)
+    bfv.make_galois_keys([rot, -(window - rot)])
+    ct = bfv.encrypt(slots)
+    r0, m0 = bfv.counts["rotate"], bfv.counts["multiply_plain"]
+    windowed_rotation_masked(bfv, ct, rot, offset, window)
+    assert bfv.counts["rotate"] - r0 == 2
+    assert bfv.counts["multiply_plain"] - m0 == 2
+
+
+def test_required_rotation_steps():
+    assert required_rotation_steps(3, 8) == (3, -5)
+    assert required_rotation_steps(0, 8) == ()
+    assert required_rotation_steps(8, 8) == ()
+
+
+def test_table4_noise_ordering(bfv):
+    """The paper's Table 4 shape: rotate is cheap, masked permute expensive.
+
+    Rotational redundancy has "noise behavior synonymous with just a single
+    rotation", so post-redundant-rotation budget must strictly exceed the
+    post-masked-permutation budget.
+    """
+    window, rot = 8, 3
+    packing = RedundantPacking(window=window, redundancy=4, count=1)
+    values = np.arange(1, window + 1)
+    bfv.make_galois_keys([rot, -(window - rot)])
+
+    fresh = bfv.encrypt(packing.pack([values]).astype(np.int64))
+    initial = bfv.noise_budget(fresh)
+
+    redundant = windowed_rotation_redundant(bfv, fresh, rot, packing.layout)
+    post_rotate = bfv.noise_budget(redundant)
+
+    offset = packing.layout.window_offset(0)
+    masked = windowed_rotation_masked(bfv, fresh, rot, offset, window)
+    post_permute = bfv.noise_budget(masked)
+
+    assert initial >= post_rotate > post_permute
+    # Rotation costs only a few bits; masking costs on the order of log2(t).
+    assert initial - post_rotate <= 6
+    assert post_rotate - post_permute >= 5
+
+
+def test_masked_and_redundant_agree(bfv):
+    window, rot = 8, 2
+    packing = RedundantPacking(window=window, redundancy=2, count=1)
+    values = np.arange(1, window + 1)
+    bfv.make_galois_keys([rot, -(window - rot)])
+    ct = bfv.encrypt(packing.pack([values]).astype(np.int64))
+
+    via_redundancy = packing.unpack(
+        bfv.decrypt(windowed_rotation_redundant(bfv, ct, rot, packing.layout)),
+        rotation=rot,
+    )[0]
+    offset = packing.layout.window_offset(0)
+    via_mask = bfv.decrypt(
+        windowed_rotation_masked(bfv, ct, rot, offset, window)
+    )[offset: offset + window]
+    assert np.array_equal(via_redundancy, via_mask)

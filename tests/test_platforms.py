@@ -1,0 +1,73 @@
+"""Tests for the platform cost models (§5.2 methodology)."""
+
+import pytest
+
+from repro.platforms.client_device import (
+    IMX6_ACTIVE_POWER_W,
+    SW_DEC_TIME_ANCHOR_S,
+    SW_ENC_TIME_ANCHOR_S,
+    Imx6SoftwareClient,
+)
+from repro.platforms.local_inference import TfLiteLocalInference
+from repro.platforms.radio import BluetoothLink, WiFiLink
+from repro.platforms.server import XeonServer
+
+
+def test_software_anchors():
+    client = Imx6SoftwareClient()
+    assert client.encrypt_time(8192, 3) == pytest.approx(SW_ENC_TIME_ANCHOR_S)
+    assert client.decrypt_time(8192, 3) == pytest.approx(SW_DEC_TIME_ANCHOR_S)
+    assert SW_ENC_TIME_ANCHOR_S == pytest.approx(0.27522, rel=1e-6)
+
+
+def test_energy_uses_an5345_power():
+    client = Imx6SoftwareClient()
+    assert client.energy(1.0) == IMX6_ACTIVE_POWER_W
+
+
+def test_ckks_anchors():
+    client = Imx6SoftwareClient()
+    assert client.ckks_encrypt_time(8192, 3) == pytest.approx(0.310)
+    assert client.ckks_decrypt_time(8192, 3) == pytest.approx(0.037)
+
+
+def test_encrypt_scales_with_k_and_n():
+    client = Imx6SoftwareClient()
+    assert client.encrypt_time(8192, 6) == pytest.approx(
+        2 * client.encrypt_time(8192, 3))
+    assert client.encrypt_time(16384, 3) > 2 * client.encrypt_time(8192, 3)
+
+
+def test_bluetooth_link():
+    radio = BluetoothLink()
+    # 22 Mbps: one 262144 B ciphertext ~ 95 ms.
+    assert radio.transfer_time(262144) == pytest.approx(0.0953, rel=0.01)
+    assert radio.transfer_energy(262144) == pytest.approx(0.0953 * 0.010, rel=0.01)
+    assert WiFiLink().transfer_time(262144) < radio.transfer_time(262144)
+
+
+def test_tflite_model_ordering():
+    local = TfLiteLocalInference()
+    assert local.inference_time(313e6) > local.inference_time(12e6)
+    assert local.inference_energy(12e6) == pytest.approx(
+        local.inference_time(12e6) * IMX6_ACTIVE_POWER_W)
+
+
+def test_server_op_times_reasonable():
+    server = XeonServer()
+    n, r = 8192, 2
+    assert server.add_time(n, r) < server.plain_multiply_time(n, r)
+    assert server.plain_multiply_time(n, r) < server.rotate_time(n, r)
+    assert server.rotate_time(n, r) < server.ct_multiply_time(n, r)
+    # SEAL-on-Xeon magnitudes: rotations are single-digit milliseconds.
+    assert 1e-4 < server.rotate_time(n, r) < 1e-2
+
+
+def test_server_time_for_counts():
+    server = XeonServer()
+    counts = {"rotate": 10, "multiply_plain": 10, "add": 20}
+    total = server.time_for_counts(counts, 8192, 2)
+    expected = (10 * server.rotate_time(8192, 2)
+                + 10 * server.plain_multiply_time(8192, 2)
+                + 20 * server.add_time(8192, 2))
+    assert total == pytest.approx(expected)

@@ -1,0 +1,141 @@
+"""Unit and property tests for RNS polynomial rings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hecore.polyring import RnsPoly, exact_negacyclic_multiply
+from repro.hecore.primes import generate_ntt_primes
+from repro.hecore.rns import RnsBase
+
+N = 64
+
+
+@pytest.fixture(scope="module")
+def base():
+    return RnsBase(generate_ntt_primes(28, 3, N))
+
+
+def rand_poly(base, seed, small=False):
+    rng = np.random.default_rng(seed)
+    if small:
+        return RnsPoly.from_signed_array(base, rng.integers(-5, 6, N, dtype=np.int64))
+    coeffs = [int(v) for v in rng.integers(0, 2**60, N)]
+    return RnsPoly.from_int_coeffs(base, [c % base.modulus for c in coeffs], N)
+
+
+def test_zero_and_shape(base):
+    z = RnsPoly.zero(base, N)
+    assert z.data.shape == (3, N)
+    assert z.infinity_norm() == 0
+
+
+def test_add_sub_roundtrip(base):
+    a, b = rand_poly(base, 1), rand_poly(base, 2)
+    assert np.array_equal(((a + b) - b).data, a.data)
+
+
+def test_neg(base):
+    a = rand_poly(base, 3)
+    assert (a + (-a)).infinity_norm() == 0
+
+
+def test_ntt_roundtrip(base):
+    a = rand_poly(base, 4)
+    assert np.array_equal(a.to_ntt().from_ntt().data, a.data)
+
+
+def test_mul_consistent_between_forms(base):
+    a, b = rand_poly(base, 5), rand_poly(base, 6)
+    coeff_product = a * b
+    ntt_product = (a.to_ntt() * b.to_ntt()).from_ntt()
+    assert np.array_equal(coeff_product.data, ntt_product.data)
+
+
+def test_mul_matches_bigint_crt(base):
+    a, b = rand_poly(base, 7, small=True), rand_poly(base, 8, small=True)
+    product = (a * b).to_int_coeffs(centered=True)
+    expected = exact_negacyclic_multiply(
+        a.to_int_coeffs(centered=True), b.to_int_coeffs(centered=True), N, 40
+    )
+    assert product == expected
+
+
+def test_scalar_multiply_big_scalar(base):
+    a = rand_poly(base, 9)
+    scalar = base.modulus // 3
+    got = a.scalar_multiply(scalar).to_int_coeffs(centered=False)
+    expected = [(v * scalar) % base.modulus for v in a.to_int_coeffs(centered=False)]
+    assert got == expected
+
+
+def test_automorphism_identity(base):
+    a = rand_poly(base, 10)
+    assert np.array_equal(a.apply_automorphism(1).data, a.data)
+
+
+def test_automorphism_composition(base):
+    # sigma_g1 . sigma_g2 = sigma_(g1*g2 mod 2N)
+    a = rand_poly(base, 11)
+    g1, g2 = 3, 5
+    lhs = a.apply_automorphism(g2).apply_automorphism(g1)
+    rhs = a.apply_automorphism((g1 * g2) % (2 * N))
+    assert np.array_equal(lhs.data, rhs.data)
+
+
+def test_automorphism_on_monomial(base):
+    # sigma_3(x) = x^3; sigma_3(x^(N-1)) = x^(3N-3) = -x^(N-3) for odd wraps.
+    mono = np.zeros(N, dtype=np.int64)
+    mono[1] = 1
+    p = RnsPoly.from_signed_array(base, mono).apply_automorphism(3)
+    ints = p.to_int_coeffs(centered=True)
+    assert ints[3] == 1 and sum(abs(v) for v in ints) == 1
+
+
+def test_automorphism_rejects_even(base):
+    with pytest.raises(ValueError):
+        rand_poly(base, 12).apply_automorphism(4)
+
+
+def test_divide_and_round_by_last(base):
+    # A value exactly divisible by the last prime divides cleanly.
+    last = base.moduli[-1]
+    values = [last * k for k in range(N)]
+    poly = RnsPoly.from_int_coeffs(base, values, N)
+    reduced = poly.divide_and_round_by_last()
+    assert reduced.base.moduli == base.moduli[:-1]
+    assert reduced.to_int_coeffs(centered=False) == list(range(N))
+
+
+def test_divide_and_round_error_bounded(base):
+    rng = np.random.default_rng(13)
+    last = base.moduli[-1]
+    values = [int(v) for v in rng.integers(0, 2**50, N)]
+    poly = RnsPoly.from_int_coeffs(base, values, N)
+    reduced = poly.divide_and_round_by_last().to_int_coeffs(centered=True)
+    for v, r in zip(values, reduced):
+        assert abs(r - round(v / last)) <= 1
+
+
+def test_switch_base_small_values(base):
+    small = RnsPoly.from_signed_array(base, np.arange(-10, N - 10, dtype=np.int64))
+    other = RnsBase(generate_ntt_primes(27, 2, N))
+    moved = small.switch_base(other)
+    assert moved.to_int_coeffs(centered=True) == list(range(-10, N - 10))
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_exact_negacyclic_multiply_vs_schoolbook(seed):
+    rng = np.random.default_rng(seed)
+    n = 16
+    a = [int(v) for v in rng.integers(-1000, 1000, n)]
+    b = [int(v) for v in rng.integers(-1000, 1000, n)]
+    got = exact_negacyclic_multiply(a, b, n, 30)
+    expected = [0] * n
+    for i in range(n):
+        for j in range(n):
+            k, sign = (i + j, 1) if i + j < n else (i + j - n, -1)
+            expected[k] += sign * a[i] * b[j]
+    assert got == expected

@@ -1,0 +1,107 @@
+"""Tests for the client-aided protocol runtime and cost ledger."""
+
+import numpy as np
+import pytest
+
+from repro.accel.hwassist import HEAX
+from repro.core.protocol import ClientAidedSession, ClientCostModel, CostLedger
+from repro.hecore.params import PARAMETER_SET_A, PARAMETER_SET_C
+from repro.platforms.radio import BluetoothLink
+
+
+def test_ledger_merge_and_totals():
+    a = CostLedger(client_encrypt_ops=2, bytes_up=100, bytes_down=50,
+                   client_compute_s=1.0, rounds=1)
+    b = CostLedger(client_decrypt_ops=3, bytes_up=10, server_compute_s=0.5)
+    a.merge(b)
+    assert a.client_encrypt_ops == 2 and a.client_decrypt_ops == 3
+    assert a.total_bytes == 160
+    assert a.rounds == 1 and a.server_compute_s == 0.5
+
+
+def test_ledger_end_to_end_costs():
+    radio = BluetoothLink()
+    led = CostLedger(client_compute_s=0.1, client_energy_j=0.02,
+                     bytes_up=1_000_000, bytes_down=1_000_000,
+                     server_compute_s=0.3, rounds=4)
+    t = led.end_to_end_client_time(radio)
+    assert t == pytest.approx(0.1 + 0.3 + radio.transfer_time(2_000_000)
+                              + 4 * radio.round_trip_s)
+    e = led.end_to_end_client_energy(radio)
+    assert e == pytest.approx(0.02 + radio.transfer_energy(2_000_000))
+
+
+def test_server_compute_rejects_decryption(bfv):
+    """§3.1: the secret key never leaves the client — server-side code that
+    decrypts is a protocol violation, caught mechanically."""
+    from repro.core.protocol import ProtocolViolation
+
+    session = ClientAidedSession(bfv)
+    ct = session.client_encrypt([1, 2, 3])
+    with pytest.raises(ProtocolViolation):
+        session.server_compute(bfv.decrypt, ct)
+
+
+def test_cost_model_software_vs_taco():
+    sw = ClientCostModel.software(PARAMETER_SET_A)
+    taco = ClientCostModel.choco_taco(PARAMETER_SET_A)
+    assert sw.encrypt_s / taco.encrypt_s == pytest.approx(417, rel=0.05)
+    assert sw.decrypt_s / taco.decrypt_s == pytest.approx(125, rel=0.08)
+    assert sw.encrypt_j / taco.encrypt_j == pytest.approx(603, rel=0.05)
+
+
+def test_cost_model_partial_between_sw_and_taco():
+    sw = ClientCostModel.software(PARAMETER_SET_A)
+    heax = ClientCostModel.partial_accelerator(PARAMETER_SET_A, HEAX)
+    taco = ClientCostModel.choco_taco(PARAMETER_SET_A)
+    assert taco.encrypt_s < heax.encrypt_s < sw.encrypt_s
+
+
+def test_cost_model_ckks():
+    sw = ClientCostModel.software(PARAMETER_SET_C)
+    taco = ClientCostModel.choco_taco(PARAMETER_SET_C)
+    assert sw.encrypt_s == pytest.approx(0.310, rel=0.01)
+    assert sw.encrypt_s / taco.encrypt_s == pytest.approx(18, rel=0.1)
+
+
+def test_functional_session_accounting(bfv):
+    session = ClientAidedSession(bfv)
+    ct = session.upload(session.client_encrypt([1, 2, 3]))
+    assert session.ledger.client_encrypt_ops == 1
+    assert session.ledger.bytes_up == ct.size_bytes()
+    assert session.ledger.client_compute_s > 0
+
+    doubled = session.server_compute(bfv.add, ct, ct)
+    assert session.ledger.server_compute_s > 0
+
+    out = session.client_decrypt(session.download(doubled))
+    assert list(out[:3]) == [2, 4, 6]
+    assert session.ledger.client_decrypt_ops == 1
+    assert session.ledger.bytes_down == doubled.size_bytes()
+
+
+def test_transcript_records_protocol_flow(bfv):
+    session = ClientAidedSession(bfv, record_transcript=True)
+    ct = session.upload(session.client_encrypt([1, 2]))
+    out = session.server_compute(bfv.add, ct, ct)
+    session.client_decrypt(session.download(out))
+    events = [e for e, _ in session.transcript]
+    assert events == ["encrypt", "upload", "server", "download", "decrypt"]
+    text = session.format_transcript()
+    assert "client -> server" in text
+    assert "addx1" in text
+
+
+def test_transcript_disabled_by_default(bfv):
+    session = ClientAidedSession(bfv)
+    session.client_encrypt([1])
+    assert session.transcript is None
+    assert session.format_transcript() == "(no transcript recorded)"
+
+
+def test_server_compute_meters_only_inside(bfv):
+    session = ClientAidedSession(bfv)
+    ct = session.client_encrypt([5])
+    before = session.ledger.server_compute_s
+    bfv.add(ct, ct)   # outside server_compute: not metered
+    assert session.ledger.server_compute_s == before

@@ -1,0 +1,55 @@
+"""Tests for symmetric quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.quantize import (
+    accumulation_bits,
+    quantization_range,
+    quantize_tensor,
+    requantize,
+)
+
+
+def test_range():
+    assert quantization_range(4) == 7
+    assert quantization_range(8) == 127
+    with pytest.raises(ValueError):
+        quantization_range(1)
+
+
+def test_quantize_bounds_and_roundtrip():
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 1, 100)
+    q = quantize_tensor(x, bits=4)
+    assert np.max(np.abs(q.values)) <= 7
+    assert np.allclose(q.dequantize(), x, atol=q.scale / 2 + 1e-12)
+
+
+def test_quantize_zero_tensor():
+    q = quantize_tensor(np.zeros(10), bits=4)
+    assert np.all(q.values == 0)
+
+
+@given(st.integers(min_value=2, max_value=10))
+@settings(max_examples=9)
+def test_quantize_respects_bits(bits):
+    x = np.linspace(-3, 3, 50)
+    q = quantize_tensor(x, bits=bits)
+    assert np.max(np.abs(q.values)) <= quantization_range(bits)
+    # Extremes hit the rails exactly.
+    assert abs(q.values[0]) == quantization_range(bits)
+
+
+def test_requantize():
+    acc = np.array([1000, -500, 250])
+    q = requantize(acc, in_scale=0.01, bits=4)
+    assert np.max(np.abs(q.values)) <= 7
+
+
+def test_accumulation_bits():
+    # 4-bit operands, fan-in 512: products 8 bits, sum adds 9 -> 17.
+    assert accumulation_bits(4, 512) == 17
+    assert accumulation_bits(4, 1) == 8

@@ -1,0 +1,61 @@
+"""Tests for the security-level estimation module."""
+
+import pytest
+
+from repro.hecore import security
+from repro.hecore.params import PARAMETER_SET_A, PARAMETER_SET_B, PARAMETER_SET_C
+
+
+def test_standard_table_values():
+    assert security.max_coeff_modulus_bits(4096, 128) == 109
+    assert security.max_coeff_modulus_bits(8192, 128) == 218
+    assert security.max_coeff_modulus_bits(8192, 256) == 118
+
+
+def test_higher_security_means_smaller_q():
+    for n in (1024, 2048, 4096, 8192, 16384, 32768):
+        assert (security.max_coeff_modulus_bits(n, 128)
+                > security.max_coeff_modulus_bits(n, 192)
+                > security.max_coeff_modulus_bits(n, 256))
+
+
+def test_meets_security():
+    assert security.meets_security(8192, 175)        # CHOCO set A
+    assert not security.meets_security(8192, 219)
+
+
+def test_table3_sets_meet_128_bits():
+    """Table 3: "All parameters are chosen to satisfy at least 128-bit
+    security"."""
+    for params in (PARAMETER_SET_A, PARAMETER_SET_B, PARAMETER_SET_C):
+        assert security.meets_security(params.poly_degree,
+                                       params.total_coeff_bits)
+
+
+def test_choco_has_security_slack():
+    """CHOCO's minimized q leaves margin vs the SEAL default (§2.1: smaller
+    q is more secure)."""
+    margin_a = security.security_margin_bits(8192, 175)
+    assert margin_a == 43
+    assert security.estimated_security_bits(8192, 175) > 128
+
+
+def test_estimated_security_monotone():
+    assert (security.estimated_security_bits(8192, 109)
+            > security.estimated_security_bits(8192, 218))
+    assert security.estimated_security_bits(8192, 218) >= 125
+
+
+def test_minimum_poly_degree():
+    assert security.minimum_poly_degree(100) == 4096
+    assert security.minimum_poly_degree(109) == 4096
+    assert security.minimum_poly_degree(110) == 8192
+    with pytest.raises(ValueError):
+        security.minimum_poly_degree(10_000)
+
+
+def test_unknown_degree_raises():
+    with pytest.raises(ValueError):
+        security.max_coeff_modulus_bits(3000)
+    with pytest.raises(ValueError):
+        security.max_coeff_modulus_bits(8192, security=100)

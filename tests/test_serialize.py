@@ -1,0 +1,151 @@
+"""Tests for ciphertext/key serialization and seed compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hecore.serialize import (
+    deserialize_ciphertext,
+    deserialize_public_key,
+    serialize_ciphertext,
+    serialize_public_key,
+    serialized_size,
+)
+
+
+def test_roundtrip_public_ciphertext(bfv):
+    values = np.arange(50, dtype=np.int64)
+    ct = bfv.encrypt(values)
+    blob = serialize_ciphertext(ct)
+    assert len(blob) == serialized_size(ct)
+    restored = deserialize_ciphertext(blob, bfv.params)
+    assert np.array_equal(bfv.decrypt(restored)[:50], values)
+
+
+def test_roundtrip_symmetric_seeded(bfv):
+    values = np.arange(30, dtype=np.int64)
+    ct = bfv.encrypt_symmetric(values)
+    assert ct.seed is not None
+    blob = serialize_ciphertext(ct)
+    restored = deserialize_ciphertext(blob, bfv.params)
+    assert np.array_equal(restored.components[1].data, ct.components[1].data)
+    assert np.array_equal(bfv.decrypt(restored)[:30], values)
+
+
+def test_seed_compression_halves_size(bfv):
+    values = [1, 2, 3]
+    public = serialize_ciphertext(bfv.encrypt(values))
+    seeded = serialize_ciphertext(bfv.encrypt_symmetric(values))
+    # One stored component instead of two, plus a 32-byte seed.
+    assert len(seeded) < len(public) * 0.55
+    uncompressed = serialize_ciphertext(bfv.encrypt_symmetric(values),
+                                        compress_seed=False)
+    assert len(uncompressed) == len(public)
+
+
+def test_symmetric_decrypts_and_operates(bfv):
+    t = bfv.params.plain_modulus
+    a = np.arange(20, dtype=np.int64)
+    ct = bfv.encrypt_symmetric(a)
+    assert np.array_equal(bfv.decrypt(ct)[:20], a)
+    doubled = bfv.add(ct, ct)
+    assert doubled.seed is None          # derived ciphertexts lose the seed
+    assert np.array_equal(bfv.decrypt(doubled)[:20], (2 * a) % t)
+
+
+def test_symmetric_deterministic_seed(bfv):
+    seed = bytes(range(32))
+    ct1 = bfv.encrypt_symmetric([7, 8], seed=seed)
+    ct2 = bfv.encrypt_symmetric([7, 8], seed=seed)
+    # Same seed -> identical uniform component (error terms still differ).
+    assert np.array_equal(ct1.components[1].data, ct2.components[1].data)
+
+
+def test_symmetric_fresh_noise_not_worse(bfv):
+    public = bfv.noise_budget(bfv.encrypt([1, 2, 3]))
+    symmetric = bfv.noise_budget(bfv.encrypt_symmetric([1, 2, 3]))
+    assert symmetric >= public - 1
+
+
+def test_ckks_symmetric_roundtrip(ckks):
+    v = np.linspace(-1, 1, 16)
+    ct = ckks.encrypt_symmetric(v)
+    blob = serialize_ciphertext(ct)
+    restored = deserialize_ciphertext(blob, ckks.params)
+    assert np.allclose(np.real(ckks.decrypt(restored))[:16], v, atol=1e-2)
+
+
+def test_ckks_reduced_level_roundtrip(ckks):
+    v = np.linspace(0, 1, 8)
+    ct = ckks.rescale(ckks.square(ckks.encrypt(v)))
+    restored = deserialize_ciphertext(serialize_ciphertext(ct), ckks.params)
+    assert restored.level_base == ct.level_base
+    assert restored.scale == ct.scale
+    assert np.allclose(np.real(ckks.decrypt(restored))[:8], v * v, atol=1e-2)
+
+
+def test_rejects_garbage(bfv):
+    with pytest.raises(ValueError):
+        deserialize_ciphertext(b"nope" + b"\0" * 64, bfv.params)
+
+
+def test_rejects_wrong_params(bfv, ckks):
+    blob = serialize_ciphertext(bfv.encrypt([1]))
+    with pytest.raises(ValueError):
+        deserialize_ciphertext(blob, ckks.params)
+
+
+def test_rejects_truncated(bfv):
+    blob = serialize_ciphertext(bfv.encrypt([1]))
+    with pytest.raises(ValueError):
+        deserialize_ciphertext(blob + b"\0", bfv.params)
+
+
+def test_public_key_roundtrip(bfv):
+    pk = bfv.keygen.public_key()
+    restored = deserialize_public_key(serialize_public_key(pk))
+    assert np.array_equal(restored.p0.data, pk.p0.data)
+    assert np.array_equal(restored.p1.data, pk.p1.data)
+    assert restored.p0.is_ntt
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.integers(0, 255))
+@settings(max_examples=25, deadline=None)
+def test_deserializer_survives_fuzzing(bfv_fuzz_blob, position, flip):
+    """Corrupted blobs either raise ValueError or decode to *something* —
+    never crash with unguarded low-level errors."""
+    blob = bytearray(bfv_fuzz_blob[0])
+    ctx, params = bfv_fuzz_blob[1], bfv_fuzz_blob[2]
+    blob[position % len(blob)] ^= flip or 1
+    try:
+        deserialize_ciphertext(bytes(blob), params)
+    except (ValueError, KeyError, OverflowError):
+        pass    # rejected cleanly
+
+
+@pytest.fixture(scope="module")
+def bfv_fuzz_blob():
+    from repro.hecore.bfv import BfvContext
+    from repro.hecore.params import SchemeType, small_test_parameters
+
+    params = small_test_parameters(SchemeType.BFV, poly_degree=256,
+                                   plain_bits=16, data_bits=(28, 28))
+    ctx = BfvContext(params, seed=7)
+    return serialize_ciphertext(ctx.encrypt([1, 2, 3])), ctx, params
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 15), min_size=1,
+                max_size=32))
+@settings(max_examples=10, deadline=None)
+def test_roundtrip_property(values):
+    from repro.hecore.bfv import BfvContext
+    from repro.hecore.params import SchemeType, small_test_parameters
+
+    params = small_test_parameters(SchemeType.BFV, poly_degree=256,
+                                   plain_bits=16, data_bits=(28, 28))
+    ctx = BfvContext(params, seed=123)
+    ct = ctx.encrypt_symmetric(values)
+    restored = deserialize_ciphertext(serialize_ciphertext(ct), params)
+    t = params.plain_modulus
+    assert list(ctx.decrypt(restored)[: len(values)]) == [v % t for v in values]
