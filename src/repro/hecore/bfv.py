@@ -30,7 +30,7 @@ from repro.hecore.keys import (
 )
 from repro.hecore.params import EncryptionParameters, SchemeType
 from repro.hecore.plaintext import Plaintext
-from repro.hecore.polyring import RnsPoly, exact_negacyclic_multiply
+from repro.hecore.polyring import RnsPoly, aux_base_for
 from repro.hecore.random import BlakePrng
 from repro.hecore.rns import centered_mod, scale_and_round
 
@@ -48,7 +48,7 @@ class BatchEncoder:
         self.params = params
         self.modulus = params.plain_modulus
         n = params.poly_degree
-        self._plan = ntt.get_plan(n, self.modulus)
+        self._plan = ntt.get_stack_plan(n, (self.modulus,))
         # Slot i of row 0 evaluates the plaintext at psi^(3^i); row 1 at
         # psi^(-3^i).  The forward NTT yields m(psi^(2j+1)) at position j.
         m = 2 * n
@@ -73,11 +73,11 @@ class BatchEncoder:
         slots[: len(values)] = np.mod(np.asarray(values, dtype=np.int64), self.modulus)
         evals = np.zeros(n, dtype=np.int64)
         evals[self._positions] = slots
-        return Plaintext(self._plan.inverse(evals), self.modulus)
+        return Plaintext(self._plan.inverse(evals[None, :])[0], self.modulus)
 
     def decode(self, plaintext: Plaintext) -> np.ndarray:
         """Unpack a plaintext back into its N slot values."""
-        evals = self._plan.forward(plaintext.coeffs)
+        evals = self._plan.forward(plaintext.coeffs[None, :])[0]
         return evals[self._positions]
 
 
@@ -256,16 +256,22 @@ class BfvContext:
         n = params.poly_degree
         q = base.modulus
         t = params.plain_modulus
-        bound_bits = 2 * (q.bit_length() + 1) + n.bit_length() + 2
+        # One extra bit over the tensor-term bound covers the d1a + d1b sum.
+        bound_bits = 2 * (q.bit_length() + 1) + n.bit_length() + 3
 
         ints = [c.to_int_coeffs(centered=True) for c in a.components]
         ints += [c.to_int_coeffs(centered=True) for c in b.components]
-        a0, a1, b0, b1 = ints
-        d0 = exact_negacyclic_multiply(a0, b0, n, bound_bits)
-        d1a = exact_negacyclic_multiply(a0, b1, n, bound_bits)
-        d1b = exact_negacyclic_multiply(a1, b0, n, bound_bits)
-        d1 = [x + y for x, y in zip(d1a, d1b)]
-        d2 = exact_negacyclic_multiply(a1, b1, n, bound_bits)
+        # Lift each component into the auxiliary CRT base and transform it
+        # once; the three tensor products then share the four forward NTTs
+        # and combine dyadically (d1 sums in evaluation form, saving a
+        # big-integer addition pass).
+        aux = aux_base_for(n, bound_bits + 1)
+        fa0, fa1, fb0, fb1 = (
+            RnsPoly.from_int_coeffs(aux, v, n).to_ntt() for v in ints
+        )
+        d0 = (fa0 * fb0).to_int_coeffs(centered=True)
+        d1 = (fa0 * fb1 + fa1 * fb0).to_int_coeffs(centered=True)
+        d2 = (fa1 * fb1).to_int_coeffs(centered=True)
 
         comps = []
         for d in (d0, d1, d2):
@@ -331,7 +337,9 @@ class BfvContext:
             raise ValueError("rotation requires Galois keys")
         if len(ct) != 2:
             raise ValueError("relinearize before rotating")
-        c0 = ct.components[0].from_ntt().apply_automorphism(galois_elt)
-        c1 = ct.components[1].from_ntt().apply_automorphism(galois_elt)
+        # apply_automorphism is form-agnostic (NTT form permutes evaluations
+        # in place); switch_key converts to coefficient form itself.
+        c0 = ct.components[0].apply_automorphism(galois_elt).from_ntt()
+        c1 = ct.components[1].apply_automorphism(galois_elt)
         u0, u1 = switch_key(c1, keys.key_for(galois_elt), self.params)
         return Ciphertext(self.params, [c0 + u0, u1])

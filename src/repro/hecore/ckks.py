@@ -281,7 +281,9 @@ class CkksContext:
         keys = galois_keys or self._galois
         if keys is None:
             raise ValueError("rotation requires Galois keys")
-        c0 = ct.components[0].from_ntt().apply_automorphism(galois_elt)
-        c1 = ct.components[1].from_ntt().apply_automorphism(galois_elt)
+        # apply_automorphism is form-agnostic (NTT form permutes evaluations
+        # in place); switch_key converts to coefficient form itself.
+        c0 = ct.components[0].apply_automorphism(galois_elt).from_ntt()
+        c1 = ct.components[1].apply_automorphism(galois_elt)
         u0, u1 = switch_key(c1, keys.key_for(galois_elt), self.params)
         return Ciphertext(self.params, [c0 + u0, u1], scale=ct.scale)

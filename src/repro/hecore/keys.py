@@ -190,7 +190,9 @@ class KeyGenerator:
             elements.add(galois_element_for_conjugation(n))
         keys = {}
         for g in sorted(elements):
-            s_g = self._secret.poly.apply_automorphism(g).to_ntt()
+            # NTT-form automorphism: a pure index permutation, no INTT/NTT
+            # round trip per Galois element.
+            s_g = self._secret.poly_ntt.apply_automorphism(g)
             keys[g] = self._make_keyswitch_key(s_g)
         return GaloisKeys(keys)
 
@@ -216,8 +218,8 @@ def switch_key(
     acc1 = RnsPoly.zero(ext_base, n, is_ntt=True)
     for i, p_i in enumerate(current.moduli):
         digit = target.data[i]
-        lifted_rows = [np.mod(digit, p_j) for p_j in ext_base.moduli]
-        lifted = RnsPoly(ext_base, n, np.stack(lifted_rows), is_ntt=False).to_ntt()
+        lifted_rows = np.mod(digit[None, :], ext_base.moduli_col)
+        lifted = RnsPoly(ext_base, n, lifted_rows, is_ntt=False).to_ntt()
         k0, k1 = ksk.digits[i]
         rows = list(range(len(current))) + special_rows
         k0_r = RnsPoly(ext_base, n, k0.data[rows], is_ntt=True)

@@ -6,16 +6,26 @@ CHOCO-TACO polynomial-multiplication module implements with an iterative
 butterfly dataflow.  This module provides the software implementation used by
 the functional HE schemes.
 
-Multiplication in ``Z_p[x]/(x^N + 1)`` (negacyclic convolution) uses the
-standard psi-twist: scale coefficient *i* by ``psi**i`` (psi a primitive
-``2N``-th root of unity), apply a cyclic NTT with ``omega = psi**2``, multiply
-point-wise, invert, and unscale.
+Two implementations coexist (docs/KERNELS.md has the full story):
+
+* :class:`NttPlan` — the original scalar plan for a single residue row.
+  Multiplication in ``Z_p[x]/(x^N + 1)`` (negacyclic convolution) uses the
+  standard psi-twist: scale coefficient *i* by ``psi**i`` (psi a primitive
+  ``2N``-th root of unity), apply a cyclic NTT with ``omega = psi**2``,
+  multiply point-wise, invert, and unscale.  It is retained as the bit-exact
+  reference oracle for the stacked kernels.
+* :class:`NttStackPlan` — the production kernel.  It transforms all ``k``
+  residue rows of a ``(k, N)`` RNS matrix in one set of 2-D butterfly passes
+  (the per-residue parallelism CHOCO-TACO exploits in hardware), merges the
+  negacyclic psi-twist into the per-stage twiddle tables (Longa–Naehrig
+  style, eliminating the separate twist multiply), and replaces per-stage
+  division-based ``np.mod`` with lazy conditional-subtract reduction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -59,7 +69,6 @@ class NttPlan:
         self.psi = primitive_root_of_unity(2 * n, p)
         self.omega = mod_pow(self.psi, 2, p)
         self._bitrev = _bit_reverse_permutation(n)
-        powers = np.arange(n, dtype=np.int64)
         self._psi_powers = self._power_table(self.psi, n)
         psi_inv = mod_inv(self.psi, p)
         n_inv = mod_inv(n, p)
@@ -67,7 +76,6 @@ class NttPlan:
         self._psi_inv_scaled = mod_mul(self._power_table(psi_inv, n), np.int64(n_inv), p)
         self._fwd_stages = self._stage_tables(self.omega)
         self._inv_stages = self._stage_tables(mod_inv(self.omega, p))
-        del powers
 
     def _power_table(self, base: int, count: int) -> np.ndarray:
         table = np.empty(count, dtype=np.int64)
@@ -126,6 +134,381 @@ def get_plan(n: int, p: int) -> NttPlan:
     if plan is None:
         plan = NttPlan(n, p)
         _PLAN_CACHE[key] = plan
+    return plan
+
+
+def _power_table_stack(bases: Sequence[int], count: int, pcol: np.ndarray) -> np.ndarray:
+    """``(k, count)`` table of ``bases[r] ** j mod p_r`` via binary exponentiation.
+
+    ``count`` vectorized squarings/multiplies replace the per-element Python
+    loop of :meth:`NttPlan._power_table`; all products stay below ``2**62``.
+    """
+    p = pcol.reshape(-1)
+    result = np.ones((len(p), count), dtype=np.int64)
+    square = np.mod(np.asarray(bases, dtype=np.int64), p)
+    exponents = np.arange(count, dtype=np.int64)
+    for bit in range(max(count - 1, 1).bit_length()):
+        mask = ((exponents >> bit) & 1).astype(bool)
+        if mask.any():
+            result[:, mask] = (result[:, mask] * square[:, None]) % p[:, None]
+        square = (square * square) % p
+    return result
+
+
+#: Lazy intermediates in the generic path stay below ``2 * p < 2**32`` and
+#: their butterfly products below ``p**2 < 2**62`` — the int64-exactness
+#: envelope.  The Shoup path keeps intermediates below ``4 * p < 2**32`` so
+#: every uint64 product is exact (below ``2**64``).
+LAZY_PRODUCT_BOUND = 1 << 62
+
+#: Moduli below this bound use the division-free Shoup/Harvey kernels
+#: (``4p`` must fit a 32-bit word).  Every modulus the library generates is
+#: below it (``COMPUTE_LIMB_MAX_BITS`` caps limbs at 30 bits); wider moduli
+#: fall back to a generic lazy kernel with one ``np.mod`` per stage.
+SHOUP_MODULUS_BOUND = 1 << 30
+
+_U32 = np.uint64(32)
+
+
+class NttStackPlan:
+    """Stacked negacyclic NTT/INTT over a whole RNS base at once.
+
+    Operates on ``(k, N)`` residue matrices — one row per modulus — pushing
+    all rows through each butterfly stage in a single 2-D numpy pass with
+    per-row broadcast twiddles.  The psi-twist of the negacyclic transform is
+    fused into the stage twiddle tables (the factor-tree / Longa–Naehrig
+    formulation), and reduction is lazy: values live in ``[0, 4p)`` between
+    stages, renormalized with conditional subtracts instead of division, and
+    twiddle products are reduced with Shoup's precomputed-quotient trick
+    (``q = x * floor(W * 2**32 / p) >> 32``; ``x*W - q*p < 2p``) so the
+    butterfly network contains no division at all.
+
+    Outputs are bit-exact with the per-row scalar :class:`NttPlan` (same
+    primitive roots, same natural evaluation ordering: position ``j`` of row
+    ``r`` holds the evaluation at ``psi_r ** (2j + 1)``).
+    """
+
+    def __init__(self, n: int, moduli: Sequence[int]):
+        if n & (n - 1) or n < 2:
+            raise ValueError(f"transform size {n} must be a power of two >= 2")
+        self.moduli: Tuple[int, ...] = tuple(int(p) for p in moduli)
+        if not self.moduli:
+            raise ValueError("stack plan needs at least one modulus")
+        for p in self.moduli:
+            if (p - 1) % (2 * n) != 0:
+                raise ValueError(f"prime {p} is not NTT-friendly for degree {n}")
+        self.n = n
+        k = len(self.moduli)
+        self._pcol = np.array(self.moduli, dtype=np.int64).reshape(k, 1)
+        # Same deterministic primitive-root search as NttPlan => same psi per
+        # row => bit-identical outputs.
+        self.psis: Tuple[int, ...] = tuple(
+            primitive_root_of_unity(2 * n, p) for p in self.moduli
+        )
+        psi_pow = _power_table_stack(self.psis, 2 * n, self._pcol)
+
+        # Stage twiddle exponents from the factor tree of x^n + 1: a block
+        # with modulus (x^L - psi^r) splits into (x^{L/2} -+ psi^{r/2}), so
+        # the butterfly twiddle is psi^{r/2} and the children carry exponents
+        # r/2 and r/2 + n.  Leaves end up at the odd exponents 2j+1 in
+        # bit-reversed order; the permutations below restore natural order.
+        stage_exponents: List[np.ndarray] = []
+        exponents = np.array([n], dtype=np.int64)
+        while exponents.size < n:
+            half = exponents >> 1
+            stage_exponents.append(half)
+            exponents = np.stack([half, half + n], axis=1).reshape(-1)
+        leaf_slots = (exponents - 1) >> 1
+        self._scramble = leaf_slots
+        unscramble = np.empty(n, dtype=np.int64)
+        unscramble[leaf_slots] = np.arange(n, dtype=np.int64)
+        self._unscramble = unscramble
+        self._fwd_twiddles = [psi_pow[:, e] for e in stage_exponents]
+        self._inv_twiddles = [psi_pow[:, 2 * n - e] for e in stage_exponents]
+        n_inv = np.array([mod_inv(n, p) for p in self.moduli], dtype=np.int64)
+        self._n_inv_col = n_inv.reshape(k, 1)
+
+        self._scratch_bufs = None
+        self._use_shoup = max(self.moduli) < SHOUP_MODULUS_BOUND
+        if self._use_shoup:
+            self._p_u = self._pcol.astype(np.uint64)
+            self._two_p_u = self._p_u * np.uint64(2)
+            self._p_u3 = self._p_u[:, :, None]
+            # Constant-geometry twiddle vectors: at stage s, butterfly pair i
+            # uses the stage-s group twiddle with group index i mod 2**s, so
+            # the (k, 2**s) stage table tiles into a periodic vector.  Tiling
+            # up to a 256-wide chunk keeps the broadcast inner loops long even
+            # in the early stages where the pattern period is tiny.
+            chunk = min(256, max(n // 2, 1))
+            self._fwd_tw_u, self._fwd_tw_q = zip(
+                *(self._cg_tables(t, chunk) for t in self._fwd_twiddles)
+            )
+            self._inv_tw_u, self._inv_tw_q = zip(
+                *(self._cg_tables(t, chunk) for t in self._inv_twiddles)
+            )
+            self._n_inv_u = self._n_inv_col.astype(np.uint64)
+            self._n_inv_q = ((self._n_inv_col << 32) // self._pcol).astype(np.uint64)
+
+    def _cg_tables(self, table: np.ndarray, chunk: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Tiled twiddles and Shoup quotients for one constant-geometry stage.
+
+        Returns ``(W, floor(W * 2**32 / p))`` as ``(k, 1, T)`` uint64 arrays
+        with ``T = max(pattern, chunk)`` so they broadcast over the stage work
+        array viewed as ``(k, (n/2) / T, T)``.  ``W < p < 2**30`` keeps the
+        shifted quotient computation int64-exact.
+        """
+        reps = max(chunk // table.shape[1], 1)
+        tiled = np.tile(table, (1, reps))
+        quotients = (tiled << 32) // self._pcol
+        return (
+            tiled[:, None, :].astype(np.uint64),
+            quotients[:, None, :].astype(np.uint64),
+        )
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    @staticmethod
+    def _lazy_reduce(values: np.ndarray, pc: np.ndarray) -> np.ndarray:
+        """One conditional subtract: ``[0, 2p)`` → ``[0, p)`` without division."""
+        return np.where(values >= pc, values - pc, values)
+
+    @staticmethod
+    def _lazy_reduce_u(values: np.ndarray, pc: np.ndarray) -> np.ndarray:
+        """Unsigned conditional subtract: ``values - pc`` wraps above 2**63
+        whenever ``values < pc``, so the element-wise minimum selects the
+        reduced representative without a boolean mask."""
+        return np.minimum(values, values - pc)
+
+    def _check_shape(self, stack: np.ndarray) -> np.ndarray:
+        stack = np.asarray(stack, dtype=np.int64)
+        if stack.ndim != 2 or stack.shape != (len(self.moduli), self.n):
+            raise ValueError(
+                f"stack shape {stack.shape} != ({len(self.moduli)}, {self.n})"
+            )
+        return stack
+
+    def _canonical(self, stack: np.ndarray) -> np.ndarray:
+        """Rows reduced to ``[0, p)``; skips the division for canonical input.
+
+        The canonicity test is a single unsigned comparison pass: viewed as
+        uint64, negative int64 values wrap above ``2**63 > p``, so
+        ``0 <= x < p`` collapses to ``x_u < p_u``.
+        """
+        work = self._check_shape(stack)
+        if work.flags.c_contiguous:
+            if bool((work.view(np.uint64) < self._pcol.view(np.uint64)).all()):
+                return work
+        elif bool((work >= 0).all()) and bool((work < self._pcol).all()):
+            return work
+        return np.mod(work, self._pcol)
+
+    def forward(self, stack: np.ndarray, check_bounds: bool = False) -> np.ndarray:
+        """Negacyclic forward NTT of every row of a ``(k, n)`` matrix.
+
+        With ``check_bounds=True`` the kernel asserts the lazy-reduction
+        invariants at every stage (used by the property tests; costs extra
+        comparisons, so production callers leave it off).
+        """
+        work = self._canonical(stack)
+        if self._use_shoup:
+            return self._forward_shoup(work, check_bounds)
+        return self._forward_generic(work, check_bounds)
+
+    def inverse(self, stack: np.ndarray, check_bounds: bool = False) -> np.ndarray:
+        """Inverse of :meth:`forward` (Gentleman–Sande, fused 1/N scaling)."""
+        work = self._canonical(stack)
+        if self._use_shoup:
+            return self._inverse_shoup(work, check_bounds)
+        return self._inverse_generic(work, check_bounds)
+
+    # ------------------------------------------------- Shoup (division-free)
+    @staticmethod
+    def _shoup_mulmod(x: np.ndarray, w: np.ndarray, wq: np.ndarray,
+                      p: np.ndarray) -> np.ndarray:
+        """``x * w mod p`` into the lazy range ``[0, 2p)``; needs ``x < 2**32``."""
+        q = (x * wq) >> _U32
+        return x * w - q * p
+
+    # The Shoup kernels run the butterfly network in constant-geometry (Pease)
+    # dataflow: every stage reads the pair (i, i + n/2) and writes it to
+    # (2i, 2i + 1).  For the factor-tree network this pairing is exact at every
+    # stage (pair i uses the stage-s group twiddle indexed i mod 2**s, and the
+    # final layout is the identity), so each pass touches two contiguous
+    # half-length blocks instead of the (k, m, L) group slices — whose inner
+    # axis collapses to a handful of elements in the late stages and leaves
+    # numpy's per-loop overhead dominating.
+
+    def _scratch(self, k: int) -> Tuple[np.ndarray, ...]:
+        """Reusable uint64 work buffers: two ping-pong arrays plus three
+        half-width temporaries.  Owned by the (cached) plan so the butterfly
+        loop allocates nothing per stage."""
+        if self._scratch_bufs is None or self._scratch_bufs[0].shape[0] != k:
+            hn = max(self.n // 2, 1)
+            self._scratch_bufs = (
+                np.empty((k, self.n), dtype=np.uint64),
+                np.empty((k, self.n), dtype=np.uint64),
+                np.empty((k, hn), dtype=np.uint64),
+                np.empty((k, hn), dtype=np.uint64),
+                np.empty((k, hn), dtype=np.uint64),
+            )
+        return self._scratch_bufs
+
+    def _forward_shoup(self, work: np.ndarray, check_bounds: bool) -> np.ndarray:
+        k = work.shape[0]
+        hn = self.n // 2
+        zin, zout, xb, qb, tb = self._scratch(k)
+        np.copyto(zin, work, casting="unsafe")
+        two_p = self._two_p_u
+        four_p = two_p * np.uint64(2)
+        for s, (w, wq) in enumerate(zip(self._fwd_tw_u, self._fwd_tw_q)):
+            chunk = w.shape[2]
+            if check_bounds:
+                assert bool((zin < four_p).all()), \
+                    "stage input exceeded the [0, 4p) lazy envelope"
+            u = zin[:, :hn]
+            v3 = zin.reshape(k, 2, hn // chunk, chunk)[:, 1]
+            q3 = qb.reshape(k, hn // chunk, chunk)
+            t3 = tb.reshape(k, hn // chunk, chunk)
+            if s == 0:
+                # Stage 0 input is canonical (< p), already inside [0, 2p).
+                x = u
+            else:
+                np.subtract(u, two_p, out=xb)
+                np.minimum(u, xb, out=xb)                  # [0, 2p)
+                x = xb
+            np.multiply(v3, wq, out=q3)
+            q3 >>= _U32
+            q3 *= self._p_u3
+            np.multiply(v3, w, out=t3)
+            t3 -= q3                                       # [0, 2p)
+            if check_bounds:
+                assert bool((x < two_p).all()) and bool((tb < two_p).all())
+            zo = zout.reshape(k, hn, 2)
+            np.add(x, tb, out=zo[:, :, 0])                 # < 4p
+            np.add(x, two_p, out=xb)
+            np.subtract(xb, tb, out=zo[:, :, 1])           # < 4p
+            zin, zout = zout, zin
+        # Epilogue: two in-place conditional subtracts (4p -> 2p -> p), then a
+        # single np.take gather into the int64 result.  The take reads the
+        # scratch buffer reinterpreted as int64 -- values are < p < 2**63, so
+        # the bit patterns coincide and no separate astype pass is needed.
+        np.subtract(zin, two_p, out=zout)
+        np.minimum(zin, zout, out=zin)
+        np.subtract(zin, self._p_u, out=zout)
+        np.minimum(zin, zout, out=zin)
+        result = np.empty((k, self.n), dtype=np.int64)
+        np.take(zin.view(np.int64), self._unscramble, axis=1, out=result)
+        return result
+
+    def _inverse_shoup(self, work: np.ndarray, check_bounds: bool) -> np.ndarray:
+        k = work.shape[0]
+        hn = self.n // 2
+        zin, zout, xb, qb, db = self._scratch(k)
+        # Gather straight into the uint64 work buffer viewed as int64 (the
+        # canonical inputs are < p < 2**63, so the bit patterns coincide);
+        # np.take with ``out=`` avoids the fancy-indexing temporary.
+        np.take(work, self._scramble, axis=1, out=zin.view(np.int64))
+        two_p = self._two_p_u
+        for w, wq in zip(reversed(self._inv_tw_u), reversed(self._inv_tw_q)):
+            chunk = w.shape[2]
+            if check_bounds:
+                assert bool((zin < two_p).all()), \
+                    "stage input exceeded the [0, 2p) lazy envelope"
+            zi = zin.reshape(k, hn, 2)
+            a = zi[:, :, 0]
+            b = zi[:, :, 1]
+            zob = zout.reshape(k, 2, hn // chunk, chunk)
+            d3 = db.reshape(k, hn // chunk, chunk)
+            q3 = qb.reshape(k, hn // chunk, chunk)
+            np.add(a, b, out=xb)                           # < 4p
+            np.add(a, two_p, out=db)
+            db -= b                                        # (0, 4p) < 2**32
+            np.subtract(xb, two_p, out=zout[:, :hn])
+            np.minimum(xb, zout[:, :hn], out=zout[:, :hn])  # [0, 2p)
+            np.multiply(d3, wq, out=q3)
+            q3 >>= _U32
+            q3 *= self._p_u3
+            d3 *= w
+            np.subtract(d3, q3, out=zob[:, 1])             # [0, 2p)
+            if check_bounds:
+                assert bool((zout < two_p).all())
+            zin, zout = zout, zin
+        # Fused 1/N scaling: inputs < 2p < 2**32, Shoup result < 2p.
+        np.multiply(zin, self._n_inv_q, out=zout)
+        zout >>= _U32
+        zout *= self._p_u
+        zin *= self._n_inv_u
+        zin -= zout                                        # [0, 2p)
+        np.subtract(zin, self._p_u, out=zout)
+        np.minimum(zin, zout, out=zin)
+        return zin.astype(np.int64)
+
+    # ------------------------------------------ generic (31-bit safe) kernels
+    def _forward_generic(self, work: np.ndarray, check_bounds: bool) -> np.ndarray:
+        k = work.shape[0]
+        for tw in self._fwd_twiddles:
+            m = tw.shape[1]
+            blocks = work.reshape(k, m, -1)
+            half = blocks.shape[2] // 2
+            pc = self._pcol[:, :, None]
+            even = self._lazy_reduce(blocks[:, :, :half], pc)
+            odd = self._lazy_reduce(blocks[:, :, half:], pc)
+            product = odd * tw[:, :, None]
+            if check_bounds:
+                assert int(blocks.max(initial=0)) < int(2 * self._pcol.max())
+                assert int(product.max(initial=0)) < LAZY_PRODUCT_BOUND
+            v = np.mod(product, pc)
+            out = np.empty_like(blocks)
+            # Lazy butterflies: even + v < 2p and even - v + p in (0, 2p),
+            # so the stage output needs no division.
+            out[:, :, :half] = even + v
+            out[:, :, half:] = even - v + pc
+            work = out.reshape(k, -1)
+        work = self._lazy_reduce(work, self._pcol)
+        return work[:, self._unscramble]
+
+    def _inverse_generic(self, work: np.ndarray, check_bounds: bool) -> np.ndarray:
+        work = work[:, self._scramble]
+        k = work.shape[0]
+        for tw in reversed(self._inv_twiddles):
+            m = tw.shape[1]
+            blocks = work.reshape(k, m, -1)
+            half = blocks.shape[2] // 2
+            pc = self._pcol[:, :, None]
+            u = self._lazy_reduce(blocks[:, :, :half], pc)
+            v = self._lazy_reduce(blocks[:, :, half:], pc)
+            diff = self._lazy_reduce(u - v + pc, pc)
+            product = diff * tw[:, :, None]
+            if check_bounds:
+                assert int(blocks.max(initial=0)) < int(2 * self._pcol.max())
+                assert int(product.max(initial=0)) < LAZY_PRODUCT_BOUND
+            out = np.empty_like(blocks)
+            out[:, :, :half] = u + v
+            out[:, :, half:] = np.mod(product, pc)
+            work = out.reshape(k, -1)
+        # Entries are < 2p and n_inv < p, so the product stays int64-exact.
+        return np.mod(work * self._n_inv_col, self._pcol)
+
+    def dyadic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Point-wise product of two stacked evaluation matrices."""
+        return np.mod(np.asarray(a, dtype=np.int64) * b, self._pcol)
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row-wise product in ``Z_{p_r}[x]/(x^n + 1)`` for every residue row."""
+        return self.inverse(self.dyadic_multiply(self.forward(a), self.forward(b)))
+
+
+_STACK_PLAN_CACHE: Dict[Tuple[int, Tuple[int, ...]], NttStackPlan] = {}
+
+
+def get_stack_plan(n: int, moduli: Sequence[int]) -> NttStackPlan:
+    """Return (and cache) the :class:`NttStackPlan` for ``(n, moduli)``."""
+    key = (n, tuple(int(p) for p in moduli))
+    plan = _STACK_PLAN_CACHE.get(key)
+    if plan is None:
+        plan = NttStackPlan(n, key[1])
+        _STACK_PLAN_CACHE[key] = plan
     return plan
 
 

@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.hecore import ntt
-from repro.hecore.modmath import center, mod_add, mod_inv, mod_mul, mod_neg, mod_sub
+from repro.hecore.modmath import center, mod_inv
 from repro.hecore.primes import generate_ntt_primes
 from repro.hecore.rns import RnsBase
 
@@ -47,11 +47,14 @@ class RnsPoly:
     @classmethod
     def from_signed_array(cls, base: RnsBase, values: np.ndarray) -> "RnsPoly":
         """Build from a small signed int64 vector (e.g. error polynomials)."""
-        rows = [np.mod(values.astype(np.int64), p) for p in base.moduli]
-        return cls(base, len(values), np.stack(rows), is_ntt=False)
+        data = np.mod(values.astype(np.int64)[None, :], base.moduli_col)
+        return cls(base, len(values), data, is_ntt=False)
 
     def copy(self) -> "RnsPoly":
         return RnsPoly(self.base, self.degree, self.data.copy(), self.is_ntt)
+
+    def _stack_plan(self) -> ntt.NttStackPlan:
+        return ntt.get_stack_plan(self.degree, self.base.moduli)
 
     # ------------------------------------------------------------- arithmetic
     def _check_compatible(self, other: "RnsPoly") -> None:
@@ -62,83 +65,84 @@ class RnsPoly:
 
     def __add__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
-        out = np.empty_like(self.data)
-        for i, p in enumerate(self.base.moduli):
-            out[i] = mod_add(self.data[i], other.data[i], p)
+        # Rows are canonical [0, p), so one conditional subtract replaces the
+        # per-row division-based np.mod.
+        total = self.data + other.data
+        pcol = self.base.moduli_col
+        out = np.where(total >= pcol, total - pcol, total)
         return RnsPoly(self.base, self.degree, out, self.is_ntt)
 
     def __sub__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
-        out = np.empty_like(self.data)
-        for i, p in enumerate(self.base.moduli):
-            out[i] = mod_sub(self.data[i], other.data[i], p)
+        diff = self.data - other.data
+        pcol = self.base.moduli_col
+        out = np.where(diff < 0, diff + pcol, diff)
         return RnsPoly(self.base, self.degree, out, self.is_ntt)
 
     def __neg__(self) -> "RnsPoly":
-        out = np.empty_like(self.data)
-        for i, p in enumerate(self.base.moduli):
-            out[i] = mod_neg(self.data[i], p)
+        out = np.where(self.data == 0, 0, self.base.moduli_col - self.data)
         return RnsPoly(self.base, self.degree, out, self.is_ntt)
 
     def __mul__(self, other: "RnsPoly") -> "RnsPoly":
         """Ring product.  Uses dyadic products in NTT form, else NTT round-trips."""
         self._check_compatible(other)
-        out = np.empty_like(self.data)
+        plan = self._stack_plan()
         if self.is_ntt:
-            for i, p in enumerate(self.base.moduli):
-                out[i] = mod_mul(self.data[i], other.data[i], p)
+            out = plan.dyadic_multiply(self.data, other.data)
             return RnsPoly(self.base, self.degree, out, is_ntt=True)
-        for i, p in enumerate(self.base.moduli):
-            plan = ntt.get_plan(self.degree, p)
-            out[i] = plan.negacyclic_multiply(self.data[i], other.data[i])
+        out = plan.negacyclic_multiply(self.data, other.data)
         return RnsPoly(self.base, self.degree, out, is_ntt=False)
 
     def scalar_multiply(self, scalar: int) -> "RnsPoly":
         """Multiply every coefficient by a (possibly big) integer scalar."""
-        out = np.empty_like(self.data)
-        for i, p in enumerate(self.base.moduli):
-            out[i] = mod_mul(self.data[i], np.int64(int(scalar) % p), p)
+        scalar = int(scalar)
+        scol = np.array(
+            [scalar % p for p in self.base.moduli], dtype=np.int64
+        ).reshape(-1, 1)
+        out = np.mod(self.data * scol, self.base.moduli_col)
         return RnsPoly(self.base, self.degree, out, self.is_ntt)
 
     # ---------------------------------------------------------- representation
     def to_ntt(self) -> "RnsPoly":
         if self.is_ntt:
             return self
-        out = np.empty_like(self.data)
-        for i, p in enumerate(self.base.moduli):
-            out[i] = ntt.get_plan(self.degree, p).forward(self.data[i])
+        out = self._stack_plan().forward(self.data)
         return RnsPoly(self.base, self.degree, out, is_ntt=True)
 
     def from_ntt(self) -> "RnsPoly":
         if not self.is_ntt:
             return self
-        out = np.empty_like(self.data)
-        for i, p in enumerate(self.base.moduli):
-            out[i] = ntt.get_plan(self.degree, p).inverse(self.data[i])
+        out = self._stack_plan().inverse(self.data)
         return RnsPoly(self.base, self.degree, out, is_ntt=False)
 
     # ------------------------------------------------------------- structure
     def apply_automorphism(self, galois_elt: int) -> "RnsPoly":
-        """Apply ``x -> x^g`` for odd *g* (coefficient form only).
+        """Apply ``x -> x^g`` for odd *g*, in either representation.
 
         This is the Galois automorphism behind HE slot rotation (Table 1's
-        "Ciphertext Rotate" uses it followed by key switching).
+        "Ciphertext Rotate" uses it followed by key switching).  In
+        coefficient form it scatters coefficients with a sign fixup for the
+        ``x^n = -1`` wraparound.  In NTT (evaluation) form it is a pure
+        permutation: position ``j`` holds the evaluation at ``psi**(2j+1)``,
+        and ``a(x^g)`` evaluated there equals ``a`` at ``psi**((2j+1)g)`` —
+        another odd power — so no INTT/NTT round trip is needed.
         """
-        if self.is_ntt:
-            raise ValueError("apply automorphisms in coefficient form")
         n = self.degree
         g = galois_elt % (2 * n)
         if g % 2 == 0:
             raise ValueError(f"Galois element {galois_elt} must be odd")
+        if self.is_ntt:
+            sources = ((2 * np.arange(n, dtype=np.int64) + 1) * g) % (2 * n)
+            out = self.data[:, (sources - 1) >> 1]
+            return RnsPoly(self.base, self.degree, out, is_ntt=True)
+        pcol = self.base.moduli_col
         indices = (np.arange(n, dtype=np.int64) * g) % (2 * n)
         negate = indices >= n
         targets = np.where(negate, indices - n, indices)
+        negated = np.where(self.data == 0, 0, pcol - self.data)
+        signed = np.where(negate[None, :], negated, self.data)
         out = np.empty_like(self.data)
-        for i, p in enumerate(self.base.moduli):
-            signed = np.where(negate, np.mod(-self.data[i], p), self.data[i])
-            row = np.zeros(n, dtype=np.int64)
-            row[targets] = signed
-            out[i] = row
+        out[:, targets] = signed
         return RnsPoly(self.base, self.degree, out, is_ntt=False)
 
     def divide_and_round_by_last(self) -> "RnsPoly":
@@ -154,12 +158,14 @@ class RnsPoly:
             raise ValueError("modulus switching requires coefficient form")
         last = self.base.moduli[-1]
         target = self.base.drop_last()
+        tcol = target.moduli_col
         remainder = center(self.data[-1], last)
-        out = np.empty((len(target), self.degree), dtype=np.int64)
-        for i, p in enumerate(target.moduli):
-            inv_last = mod_inv(last % p, p)
-            diff = mod_sub(self.data[i], np.mod(remainder, p), p)
-            out[i] = mod_mul(diff, np.int64(inv_last), p)
+        inv_last_col = np.array(
+            [mod_inv(last % p, p) for p in target.moduli], dtype=np.int64
+        ).reshape(-1, 1)
+        diff = self.data[:-1] - np.mod(remainder[None, :], tcol)
+        diff = np.where(diff < 0, diff + tcol, diff)
+        out = np.mod(diff * inv_last_col, tcol)
         return RnsPoly(target, self.degree, out, is_ntt=False)
 
     def switch_base(self, target: RnsBase) -> "RnsPoly":
@@ -179,8 +185,17 @@ class RnsPoly:
         return poly.base.compose(poly.data)
 
     def infinity_norm(self) -> int:
-        """Max absolute centered coefficient (used for noise measurement)."""
-        return max((abs(c) for c in self.to_int_coeffs(centered=True)), default=0)
+        """Max absolute centered coefficient (used for noise measurement).
+
+        For a single-modulus base the residues *are* the coefficients, so the
+        centered maximum comes straight off the int64 row with no CRT
+        composition.
+        """
+        poly = self.from_ntt()
+        if len(poly.base) == 1:
+            centered = center(poly.data[0], poly.base.moduli[0])
+            return int(np.abs(centered).max(initial=0))
+        return max((abs(c) for c in poly.base.compose_centered(poly.data)), default=0)
 
 
 # --------------------------------------------------------------------------
@@ -192,7 +207,7 @@ class RnsPoly:
 _AUX_BASE_CACHE: Dict[Tuple[int, int], RnsBase] = {}
 
 
-def _aux_base(degree: int, bound_bits: int) -> RnsBase:
+def aux_base_for(degree: int, bound_bits: int) -> RnsBase:
     """An RNS base of NTT-friendly primes whose product exceeds 2**bound_bits."""
     count = bound_bits // 28 + 2
     key = (degree, count)
@@ -212,7 +227,7 @@ def exact_negacyclic_multiply(
     coefficient; the function picks an auxiliary CRT base large enough to
     recover the product exactly.
     """
-    base = _aux_base(degree, coeff_bound_bits + 1)
+    base = aux_base_for(degree, coeff_bound_bits + 1)
     pa = RnsPoly.from_int_coeffs(base, list(a), degree)
     pb = RnsPoly.from_int_coeffs(base, list(b), degree)
     return (pa * pb).to_int_coeffs(centered=True)

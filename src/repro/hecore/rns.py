@@ -15,7 +15,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.hecore.modmath import mod_inv, mod_mul
+from repro.hecore.modmath import mod_inv
 
 
 class RnsBase:
@@ -35,10 +35,14 @@ class RnsBase:
                     raise ValueError(f"moduli {a} and {b} are not coprime")
         self.moduli: Tuple[int, ...] = tuple(moduli)
         self.modulus: int = reduce(lambda a, b: a * b, moduli, 1)
+        #: ``(k, 1)`` int64 column of the moduli, broadcast against ``(k, n)``
+        #: residue matrices by the vectorized fast paths.
+        self.moduli_col: np.ndarray = np.array(self.moduli, dtype=np.int64).reshape(-1, 1)
         # Punctured products q_i = q / p_i and their inverses mod p_i,
         # needed for CRT composition and base conversion.
         self._punctured = [self.modulus // p for p in moduli]
         self._punctured_inv = [mod_inv(q_i % p, p) for q_i, p in zip(self._punctured, moduli)]
+        self._punctured_inv_col = np.array(self._punctured_inv, dtype=np.int64).reshape(-1, 1)
 
     def __len__(self) -> int:
         return len(self.moduli)
@@ -66,30 +70,70 @@ class RnsBase:
     def decompose(self, values: Sequence[int]) -> np.ndarray:
         """Integer vector → residue matrix of shape ``(k, len(values))``.
 
-        Accepts arbitrarily large (and negative) Python integers.
+        Accepts arbitrarily large (and negative) Python integers.  Values
+        already fitting int64 reduce in one vectorized ``np.mod`` against the
+        moduli column; wider values take a pair-folded big-integer path (one
+        Python-level reduction per *pair* of moduli, then word-sized ``np.mod``
+        per member).
         """
-        rows = []
-        for p in self.moduli:
-            rows.append(np.array([int(v) % p for v in values], dtype=np.int64))
-        return np.stack(rows)
+        try:
+            arr = np.asarray(values, dtype=np.int64)
+        except (OverflowError, TypeError):
+            arr = None
+        if arr is not None:
+            return np.mod(arr[None, :], self.moduli_col)
+        big = [int(v) for v in values]
+        k = len(self.moduli)
+        out = np.empty((k, len(big)), dtype=np.int64)
+        for i in range(0, k - 1, 2):
+            pair = self.moduli[i] * self.moduli[i + 1]
+            folded = np.array([v % pair for v in big], dtype=np.int64)
+            np.mod(folded, self.moduli[i], out=out[i])
+            np.mod(folded, self.moduli[i + 1], out=out[i + 1])
+        if k % 2:
+            p = self.moduli[-1]
+            out[-1] = np.array([v % p for v in big], dtype=np.int64)
+        return out
 
     def compose(self, residues: np.ndarray) -> List[int]:
-        """Residue matrix ``(k, n)`` → canonical integers in ``[0, q)``."""
+        """Residue matrix ``(k, n)`` → canonical integers in ``[0, q)``.
+
+        When the composed modulus fits the int64-exactness envelope the whole
+        CRT sum runs vectorized (each term ``scaled_i * q_i < q < 2**62`` and
+        partial sums stay below ``2q < 2**63``).  Wider bases pair-fold:
+        ``scaled_i*q_i + scaled_j*q_j = Q_g * (scaled_i*p_j + scaled_j*p_i)``
+        with ``Q_g = q/(p_i p_j)``, so the inner combination is one int64
+        vector op and only one big-integer multiply per element per *pair*.
+        """
         if residues.shape[0] != len(self.moduli):
             raise ValueError(
                 f"residue matrix has {residues.shape[0]} rows, base has {len(self.moduli)}"
             )
         q = self.modulus
         n = residues.shape[1]
+        scaled = np.mod(
+            residues.astype(np.int64) * self._punctured_inv_col, self.moduli_col
+        )
+        if self.bit_size <= 62:
+            acc = np.zeros(n, dtype=np.int64)
+            for row, q_i in zip(scaled, self._punctured):
+                acc += row * np.int64(q_i)
+                np.mod(acc, np.int64(q), out=acc)
+            return [int(v) for v in acc]
+        k = len(self.moduli)
         acc = [0] * n
-        for row, q_i, inv_i, p in zip(
-            residues, self._punctured, self._punctured_inv, self.moduli
-        ):
-            # term = [x]_p * (q/p) * ((q/p)^-1 mod p)
-            scaled = mod_mul(row, np.int64(inv_i), p)
+        for i in range(0, k - 1, 2):
+            p_i, p_j = self.moduli[i], self.moduli[i + 1]
+            group = q // (p_i * p_j)
+            inner = scaled[i] * np.int64(p_j) + scaled[i + 1] * np.int64(p_i)
             for j in range(n):
-                acc[j] = (acc[j] + int(scaled[j]) * q_i) % q
-        return acc
+                acc[j] += group * int(inner[j])
+        if k % 2:
+            q_last = self._punctured[-1]
+            last = scaled[-1]
+            for j in range(n):
+                acc[j] += q_last * int(last[j])
+        return [v % q for v in acc]
 
     def compose_centered(self, residues: np.ndarray) -> List[int]:
         """Like :meth:`compose` but mapped to the centered range (−q/2, q/2]."""

@@ -1,0 +1,225 @@
+"""Property tests for the stacked-residue NTT kernels and vectorized RNS paths.
+
+The stacked kernels (:class:`repro.hecore.ntt.NttStackPlan`) must be bit-exact
+with the scalar reference plan (:class:`repro.hecore.ntt.NttPlan`) and with the
+schoolbook negacyclic product — across random inputs, every seed parameter
+set, both the Shoup (< 2**30 moduli) and generic kernels, canonical and
+non-canonical inputs, and with the lazy-reduction invariants asserted at every
+butterfly stage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hecore import ntt
+from repro.hecore.modmath import mod_inv, mod_inv_array
+from repro.hecore.params import (
+    PARAMETER_SET_A,
+    PARAMETER_SET_B,
+    PARAMETER_SET_C,
+)
+from repro.hecore.polyring import RnsPoly
+from repro.hecore.primes import generate_ntt_primes
+from repro.hecore.rns import RnsBase
+
+N = 64
+PRIMES = tuple(generate_ntt_primes(20, 3, N))
+
+
+@pytest.fixture(scope="module")
+def stack_plan():
+    return ntt.get_stack_plan(N, PRIMES)
+
+
+def _random_stack(rng, moduli, n):
+    return np.stack([rng.integers(0, p, n, dtype=np.int64) for p in moduli])
+
+
+# ---------------------------------------------------------------- plan basics
+def test_stack_plan_cached():
+    assert ntt.get_stack_plan(N, PRIMES) is ntt.get_stack_plan(N, list(PRIMES))
+
+
+def test_stack_plan_rejects_bad_size():
+    with pytest.raises(ValueError):
+        ntt.NttStackPlan(100, PRIMES)
+
+
+def test_stack_plan_rejects_unfriendly_prime():
+    with pytest.raises(ValueError):
+        ntt.NttStackPlan(N, (PRIMES[0], 97))
+
+
+def test_stack_plan_rejects_empty_base():
+    with pytest.raises(ValueError):
+        ntt.NttStackPlan(N, ())
+
+
+def test_stack_plan_rejects_bad_shape(stack_plan):
+    with pytest.raises(ValueError):
+        stack_plan.forward(np.zeros((1, N), dtype=np.int64))
+
+
+def test_same_roots_as_scalar_plan(stack_plan):
+    for r, p in enumerate(PRIMES):
+        assert stack_plan.psis[r] == ntt.get_plan(N, p).psi
+
+
+# ----------------------------------------------------- vs the scalar oracle
+def test_forward_matches_scalar_plan(stack_plan):
+    rng = np.random.default_rng(11)
+    a = _random_stack(rng, PRIMES, N)
+    out = stack_plan.forward(a, check_bounds=True)
+    for r, p in enumerate(PRIMES):
+        assert np.array_equal(out[r], ntt.get_plan(N, p).forward(a[r]))
+
+
+def test_inverse_matches_scalar_plan(stack_plan):
+    rng = np.random.default_rng(12)
+    evals = _random_stack(rng, PRIMES, N)
+    out = stack_plan.inverse(evals, check_bounds=True)
+    for r, p in enumerate(PRIMES):
+        assert np.array_equal(out[r], ntt.get_plan(N, p).inverse(evals[r]))
+
+
+def test_roundtrip_is_identity(stack_plan):
+    rng = np.random.default_rng(13)
+    a = _random_stack(rng, PRIMES, N)
+    assert np.array_equal(stack_plan.inverse(stack_plan.forward(a)), a)
+
+
+def test_non_canonical_input_reduced(stack_plan):
+    rng = np.random.default_rng(14)
+    a = _random_stack(rng, PRIMES, N)
+    pcol = np.array(PRIMES, dtype=np.int64).reshape(-1, 1)
+    shifted = a - 2 * pcol  # negative, non-canonical representatives
+    assert np.array_equal(stack_plan.forward(shifted), stack_plan.forward(a))
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+def test_negacyclic_multiply_matches_naive(seed):
+    rng = np.random.default_rng(seed)
+    n = 16
+    moduli = tuple(generate_ntt_primes(20, 2, n))
+    plan = ntt.get_stack_plan(n, moduli)
+    a = _random_stack(rng, moduli, n)
+    b = _random_stack(rng, moduli, n)
+    out = plan.negacyclic_multiply(a, b)
+    for r, p in enumerate(moduli):
+        assert np.array_equal(out[r], ntt.negacyclic_multiply_naive(a[r], b[r], p))
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+def test_lazy_bounds_hold_on_random_input(seed):
+    rng = np.random.default_rng(seed)
+    n = 128
+    moduli = tuple(generate_ntt_primes(28, 3, n))
+    plan = ntt.get_stack_plan(n, moduli)
+    a = _random_stack(rng, moduli, n)
+    # check_bounds=True asserts the [0, 4p) forward and [0, 2p) inverse
+    # envelopes at every butterfly stage.
+    evals = plan.forward(a, check_bounds=True)
+    assert np.array_equal(plan.inverse(evals, check_bounds=True), a)
+
+
+# ------------------------------------------------------- seed parameter sets
+@pytest.mark.parametrize(
+    "params", [PARAMETER_SET_A, PARAMETER_SET_B, PARAMETER_SET_C], ids="ABC"
+)
+def test_seed_parameter_sets_bit_exact(params):
+    n = params.poly_degree
+    moduli = params.full_base.moduli
+    plan = ntt.get_stack_plan(n, moduli)
+    rng = np.random.default_rng(hash(moduli) & 0xFFFF)
+    a = _random_stack(rng, moduli, n)
+    evals = plan.forward(a, check_bounds=True)
+    for r, p in enumerate(moduli):
+        assert np.array_equal(evals[r], ntt.get_plan(n, p).forward(a[r]))
+    assert np.array_equal(plan.inverse(evals, check_bounds=True), a)
+
+
+# ----------------------------------------------------- generic (wide) kernel
+def test_generic_kernel_for_wide_moduli():
+    n = 128
+    moduli = tuple(generate_ntt_primes(31, 2, n))
+    plan = ntt.get_stack_plan(n, moduli)
+    assert not plan._use_shoup  # 31-bit primes exceed the Shoup bound
+    rng = np.random.default_rng(21)
+    a = _random_stack(rng, moduli, n)
+    b = _random_stack(rng, moduli, n)
+    evals = plan.forward(a, check_bounds=True)
+    for r, p in enumerate(moduli):
+        assert np.array_equal(evals[r], ntt.get_plan(n, p).forward(a[r]))
+    assert np.array_equal(plan.inverse(evals, check_bounds=True), a)
+    out = plan.negacyclic_multiply(a, b)
+    for r, p in enumerate(moduli):
+        assert np.array_equal(
+            out[r], ntt.get_plan(n, p).negacyclic_multiply(a[r], b[r])
+        )
+
+
+# --------------------------------------------------- NTT-form automorphism
+@pytest.mark.parametrize("galois_elt", [3, 9, 2 * N - 1, 5])
+def test_automorphism_ntt_form_matches_coefficient_form(galois_elt):
+    base = RnsBase(PRIMES)
+    rng = np.random.default_rng(31)
+    poly = RnsPoly(base, N, _random_stack(rng, PRIMES, N), is_ntt=False)
+    via_coeff = poly.apply_automorphism(galois_elt).to_ntt()
+    via_ntt = poly.to_ntt().apply_automorphism(galois_elt)
+    assert np.array_equal(via_coeff.data, via_ntt.data)
+
+
+def test_automorphism_rejects_even_element():
+    base = RnsBase(PRIMES)
+    poly = RnsPoly.zero(base, N)
+    with pytest.raises(ValueError):
+        poly.apply_automorphism(4)
+
+
+# ------------------------------------------------------ batch modular inverse
+@settings(deadline=None, max_examples=25)
+@given(st.integers(min_value=0, max_value=2**63 - 1), st.integers(1, 97))
+def test_batch_inverse_matches_scalar(seed, size):
+    p = PRIMES[0]
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, p, size, dtype=np.int64)
+    out = mod_inv_array(a, p)
+    for x, y in zip(a.tolist(), out.tolist()):
+        assert y == mod_inv(x, p)
+
+
+def test_batch_inverse_rejects_zero():
+    with pytest.raises(ZeroDivisionError):
+        mod_inv_array(np.array([1, 0, 2], dtype=np.int64), PRIMES[0])
+
+
+# ------------------------------------------- RNS decompose/compose fast paths
+def test_decompose_fast_and_big_paths_agree():
+    base = RnsBase(PRIMES)
+    rng = np.random.default_rng(41)
+    small = rng.integers(-(2**40), 2**40, 32).tolist()
+    fast = base.decompose(small)
+    big = base.decompose([v + base.modulus * 2**70 for v in small])
+    # Shifting by a multiple of the modulus must not change the residues.
+    assert np.array_equal(fast, big)
+    roundtrip = base.compose(fast)
+    assert roundtrip == [v % base.modulus for v in small]
+
+
+def test_compose_wide_base_pair_folded_path():
+    # Enough 29-bit primes that the composed modulus exceeds the int64
+    # fast-path envelope, exercising the pair-folded big-integer path.
+    n = 64
+    base = RnsBase(generate_ntt_primes(29, 5, n))
+    assert base.bit_size > 62
+    rng = np.random.default_rng(42)
+    values = [int(v) for v in rng.integers(0, 2**62, 16)]
+    residues = base.decompose(values)
+    assert base.compose(residues) == [v % base.modulus for v in values]
+    centered = base.compose_centered(residues)
+    half = base.modulus // 2
+    assert all(-half <= c <= half for c in centered)
