@@ -152,3 +152,139 @@ class EncryptedKnn:
                 decrypted[j // per][(j % per) * n + index] for j in range(d)
             ])
         raise ValueError(f"unhandled kernel {name}")
+
+
+# ---------------------------------------------------------------------------
+# Served KNN: the same application over the offload runtime
+# ---------------------------------------------------------------------------
+
+class KnnOffloadService:
+    """Server-side KNN operations for an :class:`OffloadServer`.
+
+    The server holds encrypted point batches in per-session state and runs
+    the pluggable distance kernel against uploaded queries.  It never holds
+    a decryption capability: kernels evaluate on the session context, whose
+    ``decrypt`` is mechanically forbidden by the runtime.
+    """
+
+    OP_STORE = "knn/store"
+    OP_QUERY = "knn/query"
+
+    @classmethod
+    def install(cls, server) -> None:
+        """Register the KNN operations on *server*."""
+        server.register(cls.OP_STORE, cls._store)
+        server.register(cls.OP_QUERY, cls._query)
+
+    @staticmethod
+    def _store(session, request):
+        meta = request.meta
+        try:
+            n_points = int(meta["n_points"])
+            dims = int(meta["dims"])
+            variant = str(meta["variant"])
+        except KeyError as exc:
+            raise ValueError(f"knn/store metadata missing {exc}") from exc
+        variant_cls = KERNEL_VARIANTS.get(variant)
+        if variant_cls is None:
+            raise ValueError(f"unknown kernel variant {variant!r}")
+        if n_points < 1 or dims < 1:
+            raise ValueError("knn/store needs positive n_points and dims")
+        kernel = variant_cls(session.ensure_context(),
+                             DistanceProblem(n_points=n_points, dims=dims))
+        batches = session.state.setdefault("knn_batches", [])
+        batches.append((kernel, list(request.cts)))
+        return [], {"batch": len(batches) - 1, "points": n_points}
+
+    @staticmethod
+    def _query(session, request):
+        batches = session.state.get("knn_batches") or []
+        index = int(request.meta.get("batch", 0))
+        if not 0 <= index < len(batches):
+            raise ValueError(f"no stored batch {index} in this session")
+        kernel, point_cts = batches[index]
+        return kernel.compute(point_cts, list(request.cts)), {}
+
+
+class RemoteKnn:
+    """Client-side KNN whose server half lives across the wire.
+
+    Mirrors :class:`EncryptedKnn` — same kernels, same batching, same
+    plaintext top-k vote — but every server-side step is a runtime request
+    against a :class:`~repro.runtime.server.OffloadServer` with
+    :class:`KnnOffloadService` installed.  Key and database provisioning
+    (``add_points``) is the offline phase and is not charged to the
+    transfer ledger; per-classification traffic is, so a
+    :class:`~repro.runtime.transport.SimulatedLink` reproduces the
+    in-process :class:`CostLedger` numbers exactly.
+    """
+
+    def __init__(self, client, ctx, k: int = 3, variant: str = "collapsed",
+                 symmetric: bool = True):
+        if variant not in KERNEL_VARIANTS:
+            raise ValueError(f"unknown kernel variant {variant!r}; "
+                             f"choose from {sorted(KERNEL_VARIANTS)}")
+        self.client = client
+        self.ctx = ctx
+        self.k = k
+        self.variant = variant
+        self.variant_cls = KERNEL_VARIANTS[variant]
+        #: Seed-compressed symmetric uploads by default (§4.3).  Use
+        #: ``symmetric=False`` to match the public-key byte accounting of
+        #: the in-process ``EncryptedKnn`` path bit for bit.
+        self.symmetric = symmetric
+        self.labels = np.asarray([], dtype=np.int64)
+        self.dims: Optional[int] = None
+        self._batches: List[Tuple[DistanceKernel, int]] = []
+
+    @property
+    def size(self) -> int:
+        return len(self.labels)
+
+    def _encrypt(self, values):
+        if self.symmetric:
+            return self.ctx.encrypt_symmetric(values)
+        return self.ctx.encrypt(values)
+
+    async def add_points(self, points: np.ndarray,
+                         labels: Sequence[int]) -> int:
+        """Provision one encrypted contribution; returns its batch id."""
+        points = np.asarray(points, dtype=float)
+        if len(points) != len(labels):
+            raise ValueError("points and labels disagree in length")
+        if self.dims is not None and points.shape[1] != self.dims:
+            raise ValueError(f"expected {self.dims}-dimensional points")
+        kernel = self.variant_cls(
+            self.ctx, DistanceProblem(n_points=len(points),
+                                      dims=points.shape[1]))
+        galois = self.ctx.make_galois_keys(kernel.required_rotation_steps())
+        await self.client.upload_keys(relin=self.ctx.relin_keys(),
+                                      galois=galois)
+        cts = [self._encrypt(v) for v in kernel.pack_points(points)]
+        _, meta = await self.client.request(
+            KnnOffloadService.OP_STORE, cts,
+            {"n_points": len(points), "dims": int(points.shape[1]),
+             "variant": self.variant},
+            account=False)
+        self.dims = points.shape[1]
+        self.labels = np.concatenate([self.labels, np.asarray(labels)])
+        self._batches.append((kernel, int(meta["batch"])))
+        return int(meta["batch"])
+
+    async def classify(self, query: np.ndarray) -> KnnResult:
+        """One classification of *query* across all stored batches."""
+        if not self._batches:
+            raise ValueError("no points stored yet")
+        query = np.asarray(query, dtype=float)
+        distances = []
+        for kernel, batch_id in self._batches:
+            query_cts = [self._encrypt(v) for v in kernel.pack_query(query)]
+            out_cts, _meta = await self.client.request(
+                KnnOffloadService.OP_QUERY, query_cts, {"batch": batch_id})
+            decrypted = [np.real(self.ctx.decrypt(ct)) for ct in out_cts]
+            distances.append(kernel.decode(decrypted))
+        all_distances = np.concatenate(distances)
+        neighbors = np.argsort(all_distances)[: self.k]
+        votes = Counter(self.labels[neighbors].tolist())
+        return KnnResult(label=votes.most_common(1)[0][0],
+                         neighbor_indices=neighbors, distances=all_distances)

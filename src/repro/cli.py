@@ -134,6 +134,132 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+_PARAM_PRESETS = ("test-bfv", "test-ckks", "A", "B", "C")
+
+
+def _resolve_params(preset: str):
+    """One shared preset table for ``serve`` and ``offload``.
+
+    Parameter generation is deterministic, so the same preset name yields
+    bit-identical moduli in separate processes — the handshake fingerprint
+    matches across a real client/server split.
+    """
+    from repro.hecore.params import (
+        PARAMETER_SET_A,
+        PARAMETER_SET_B,
+        PARAMETER_SET_C,
+        SchemeType,
+        small_test_parameters,
+    )
+
+    if preset == "test-bfv":
+        return small_test_parameters(SchemeType.BFV, poly_degree=1024,
+                                     plain_bits=16, data_bits=(30, 30, 30))
+    if preset == "test-ckks":
+        return small_test_parameters(SchemeType.CKKS, poly_degree=1024,
+                                     data_bits=(30, 24, 24))
+    named = {"A": PARAMETER_SET_A, "B": PARAMETER_SET_B,
+             "C": PARAMETER_SET_C}
+    if preset in named:
+        return named[preset]
+    raise SystemExit(f"unknown parameter preset {preset!r}; choose from "
+                     f"{', '.join(_PARAM_PRESETS)}")
+
+
+def _make_context(params, seed):
+    from repro.hecore.bfv import BfvContext
+    from repro.hecore.ckks import CkksContext
+    from repro.hecore.params import SchemeType
+
+    cls = BfvContext if params.scheme is SchemeType.BFV else CkksContext
+    return cls(params, seed=seed)
+
+
+def _install_demo_ops(server) -> None:
+    """Ops the ``offload`` client exercises (beyond the built-in echo)."""
+
+    def square(session, request):
+        ctx = session.ctx
+        return [ctx.multiply(ct, ct) for ct in request.cts]
+
+    server.register("square", square)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.apps.knn import KnnOffloadService
+    from repro.runtime import OffloadServer
+
+    params = _resolve_params(args.params)
+
+    async def run() -> int:
+        server = OffloadServer(params, queue_limit=args.queue_limit,
+                               concurrency=args.concurrency, verbose=True)
+        KnnOffloadService.install(server)
+        _install_demo_ops(server)
+        host, port = await server.start(args.host, args.port)
+        print(f"offload server on {host}:{port} "
+              f"({params.describe()}); Ctrl-C to stop")
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nstopped")
+        return 0
+
+
+def _cmd_offload(args) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from repro.hecore.params import SchemeType
+    from repro.runtime import OffloadClient, OffloadServer
+
+    params = _resolve_params(args.params)
+    if params.scheme is SchemeType.BFV:
+        values = np.array([int(v) for v in args.values.split(",")])
+    else:
+        values = np.array([float(v) for v in args.values.split(",")])
+
+    async def run() -> int:
+        server = None
+        host, port = args.host, args.port
+        if args.selftest:
+            server = OffloadServer(params)
+            _install_demo_ops(server)
+            host, port = await server.start("127.0.0.1", 0)
+        ctx = _make_context(params, seed=b"offload-cli-client")
+        client = await OffloadClient(params, host, port).connect()
+        try:
+            await client.upload_keys(relin=ctx.relin_keys())
+            ct = ctx.encrypt_symmetric(values)
+            out, _meta = await client.request("square", [ct])
+            decrypted = np.real(ctx.decrypt(out[0]))[: len(values)]
+            rounded = [round(float(v)) for v in decrypted]
+            print(f"encrypted square of {values.tolist()} -> {rounded} "
+                  f"(session {client.session_id} on {host}:{port})")
+            expected = [round(float(v) ** 2) for v in values]
+            if rounded != expected:
+                print(f"MISMATCH: expected {expected}", file=sys.stderr)
+                return 1
+        finally:
+            await client.close()
+            if server is not None:
+                await server.stop()
+        return 0
+
+    return asyncio.run(run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -154,6 +280,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("demo", help="tiny end-to-end encrypted demo")
     sub.add_parser("report", help="regenerate every table/figure "
                                   "(runs the benchmark harness)")
+    srv = sub.add_parser("serve", help="run the offload runtime server")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7700)
+    srv.add_argument("--params", default="test-bfv",
+                     help=f"parameter preset: {', '.join(_PARAM_PRESETS)}")
+    srv.add_argument("--queue-limit", type=int, default=16,
+                     help="per-session request queue bound")
+    srv.add_argument("--concurrency", type=int, default=1,
+                     help="parallel compute slots")
+    off = sub.add_parser("offload",
+                         help="run an encrypted request against a server")
+    off.add_argument("--host", default="127.0.0.1")
+    off.add_argument("--port", type=int, default=7700)
+    off.add_argument("--params", default="test-bfv",
+                     help=f"parameter preset: {', '.join(_PARAM_PRESETS)}")
+    off.add_argument("--values", default="1,2,3",
+                     help="comma-separated values to square under encryption")
+    off.add_argument("--selftest", action="store_true",
+                     help="spin up an in-process server on an ephemeral port")
     return parser
 
 
@@ -164,6 +309,8 @@ _HANDLERS = {
     "advisor": _cmd_advisor,
     "demo": _cmd_demo,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "offload": _cmd_offload,
 }
 
 

@@ -42,6 +42,19 @@ class CostLedger:
     def total_bytes(self) -> int:
         return self.bytes_up + self.bytes_down
 
+    # Single source of truth for transfer accounting: the in-process
+    # ClientAidedSession and the runtime's SimulatedLink charge through the
+    # same two methods, so the analytical byte/round model cannot drift from
+    # the served path.
+    def charge_upload(self, nbytes: int) -> None:
+        """One client->server ciphertext upload: bytes plus one round."""
+        self.bytes_up += int(nbytes)
+        self.rounds += 1
+
+    def charge_download(self, nbytes: int) -> None:
+        """One server->client ciphertext download (no extra round)."""
+        self.bytes_down += int(nbytes)
+
     def communication_time(self, radio: BluetoothLink) -> float:
         return radio.transfer_time(self.total_bytes)
 
@@ -199,14 +212,13 @@ class ClientAidedSession:
 
     # ----------------------------------------------------------- transfers
     def upload(self, ct):
-        self.ledger.bytes_up += ct.size_bytes()
-        self.ledger.rounds += 1
+        self.ledger.charge_upload(ct.size_bytes())
         self._record("upload", f"client -> server, {ct.size_bytes()} B "
                                f"(round {self.ledger.rounds})")
         return ct
 
     def download(self, ct):
-        self.ledger.bytes_down += ct.size_bytes()
+        self.ledger.charge_download(ct.size_bytes())
         self._record("download", f"server -> client, {ct.size_bytes()} B")
         return ct
 

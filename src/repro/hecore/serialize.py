@@ -1,20 +1,30 @@
-"""Binary serialization for ciphertexts and public keys.
+"""Binary serialization for ciphertexts, public keys, and evaluation keys.
 
 The paper's communication costs are serialized-ciphertext bytes; this module
 provides the actual wire format so byte counts are measurable, not just
-modeled.  Two representations exist:
+modeled.  Two ciphertext representations exist:
 
 * **full** — every polynomial component, 8 bytes per (residue, coefficient);
 * **seed-compressed** — for fresh symmetric ciphertexts, only ``c0`` plus
   the 32-byte seed of the uniform component (the receiver regenerates
   ``c1``), halving upload sizes.
 
-Format (little-endian):
+Ciphertext format (little-endian):
 
     magic "CHOC" | version u8 | scheme u8 | flags u8 | n_components u8
     poly_degree u32 | scale f64 | n_moduli u8 | moduli u64[n]
     [seed: 32 bytes, if flag SEEDED]
     component data: int64[n_moduli * poly_degree] per stored component
+
+Evaluation keys (relinearization and Galois) serialize the full SEAL-style
+digit decomposition over the data+special base; a real offload server needs
+them on the wire once per key lifetime (the offline phase of
+``docs/PROTOCOL.md``).
+
+Every deserializer validates magic, version, declared counts, and the exact
+blob length *before* touching numpy, and — when parameters are supplied —
+checks the declared moduli against them.  Malformed input raises
+:class:`ValueError`; it never crashes in low-level array code.
 """
 
 from __future__ import annotations
@@ -25,7 +35,13 @@ from typing import Optional
 import numpy as np
 
 from repro.hecore.ciphertext import Ciphertext
-from repro.hecore.keys import PublicKey, expand_uniform_poly
+from repro.hecore.keys import (
+    GaloisKeys,
+    KeySwitchKey,
+    PublicKey,
+    RelinKeys,
+    expand_uniform_poly,
+)
 from repro.hecore.params import EncryptionParameters, SchemeType
 from repro.hecore.polyring import RnsPoly
 from repro.hecore.rns import RnsBase
@@ -40,6 +56,15 @@ _SCHEME_CODES = {SchemeType.BFV: 0, SchemeType.CKKS: 1}
 _SCHEME_FROM_CODE = {v: k for k, v in _SCHEME_CODES.items()}
 
 _HEADER = struct.Struct("<4sBBBBIdB")
+
+#: Ciphertexts carry at most three components (pre-relinearization product).
+_MAX_COMPONENTS = 3
+
+# Key blobs: magic, version, kind, poly_degree, n_moduli.
+_KEY_HEADER = struct.Struct("<4sBBIB")
+_KIND_PUBLIC = 1
+_KIND_RELIN = 2
+_KIND_GALOIS = 3
 
 
 def serialize_ciphertext(ct: Ciphertext, compress_seed: bool = True) -> bytes:
@@ -67,7 +92,15 @@ def serialize_ciphertext(ct: Ciphertext, compress_seed: bool = True) -> bytes:
 
 def deserialize_ciphertext(blob: bytes,
                            params: EncryptionParameters) -> Ciphertext:
-    """Reconstruct a ciphertext serialized by :func:`serialize_ciphertext`."""
+    """Reconstruct a ciphertext serialized by :func:`serialize_ciphertext`.
+
+    Validation is strict: the blob's magic, version, scheme, degree,
+    component count, moduli (which must be a prefix of the parameter set's
+    data base — ciphertexts only shed residues from the top), and its exact
+    length are all checked before any array is built.
+    """
+    if len(blob) < _HEADER.size:
+        raise ValueError("ciphertext blob shorter than its header")
     magic, version, scheme_code, flags, n_components, degree, scale, n_moduli = (
         _HEADER.unpack_from(blob, 0)
     )
@@ -75,21 +108,41 @@ def deserialize_ciphertext(blob: bytes,
         raise ValueError("not a CHOCO ciphertext blob")
     if version != VERSION:
         raise ValueError(f"unsupported version {version}")
-    scheme = _SCHEME_FROM_CODE[scheme_code]
+    scheme = _SCHEME_FROM_CODE.get(scheme_code)
+    if scheme is None:
+        raise ValueError(f"unknown scheme code {scheme_code}")
     if scheme is not params.scheme or degree != params.poly_degree:
         raise ValueError("blob does not match the supplied parameters")
+    if not 1 <= n_components <= _MAX_COMPONENTS:
+        raise ValueError(f"implausible component count {n_components}")
+    data_moduli = params.data_base.moduli
+    if not 1 <= n_moduli <= len(data_moduli):
+        raise ValueError(f"implausible modulus count {n_moduli}")
+
+    seeded = bool(flags & _FLAG_SEEDED)
+    if seeded and n_components != 2:
+        raise ValueError("seed compression applies only to 2-component "
+                         "ciphertexts")
+    stored_count = n_components - 1 if seeded else n_components
+
     offset = _HEADER.size
+    expected = (offset + 8 * n_moduli + (32 if seeded else 0)
+                + stored_count * 8 * n_moduli * degree)
+    if len(blob) != expected:
+        raise ValueError(
+            f"ciphertext blob is {len(blob)} bytes, expected {expected} "
+            f"(truncated or trailing bytes)"
+        )
     moduli = struct.unpack_from(f"<{n_moduli}Q", blob, offset)
     offset += 8 * n_moduli
+    if moduli != data_moduli[:n_moduli]:
+        raise ValueError("blob moduli do not match the supplied parameters")
     base = RnsBase(moduli)
 
     seed: Optional[bytes] = None
-    if flags & _FLAG_SEEDED:
+    if seeded:
         seed = blob[offset: offset + 32]
         offset += 32
-        stored_count = n_components - 1
-    else:
-        stored_count = n_components
 
     is_ntt = bool(flags & _FLAG_NTT)
     components = []
@@ -100,8 +153,6 @@ def deserialize_ciphertext(blob: bytes,
         offset += row_bytes
         components.append(RnsPoly(base, degree, data.astype(np.int64),
                                   is_ntt=is_ntt))
-    if offset != len(blob):
-        raise ValueError("trailing bytes in ciphertext blob")
 
     if seed is not None:
         c1 = expand_uniform_poly(seed, base, degree)
@@ -109,33 +160,195 @@ def deserialize_ciphertext(blob: bytes,
     return Ciphertext(params, components, scale=scale, seed=seed)
 
 
+# ---------------------------------------------------------------------------
+# Public keys
+# ---------------------------------------------------------------------------
+
 def serialize_public_key(pk: PublicKey) -> bytes:
     """Serialize a public key (both components over the full base, NTT)."""
     p0, p1 = pk.p0, pk.p1
     moduli = p0.base.moduli
-    parts = [struct.pack("<4sBIB", MAGIC, VERSION, p0.degree, len(moduli))]
+    parts = [_KEY_HEADER.pack(MAGIC, VERSION, _KIND_PUBLIC, p0.degree,
+                              len(moduli))]
     parts.append(struct.pack(f"<{len(moduli)}Q", *moduli))
     parts.append(p0.data.astype("<i8").tobytes())
     parts.append(p1.data.astype("<i8").tobytes())
     return b"".join(parts)
 
 
-def deserialize_public_key(blob: bytes) -> PublicKey:
-    magic, version, degree, n_moduli = struct.unpack_from("<4sBIB", blob, 0)
+def _read_key_header(blob: bytes, kind: int, what: str):
+    """Validate a key blob's fixed header; returns (degree, n_moduli)."""
+    if len(blob) < _KEY_HEADER.size:
+        raise ValueError(f"{what} blob shorter than its header")
+    magic, version, blob_kind, degree, n_moduli = _KEY_HEADER.unpack_from(blob, 0)
     if magic != MAGIC or version != VERSION:
-        raise ValueError("not a CHOCO public-key blob")
-    offset = struct.calcsize("<4sBIB")
+        raise ValueError(f"not a CHOCO {what} blob")
+    if blob_kind != kind:
+        raise ValueError(f"blob is not a {what} (kind {blob_kind})")
+    if n_moduli < 1:
+        raise ValueError("key blob declares no moduli")
+    return degree, n_moduli
+
+
+def _read_moduli(blob: bytes, offset: int, n_moduli: int):
+    if offset + 8 * n_moduli > len(blob):
+        raise ValueError("key blob truncated inside its modulus list")
     moduli = struct.unpack_from(f"<{n_moduli}Q", blob, offset)
-    offset += 8 * n_moduli
+    return moduli, offset + 8 * n_moduli
+
+
+def deserialize_public_key(blob: bytes,
+                           params: Optional[EncryptionParameters] = None,
+                           ) -> PublicKey:
+    """Reconstruct a public key, validating it against *params* if given.
+
+    A public key lives over the full (data + special) base; when *params*
+    are supplied the blob's degree and moduli must match them exactly —
+    the same contract :func:`deserialize_ciphertext` enforces.
+    """
+    degree, n_moduli = _read_key_header(blob, _KIND_PUBLIC, "public-key")
+    moduli, offset = _read_moduli(blob, _KEY_HEADER.size, n_moduli)
+    if params is not None:
+        if degree != params.poly_degree:
+            raise ValueError("public-key degree does not match the supplied "
+                             "parameters")
+        if moduli != params.full_base.moduli:
+            raise ValueError("public-key moduli do not match the supplied "
+                             "parameters")
+    row_bytes = 8 * n_moduli * degree
+    if len(blob) != offset + 2 * row_bytes:
+        raise ValueError("public-key blob has a truncated or oversized body")
     base = RnsBase(moduli)
     polys = []
     for _ in range(2):
         data = np.frombuffer(blob, dtype="<i8", count=n_moduli * degree,
                              offset=offset).reshape(n_moduli, degree)
-        offset += 8 * n_moduli * degree
+        offset += row_bytes
         polys.append(RnsPoly(base, degree, data.astype(np.int64), is_ntt=True))
     return PublicKey(polys[0], polys[1])
 
+
+# ---------------------------------------------------------------------------
+# Evaluation keys (relinearization / Galois)
+# ---------------------------------------------------------------------------
+
+def _pack_ksk(ksk: KeySwitchKey) -> bytes:
+    parts = [struct.pack("<B", len(ksk.digits))]
+    for k0, k1 in ksk.digits:
+        parts.append(k0.data.astype("<i8").tobytes())
+        parts.append(k1.data.astype("<i8").tobytes())
+    return b"".join(parts)
+
+
+def _unpack_ksk(blob: bytes, offset: int, base: RnsBase, degree: int,
+                expected_digits: int) -> "tuple[KeySwitchKey, int]":
+    if offset + 1 > len(blob):
+        raise ValueError("key blob truncated before a digit count")
+    (n_digits,) = struct.unpack_from("<B", blob, offset)
+    offset += 1
+    if n_digits != expected_digits:
+        raise ValueError(
+            f"key-switching key has {n_digits} digits, parameters require "
+            f"{expected_digits}"
+        )
+    n_moduli = len(base)
+    row_bytes = 8 * n_moduli * degree
+    if offset + 2 * n_digits * row_bytes > len(blob):
+        raise ValueError("key blob truncated inside its digit data")
+    digits = []
+    for _ in range(n_digits):
+        pair = []
+        for _ in range(2):
+            data = np.frombuffer(blob, dtype="<i8", count=n_moduli * degree,
+                                 offset=offset).reshape(n_moduli, degree)
+            offset += row_bytes
+            pair.append(RnsPoly(base, degree, data.astype(np.int64),
+                                is_ntt=True))
+        digits.append((pair[0], pair[1]))
+    return KeySwitchKey(digits), offset
+
+
+def _key_preamble(kind: int, params_like: RnsPoly) -> "list[bytes]":
+    moduli = params_like.base.moduli
+    return [
+        _KEY_HEADER.pack(MAGIC, VERSION, kind, params_like.degree, len(moduli)),
+        struct.pack(f"<{len(moduli)}Q", *moduli),
+    ]
+
+
+def serialize_relin_key(rk: RelinKeys) -> bytes:
+    """Serialize a relinearization key (all digits over the full base)."""
+    parts = _key_preamble(_KIND_RELIN, rk.digits[0][0])
+    parts.append(_pack_ksk(rk))
+    return b"".join(parts)
+
+
+def _validate_key_base(moduli, degree: int, params: EncryptionParameters,
+                       what: str) -> RnsBase:
+    if degree != params.poly_degree:
+        raise ValueError(f"{what} degree does not match the supplied "
+                         f"parameters")
+    if moduli != params.full_base.moduli:
+        raise ValueError(f"{what} moduli do not match the supplied parameters")
+    return params.full_base
+
+
+def deserialize_relin_key(blob: bytes,
+                          params: EncryptionParameters) -> RelinKeys:
+    degree, n_moduli = _read_key_header(blob, _KIND_RELIN, "relinearization-key")
+    moduli, offset = _read_moduli(blob, _KEY_HEADER.size, n_moduli)
+    base = _validate_key_base(moduli, degree, params, "relinearization-key")
+    ksk, offset = _unpack_ksk(blob, offset, base, degree,
+                              len(params.data_base))
+    if offset != len(blob):
+        raise ValueError("trailing bytes in relinearization-key blob")
+    return RelinKeys(ksk.digits)
+
+
+def serialize_galois_keys(gk: GaloisKeys) -> bytes:
+    """Serialize a Galois key set: ``(galois_elt, key)`` pairs."""
+    if not gk.keys:
+        raise ValueError("cannot serialize an empty Galois key set")
+    sample = next(iter(gk.keys.values())).digits[0][0]
+    parts = _key_preamble(_KIND_GALOIS, sample)
+    parts.append(struct.pack("<H", len(gk.keys)))
+    for elt in sorted(gk.keys):
+        parts.append(struct.pack("<I", elt))
+        parts.append(_pack_ksk(gk.keys[elt]))
+    return b"".join(parts)
+
+
+def deserialize_galois_keys(blob: bytes,
+                            params: EncryptionParameters) -> GaloisKeys:
+    degree, n_moduli = _read_key_header(blob, _KIND_GALOIS, "Galois-key")
+    moduli, offset = _read_moduli(blob, _KEY_HEADER.size, n_moduli)
+    base = _validate_key_base(moduli, degree, params, "Galois-key")
+    if offset + 2 > len(blob):
+        raise ValueError("Galois-key blob truncated before its key count")
+    (n_keys,) = struct.unpack_from("<H", blob, offset)
+    offset += 2
+    if n_keys < 1:
+        raise ValueError("Galois-key blob declares no keys")
+    keys = {}
+    for _ in range(n_keys):
+        if offset + 4 > len(blob):
+            raise ValueError("Galois-key blob truncated before an element id")
+        (elt,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        if elt < 3 or elt >= 2 * degree or elt % 2 == 0:
+            raise ValueError(f"invalid Galois element {elt}")
+        if elt in keys:
+            raise ValueError(f"duplicate Galois element {elt}")
+        keys[elt], offset = _unpack_ksk(blob, offset, base, degree,
+                                        len(params.data_base))
+    if offset != len(blob):
+        raise ValueError("trailing bytes in Galois-key blob")
+    return GaloisKeys(keys)
+
+
+# ---------------------------------------------------------------------------
+# Size accounting
+# ---------------------------------------------------------------------------
 
 def serialized_size(ct: Ciphertext, compress_seed: bool = True) -> int:
     """Exact wire size without materializing the blob."""

@@ -1,0 +1,63 @@
+"""repro.runtime — the asyncio offload-serving runtime.
+
+Real sessions, framing, fair scheduling, and backpressure over the CHOCO
+wire format: an :class:`OffloadServer` serves HE compute to many
+:class:`OffloadClient` sessions over TCP or over an in-memory
+:class:`SimulatedLink` that drives the analytical cost model.
+"""
+
+from repro.runtime.client import (
+    OffloadClient,
+    OffloadError,
+    OffloadTimeout,
+    ServerBusy,
+)
+from repro.runtime.framing import (
+    FRAME_MAGIC,
+    FRAME_VERSION,
+    HEADER_SIZE,
+    MAX_FRAME_BYTES,
+    ErrorCode,
+    FrameError,
+    KeyKind,
+    MessageType,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+from repro.runtime.metrics import RuntimeMetrics, SessionMetrics, percentile
+from repro.runtime.server import (
+    ComputeRequest,
+    MissingEvaluationKey,
+    OffloadServer,
+    ServerSession,
+)
+from repro.runtime.transport import SimulatedLink, TcpTransport, Transport
+
+__all__ = [
+    "ComputeRequest",
+    "ErrorCode",
+    "FrameError",
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "HEADER_SIZE",
+    "KeyKind",
+    "MAX_FRAME_BYTES",
+    "MessageType",
+    "MissingEvaluationKey",
+    "OffloadClient",
+    "OffloadError",
+    "OffloadServer",
+    "OffloadTimeout",
+    "RuntimeMetrics",
+    "ServerBusy",
+    "ServerSession",
+    "SessionMetrics",
+    "SimulatedLink",
+    "TcpTransport",
+    "Transport",
+    "decode_frame",
+    "encode_frame",
+    "percentile",
+    "read_frame",
+]

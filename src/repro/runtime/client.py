@@ -1,0 +1,312 @@
+"""The offload client: connect, handshake, upload keys, request compute.
+
+:class:`OffloadClient` speaks the frame protocol over any
+:class:`~repro.runtime.transport.Transport`.  One background *pump* task
+reads frames off the connection and resolves per-request futures, so many
+requests can be in flight concurrently (the server schedules them fairly).
+
+Reliability knobs match what a battery-powered client needs:
+
+* connection retries with exponential backoff (in ``TcpTransport.connect``),
+* per-request timeouts, retried with exponential backoff up to
+  ``max_retries`` before surfacing :class:`OffloadTimeout`,
+* ``BUSY`` backpressure honored by waiting the server's ``retry_after`` hint
+  before re-submitting (surfacing :class:`ServerBusy` when retries run out),
+* seed-compressed symmetric uploads by default (``compress_seed=True``) —
+  the paper's halve-the-upload optimization (§4.3) applies on the wire
+  exactly as in the analytical model.
+
+Transfer accounting goes through ``transport.account_upload`` /
+``account_download`` with *logical* ciphertext bytes
+(:meth:`Ciphertext.size_bytes`), so a :class:`SimulatedLink` reproduces the
+in-process :class:`CostLedger` numbers exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.hecore.ciphertext import Ciphertext
+from repro.hecore.params import EncryptionParameters
+from repro.hecore.serialize import (
+    deserialize_ciphertext,
+    serialize_ciphertext,
+    serialize_galois_keys,
+    serialize_public_key,
+    serialize_relin_key,
+)
+from repro.runtime.framing import (
+    MAX_FRAME_BYTES,
+    Busy,
+    Compute,
+    Error,
+    ErrorCode,
+    FrameError,
+    Hello,
+    HelloAck,
+    KeyAck,
+    KeyUpload,
+    KeyKind,
+    MessageType,
+    Result,
+)
+from repro.runtime.transport import TcpTransport, Transport
+
+
+class OffloadError(RuntimeError):
+    """The server answered with a typed protocol error."""
+
+    def __init__(self, message: str, code: Optional[ErrorCode] = None):
+        super().__init__(message)
+        self.code = code
+
+
+class OffloadTimeout(OffloadError):
+    """A request exhausted its timeout retries without a reply."""
+
+
+class ServerBusy(OffloadError):
+    """The server's queue stayed full through every retry."""
+
+    def __init__(self, message: str, retry_after_ms: int = 0):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class OffloadClient:
+    """One session against an :class:`OffloadServer`."""
+
+    def __init__(self, params: EncryptionParameters,
+                 host: Optional[str] = None, port: Optional[int] = None, *,
+                 transport: Optional[Transport] = None,
+                 request_timeout: float = 30.0, max_retries: int = 4,
+                 backoff_s: float = 0.05, connect_retries: int = 3,
+                 compress_seed: bool = True,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        if transport is None and (host is None or port is None):
+            raise ValueError("need either host/port or an explicit transport")
+        self.params = params
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.connect_retries = connect_retries
+        self.compress_seed = compress_seed
+        self.max_frame_bytes = max_frame_bytes
+        self.transport = transport
+        self.session_id: Optional[int] = None
+        self.server_queue_limit: Optional[int] = None
+        self.server_concurrency: Optional[int] = None
+        self.banner: Optional[str] = None
+        self._rid = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._key_waiters: Dict[KeyKind, asyncio.Future] = {}
+        self._pump_task: Optional[asyncio.Task] = None
+        self._conn_error: Optional[Exception] = None
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+    async def connect(self) -> "OffloadClient":
+        """Open the transport, handshake, and start the reader pump."""
+        if self.transport is None:
+            self.transport = await TcpTransport.connect(
+                self.host, self.port, retries=self.connect_retries,
+                backoff_s=self.backoff_s,
+                max_frame_bytes=self.max_frame_bytes)
+        hello = Hello.from_params(self.params)
+        await self.transport.send_frame(MessageType.HELLO, hello.pack())
+        mtype, _flags, payload = await self.transport.recv_frame()
+        if mtype is MessageType.ERROR:
+            err = Error.unpack(payload)
+            raise OffloadError(f"handshake rejected: {err.message}", err.code)
+        if mtype is not MessageType.HELLO_ACK:
+            raise OffloadError(f"expected HELLO_ACK, got {mtype.name}")
+        ack = HelloAck.unpack(payload)
+        self.session_id = ack.session_id
+        self.server_queue_limit = ack.queue_limit
+        self.server_concurrency = ack.concurrency
+        self.banner = ack.banner
+        self._pump_task = asyncio.ensure_future(self._pump())
+        return self
+
+    async def close(self) -> None:
+        """Send BYE (best effort) and tear the connection down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.transport is not None:
+            try:
+                await self.transport.send_frame(MessageType.BYE)
+            except (ConnectionError, OSError):
+                pass
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        if self.transport is not None:
+            await self.transport.close()
+        self._fail_waiters(OffloadError("connection closed"))
+
+    async def __aenter__(self) -> "OffloadClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------ the pump
+    async def _pump(self) -> None:
+        try:
+            while True:
+                mtype, _flags, payload = await self.transport.recv_frame()
+                if mtype is MessageType.RESULT:
+                    result = Result.unpack(payload)
+                    self._resolve(result.request_id, ("result", result))
+                elif mtype is MessageType.BUSY:
+                    busy = Busy.unpack(payload)
+                    self._resolve(busy.request_id, ("busy", busy))
+                elif mtype is MessageType.KEY_ACK:
+                    ack = KeyAck.unpack(payload)
+                    waiter = self._key_waiters.pop(ack.kind, None)
+                    if waiter is not None and not waiter.done():
+                        waiter.set_result(ack)
+                elif mtype is MessageType.ERROR:
+                    err = Error.unpack(payload)
+                    if err.request_id and err.request_id in self._pending:
+                        self._resolve(err.request_id, ("error", err))
+                    else:
+                        raise OffloadError(
+                            f"server error [{err.code.name}]: {err.message}",
+                            err.code)
+                elif mtype is MessageType.BYE:
+                    raise ConnectionError("server said BYE")
+                # Anything else is a server bug; ignore rather than dying.
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, FrameError, OffloadError) as exc:
+            self._conn_error = exc
+            self._fail_waiters(exc)
+
+    def _resolve(self, request_id: int, value) -> None:
+        future = self._pending.pop(request_id, None)
+        if future is not None and not future.done():
+            future.set_result(value)
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+        for future in list(self._key_waiters.values()):
+            if not future.done():
+                future.set_exception(exc)
+        self._key_waiters.clear()
+
+    def _check_alive(self) -> None:
+        if self._closed:
+            raise OffloadError("client is closed")
+        if self._conn_error is not None:
+            raise OffloadError(f"connection lost: {self._conn_error}")
+
+    # ------------------------------------------------------------- key sync
+    async def upload_keys(self, public=None, relin=None, galois=None) -> None:
+        """Upload evaluation keys (the offline provisioning phase).
+
+        Key uploads are *not* charged to the transfer ledger — matching the
+        in-process protocol, which treats key/database provisioning as the
+        offline phase outside the per-inference costs (§5.2).
+        """
+        uploads = []
+        if public is not None:
+            uploads.append((KeyKind.PUBLIC, serialize_public_key(public)))
+        if relin is not None:
+            uploads.append((KeyKind.RELIN, serialize_relin_key(relin)))
+        if galois is not None:
+            uploads.append((KeyKind.GALOIS, serialize_galois_keys(galois)))
+        for kind, blob in uploads:
+            self._check_alive()
+            waiter = asyncio.get_running_loop().create_future()
+            self._key_waiters[kind] = waiter
+            await self.transport.send_frame(
+                MessageType.KEY_UPLOAD, KeyUpload(kind, blob).pack())
+            try:
+                await asyncio.wait_for(waiter, self.request_timeout)
+            except asyncio.TimeoutError:
+                self._key_waiters.pop(kind, None)
+                raise OffloadTimeout(
+                    f"no KEY_ACK for {kind.name} key within "
+                    f"{self.request_timeout}s")
+
+    # -------------------------------------------------------------- compute
+    async def request(self, op: str, cts: Iterable[Ciphertext] = (),
+                      meta: Optional[dict] = None, *,
+                      timeout: Optional[float] = None,
+                      retries: Optional[int] = None,
+                      account: bool = True,
+                      ) -> Tuple[List[Ciphertext], dict]:
+        """Submit one compute request; returns (result_cts, result_meta).
+
+        Serialization happens once; every (re)submission reuses the blobs.
+        ``BUSY`` replies wait out the server's retry-after hint; timeouts
+        back off exponentially.  ``account=False`` skips ledger accounting
+        (for provisioning uploads that the analytical model treats as
+        offline).
+        """
+        self._check_alive()
+        timeout = self.request_timeout if timeout is None else timeout
+        retries = self.max_retries if retries is None else retries
+        cts = list(cts)
+        blobs = tuple(serialize_ciphertext(ct, compress_seed=self.compress_seed)
+                      for ct in cts)
+        logical_up = [ct.size_bytes() for ct in cts]
+        delay = self.backoff_s
+        last_busy: Optional[Busy] = None
+        for attempt in range(retries + 1):
+            self._check_alive()
+            request_id = next(self._rid)
+            future = asyncio.get_running_loop().create_future()
+            self._pending[request_id] = future
+            payload = Compute(request_id, op, dict(meta or {}), blobs).pack()
+            if account:
+                for nbytes in logical_up:
+                    self.transport.account_upload(nbytes)
+            await self.transport.send_frame(MessageType.COMPUTE, payload)
+            try:
+                kind, reply = await asyncio.wait_for(future, timeout)
+            except asyncio.TimeoutError:
+                self._pending.pop(request_id, None)
+                if attempt == retries:
+                    raise OffloadTimeout(
+                        f"request {op!r} timed out after {attempt + 1} "
+                        f"attempt(s) of {timeout}s")
+                await asyncio.sleep(delay)
+                delay *= 2
+                continue
+            if kind == "result":
+                out_cts = [deserialize_ciphertext(blob, self.params)
+                           for blob in reply.blobs]
+                if account:
+                    for ct in out_cts:
+                        self.transport.account_download(ct.size_bytes())
+                return out_cts, reply.meta
+            if kind == "busy":
+                last_busy = reply
+                if attempt == retries:
+                    break
+                wait_s = max(reply.retry_after_ms / 1000.0, delay)
+                await asyncio.sleep(wait_s)
+                delay *= 2
+                continue
+            err: Error = reply
+            raise OffloadError(
+                f"request {op!r} failed [{err.code.name}]: {err.message}",
+                err.code)
+        raise ServerBusy(
+            f"server busy: request {op!r} rejected "
+            f"{retries + 1} time(s)",
+            last_busy.retry_after_ms if last_busy else 0)

@@ -1,0 +1,149 @@
+"""Per-session counters and latency percentiles for the offload runtime.
+
+The server keeps one :class:`SessionMetrics` per connected session plus a
+fleet-wide :class:`RuntimeMetrics` aggregate.  Everything is exposed as a
+plain-dict ``snapshot()`` (JSON-friendly, no live references) and as a
+human-readable table the server prints on shutdown.
+
+The ``service_order`` trace — the session id of each request in dispatch
+order — is what the fairness tests audit: a round-robin scheduler must not
+let any session starve behind a chatty neighbor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Cap on retained latency samples per session (newest wins); enough for
+#: stable p99 estimates without unbounded growth on long-lived sessions.
+MAX_LATENCY_SAMPLES = 4096
+
+#: Cap on the retained dispatch-order trace.
+MAX_SERVICE_ORDER = 65536
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of *samples* (0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+@dataclass
+class SessionMetrics:
+    """Counters for one client session."""
+
+    session_id: int
+    peer: str = "?"
+    opened_at: float = field(default_factory=time.monotonic)
+    requests: int = 0            # COMPUTE frames accepted into the queue
+    responses: int = 0           # RESULT frames sent
+    errors: int = 0              # ERROR frames sent
+    busy_rejections: int = 0     # BUSY frames sent (queue-full backpressure)
+    key_uploads: int = 0
+    ciphertexts_in: int = 0
+    ciphertexts_out: int = 0
+    bytes_up: int = 0            # physical payload bytes, client -> server
+    bytes_down: int = 0          # physical payload bytes, server -> client
+    queue_depth: int = 0         # current backlog
+    _latencies_s: List[float] = field(default_factory=list, repr=False)
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latencies_s.append(seconds)
+        if len(self._latencies_s) > MAX_LATENCY_SAMPLES:
+            del self._latencies_s[: len(self._latencies_s)
+                                  - MAX_LATENCY_SAMPLES]
+
+    def latency_p50_ms(self) -> float:
+        return 1e3 * percentile(self._latencies_s, 0.50)
+
+    def latency_p99_ms(self) -> float:
+        return 1e3 * percentile(self._latencies_s, 0.99)
+
+    def snapshot(self) -> Dict:
+        return {
+            "session_id": self.session_id,
+            "peer": self.peer,
+            "requests": self.requests,
+            "responses": self.responses,
+            "errors": self.errors,
+            "busy_rejections": self.busy_rejections,
+            "key_uploads": self.key_uploads,
+            "ciphertexts_in": self.ciphertexts_in,
+            "ciphertexts_out": self.ciphertexts_out,
+            "bytes_up": self.bytes_up,
+            "bytes_down": self.bytes_down,
+            "queue_depth": self.queue_depth,
+            "latency_p50_ms": round(self.latency_p50_ms(), 3),
+            "latency_p99_ms": round(self.latency_p99_ms(), 3),
+        }
+
+
+class RuntimeMetrics:
+    """Fleet-wide view: one entry per session plus aggregate totals."""
+
+    def __init__(self):
+        self.sessions: Dict[int, SessionMetrics] = {}
+        self.service_order: List[int] = []
+        self.sessions_opened = 0
+        self.sessions_rejected = 0
+
+    def open_session(self, session_id: int, peer: str = "?") -> SessionMetrics:
+        metrics = SessionMetrics(session_id=session_id, peer=peer)
+        self.sessions[session_id] = metrics
+        self.sessions_opened += 1
+        return metrics
+
+    def record_dispatch(self, session_id: int) -> None:
+        self.service_order.append(session_id)
+        if len(self.service_order) > MAX_SERVICE_ORDER:
+            del self.service_order[: len(self.service_order)
+                                   - MAX_SERVICE_ORDER]
+
+    def get(self, session_id: int) -> Optional[SessionMetrics]:
+        return self.sessions.get(session_id)
+
+    def snapshot(self) -> Dict:
+        sessions = {sid: m.snapshot() for sid, m in self.sessions.items()}
+        return {
+            "sessions_opened": self.sessions_opened,
+            "sessions_rejected": self.sessions_rejected,
+            "requests": sum(m.requests for m in self.sessions.values()),
+            "responses": sum(m.responses for m in self.sessions.values()),
+            "errors": sum(m.errors for m in self.sessions.values()),
+            "busy_rejections": sum(m.busy_rejections
+                                   for m in self.sessions.values()),
+            "bytes_up": sum(m.bytes_up for m in self.sessions.values()),
+            "bytes_down": sum(m.bytes_down for m in self.sessions.values()),
+            "sessions": sessions,
+        }
+
+    def render(self) -> str:
+        """Shutdown summary table."""
+        total = self.snapshot()
+        lines = [
+            f"offload-server metrics: {total['sessions_opened']} session(s), "
+            f"{total['responses']}/{total['requests']} requests served, "
+            f"{total['busy_rejections']} busy rejection(s), "
+            f"{total['errors']} error(s)",
+            f"  physical bytes: {total['bytes_up']} up / "
+            f"{total['bytes_down']} down",
+        ]
+        header = (f"  {'sess':>4s} {'peer':20s} {'reqs':>5s} {'resp':>5s} "
+                  f"{'busy':>5s} {'err':>4s} {'up B':>10s} {'down B':>10s} "
+                  f"{'p50 ms':>8s} {'p99 ms':>8s}")
+        if self.sessions:
+            lines.append(header)
+        for sid in sorted(self.sessions):
+            m = self.sessions[sid]
+            lines.append(
+                f"  {sid:4d} {m.peer[:20]:20s} {m.requests:5d} "
+                f"{m.responses:5d} {m.busy_rejections:5d} {m.errors:4d} "
+                f"{m.bytes_up:10d} {m.bytes_down:10d} "
+                f"{m.latency_p50_ms():8.2f} {m.latency_p99_ms():8.2f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,463 @@
+"""The multi-session offload server: sessions, scheduling, backpressure.
+
+An :class:`OffloadServer` owns one HE parameter set and a registry of named
+operations.  Each connected client gets a **session**: its own evaluation-key
+store (public / relinearization / Galois — uploaded once, the offline phase
+of the protocol), its own bounded request queue, and its own metrics.
+
+Scheduling is fair round-robin across sessions: a single scheduler task
+rotates through every session with queued work and dispatches one request at
+a time into a bounded worker pool (``concurrency`` slots), so a chatty
+session cannot starve a quiet one.  When a session's queue is full the
+server answers ``BUSY`` with a retry-after hint instead of buffering
+unboundedly — backpressure is part of the wire contract, not an afterthought.
+
+The server-side evaluation context is built from the *uploaded* keys only.
+It mechanically forbids decryption (raising
+:class:`~repro.core.protocol.ProtocolViolation`, the same boundary
+``ClientAidedSession.server_compute`` enforces) and refuses to fabricate
+evaluation keys the client never sent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.protocol import ProtocolViolation
+from repro.hecore.ciphertext import Ciphertext
+from repro.hecore.params import EncryptionParameters, SchemeType
+from repro.hecore.serialize import (
+    deserialize_ciphertext,
+    deserialize_galois_keys,
+    deserialize_public_key,
+    deserialize_relin_key,
+    serialize_ciphertext,
+)
+from repro.runtime.framing import (
+    MAX_FRAME_BYTES,
+    Busy,
+    Compute,
+    Error,
+    ErrorCode,
+    FrameError,
+    Hello,
+    HelloAck,
+    KeyAck,
+    KeyKind,
+    KeyUpload,
+    MessageType,
+    Result,
+)
+from repro.runtime.metrics import RuntimeMetrics, SessionMetrics
+from repro.runtime.transport import TcpTransport, Transport
+
+
+class MissingEvaluationKey(ValueError):
+    """An operation needed an evaluation key the session never uploaded."""
+
+
+@dataclass
+class ComputeRequest:
+    """One deserialized offload request, queued for a worker."""
+
+    request_id: int
+    op: str
+    meta: Dict
+    cts: List[Ciphertext]
+    received_at: float = field(default_factory=time.monotonic)
+
+
+#: A handler takes ``(session, request)`` and returns a list of result
+#: ciphertexts, or a ``(ciphertexts, meta)`` tuple.  Plain functions run in
+#: a worker thread (keeping the event loop responsive during heavy HE);
+#: coroutine functions are awaited on the loop.
+Handler = Callable[["ServerSession", ComputeRequest], Any]
+
+
+class ServerSession:
+    """One client's server-side state: keys, queue, metrics, eval context."""
+
+    def __init__(self, session_id: int, transport: Transport,
+                 server: "OffloadServer", metrics: SessionMetrics):
+        self.id = session_id
+        self.transport = transport
+        self.server = server
+        self.metrics = metrics
+        self.keystore: Dict[KeyKind, Any] = {}
+        #: Free-form per-session application state (e.g. stored KNN batches).
+        self.state: Dict[str, Any] = {}
+        self.queue: Deque[ComputeRequest] = deque()
+        self.ctx = None
+        self._send_lock = asyncio.Lock()
+        self.closed = False
+
+    @property
+    def params(self) -> EncryptionParameters:
+        return self.server.params
+
+    def ensure_context(self):
+        """The session's evaluation context, built on first use."""
+        if self.ctx is None:
+            self.ctx = self.server._make_eval_context(self)
+        return self.ctx
+
+    async def send(self, mtype: MessageType, payload: bytes) -> None:
+        """Serialized frame send (workers and the session loop interleave)."""
+        async with self._send_lock:
+            await self.transport.send_frame(mtype, payload)
+
+
+class OffloadServer:
+    """Serves the client-aided protocol to many concurrent sessions."""
+
+    def __init__(self, params: EncryptionParameters, *,
+                 queue_limit: int = 16, concurrency: int = 1,
+                 retry_after_ms: int = 50, banner: str = "choco-offload",
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 context_seed: bytes = b"offload-server-eval",
+                 verbose: bool = False):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        self.params = params
+        self.queue_limit = queue_limit
+        self.concurrency = concurrency
+        self.retry_after_ms = retry_after_ms
+        self.banner = banner
+        self.max_frame_bytes = max_frame_bytes
+        self.verbose = verbose
+        self._context_seed = context_seed
+        self.metrics = RuntimeMetrics()
+        self._handlers: Dict[str, Handler] = {}
+        self._sessions: Dict[int, ServerSession] = {}
+        self._rr: Deque[int] = deque()
+        self._ids = itertools.count(1)
+        self._work = asyncio.Event()
+        self._slots = asyncio.Semaphore(concurrency)
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._worker_tasks: set = set()
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.register("echo", _echo_handler)
+
+    # --------------------------------------------------------------- setup
+    def register(self, op: str, handler: Handler) -> None:
+        """Register (or replace) the handler for operation *op*."""
+        self._handlers[op] = handler
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0,
+                    ) -> Tuple[str, int]:
+        """Listen on TCP; returns the bound (host, port)."""
+        self._ensure_scheduler()
+        self._tcp_server = await asyncio.start_server(
+            self._on_tcp_connection, host, port)
+        sockname = self._tcp_server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Close the listener and all sessions; print metrics if verbose."""
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for session in list(self._sessions.values()):
+            await session.transport.close()
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+            self._scheduler_task = None
+        for task in list(self._worker_tasks):
+            task.cancel()
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        if self.verbose:
+            print(self.metrics.render())
+
+    def _ensure_scheduler(self) -> None:
+        if self._scheduler_task is None or self._scheduler_task.done():
+            self._scheduler_task = asyncio.ensure_future(self._scheduler())
+
+    # ----------------------------------------------------- session serving
+    async def _on_tcp_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        await self.serve_transport(
+            TcpTransport(reader, writer, self.max_frame_bytes))
+
+    async def serve_transport(self, transport: Transport) -> None:
+        """Serve one session over any :class:`Transport` until it closes."""
+        self._ensure_scheduler()
+        session: Optional[ServerSession] = None
+        try:
+            session = await self._handshake(transport)
+            if session is None:
+                return
+            await self._session_loop(session)
+        except (ConnectionError, FrameError):
+            pass  # peer vanished or spoke garbage: drop the session
+        finally:
+            if session is not None:
+                self._unregister(session)
+            await transport.close()
+
+    async def _handshake(self, transport: Transport,
+                         ) -> Optional[ServerSession]:
+        mtype, _flags, payload = await transport.recv_frame()
+        if mtype is not MessageType.HELLO:
+            await transport.send_frame(MessageType.ERROR, Error(
+                0, ErrorCode.BAD_FRAME, "expected HELLO").pack())
+            return None
+        try:
+            hello = Hello.unpack(payload)
+        except FrameError as exc:
+            await transport.send_frame(MessageType.ERROR, Error(
+                0, ErrorCode.BAD_FRAME, str(exc)).pack())
+            return None
+        mismatch = hello.mismatch(self.params)
+        if mismatch is not None:
+            self.metrics.sessions_rejected += 1
+            await transport.send_frame(MessageType.ERROR, Error(
+                0, ErrorCode.PARAMS_MISMATCH,
+                f"parameter mismatch: {mismatch}").pack())
+            return None
+        session_id = next(self._ids)
+        metrics = self.metrics.open_session(session_id, transport.peer_name)
+        session = ServerSession(session_id, transport, self, metrics)
+        self._sessions[session_id] = session
+        self._rr.append(session_id)
+        await transport.send_frame(MessageType.HELLO_ACK, HelloAck(
+            session_id, self.queue_limit, self.concurrency,
+            self.banner).pack())
+        return session
+
+    async def _session_loop(self, session: ServerSession) -> None:
+        while True:
+            mtype, _flags, payload = await session.transport.recv_frame()
+            session.metrics.bytes_up += len(payload)
+            if mtype is MessageType.BYE:
+                return
+            if mtype is MessageType.KEY_UPLOAD:
+                await self._handle_key_upload(session, payload)
+            elif mtype is MessageType.COMPUTE:
+                await self._handle_compute(session, payload)
+            elif mtype is MessageType.ERROR:
+                return  # client-side fatal error: drop the session
+            else:
+                session.metrics.errors += 1
+                await session.send(MessageType.ERROR, Error(
+                    0, ErrorCode.BAD_FRAME,
+                    f"unexpected {mtype.name} frame").pack())
+
+    async def _handle_key_upload(self, session: ServerSession,
+                                 payload: bytes) -> None:
+        try:
+            upload = KeyUpload.unpack(payload)
+            if upload.kind is KeyKind.PUBLIC:
+                key = deserialize_public_key(upload.blob, self.params)
+            elif upload.kind is KeyKind.RELIN:
+                key = deserialize_relin_key(upload.blob, self.params)
+            else:
+                key = deserialize_galois_keys(upload.blob, self.params)
+        except ValueError as exc:
+            session.metrics.errors += 1
+            await session.send(MessageType.ERROR, Error(
+                0, ErrorCode.BAD_FRAME, f"bad key upload: {exc}").pack())
+            return
+        if upload.kind is KeyKind.GALOIS and upload.kind in session.keystore:
+            # Incremental key provisioning: later uploads extend the set.
+            session.keystore[upload.kind].keys.update(key.keys)
+        else:
+            session.keystore[upload.kind] = key
+        if session.ctx is not None and upload.kind is KeyKind.GALOIS:
+            session.ctx._galois = session.keystore[KeyKind.GALOIS]
+        session.metrics.key_uploads += 1
+        await session.send(MessageType.KEY_ACK, KeyAck(upload.kind).pack())
+
+    async def _handle_compute(self, session: ServerSession,
+                              payload: bytes) -> None:
+        try:
+            compute = Compute.unpack(payload)
+        except FrameError as exc:
+            session.metrics.errors += 1
+            await session.send(MessageType.ERROR, Error(
+                0, ErrorCode.BAD_FRAME, str(exc)).pack())
+            return
+        if compute.op not in self._handlers:
+            session.metrics.errors += 1
+            await session.send(MessageType.ERROR, Error(
+                compute.request_id, ErrorCode.UNKNOWN_OP,
+                f"unknown operation {compute.op!r}").pack())
+            return
+        if len(session.queue) >= self.queue_limit:
+            session.metrics.busy_rejections += 1
+            await session.send(MessageType.BUSY, Busy(
+                compute.request_id, self.retry_after_ms,
+                len(session.queue)).pack())
+            return
+        try:
+            cts = [deserialize_ciphertext(blob, self.params)
+                   for blob in compute.blobs]
+        except ValueError as exc:
+            session.metrics.errors += 1
+            await session.send(MessageType.ERROR, Error(
+                compute.request_id, ErrorCode.BAD_FRAME,
+                f"bad ciphertext: {exc}").pack())
+            return
+        session.queue.append(ComputeRequest(
+            compute.request_id, compute.op, compute.meta, cts))
+        session.metrics.requests += 1
+        session.metrics.ciphertexts_in += len(cts)
+        session.metrics.queue_depth = len(session.queue)
+        self._work.set()
+
+    def _unregister(self, session: ServerSession) -> None:
+        session.closed = True
+        self._sessions.pop(session.id, None)
+        try:
+            self._rr.remove(session.id)
+        except ValueError:
+            pass
+        session.metrics.queue_depth = 0
+
+    # ----------------------------------------------------------- scheduling
+    def _next_request(self,
+                      ) -> Tuple[Optional[ServerSession],
+                                 Optional[ComputeRequest]]:
+        """Fair pick: rotate the session ring, take one queued request."""
+        for _ in range(len(self._rr)):
+            sid = self._rr[0]
+            self._rr.rotate(-1)
+            session = self._sessions.get(sid)
+            if session is not None and session.queue:
+                request = session.queue.popleft()
+                session.metrics.queue_depth = len(session.queue)
+                return session, request
+        return None, None
+
+    async def _scheduler(self) -> None:
+        while True:
+            await self._work.wait()
+            # Acquire the compute slot BEFORE popping a request: a request
+            # must stay in its session queue — visible to the backpressure
+            # check — until a worker can actually run it.
+            await self._slots.acquire()
+            session, request = self._next_request()
+            if session is None:
+                self._slots.release()
+                self._work.clear()
+                continue
+            task = asyncio.ensure_future(self._execute(session, request))
+            self._worker_tasks.add(task)
+            task.add_done_callback(self._worker_tasks.discard)
+
+    async def _execute(self, session: ServerSession,
+                       request: ComputeRequest) -> None:
+        self.metrics.record_dispatch(session.id)
+        started = time.monotonic()
+        try:
+            handler = self._handlers[request.op]
+            session.ensure_context()
+            if asyncio.iscoroutinefunction(handler):
+                result = await handler(session, request)
+            else:
+                result = await asyncio.to_thread(handler, session, request)
+            cts, meta = _normalize_result(result)
+            blobs = tuple(serialize_ciphertext(ct, compress_seed=False)
+                          for ct in cts)
+            payload = Result(request.request_id, meta, blobs).pack()
+            if not session.closed:
+                await session.send(MessageType.RESULT, payload)
+                session.metrics.responses += 1
+                session.metrics.ciphertexts_out += len(blobs)
+                session.metrics.bytes_down += len(payload)
+                session.metrics.observe_latency(time.monotonic() - started)
+        except ProtocolViolation as exc:
+            await self._send_error(session, request,
+                                   ErrorCode.PROTOCOL_VIOLATION, exc)
+        except MissingEvaluationKey as exc:
+            await self._send_error(session, request, ErrorCode.MISSING_KEYS,
+                                   exc)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — one bad request must not
+            # take down the serving loop; the typed error reaches the client.
+            code = ErrorCode.HANDLER_FAILED
+            if isinstance(exc, ValueError) and "Galois" in str(exc):
+                code = ErrorCode.MISSING_KEYS
+            await self._send_error(session, request, code, exc)
+        finally:
+            self._slots.release()
+            self._work.set()  # re-check queues freed up by this completion
+
+    async def _send_error(self, session: ServerSession,
+                          request: ComputeRequest, code: ErrorCode,
+                          exc: Exception) -> None:
+        session.metrics.errors += 1
+        if session.closed:
+            return
+        try:
+            await session.send(MessageType.ERROR, Error(
+                request.request_id, code, f"{type(exc).__name__}: {exc}"
+            ).pack())
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------- eval contexts
+    def _make_eval_context(self, session: ServerSession):
+        """A per-session evaluator built from *uploaded* keys only.
+
+        The context class generates its own (unrelated, never-used) key
+        material at construction; what matters is that decryption is
+        mechanically forbidden and relinearization/rotation resolve to the
+        keys the client uploaded — the server cannot fabricate either.
+        """
+        from repro.hecore.bfv import BfvContext
+        from repro.hecore.ckks import CkksContext
+
+        cls = (BfvContext if self.params.scheme is SchemeType.BFV
+               else CkksContext)
+        ctx = cls(self.params, seed=self._context_seed)
+
+        def _forbidden_decrypt(*_args, **_kwargs):
+            raise ProtocolViolation(
+                "offload server attempted a decryption; the secret key "
+                "never leaves the client"
+            )
+
+        def _session_relin_keys():
+            key = session.keystore.get(KeyKind.RELIN)
+            if key is None:
+                raise MissingEvaluationKey(
+                    "relinearization key not uploaded for this session")
+            return key
+
+        ctx.decrypt = _forbidden_decrypt
+        ctx.relin_keys = _session_relin_keys
+        ctx._relin = None
+        ctx._galois = session.keystore.get(KeyKind.GALOIS)
+        return ctx
+
+
+def _normalize_result(result) -> Tuple[List[Ciphertext], Dict]:
+    if result is None:
+        return [], {}
+    if isinstance(result, tuple) and len(result) == 2:
+        cts, meta = result
+        return list(cts), dict(meta or {})
+    return list(result), {}
+
+
+def _echo_handler(session: ServerSession,
+                  request: ComputeRequest) -> List[Ciphertext]:
+    """Built-in liveness op: returns the request's ciphertexts unchanged."""
+    return request.cts

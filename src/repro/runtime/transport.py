@@ -1,0 +1,205 @@
+"""Transports for the offload runtime: real TCP and the simulated radio.
+
+Two implementations of one small interface:
+
+* :class:`TcpTransport` — frames over an asyncio TCP stream.  Loopback-
+  capable, so the full client/server runtime is exercised in tests and in
+  the two-terminal ``repro serve`` / ``repro offload`` demo.
+* :class:`SimulatedLink` — an in-memory duplex pair that still encodes and
+  decodes every frame (the wire format is exercised byte for byte) but
+  *accounts* transfers into the existing analytical model: logical
+  ciphertext bytes and rounds go through :meth:`CostLedger.charge_upload` /
+  :meth:`CostLedger.charge_download`, exactly as the in-process
+  :class:`ClientAidedSession` charges them, and a
+  :class:`~repro.platforms.radio.BluetoothLink` converts the ledger into
+  link time/energy.  Every analytical experiment therefore works unchanged
+  on top of the served path.
+
+Both transports also count *physical* frame bytes (`bytes_sent` /
+`bytes_received`), which the metrics layer reports alongside the logical
+accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from repro.platforms.radio import BluetoothLink
+from repro.runtime.framing import (
+    MAX_FRAME_BYTES,
+    MessageType,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+
+
+class Transport:
+    """A framed, ordered, bidirectional message channel."""
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    async def send_frame(self, mtype: MessageType, payload: bytes = b"",
+                         flags: int = 0) -> None:
+        raise NotImplementedError
+
+    async def recv_frame(self) -> Tuple[MessageType, int, bytes]:
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def peer_name(self) -> str:
+        return "?"
+
+    # ---------------------------------------------------------- accounting
+    # Logical-byte hooks driven by the client layer; the TCP transport
+    # ignores them (its cost is real), the SimulatedLink forwards them to
+    # the analytical CostLedger.
+    def account_upload(self, logical_bytes: int) -> None:
+        pass
+
+    def account_download(self, logical_bytes: int) -> None:
+        pass
+
+
+class TcpTransport(Transport):
+    """Frames over an asyncio TCP stream."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        super().__init__(max_frame_bytes)
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int, *,
+                      retries: int = 3, backoff_s: float = 0.1,
+                      max_frame_bytes: int = MAX_FRAME_BYTES,
+                      ) -> "TcpTransport":
+        """Open a connection, retrying with exponential backoff."""
+        delay = backoff_s
+        for attempt in range(retries + 1):
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                return cls(reader, writer, max_frame_bytes)
+            except OSError:
+                if attempt == retries:
+                    raise
+                await asyncio.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")
+
+    @property
+    def peer_name(self) -> str:
+        peer = self._writer.get_extra_info("peername")
+        return f"{peer[0]}:{peer[1]}" if peer else "tcp:?"
+
+    async def send_frame(self, mtype: MessageType, payload: bytes = b"",
+                         flags: int = 0) -> None:
+        frame = encode_frame(mtype, payload, flags)
+        self._writer.write(frame)
+        self.bytes_sent += len(frame)
+        await self._writer.drain()
+
+    async def recv_frame(self) -> Tuple[MessageType, int, bytes]:
+        mtype, flags, payload = await read_frame(self._reader,
+                                                 self.max_frame_bytes)
+        self.bytes_received += len(payload) + 12
+        return mtype, flags, payload
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class SimulatedLink(Transport):
+    """In-memory transport endpoint that drives the analytical cost model.
+
+    Create both ends with :meth:`pair`; hand the server end to
+    :meth:`OffloadServer.serve_transport` and the client end to an
+    :class:`OffloadClient`.  Frames still round-trip through
+    ``encode_frame``/``decode_frame`` so malformed-message handling and
+    byte counts are as real as on TCP; only the socket is simulated.
+    """
+
+    def __init__(self, inbox: "asyncio.Queue", outbox: "asyncio.Queue",
+                 name: str, ledger=None,
+                 radio: Optional[BluetoothLink] = None,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        super().__init__(max_frame_bytes)
+        self._inbox = inbox
+        self._outbox = outbox
+        self._name = name
+        self._closed = False
+        #: Analytical accounting target (client end only, usually).
+        self.ledger = ledger
+        self.radio = radio or BluetoothLink()
+
+    @classmethod
+    def pair(cls, ledger=None, radio: Optional[BluetoothLink] = None,
+             max_frame_bytes: int = MAX_FRAME_BYTES,
+             ) -> Tuple["SimulatedLink", "SimulatedLink"]:
+        """A connected (client_end, server_end) pair of simulated links."""
+        a_to_b: asyncio.Queue = asyncio.Queue()
+        b_to_a: asyncio.Queue = asyncio.Queue()
+        client = cls(b_to_a, a_to_b, "sim-client", ledger=ledger, radio=radio,
+                     max_frame_bytes=max_frame_bytes)
+        server = cls(a_to_b, b_to_a, "sim-server",
+                     max_frame_bytes=max_frame_bytes)
+        return client, server
+
+    @property
+    def peer_name(self) -> str:
+        return self._name
+
+    async def send_frame(self, mtype: MessageType, payload: bytes = b"",
+                         flags: int = 0) -> None:
+        if self._closed:
+            raise ConnectionError("simulated link is closed")
+        frame = encode_frame(mtype, payload, flags)
+        self.bytes_sent += len(frame)
+        await self._outbox.put(frame)
+
+    async def recv_frame(self) -> Tuple[MessageType, int, bytes]:
+        frame = await self._inbox.get()
+        if frame is None:
+            raise ConnectionError("peer closed the simulated link")
+        self.bytes_received += len(frame)
+        return decode_frame(frame, self.max_frame_bytes)
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            await self._outbox.put(None)
+
+    # ---------------------------------------------------------- accounting
+    def account_upload(self, logical_bytes: int) -> None:
+        if self.ledger is not None:
+            self.ledger.charge_upload(logical_bytes)
+
+    def account_download(self, logical_bytes: int) -> None:
+        if self.ledger is not None:
+            self.ledger.charge_download(logical_bytes)
+
+    def link_time_s(self) -> float:
+        """Simulated radio time for everything charged so far."""
+        if self.ledger is None:
+            return 0.0
+        return self.radio.session_time(self.ledger.total_bytes,
+                                       self.ledger.rounds)
+
+    def link_energy_j(self) -> float:
+        """Simulated client radio energy for everything charged so far."""
+        if self.ledger is None:
+            return 0.0
+        return self.radio.transfer_energy(self.ledger.total_bytes)

@@ -48,3 +48,33 @@ def test_demo_command(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_offload_selftest_bfv(capsys):
+    """The full runtime loop — server, handshake, key upload, encrypted
+    square — inside one process on an ephemeral port."""
+    assert main(["offload", "--selftest", "--values", "1,2,3"]) == 0
+    out = capsys.readouterr().out
+    assert "[1, 4, 9]" in out
+    assert "session 1" in out
+
+
+def test_offload_selftest_ckks(capsys):
+    assert main(["offload", "--selftest", "--params", "test-ckks",
+                 "--values", "2.0,3.0"]) == 0
+    assert "[4, 9]" in capsys.readouterr().out
+
+
+def test_offload_unknown_preset():
+    with pytest.raises(SystemExit):
+        main(["offload", "--selftest", "--params", "nope"])
+
+
+def test_serve_and_offload_parsers():
+    args = build_parser().parse_args(
+        ["serve", "--port", "7777", "--queue-limit", "4",
+         "--concurrency", "2"])
+    assert args.port == 7777 and args.queue_limit == 4
+    args = build_parser().parse_args(
+        ["offload", "--selftest", "--values", "5,6"])
+    assert args.selftest and args.values == "5,6"

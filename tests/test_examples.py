@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "encrypted_kmeans.py",
     "encrypted_pagerank.py",
     "workload_advisor.py",
+    "offload_runtime.py",
 ]
 
 

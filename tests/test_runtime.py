@@ -1,0 +1,546 @@
+"""Tests for the asyncio offload runtime: framing, sessions, scheduling,
+backpressure, and cost-model parity.
+
+Async tests run through plain ``asyncio.run`` so the suite has no event-loop
+plugin dependency.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.apps.knn import EncryptedKnn, KnnOffloadService, RemoteKnn
+from repro.core.protocol import ClientAidedSession, CostLedger
+from repro.hecore.params import SchemeType, small_test_parameters
+from repro.hecore.serialize import serialize_ciphertext
+from repro.runtime import (
+    ErrorCode,
+    FrameError,
+    MessageType,
+    OffloadClient,
+    OffloadError,
+    OffloadServer,
+    OffloadTimeout,
+    ServerBusy,
+    SimulatedLink,
+    decode_frame,
+    encode_frame,
+)
+from repro.runtime.framing import (
+    Busy,
+    Compute,
+    Error,
+    Hello,
+    HelloAck,
+    KeyKind,
+    KeyUpload,
+    Result,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# The shared ``bfv_params``/``ckks_params``/``bfv``/``ckks`` fixtures come
+# from conftest.py; the server builds its own evaluation contexts from them.
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def test_frame_roundtrip():
+    payload = b"hello choco"
+    mtype, flags, out = decode_frame(
+        encode_frame(MessageType.COMPUTE, payload, flags=7))
+    assert mtype is MessageType.COMPUTE
+    assert flags == 7
+    assert out == payload
+
+
+def test_frame_rejects_bad_magic():
+    frame = bytearray(encode_frame(MessageType.HELLO, b"x"))
+    frame[0:4] = b"HTTP"
+    with pytest.raises(FrameError, match="magic"):
+        decode_frame(bytes(frame))
+
+
+def test_frame_rejects_bad_version():
+    frame = bytearray(encode_frame(MessageType.HELLO, b"x"))
+    frame[4] = 42
+    with pytest.raises(FrameError, match="version"):
+        decode_frame(bytes(frame))
+
+
+def test_frame_rejects_unknown_type():
+    frame = bytearray(encode_frame(MessageType.HELLO, b"x"))
+    frame[5] = 200
+    with pytest.raises(FrameError, match="type"):
+        decode_frame(bytes(frame))
+
+
+def test_frame_rejects_oversize():
+    frame = encode_frame(MessageType.COMPUTE, b"y" * 100)
+    with pytest.raises(FrameError, match="exceeds"):
+        decode_frame(frame, max_payload=10)
+
+
+def test_frame_rejects_length_mismatch():
+    frame = encode_frame(MessageType.COMPUTE, b"abc")
+    with pytest.raises(FrameError):
+        decode_frame(frame + b"extra")
+    with pytest.raises(FrameError):
+        decode_frame(frame[:-1])
+
+
+def test_payload_roundtrips(bfv_params):
+    hello = Hello.from_params(bfv_params)
+    assert Hello.unpack(hello.pack()) == hello
+    assert hello.mismatch(bfv_params) is None
+    ack = HelloAck(3, 16, 2, "banner")
+    assert HelloAck.unpack(ack.pack()) == ack
+    compute = Compute(9, "knn/query", {"batch": 1}, (b"ct0", b"ct1"))
+    assert Compute.unpack(compute.pack()) == compute
+    result = Result(9, {"ok": True}, (b"out",))
+    assert Result.unpack(result.pack()) == result
+    busy = Busy(9, 50, 4)
+    assert Busy.unpack(busy.pack()) == busy
+    err = Error(0, ErrorCode.PARAMS_MISMATCH, "no")
+    assert Error.unpack(err.pack()) == err
+    upload = KeyUpload(KeyKind.RELIN, b"keybytes")
+    assert KeyUpload.unpack(upload.pack()) == upload
+
+
+def test_hello_detects_mismatch(bfv_params, ckks_params):
+    hello = Hello.from_params(ckks_params)
+    assert "scheme" in hello.mismatch(bfv_params)
+    other = small_test_parameters(SchemeType.BFV, poly_degree=1024,
+                                  plain_bits=16, data_bits=(28, 28))
+    assert "moduli" in Hello.from_params(other).mismatch(bfv_params)
+
+
+def test_compute_payload_rejects_garbage():
+    with pytest.raises(FrameError):
+        Compute.unpack(b"\x01")                       # truncated
+    good = Compute(1, "op", {}, ()).pack()
+    with pytest.raises(FrameError, match="trailing"):
+        Compute.unpack(good + b"\0")
+
+
+# ---------------------------------------------------------------------------
+# Sessions over loopback TCP
+# ---------------------------------------------------------------------------
+
+def test_tcp_echo_session(bfv_params, bfv):
+    async def main():
+        server = OffloadServer(bfv_params)
+        host, port = await server.start()
+        try:
+            async with OffloadClient(bfv_params, host, port) as client:
+                assert client.session_id == 1
+                ct = bfv.encrypt_symmetric([3, 1, 4])
+                out, meta = await client.request("echo", [ct])
+                assert len(out) == 1
+                assert np.array_equal(bfv.decrypt(out[0])[:3], [3, 1, 4])
+                stats = server.metrics.get(1).snapshot()
+                assert stats["requests"] == stats["responses"] == 1
+                assert stats["ciphertexts_in"] == stats["ciphertexts_out"] == 1
+                assert stats["bytes_up"] > 0 and stats["bytes_down"] > 0
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_unknown_op_and_params_mismatch(bfv_params, ckks_params):
+    async def main():
+        server = OffloadServer(bfv_params)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port).connect()
+            with pytest.raises(OffloadError) as exc_info:
+                await client.request("no/such/op")
+            assert exc_info.value.code is ErrorCode.UNKNOWN_OP
+            await client.close()
+            # A CKKS client cannot talk to a BFV server.
+            with pytest.raises(OffloadError, match="mismatch"):
+                await OffloadClient(ckks_params, host, port).connect()
+            assert server.metrics.sessions_rejected == 1
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_server_cannot_decrypt(bfv_params, bfv):
+    async def main():
+        server = OffloadServer(bfv_params)
+
+        def evil(session, request):
+            session.ctx.decrypt(request.cts[0])
+            return []
+
+        server.register("evil", evil)
+        host, port = await server.start()
+        try:
+            async with OffloadClient(bfv_params, host, port) as client:
+                with pytest.raises(OffloadError) as exc_info:
+                    await client.request("evil", [bfv.encrypt([1])])
+                assert exc_info.value.code is ErrorCode.PROTOCOL_VIOLATION
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_missing_keys_is_typed(bfv_params, bfv):
+    async def main():
+        server = OffloadServer(bfv_params)
+
+        def needs_relin(session, request):
+            return [session.ctx.multiply(request.cts[0], request.cts[0])]
+
+        def needs_galois(session, request):
+            return [session.ctx.rotate_rows(request.cts[0], 1)]
+
+        server.register("mul", needs_relin)
+        server.register("rot", needs_galois)
+        host, port = await server.start()
+        try:
+            async with OffloadClient(bfv_params, host, port) as client:
+                ct = bfv.encrypt([2])
+                for op in ("mul", "rot"):
+                    with pytest.raises(OffloadError) as exc_info:
+                        await client.request(op, [ct])
+                    assert exc_info.value.code is ErrorCode.MISSING_KEYS
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+# ---------------------------------------------------------------------------
+# Encrypted KNN end to end: the wire path is bit-identical to in-process
+# ---------------------------------------------------------------------------
+
+def test_knn_over_tcp_bit_identical(ckks_params, ckks):
+    """A full encrypted-KNN round over loopback TCP decrypts to exactly the
+    bytes the in-process path produces: identical ciphertexts and uploaded
+    keys make HE evaluation deterministic on either side of the wire."""
+    from repro.core.distance import KERNEL_VARIANTS, DistanceProblem
+
+    rng = np.random.default_rng(42)
+    points = rng.normal(size=(10, 4))
+    query = rng.normal(size=4)
+
+    kernel = KERNEL_VARIANTS["collapsed"](
+        ckks, DistanceProblem(n_points=len(points), dims=4))
+    galois = ckks.make_galois_keys(kernel.required_rotation_steps())
+    point_cts = [ckks.encrypt(v) for v in kernel.pack_points(points)]
+    query_cts = [ckks.encrypt(v) for v in kernel.pack_query(query)]
+
+    # In-process reference on the very same ciphertexts.
+    local_out = kernel.compute(point_cts, query_cts)
+    local_dec = [ckks.decrypt(ct) for ct in local_out]
+
+    async def main():
+        server = OffloadServer(ckks_params)
+        KnnOffloadService.install(server)
+        host, port = await server.start()
+        try:
+            async with OffloadClient(ckks_params, host, port) as client:
+                await client.upload_keys(relin=ckks.relin_keys(),
+                                         galois=galois)
+                _, meta = await client.request(
+                    "knn/store", point_cts,
+                    {"n_points": len(points), "dims": 4,
+                     "variant": "collapsed"},
+                    account=False)
+                out, _ = await client.request("knn/query", query_cts,
+                                              {"batch": meta["batch"]})
+                return out
+        finally:
+            await server.stop()
+
+    remote_out = run(main())
+    assert len(remote_out) == len(local_out)
+    for remote, local in zip(remote_out, local_out):
+        assert serialize_ciphertext(remote, compress_seed=False) == \
+            serialize_ciphertext(local, compress_seed=False)
+        assert np.array_equal(ckks.decrypt(remote), ckks.decrypt(local))
+    # And the decrypted distances are actually correct.
+    dists = kernel.decode([np.real(d) for d in local_dec])
+    truth = np.sum((points - query) ** 2, axis=1)
+    assert np.allclose(dists, truth, atol=1e-2)
+
+
+def test_remote_knn_classifies(ckks_params):
+    from repro.hecore.ckks import CkksContext
+
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=(12, 4))
+    labels = rng.integers(0, 3, size=12)
+    queries = rng.normal(size=(2, 4))
+
+    async def main():
+        server = OffloadServer(ckks_params)
+        KnnOffloadService.install(server)
+        host, port = await server.start()
+        ctx = CkksContext(ckks_params, seed=11)
+        try:
+            async with OffloadClient(ckks_params, host, port) as client:
+                knn = RemoteKnn(client, ctx, k=3, variant="collapsed")
+                await knn.add_points(points[:8], labels[:8])
+                await knn.add_points(points[8:], labels[8:])  # second batch
+                assert knn.size == 12
+                return [await knn.classify(q) for q in queries]
+        finally:
+            await server.stop()
+
+    results = run(main())
+    for query, result in zip(queries, results):
+        truth = np.sum((points - query) ** 2, axis=1)
+        expected = np.argsort(truth)[:3]
+        assert np.allclose(np.sort(result.distances), np.sort(truth),
+                           atol=1e-2)
+        assert set(result.neighbor_indices) == set(expected)
+
+
+# ---------------------------------------------------------------------------
+# Fair scheduling across concurrent sessions
+# ---------------------------------------------------------------------------
+
+def test_four_sessions_scheduled_fairly(bfv_params):
+    """Four concurrent loopback sessions, six queued requests each: every
+    session completes, and the dispatch trace interleaves them round-robin
+    rather than serving any session's backlog in one burst."""
+    n_clients, n_requests = 4, 6
+
+    async def main():
+        release = asyncio.Event()
+
+        async def gated(session, request):
+            await release.wait()
+            return []
+
+        server = OffloadServer(bfv_params, queue_limit=n_requests,
+                               concurrency=1)
+        server.register("gated", gated)
+        host, port = await server.start()
+        try:
+            clients = [await OffloadClient(bfv_params, host, port).connect()
+                       for _ in range(n_clients)]
+            pending = [
+                asyncio.ensure_future(client.request("gated", timeout=30))
+                for client in clients
+                for _ in range(n_requests)
+            ]
+            # Wait until every request is accepted into a session queue
+            # (one per session is already dispatched and parked on the gate),
+            # then open the gate: the dispatch order from here is pure
+            # scheduling policy, not arrival timing.
+            while sum(m.requests for m in server.metrics.sessions.values()) \
+                    < n_clients * n_requests:
+                await asyncio.sleep(0.01)
+            release.set()
+            await asyncio.gather(*pending)
+            for client in clients:
+                await client.close()
+            return server.metrics
+        finally:
+            await server.stop()
+
+    metrics = run(main())
+    order = metrics.service_order
+    assert len(order) == n_clients * n_requests
+    session_ids = sorted(metrics.sessions)
+    for sid in session_ids:
+        stats = metrics.get(sid)
+        assert stats.responses == n_requests
+        assert stats.busy_rejections == 0
+    # Round-robin: all four sessions appear among the first five dispatches,
+    # and no session waits more than one full rotation between dispatches.
+    assert set(session_ids) <= set(order[:5])
+    for sid in session_ids:
+        positions = [i for i, s in enumerate(order) if s == sid]
+        gaps = np.diff(positions)
+        assert gaps.max() <= n_clients + 1
+
+
+# ---------------------------------------------------------------------------
+# Backpressure and client retry
+# ---------------------------------------------------------------------------
+
+def test_queue_full_busy_and_retry(bfv_params):
+    async def main():
+        release = asyncio.Event()
+        started = asyncio.Event()
+
+        async def stall(session, request):
+            started.set()
+            await release.wait()
+            return []
+
+        server = OffloadServer(bfv_params, queue_limit=1, concurrency=1,
+                               retry_after_ms=20)
+        server.register("stall", stall)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port).connect()
+            # First request occupies the single compute slot...
+            first = asyncio.ensure_future(client.request("stall", timeout=30))
+            await started.wait()
+            # ...second fills the queue...
+            second = asyncio.ensure_future(
+                client.request("stall", timeout=30))
+            while server.metrics.get(1).requests < 2:
+                await asyncio.sleep(0.01)
+            # ...so a third, submitted with no retries, bounces with BUSY.
+            with pytest.raises(ServerBusy) as exc_info:
+                await client.request("stall", retries=0)
+            assert exc_info.value.retry_after_ms == 20
+            assert server.metrics.get(1).busy_rejections == 1
+            # With retries allowed, the same request eventually lands:
+            # the gate opens, the queue drains, and the retry is accepted.
+            third = asyncio.ensure_future(
+                client.request("stall", retries=8, timeout=30))
+            await asyncio.sleep(0.05)
+            release.set()
+            await asyncio.gather(first, second, third)
+            stats = server.metrics.get(1)
+            assert stats.responses == 3
+            assert stats.busy_rejections >= 1
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_request_timeout_then_retry_succeeds(bfv_params):
+    async def main():
+        release = asyncio.Event()
+        calls = {"n": 0}
+
+        async def slow_once(session, request):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                await release.wait()    # first attempt stalls indefinitely
+            return []
+
+        # Two slots so the retry is not stuck behind the stalled first try.
+        server = OffloadServer(bfv_params, concurrency=2)
+        server.register("slow-once", slow_once)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port).connect()
+            out, _meta = await client.request("slow-once", timeout=0.3,
+                                              retries=2)
+            assert out == []
+            assert calls["n"] == 2      # one timed-out attempt, one retry
+            release.set()
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_request_timeout_exhausted(bfv_params):
+    async def main():
+        release = asyncio.Event()
+
+        async def stall(session, request):
+            await release.wait()
+            return []
+
+        server = OffloadServer(bfv_params)
+        server.register("stall", stall)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port).connect()
+            with pytest.raises(OffloadTimeout):
+                await client.request("stall", timeout=0.15, retries=1)
+            release.set()
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+# ---------------------------------------------------------------------------
+# SimulatedLink: wire traffic reproduces the analytical cost model exactly
+# ---------------------------------------------------------------------------
+
+def test_simulated_link_matches_cost_ledger(ckks_params):
+    """One encrypted-KNN classification over the SimulatedLink charges the
+    CostLedger the exact bytes and rounds the in-process protocol charges."""
+    from repro.hecore.ckks import CkksContext
+
+    rng = np.random.default_rng(1)
+    points = rng.normal(size=(8, 4))
+    labels = rng.integers(0, 2, size=8)
+    query = rng.normal(size=4)
+
+    # In-process analytical path.
+    ctx_local = CkksContext(ckks_params, seed=21)
+    knn_local = EncryptedKnn(ctx_local, points, labels, k=3,
+                             variant="collapsed")
+    session = ClientAidedSession(ctx_local)
+    local_result = knn_local.classify(query, session)
+    local_ledger = session.ledger
+
+    # Served path over the simulated radio.
+    async def main():
+        ledger = CostLedger()
+        client_end, server_end = SimulatedLink.pair(ledger=ledger)
+        server = OffloadServer(ckks_params)
+        KnnOffloadService.install(server)
+        serve_task = asyncio.ensure_future(server.serve_transport(server_end))
+        ctx = CkksContext(ckks_params, seed=22)
+        client = await OffloadClient(ckks_params,
+                                     transport=client_end).connect()
+        # symmetric=False: EncryptedKnn's client_encrypt is public-key, so
+        # byte parity requires the same ciphertext shape on the wire.
+        knn = RemoteKnn(client, ctx, k=3, variant="collapsed",
+                        symmetric=False)
+        await knn.add_points(points, labels)
+        result = await knn.classify(query)
+        await client.close()
+        await server.stop()
+        serve_task.cancel()
+        return ledger, result, client_end
+
+    ledger, remote_result, link = run(main())
+    assert ledger.bytes_up == local_ledger.bytes_up
+    assert ledger.bytes_down == local_ledger.bytes_down
+    assert ledger.rounds == local_ledger.rounds
+    assert remote_result.label == local_result.label
+    assert link.link_time_s() > 0
+    assert link.link_energy_j() > 0
+    # Physical frame bytes flowed in both directions too.
+    assert link.bytes_sent > 0 and link.bytes_received > 0
+
+
+def test_simulated_link_key_uploads_not_charged(bfv_params, bfv):
+    async def main():
+        ledger = CostLedger()
+        client_end, server_end = SimulatedLink.pair(ledger=ledger)
+        server = OffloadServer(bfv_params)
+        serve_task = asyncio.ensure_future(server.serve_transport(server_end))
+        client = await OffloadClient(bfv_params, transport=client_end).connect()
+        await client.upload_keys(relin=bfv.relin_keys())
+        assert ledger.total_bytes == 0 and ledger.rounds == 0
+        ct = bfv.encrypt_symmetric([9])
+        out, _ = await client.request("echo", [ct])
+        assert ledger.bytes_up == ct.size_bytes()
+        assert ledger.bytes_down == out[0].size_bytes()
+        assert ledger.rounds == 1
+        await client.close()
+        await server.stop()
+        serve_task.cancel()
+
+    run(main())

@@ -7,9 +7,13 @@ from hypothesis import strategies as st
 
 from repro.hecore.serialize import (
     deserialize_ciphertext,
+    deserialize_galois_keys,
     deserialize_public_key,
+    deserialize_relin_key,
     serialize_ciphertext,
+    serialize_galois_keys,
     serialize_public_key,
+    serialize_relin_key,
     serialized_size,
 )
 
@@ -133,6 +137,195 @@ def bfv_fuzz_blob():
                                    plain_bits=16, data_bits=(28, 28))
     ctx = BfvContext(params, seed=7)
     return serialize_ciphertext(ctx.encrypt([1, 2, 3])), ctx, params
+
+
+# ---------------------------------------------------------------------------
+# Strict validation: every malformed blob is a clean ValueError
+# ---------------------------------------------------------------------------
+
+def test_rejects_wrong_version(bfv):
+    blob = bytearray(serialize_ciphertext(bfv.encrypt([1])))
+    blob[4] = 99                     # the version byte follows the magic
+    with pytest.raises(ValueError, match="version"):
+        deserialize_ciphertext(bytes(blob), bfv.params)
+
+
+def test_rejects_corrupted_magic(bfv):
+    blob = bytearray(serialize_ciphertext(bfv.encrypt([1])))
+    blob[0:4] = b"HCOC"
+    with pytest.raises(ValueError, match="not a CHOCO"):
+        deserialize_ciphertext(bytes(blob), bfv.params)
+
+
+@pytest.mark.parametrize("cut", [0, 3, 10, 19, 40, -1])
+def test_rejects_truncation_everywhere(bfv, cut):
+    """Cutting the blob at any point raises ValueError, never a numpy or
+    struct crash."""
+    blob = serialize_ciphertext(bfv.encrypt_symmetric([5, 6]))
+    with pytest.raises(ValueError):
+        deserialize_ciphertext(blob[:cut], bfv.params)
+
+
+def test_ntt_flag_roundtrips(ckks):
+    from repro.hecore.ciphertext import Ciphertext
+
+    plain = ckks.encrypt([0.5, 0.25])        # fresh: coefficient form
+    assert not plain.is_ntt
+    restored = deserialize_ciphertext(serialize_ciphertext(plain),
+                                      ckks.params)
+    assert restored.is_ntt == plain.is_ntt
+
+    ntt = Ciphertext(plain.params, [c.to_ntt() for c in plain.components],
+                     scale=plain.scale)
+    assert ntt.is_ntt
+    restored = deserialize_ciphertext(serialize_ciphertext(ntt), ckks.params)
+    assert restored.is_ntt
+    assert all(c.is_ntt for c in restored.components)
+    # Same plaintext through either representation.
+    v = np.real(ckks.decrypt(restored))[:2]
+    assert np.allclose(v, [0.5, 0.25], atol=1e-2)
+
+
+def test_ckks_scale_preserved_exactly(ckks):
+    v = np.linspace(0.1, 0.9, 8)
+    ct = ckks.rescale(ckks.square(ckks.encrypt(v)))
+    assert ct.scale != ckks.params.scale     # rescale leaves an odd scale
+    restored = deserialize_ciphertext(serialize_ciphertext(ct), ckks.params)
+    assert restored.scale == ct.scale        # f64 round-trip is exact
+
+
+# ---------------------------------------------------------------------------
+# Evaluation keys on the wire
+# ---------------------------------------------------------------------------
+
+def _ksk_equal(a, b) -> bool:
+    return len(a.digits) == len(b.digits) and all(
+        np.array_equal(x0.data, y0.data) and np.array_equal(x1.data, y1.data)
+        for (x0, x1), (y0, y1) in zip(a.digits, b.digits)
+    )
+
+
+def test_relin_key_roundtrip(bfv):
+    rk = bfv.relin_keys()
+    restored = deserialize_relin_key(serialize_relin_key(rk), bfv.params)
+    assert _ksk_equal(rk, restored)
+    assert all(k0.is_ntt and k1.is_ntt for k0, k1 in restored.digits)
+
+
+def test_galois_keys_roundtrip(bfv):
+    gk = bfv.make_galois_keys([1, 2, 4])
+    restored = deserialize_galois_keys(serialize_galois_keys(gk), bfv.params)
+    assert set(restored.keys) == set(gk.keys)
+    for elt in gk.keys:
+        assert _ksk_equal(gk.keys[elt], restored.keys[elt])
+
+
+def test_key_kind_confusion_rejected(bfv):
+    pk_blob = serialize_public_key(bfv.keygen.public_key())
+    with pytest.raises(ValueError, match="kind"):
+        deserialize_relin_key(pk_blob, bfv.params)
+    rk_blob = serialize_relin_key(bfv.relin_keys())
+    with pytest.raises(ValueError, match="kind"):
+        deserialize_galois_keys(rk_blob, bfv.params)
+
+
+def test_key_blob_trailing_bytes_rejected(bfv):
+    blob = serialize_relin_key(bfv.relin_keys())
+    with pytest.raises(ValueError, match="trailing"):
+        deserialize_relin_key(blob + b"\0", bfv.params)
+    gblob = serialize_galois_keys(bfv.make_galois_keys([2]))
+    with pytest.raises(ValueError, match="trailing"):
+        deserialize_galois_keys(gblob + b"\0", bfv.params)
+
+
+def test_key_blob_truncation_rejected(bfv):
+    blob = serialize_galois_keys(bfv.make_galois_keys([1]))
+    for cut in (3, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(ValueError):
+            deserialize_galois_keys(blob[:cut], bfv.params)
+
+
+def test_galois_blob_invalid_element_rejected(bfv):
+    import struct as _struct
+
+    gk = bfv.make_galois_keys([1])
+    blob = bytearray(serialize_galois_keys(gk))
+    # The first element id sits right after the key header, moduli and count.
+    offset = 10 + 8 * len(bfv.params.full_base) + 2
+    _struct.pack_into("<I", blob, offset, 6)     # even => not a valid element
+    with pytest.raises(ValueError, match="Galois element"):
+        deserialize_galois_keys(bytes(blob), bfv.params)
+
+
+def test_empty_galois_set_rejected():
+    from repro.hecore.keys import GaloisKeys
+
+    with pytest.raises(ValueError, match="empty"):
+        serialize_galois_keys(GaloisKeys({}))
+
+
+# ---------------------------------------------------------------------------
+# Parameter validation (the bugfix): keys must match the supplied params
+# ---------------------------------------------------------------------------
+
+def test_public_key_validates_params(bfv, bfv_params):
+    from repro.hecore.bfv import BfvContext
+    from repro.hecore.params import SchemeType, small_test_parameters
+
+    pk = bfv.keygen.public_key()
+    assert deserialize_public_key(serialize_public_key(pk), bfv_params)
+
+    other_degree = small_test_parameters(SchemeType.BFV, poly_degree=256,
+                                         plain_bits=16, data_bits=(28, 28))
+    blob = serialize_public_key(BfvContext(other_degree, seed=3)
+                                .keygen.public_key())
+    with pytest.raises(ValueError, match="degree"):
+        deserialize_public_key(blob, bfv_params)
+
+    other_moduli = small_test_parameters(SchemeType.BFV, poly_degree=1024,
+                                         plain_bits=16, data_bits=(28, 28))
+    blob = serialize_public_key(BfvContext(other_moduli, seed=3)
+                                .keygen.public_key())
+    with pytest.raises(ValueError, match="moduli"):
+        deserialize_public_key(blob, bfv_params)
+
+
+def test_eval_keys_validate_params(bfv, bfv_params):
+    from repro.hecore.bfv import BfvContext
+    from repro.hecore.params import SchemeType, small_test_parameters
+
+    other = small_test_parameters(SchemeType.BFV, poly_degree=1024,
+                                  plain_bits=16, data_bits=(28, 28))
+    ctx = BfvContext(other, seed=9)
+    with pytest.raises(ValueError, match="moduli"):
+        deserialize_relin_key(serialize_relin_key(ctx.relin_keys()),
+                              bfv_params)
+    with pytest.raises(ValueError, match="moduli"):
+        deserialize_galois_keys(
+            serialize_galois_keys(ctx.make_galois_keys([2])), bfv_params)
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.integers(0, 255))
+@settings(max_examples=25, deadline=None)
+def test_key_deserializer_survives_fuzzing(bfv_key_blob, position, flip):
+    blob = bytearray(bfv_key_blob[0])
+    params = bfv_key_blob[1]
+    blob[position % len(blob)] ^= flip or 1
+    try:
+        deserialize_relin_key(bytes(blob), params)
+    except (ValueError, KeyError, OverflowError):
+        pass    # rejected cleanly
+
+
+@pytest.fixture(scope="module")
+def bfv_key_blob():
+    from repro.hecore.bfv import BfvContext
+    from repro.hecore.params import SchemeType, small_test_parameters
+
+    params = small_test_parameters(SchemeType.BFV, poly_degree=256,
+                                   plain_bits=16, data_bits=(28, 28))
+    ctx = BfvContext(params, seed=17)
+    return serialize_relin_key(ctx.relin_keys()), params
 
 
 @given(st.lists(st.integers(min_value=0, max_value=1 << 15), min_size=1,
