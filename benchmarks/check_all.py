@@ -1,0 +1,69 @@
+"""Tier-2 performance gate: run every benchmark's ``--check`` mode.
+
+Runs each benchmark as a subprocess with the repo's ``src`` on PYTHONPATH,
+streams its output, and exits non-zero if ANY gate reports a regression —
+the single entry point CI (and humans) use to validate the perf posture of
+a change:
+
+* ``bench_he_throughput`` — stacked NTT / key-switch / multiply kernels
+  against the pre-refactor floors;
+* ``bench_wire_format`` — CHOCO wire-format sizes and (de)serialization
+  throughput;
+* ``bench_hoisting`` — fused hoisted-rotation kernels against the naive
+  per-rotation paths.
+
+Usage::
+
+    python benchmarks/check_all.py            # run all gates
+    python benchmarks/check_all.py hoisting   # run a subset by substring
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+
+GATES = [
+    "bench_he_throughput.py",
+    "bench_wire_format.py",
+    "bench_hoisting.py",
+]
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    selected = [
+        g for g in GATES
+        if not argv or any(pattern in g for pattern in argv)
+    ]
+    if not selected:
+        print(f"no gate matches {argv!r}; available: {GATES}", file=sys.stderr)
+        return 2
+
+    env = dict(os.environ)
+    src = str(BENCH_DIR.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    failed = []
+    for gate in selected:
+        print(f"=== {gate} ===", flush=True)
+        result = subprocess.run(
+            [sys.executable, str(BENCH_DIR / gate), "--check"], env=env
+        )
+        if result.returncode != 0:
+            failed.append(gate)
+        print(flush=True)
+
+    if failed:
+        print(f"FAILED gates: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"all {len(selected)} gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

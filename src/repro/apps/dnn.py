@@ -350,7 +350,9 @@ def _encrypted_conv(session: ClientAidedSession, conv: ConvLayer,
 def _encrypted_fc(session: ClientAidedSession, fc: FcLayer,
                   x: np.ndarray) -> np.ndarray:
     """FC layers use the baby-step/giant-step diagonal product: ~2*sqrt(d)
-    rotations and Galois keys instead of d - 1."""
+    rotations and Galois keys instead of d - 1.  The baby rotations share
+    one hoisted key-switch decompose, and per-layer ``make_galois_keys``
+    calls reuse any elements an earlier layer already generated."""
     ctx = session.ctx
     mv = BsgsMatVec(ctx, fc.weights)
     ctx.make_galois_keys(mv.required_rotation_steps())

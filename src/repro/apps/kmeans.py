@@ -26,7 +26,7 @@ from repro.core.distance import (
     DistanceProblem,
     MultiQueryDimensionMajor,
 )
-from repro.core.linalg import _rotate, rotate_and_accumulate
+from repro.core.linalg import _rotate, rotate_and_accumulate, rotate_and_sum_steps
 from repro.core.protocol import ClientAidedSession
 
 
@@ -56,7 +56,9 @@ class EncryptedKMeans:
                                                max_queries=n_clusters)
         steps = set(self.kernel.required_rotation_steps())
         width = _pow2(self.n)
-        steps.update(width >> i for i in range(1, width.bit_length()))
+        # Hoisted step set (plus pow2 fallback ladder) so the per-cluster
+        # coordinate sums run as fused hoisted spans.
+        steps.update(rotate_and_sum_steps(width))
         ctx.make_galois_keys(steps)
         self._sum_width = width
         # One ciphertext per dimension, each holding that coordinate of

@@ -40,7 +40,13 @@ class KnnResult:
 
 
 class _Batch:
-    """One contribution: a kernel instance plus its encrypted points."""
+    """One contribution: a kernel instance plus its encrypted points.
+
+    ``required_rotation_steps`` includes the hoisted step set of the fused
+    rotate-and-sum reduction, and ``make_galois_keys`` only generates
+    elements not already cached — so batches sharing a dimensionality add
+    no key material beyond the first.
+    """
 
     def __init__(self, ctx, variant_cls, points: np.ndarray):
         self.count = len(points)

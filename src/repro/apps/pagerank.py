@@ -120,13 +120,19 @@ class ClientAidedPageRank:
         further iteration needs the rotational redundancy restored.  The
         server rebuilds the margins with two rotations and adds — cheap in
         noise (no masking multiplies), which is what lets encrypted segments
-        run back-to-back.
+        run back-to-back.  Both rotations act on the same ciphertext, so
+        they share one hoisted key-switch decompose when the context
+        supports it.
         """
         ctx = self.ctx
         dim = self.matvec.dim
-        rot = getattr(ctx, "rotate_rows", None) or ctx.rotate
-        left = rot(ct, dim, None)
-        right = rot(ct, -dim, None)
+        fused = getattr(ctx, "rotate_many", None)
+        if fused is not None:
+            left, right = fused(ct, (dim, -dim))
+        else:
+            rot = getattr(ctx, "rotate_rows", None) or ctx.rotate
+            left = rot(ct, dim, None)
+            right = rot(ct, -dim, None)
         return ctx.add(ctx.add(ct, left), right)
 
 

@@ -27,7 +27,12 @@ from typing import Dict, List, Sequence, Set, Tuple, Type
 
 import numpy as np
 
-from repro.core.linalg import _rotate, rotate_and_accumulate, row_slot_count
+from repro.core.linalg import (
+    _rotate,
+    rotate_and_accumulate,
+    rotate_and_sum_steps,
+    row_slot_count,
+)
 
 
 def _pow2(n: int) -> int:
@@ -122,8 +127,9 @@ class PointMajorKernel(DistanceKernel):
         return [v]
 
     def required_rotation_steps(self):
-        d = self.problem.padded_dims
-        return {d >> k for k in range(1, d.bit_length())}
+        # Hoisted step set plus the power-of-two fallback ladder, so the
+        # dimension sum can run as one fused hoisted span.
+        return rotate_and_sum_steps(self.problem.padded_dims)
 
     def compute(self, point_cts, query_cts, galois_keys=None):
         q = query_cts[0]
@@ -196,8 +202,7 @@ class StackedPointMajorKernel(DistanceKernel):
         return [v]
 
     def required_rotation_steps(self):
-        d = self.problem.padded_dims
-        return {d >> k for k in range(1, d.bit_length())}
+        return rotate_and_sum_steps(self.problem.padded_dims)
 
     def compute(self, point_cts, query_cts, galois_keys=None):
         q = query_cts[0]

@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.packing import ChannelLayout, RedundantPacking
+from repro.hecore.hoisting import rotate_and_sum_steps
 from repro.hecore.params import SchemeType
 
 
@@ -41,6 +42,16 @@ def _encode_vector(ctx, values: np.ndarray, ct=None):
 def _rotate(ctx, ct, steps: int, galois_keys=None):
     rotate = getattr(ctx, "rotate_rows", None) or ctx.rotate
     return rotate(ct, steps, galois_keys)
+
+
+def _rotate_many(ctx, ct, steps: Sequence[int], galois_keys=None) -> Dict:
+    """Rotate *ct* by each step, hoisting the decompose when the context
+    supports it; bit-exact with per-step :func:`_rotate` calls either way."""
+    steps = [s for s in steps if s]
+    fused = getattr(ctx, "rotate_many", None)
+    if fused is not None and steps:
+        return dict(zip(steps, fused(ct, steps, galois_keys)))
+    return {s: _rotate(ctx, ct, s, galois_keys) for s in steps}
 
 
 def row_slot_count(ctx) -> int:
@@ -166,15 +177,30 @@ class EncryptedConv2d:
 
         Encoded weight plaintexts are cached after the first evaluation
         (weights are static across inferences), so repeated calls skip the
-        encoding work.
+        encoding work.  All taps rotate the *same* packed input, so the
+        rotations share one hoisted key-switch decompose; under BFV the
+        whole plan runs as a single fused rotate-multiply-accumulate that
+        pays one inverse transform and one rescale.
         """
         ctx = self.ctx
         cache = getattr(self, "_encoded_cache", None)
         if cache is None:
             cache = self._encoded_cache = {}
+        if _is_bfv(ctx) and hasattr(ctx, "rotate_weighted_sum"):
+            terms = []
+            for i, (rotation, mask) in enumerate(self._plan):
+                encoded = cache.get(i)
+                if encoded is None:
+                    encoded = cache[i] = _encode_vector(ctx, mask)
+                terms.append((rotation, encoded))
+            if not terms:
+                raise ValueError("convolution has no non-zero weights")
+            return ctx.rotate_weighted_sum(ct, terms, galois_keys)
+        shifted_by = _rotate_many(ctx, ct,
+                                  [rot for rot, _ in self._plan], galois_keys)
         acc = None
         for i, (rotation, mask) in enumerate(self._plan):
-            shifted = _rotate(ctx, ct, rotation, galois_keys) if rotation else ct
+            shifted = shifted_by[rotation] if rotation else ct
             key = (i, getattr(shifted, "level_base", None))
             encoded = cache.get(key)
             if encoded is None:
@@ -248,22 +274,37 @@ class EncryptedMatVec:
         d = self.dim
         return np.array([self._square[i, (i + j) % d] for i in range(d)])
 
-    def __call__(self, ct, galois_keys=None):
-        ctx = self.ctx
-        row = row_slot_count(ctx)
+    def _diagonal_masks(self) -> List[Tuple[int, np.ndarray]]:
+        """(rotation, full-row mask) for every non-zero diagonal."""
+        row = row_slot_count(self.ctx)
         offset = self.packing.layout.window_offset(0)
-        acc = None
+        masks = []
         for j in range(self.dim):
             diag = self._diagonal(j)
             if not np.any(diag):
                 continue
             mask = np.zeros(row)
             mask[offset: offset + self.dim] = diag
-            shifted = _rotate(ctx, ct, j, galois_keys) if j else ct
+            masks.append((j, mask))
+        return masks
+
+    def __call__(self, ct, galois_keys=None):
+        ctx = self.ctx
+        masks = self._diagonal_masks()
+        if not masks:
+            raise ValueError("matrix is all zeros")
+        # Every diagonal rotates the same input ciphertext: one hoisted
+        # decompose serves all of them, and under BFV the multiplies and
+        # the accumulation fuse into a single NTT-domain pass.
+        if _is_bfv(ctx) and hasattr(ctx, "rotate_weighted_sum"):
+            terms = [(j, _encode_vector(ctx, mask)) for j, mask in masks]
+            return ctx.rotate_weighted_sum(ct, terms, galois_keys)
+        shifted_by = _rotate_many(ctx, ct, [j for j, _ in masks], galois_keys)
+        acc = None
+        for j, mask in masks:
+            shifted = shifted_by[j] if j else ct
             term = ctx.multiply_plain(shifted, _encode_vector(ctx, mask, shifted))
             acc = term if acc is None else ctx.add(acc, term)
-        if acc is None:
-            raise ValueError("matrix is all zeros")
         return acc
 
     def unpack_output(self, slots: np.ndarray) -> np.ndarray:
@@ -303,10 +344,12 @@ class BsgsMatVec(EncryptedMatVec):
         row = row_slot_count(ctx)
         offset = self.packing.layout.window_offset(0)
         d = self.dim
-        # Hoist the baby rotations: computed once, reused by every giant step.
+        # Hoist the baby rotations: computed once, reused by every giant
+        # step — and, when the context supports it, sharing one key-switch
+        # digit decompose across the whole baby set.
         babies = {0: ct}
-        for b in range(1, self.baby_count):
-            babies[b] = _rotate(ctx, ct, b, galois_keys)
+        babies.update(_rotate_many(ctx, ct, range(1, self.baby_count),
+                                   galois_keys))
         acc = None
         for g in range(self.giant_count):
             shift = g * self.baby_count
@@ -352,12 +395,19 @@ class BsgsMatVec(EncryptedMatVec):
 def rotate_and_accumulate(ctx, ct, width: int, galois_keys=None):
     """Sum *width* (a power of two) adjacent slots into slot 0 of each window.
 
-    log2(width) rotations and adds; only the window's first slot (and every
-    ``width``-aligned slot) holds a valid total afterwards — the client
-    discards the rest, per the CHOCO packing discipline.
+    Only the window's first slot (and every ``width``-aligned slot) holds a
+    valid total afterwards — the client discards the rest, per the CHOCO
+    packing discipline.  Contexts exposing the fused
+    :meth:`~repro.hecore.hoisting.rotate_and_sum` kernel run the span with a
+    hoisted key-switch decompose when the session holds the richer step set
+    of :func:`rotate_and_sum_steps`; otherwise (or for plain contexts) this
+    is the classic log2(width) rotate/add tree.
     """
     if width & (width - 1):
         raise ValueError(f"width {width} must be a power of two")
+    fused = getattr(ctx, "rotate_and_sum", None)
+    if fused is not None:
+        return fused(ct, width, galois_keys)
     step = width // 2
     while step >= 1:
         ct = ctx.add(ct, _rotate(ctx, ct, step, galois_keys))

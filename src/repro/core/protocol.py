@@ -37,6 +37,12 @@ class CostLedger:
     bytes_down: int = 0
     rounds: int = 0
     server_compute_s: float = 0.0
+    # Rotation accounting: how many slot rotations the server performed and
+    # how many key-switch digit decomposes backed them.  A healthy hoisted
+    # hot path shows rotations >> hoisted + naive decomposes.
+    rotations: int = 0
+    hoisted_decomposes: int = 0
+    naive_decomposes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -82,6 +88,9 @@ class CostLedger:
         self.bytes_down += other.bytes_down
         self.rounds += other.rounds
         self.server_compute_s += other.server_compute_s
+        self.rotations += other.rotations
+        self.hoisted_decomposes += other.hoisted_decomposes
+        self.naive_decomposes += other.naive_decomposes
 
 
 class ClientCostModel:
@@ -242,6 +251,9 @@ class ClientAidedSession:
         self.ledger.server_compute_s += self.server.time_for_counts(
             delta, self.params.poly_degree, residues
         )
+        self.ledger.rotations += delta.get("rotate", 0)
+        self.ledger.hoisted_decomposes += delta.get("hoisted_decompose", 0)
+        self.ledger.naive_decomposes += delta.get("naive_decompose", 0)
         ops = ", ".join(f"{op}x{n}" for op, n in sorted(delta.items()) if n)
         self._record("server", f"encrypted compute: {ops or 'no-op'}")
         return result

@@ -18,7 +18,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.hecore import ntt
+from repro.hecore import hoisting, ntt
 from repro.hecore.ciphertext import Ciphertext
 from repro.hecore.keys import (
     GaloisKeys,
@@ -107,12 +107,15 @@ class BfvContext:
         return self._relin
 
     def make_galois_keys(self, steps: Iterable[int], include_conjugation: bool = False):
-        """Generate (or extend) rotation keys for the given step set."""
-        new = self.keygen.galois_keys(steps, include_conjugation=include_conjugation)
-        if self._galois is None:
-            self._galois = new
-        else:
-            self._galois.keys.update(new.keys)
+        """Generate (or extend) rotation keys for the given step set.
+
+        Elements already generated are reused as-is (same key objects, so
+        their pre-stacked digit caches survive); only missing elements cost
+        keygen work.
+        """
+        self._galois = self.keygen.galois_keys(
+            steps, include_conjugation=include_conjugation,
+            existing=self._galois)
         return self._galois
 
     # ------------------------------------------------------------ encoding
@@ -337,9 +340,33 @@ class BfvContext:
             raise ValueError("rotation requires Galois keys")
         if len(ct) != 2:
             raise ValueError("relinearize before rotating")
+        self.counts["naive_decompose"] += 1
         # apply_automorphism is form-agnostic (NTT form permutes evaluations
         # in place); switch_key converts to coefficient form itself.
         c0 = ct.components[0].apply_automorphism(galois_elt).from_ntt()
         c1 = ct.components[1].apply_automorphism(galois_elt)
         u0, u1 = switch_key(c1, keys.key_for(galois_elt), self.params)
         return Ciphertext(self.params, [c0 + u0, u1])
+
+    # ------------------------------------------------- hoisted rotations
+    def rotate_many(self, ct: Ciphertext, steps: Sequence[int],
+                    galois_keys: Optional[GaloisKeys] = None,
+                    include_conjugation: bool = False) -> List[Ciphertext]:
+        """Rotate *ct* by every step in *steps*, sharing one hoisted
+        key-switch decomposition; bit-exact with sequential
+        :meth:`rotate_rows` calls (see :mod:`repro.hecore.hoisting`)."""
+        return hoisting.rotate_many(self, ct, steps, galois_keys,
+                                    include_conjugation=include_conjugation)
+
+    def rotate_and_sum(self, ct: Ciphertext, width: int,
+                       galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
+        """Fused sum of the first *width* rotations of *ct* (power of two)."""
+        return hoisting.rotate_and_sum(self, ct, width, galois_keys)
+
+    def rotate_weighted_sum(self, ct: Ciphertext, terms,
+                            galois_keys: Optional[GaloisKeys] = None
+                            ) -> Ciphertext:
+        """Fused diagonal matvec: ``sum(m (*) rotate(ct, s))`` over
+        ``(step, Plaintext)`` *terms*, one hoisted decompose + one rescale."""
+        coeff_terms = [(step, pt.coeffs) for step, pt in terms]
+        return hoisting.rotate_weighted_sum(self, ct, coeff_terms, galois_keys)

@@ -13,6 +13,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.hecore import hoisting
 from repro.hecore.ciphertext import Ciphertext
 from repro.hecore.keys import (
     GaloisKeys,
@@ -102,11 +103,10 @@ class CkksContext:
         return self._relin
 
     def make_galois_keys(self, steps: Iterable[int], include_conjugation: bool = False):
-        new = self.keygen.galois_keys(steps, include_conjugation=include_conjugation)
-        if self._galois is None:
-            self._galois = new
-        else:
-            self._galois.keys.update(new.keys)
+        """Generate (or extend) rotation keys; cached elements are reused."""
+        self._galois = self.keygen.galois_keys(
+            steps, include_conjugation=include_conjugation,
+            existing=self._galois)
         return self._galois
 
     # ------------------------------------------------------------ encoding
@@ -281,9 +281,26 @@ class CkksContext:
         keys = galois_keys or self._galois
         if keys is None:
             raise ValueError("rotation requires Galois keys")
+        self.counts["naive_decompose"] += 1
         # apply_automorphism is form-agnostic (NTT form permutes evaluations
         # in place); switch_key converts to coefficient form itself.
         c0 = ct.components[0].apply_automorphism(galois_elt).from_ntt()
         c1 = ct.components[1].apply_automorphism(galois_elt)
         u0, u1 = switch_key(c1, keys.key_for(galois_elt), self.params)
         return Ciphertext(self.params, [c0 + u0, u1], scale=ct.scale)
+
+    # ------------------------------------------------- hoisted rotations
+    def rotate_many(self, ct: Ciphertext, steps: Sequence[int],
+                    galois_keys: Optional[GaloisKeys] = None,
+                    include_conjugation: bool = False):
+        """Rotate *ct* by every step in *steps*, sharing one hoisted
+        key-switch decomposition; bit-exact with sequential :meth:`rotate`
+        calls (see :mod:`repro.hecore.hoisting`).  With
+        *include_conjugation* the conjugated ciphertext is appended."""
+        return hoisting.rotate_many(self, ct, steps, galois_keys,
+                                    include_conjugation=include_conjugation)
+
+    def rotate_and_sum(self, ct: Ciphertext, width: int,
+                       galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
+        """Fused sum of the first *width* rotations of *ct* (power of two)."""
+        return hoisting.rotate_and_sum(self, ct, width, galois_keys)

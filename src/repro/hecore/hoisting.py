@@ -1,0 +1,548 @@
+"""Halevi–Shoup hoisted rotations and fused multi-rotation kernels.
+
+A naive slot rotation pays a full key switch: decompose the ciphertext's
+second component into RNS digits, lift each digit to the extended
+(current + special) base, forward-NTT every lifted digit, inner-product with
+the Galois key, inverse-NTT, and rescale away the special primes.  When many
+rotations apply to the *same* ciphertext — the diagonal matvec, the
+rotate-and-sum distance reductions, PageRank's packing refresh — everything
+up to the inner product is identical across rotations except for the Galois
+automorphism.
+
+Hoisting (Halevi–Shoup, "Faster Homomorphic Linear Transformations in
+HElib") reorders the pipeline so the expensive half runs once:
+
+* the digit decomposition uses a CENTERED lift (see
+  :func:`~repro.hecore.keys.decompose_for_keyswitch`), which commutes
+  exactly with the automorphism's sign flips, so decomposing first and
+  permuting later is bit-identical to permuting first;
+* in NTT form the automorphism is a pure column permutation, so each
+  rotation costs one gather + one dyadic inner product over the
+  pre-transformed digit block;
+* the per-rotation inner products run as one stacked numpy kernel over all
+  (rotation x residue) pairs, and the inverse transforms of a whole batch of
+  rotations run as one :meth:`NttStackPlan.inverse_batch` pass.
+
+On top of :class:`HoistedRotator` this module provides the fused
+primitives consumed across the eval hot path:
+
+* :func:`rotate_many` — any set of rotations of one ciphertext, bit-exact
+  with sequential ``rotate_rows`` calls;
+* :func:`rotate_and_sum` — the all-prefix rotation sum used by the distance
+  kernels, with NTT-domain accumulation (one inverse transform + one
+  special-prime rescale for the whole span) and a baby-step/giant-step
+  split for wide spans;
+* :func:`rotate_weighted_sum` — the diagonal-matvec kernel: plaintext
+  diagonals multiply each rotation in the NTT domain and the whole sum pays
+  a single inverse transform + rescale.
+
+Everything is server-local: ciphertext and key wire formats are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.hecore import ntt
+from repro.hecore.ciphertext import Ciphertext
+from repro.hecore.keys import (
+    GaloisKeys,
+    decompose_for_keyswitch,
+    galois_element_for_conjugation,
+    galois_element_for_step,
+    keyswitch_ext_base,
+    keyswitch_inner_product,
+    keyswitch_rows,
+)
+from repro.hecore.polyring import RnsPoly
+
+#: rotate_and_sum spans up to this width run flat (one hoisted decompose,
+#: width-1 cheap rotations); wider spans split baby-step/giant-step so the
+#: cheap-rotation count stays ~2*sqrt(width) at the cost of one extra
+#: decompose.
+FLAT_SUM_LIMIT = 32
+
+_PERM_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+_COEFF_PERM_CACHE: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+
+_RESCALE_CACHE: Dict[Tuple[int, ...], Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def coeff_automorphism_perm(n: int, galois_elt: int) -> Tuple[np.ndarray,
+                                                              np.ndarray]:
+    """Gather form of x -> x^g on coefficient vectors: ``(source, sign)``.
+
+    ``auto(a)[j] == sign[j] * a[source[j]]`` modulo each prime — the exact
+    inverse of the scatter in :meth:`RnsPoly.apply_automorphism`, cached per
+    ``(n, g)``.  Gather form lets hoisted span sums accumulate every
+    rotation's first component with one fancy index + signed sum, no
+    NTT round trip.
+    """
+    galois_elt = galois_elt % (2 * n)
+    key = (n, galois_elt)
+    cached = _COEFF_PERM_CACHE.get(key)
+    if cached is None:
+        indices = (np.arange(n, dtype=np.int64) * galois_elt) % (2 * n)
+        negate = indices >= n
+        targets = np.where(negate, indices - n, indices)
+        source = np.empty(n, dtype=np.int64)
+        source[targets] = np.arange(n, dtype=np.int64)
+        sign = np.empty(n, dtype=np.int64)
+        sign[targets] = np.where(negate, -1, 1)
+        cached = (source, sign)
+        _COEFF_PERM_CACHE[key] = cached
+    return cached
+
+
+def _rescale_constants(base, drops: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-stage ``(last_prime, P^-1 mod p)`` columns for dropping the last
+    *drops* primes of *base*, cached per moduli tuple."""
+    from repro.hecore.modmath import mod_inv
+
+    key = tuple(int(p) for p in base.moduli) + (int(drops),)
+    cached = _RESCALE_CACHE.get(key)
+    if cached is None:
+        moduli = [int(p) for p in base.moduli]
+        lasts = np.array(moduli[-drops:][::-1], dtype=np.int64)
+        inv_cols = []
+        for stage in range(drops):
+            last = moduli[-1 - stage]
+            remaining = moduli[: len(moduli) - 1 - stage]
+            inv_cols.append(np.array(
+                [mod_inv(last % p, p) for p in remaining],
+                dtype=np.int64).reshape(-1, 1))
+        cached = (lasts, inv_cols)
+        _RESCALE_CACHE[key] = cached
+    return cached
+
+
+def _rescale_batch(coeff: np.ndarray, base, drops: int) -> np.ndarray:
+    """Vectorized :meth:`RnsPoly.divide_and_round_by_last` over a
+    ``(B, k, n)`` coefficient batch, dropping the last *drops* primes.
+
+    Bit-exact with *drops* sequential per-polynomial divisions, but every
+    batch entry shares one numpy sweep per dropped prime and the modular
+    inverses are computed once per base instead of per call.
+    """
+    from repro.hecore.modmath import center
+
+    lasts, inv_cols = _rescale_constants(base, drops)
+    moduli = [int(p) for p in base.moduli]
+    for stage in range(drops):
+        last = int(lasts[stage])
+        tcol = np.array(moduli[: len(moduli) - 1 - stage],
+                        dtype=np.int64).reshape(-1, 1)
+        remainder = center(coeff[:, -1, :], last)
+        diff = coeff[:, :-1, :] - np.mod(remainder[:, None, :], tcol)
+        diff = np.where(diff < 0, diff + tcol, diff)
+        coeff = np.mod(diff * inv_cols[stage], tcol)
+    return coeff
+
+
+def ntt_permutation(n: int, galois_elt: int) -> np.ndarray:
+    """Column permutation implementing x -> x^g on NTT-form evaluations.
+
+    Position ``j`` holds the evaluation at ``psi^(2j+1)``; the automorphism
+    moves it to the position whose odd exponent is ``(2j+1)*g mod 2n`` —
+    the same index arithmetic as :meth:`RnsPoly.apply_automorphism`, cached
+    per ``(n, g)`` so hoisted paths pay the modular index computation once.
+    """
+    galois_elt = galois_elt % (2 * n)
+    key = (n, galois_elt)
+    perm = _PERM_CACHE.get(key)
+    if perm is None:
+        sources = ((2 * np.arange(n, dtype=np.int64) + 1) * galois_elt) % (2 * n)
+        perm = (sources - 1) >> 1
+        _PERM_CACHE[key] = perm
+    return perm
+
+
+def _resolve_keys(ctx, galois_keys: Optional[GaloisKeys]) -> GaloisKeys:
+    keys = galois_keys or getattr(ctx, "_galois", None)
+    if keys is None:
+        raise ValueError("rotation requires Galois keys")
+    return keys
+
+
+def _steps_available(keys: Optional[GaloisKeys], steps, n: int) -> bool:
+    if keys is None:
+        return False
+    return all(
+        g == 1 or g in keys
+        for g in (galois_element_for_step(s, n) for s in steps)
+    )
+
+
+class HoistedRotator:
+    """Shares one key-switch digit decomposition across every rotation of a
+    single ciphertext.
+
+    Construction runs the hoisted (expensive) half — centered digit
+    decomposition, lift to the extended base, one batched forward NTT —
+    and each subsequent Galois element costs a cached column permutation
+    plus one stacked dyadic inner product with the pre-stacked key digits.
+    Results are bit-exact with the naive per-rotation path.
+    """
+
+    def __init__(self, ctx, ct: Ciphertext,
+                 galois_keys: Optional[GaloisKeys] = None):
+        if len(ct) != 2:
+            raise ValueError("relinearize before rotating")
+        self.ctx = ctx
+        self.ct = ct
+        self.keys = _resolve_keys(ctx, galois_keys)
+        self.params = ctx.params
+        self.n = self.params.poly_degree
+        self.current = ct.level_base
+        self.ext_base = keyswitch_ext_base(self.current, self.params)
+        self.rows = keyswitch_rows(self.current, self.params)
+        self.plan = ntt.get_stack_plan(self.n, self.ext_base.moduli)
+        # The hoisted half, paid once per ciphertext.
+        self.digits_ntt = decompose_for_keyswitch(
+            ct.components[1].from_ntt(), self.ext_base)
+        ctx.counts["hoisted_decompose"] += 1
+
+    # ------------------------------------------------------------ kernels
+    def inner_product(self, galois_elt: int) -> np.ndarray:
+        """``(2, k_ext, n)`` NTT-form key-switch accumulator for one element.
+
+        Permuting the pre-transformed digits equals decomposing the
+        automorphed ciphertext (the centered lift commutes with the
+        automorphism), so this is the entire per-rotation cost before the
+        inverse transform.
+        """
+        perm = ntt_permutation(self.n, galois_elt)
+        permuted = self.digits_ntt[:, :, perm]
+        key_block = self.keys.key_for(galois_elt).stacked_digits(
+            self.rows, len(self.current))
+        return keyswitch_inner_product(permuted, key_block, self.ext_base)
+
+    def _gathered_digits(self, galois_elts: Sequence[int]) -> np.ndarray:
+        """``(R, L, k_ext, n)`` contiguous gather of the decomposed digits
+        through every element's cached NTT permutation."""
+        n_digits, k_ext, _ = self.digits_ntt.shape
+        perms = np.stack([ntt_permutation(self.n, g) for g in galois_elts])
+        return self.digits_ntt[
+            np.arange(n_digits)[None, :, None, None],
+            np.arange(k_ext)[None, None, :, None],
+            perms[:, None, None, :],
+        ]
+
+    def inner_product_many(self, galois_elts: Sequence[int]) -> np.ndarray:
+        """``(R, 2, k_ext, n)`` key-switch accumulators, one numpy pass.
+
+        The decomposed digits are gathered through every element's cached
+        NTT permutation at once, multiplied against the pre-stacked
+        multi-key block (:meth:`GaloisKeys.stacked_block`), and reduced
+        with the same lazy digit sum as the single-element path — no
+        per-rotation numpy dispatch at all.
+        """
+        # Broadcast fancy index writes the gather R-major and contiguous in
+        # one pass (a plain axis gather would land (L, k, R, n) and need a
+        # copy to flatten).
+        permuted = self._gathered_digits(galois_elts)   # (R, L, k, n)
+        keys = self.keys.stacked_block(galois_elts, self.rows,
+                                       len(self.current))
+        pcol = self.ext_base.moduli_col
+        n_digits = permuted.shape[1]
+        if n_digits <= 8 and int(pcol.max()) <= (1 << 30):
+            # Lazy digit sum (exact for <= 8 thirty-bit digit products),
+            # accumulated in place so the (R, L, 2, k, n) product tensor is
+            # never materialized.
+            acc = permuted[:, 0, None] * keys[:, 0]     # (R, 2, k, n)
+            for l in range(1, n_digits):
+                acc += permuted[:, l, None] * keys[:, l]
+            return np.mod(acc, pcol)
+        products = permuted[:, :, None] * keys          # (R, L, 2, k, n)
+        return np.mod(np.mod(products, pcol).sum(axis=1), pcol)
+
+    def inner_product_sum(self, galois_elts: Sequence[int]) -> np.ndarray:
+        """``(2, k_ext, n)`` sum of every element's key-switch accumulator.
+
+        The span-sum kernel: all (rotation x digit) products collapse through
+        fused multiply-accumulate (einsum) without materializing per-rotation
+        results.  Chunks of eight 30-bit digit products stay within the
+        int64 lazy-reduction bound, so the result is bit-exact with summing
+        :meth:`inner_product_many` over the batch.
+        """
+        gathered = self._gathered_digits(galois_elts)   # (R, L, k, n)
+        n_digits, k_ext = gathered.shape[1], gathered.shape[2]
+        m = len(galois_elts) * n_digits
+        flat = gathered.reshape(m, k_ext, self.n)
+        keys = self.keys.stacked_block(
+            galois_elts, self.rows, len(self.current))
+        key_flat = keys.reshape(m, 2, k_ext, self.n)
+        pcol = self.ext_base.moduli_col
+        if int(pcol.max()) <= (1 << 30):
+            acc = None
+            for lo in range(0, m, 8):
+                part = np.mod(np.einsum('mkn,mckn->ckn', flat[lo:lo + 8],
+                                        key_flat[lo:lo + 8]), pcol)
+                acc = part if acc is None else acc + part
+            return np.mod(acc, pcol)
+        products = np.mod(flat[:, None] * key_flat, pcol)
+        return np.mod(products.sum(axis=0), pcol)
+
+    def _rescale(self, poly: RnsPoly) -> RnsPoly:
+        for _ in range(len(self.params.special_primes)):
+            poly = poly.divide_and_round_by_last()
+        return poly
+
+    def finish_batch(self, accs: np.ndarray) -> List[Tuple[RnsPoly, RnsPoly]]:
+        """Inverse-transform + special-prime rescale of ``(R, 2, k_ext, n)``
+        accumulators; the inverse NTTs of the whole rotation batch run as a
+        single ``(2R*k_ext, n)`` stacked pass, and the rescale divides every
+        component in one vectorized sweep per special prime."""
+        r = accs.shape[0]
+        k_ext = len(self.ext_base)
+        coeff = self.plan.inverse_batch(accs.reshape(r * 2, k_ext, self.n))
+        rescaled = _rescale_batch(coeff, self.ext_base,
+                                  len(self.params.special_primes))
+        return [
+            (RnsPoly(self.current, self.n, rescaled[2 * i], is_ntt=False),
+             RnsPoly(self.current, self.n, rescaled[2 * i + 1], is_ntt=False))
+            for i in range(r)
+        ]
+
+    # --------------------------------------------------------- public API
+    def apply_many(self, galois_elts: Sequence[int]) -> List[Ciphertext]:
+        """One ciphertext per Galois element, sharing the hoisted decompose."""
+        out: List[Optional[Ciphertext]] = [None] * len(galois_elts)
+        live: List[Tuple[int, int]] = []
+        for i, g in enumerate(galois_elts):
+            if g == 1:
+                out[i] = self.ct.copy()
+            else:
+                live.append((i, g))
+        if live:
+            accs = self.inner_product_many([g for _, g in live])
+            for (i, g), (u0, u1) in zip(live, self.finish_batch(accs)):
+                c0 = self.ct.components[0].apply_automorphism(g).from_ntt()
+                out[i] = Ciphertext(self.params, [c0 + u0, u1],
+                                    scale=self.ct.scale)
+        return out
+
+    def apply_galois(self, galois_elt: int) -> Ciphertext:
+        return self.apply_many([galois_elt])[0]
+
+    def rotate(self, steps: int) -> Ciphertext:
+        return self.apply_galois(galois_element_for_step(steps, self.n))
+
+    def rotate_many(self, steps: Sequence[int]) -> List[Ciphertext]:
+        return self.apply_many(
+            [galois_element_for_step(s, self.n) for s in steps])
+
+    def conjugate(self) -> Ciphertext:
+        return self.apply_galois(galois_element_for_conjugation(self.n))
+
+
+def rotate_many(ctx, ct: Ciphertext, steps: Sequence[int],
+                galois_keys: Optional[GaloisKeys] = None,
+                include_conjugation: bool = False) -> List[Ciphertext]:
+    """Rotate *ct* by every step in *steps* with one hoisted decompose.
+
+    Bit-exact with sequential ``rotate_rows``/``rotate`` calls.  With
+    *include_conjugation* an extra conjugated (rows-swapped) ciphertext is
+    appended after the rotations.
+    """
+    rotator = HoistedRotator(ctx, ct, galois_keys)
+    elements = [galois_element_for_step(s, rotator.n) for s in steps]
+    if include_conjugation:
+        elements.append(galois_element_for_conjugation(rotator.n))
+    ctx.counts["rotate"] += len(elements)
+    return rotator.apply_many(elements)
+
+
+# ---------------------------------------------------------------------------
+# Fused rotate-and-sum
+# ---------------------------------------------------------------------------
+
+def _sum_span_steps(width: int) -> Tuple[List[int], List[int]]:
+    """Step sets for the (up to two) hoisted phases of a width-sum."""
+    if width <= FLAT_SUM_LIMIT:
+        return list(range(1, width)), []
+    baby = 1 << ((width.bit_length() - 1 + 1) // 2)
+    return (list(range(1, baby)),
+            [j * baby for j in range(1, width // baby)])
+
+
+def rotate_and_sum_steps(width: int) -> Set[int]:
+    """Galois-key steps :func:`rotate_and_sum` wants for *width*.
+
+    Includes both the hoisted step set (baby steps plus giant multiples for
+    wide spans) and the power-of-two ladder of the log-tree fallback, so one
+    key upload serves either path.
+    """
+    width = int(width)
+    if width <= 1:
+        return set()
+    steps = {width >> k for k in range(1, width.bit_length())} - {0}
+    phase1, phase2 = _sum_span_steps(width)
+    steps.update(phase1)
+    steps.update(phase2)
+    return steps
+
+
+def _hoisted_span_sum(ctx, ct: Ciphertext, steps: Sequence[int],
+                      keys: GaloisKeys) -> Ciphertext:
+    """``ct + sum(rotate(ct, s) for s in steps)`` with one hoisted decompose.
+
+    All rotations' key-switch products accumulate over the extended base in
+    the NTT domain, so the whole span pays ONE inverse transform pair and
+    ONE special-prime rescale.  The ``c0`` parts stay in the coefficient
+    domain: every rotation is a cached signed gather
+    (:func:`coeff_automorphism_perm`), the gathered columns sum lazily in
+    int64, and one final mod recovers the canonical sum — no NTT round
+    trip at all.
+    """
+    rotator = HoistedRotator(ctx, ct, keys)
+    n = rotator.n
+    elements = [galois_element_for_step(s, n) for s in steps]
+    live = [g for g in elements if g != 1]
+    identity_extra = len(elements) - len(live)
+    ctx.counts["rotate"] += len(live)
+
+    current = ct.level_base
+    cur_pcol = current.moduli_col
+    c0 = ct.components[0].from_ntt()
+    c1 = ct.components[1].from_ntt()
+    c1_sum = c1
+    for _ in range(identity_extra):
+        c1_sum = c1_sum + c1
+    # Canonical residues are < 2**30; a span sums far fewer than 2**33
+    # terms, so the whole accumulation is exact in int64 with one final mod.
+    acc0 = (1 + identity_extra) * c0.data
+    if live:
+        gathers = [coeff_automorphism_perm(n, g) for g in live]
+        sources = np.stack([src for src, _ in gathers])
+        signs = np.stack([sign for _, sign in gathers])
+        acc0 = acc0 + np.einsum('krn,rn->kn', c0.data[:, sources], signs)
+    c0_sum = RnsPoly(current, n, np.mod(acc0, cur_pcol), is_ntt=False)
+    if not live:
+        return Ciphertext(rotator.params, [c0_sum, c1_sum], scale=ct.scale)
+
+    acc = rotator.inner_product_sum(live)           # (2, k_ext, n)
+    ((u0, u1),) = rotator.finish_batch(acc[None])
+    return Ciphertext(rotator.params, [c0_sum + u0, c1_sum + u1],
+                      scale=ct.scale)
+
+
+def rotate_and_sum(ctx, ct: Ciphertext, width: int,
+                   galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
+    """Sum of ``rotate(ct, i)`` for ``i in range(width)`` (power-of-two span).
+
+    Every width-aligned window of slots ends up holding the window total in
+    each of its positions — the same all-prefix semantics as the log-tree
+    ``rotate_and_accumulate``, which remains the fallback when the session
+    only holds the power-of-two key ladder.  With the hoisted step set
+    available (see :func:`rotate_and_sum_steps`) the span runs as one or two
+    hoisted phases: flat up to ``FLAT_SUM_LIMIT``, baby-step/giant-step
+    beyond it (two decomposes + ~2*sqrt(width) cheap rotations, versus
+    log2(width) full key switches for the tree).
+    """
+    width = int(width)
+    if width <= 1:
+        return ct
+    if width & (width - 1):
+        raise ValueError(f"rotate_and_sum width {width} must be a power of two")
+    keys = galois_keys or getattr(ctx, "_galois", None)
+    n = ctx.params.poly_degree
+    phase1, phase2 = _sum_span_steps(width)
+    if _steps_available(keys, phase1 + phase2, n):
+        out = _hoisted_span_sum(ctx, ct, phase1, keys)
+        if phase2:
+            out = _hoisted_span_sum(ctx, out, phase2, keys)
+        return out
+    # Log-tree fallback: rotates the updated accumulator each level, so no
+    # decompose can be shared — but it only needs the power-of-two keys.
+    rotate = getattr(ctx, "rotate_rows", None) or ctx.rotate
+    step = width // 2
+    while step >= 1:
+        ct = ctx.add(ct, rotate(ct, step, keys))
+        step //= 2
+    return ct
+
+
+# ---------------------------------------------------------------------------
+# Fused diagonal matvec (rotate, plain-multiply, accumulate — all in NTT form)
+# ---------------------------------------------------------------------------
+
+def rotate_weighted_sum(ctx, ct: Ciphertext,
+                        terms: Sequence[Tuple[int, np.ndarray]],
+                        galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
+    """``sum(m_j (*) rotate(ct, s_j))`` with one hoisted decompose.
+
+    *terms* are ``(step, coeffs)`` pairs, *coeffs* the encoded plaintext's
+    signed coefficient vector (a BFV ``Plaintext.coeffs``).  This is the
+    diagonal-matvec inner loop: each term costs the cached NTT permutation,
+    one stacked inner product, and two dyadic multiplies; the inverse
+    transforms and the special-prime rescale are paid once for the whole
+    sum.  The permuted ``c0`` components never leave the NTT domain — they
+    multiply the diagonal and accumulate as ``(k, n)`` dyadic kernels.
+
+    Decrypts identically to the naive rotate-multiply-add chain (the
+    plaintext algebra is the same; only rounding-level noise placement
+    differs), with strictly less noise accumulation in practice.
+    """
+    if not terms:
+        raise ValueError("rotate_weighted_sum needs at least one term")
+    rotator = HoistedRotator(ctx, ct, galois_keys)
+    n = rotator.n
+    current = ct.level_base
+    ext_pcol = rotator.ext_base.moduli_col
+    cur_pcol = current.moduli_col
+    plan_cur = ntt.get_stack_plan(n, current.moduli)
+
+    resolved = [(galois_element_for_step(step, n),
+                 np.asarray(coeffs, dtype=np.int64))
+                for step, coeffs in terms]
+    live = [(g, coeffs) for g, coeffs in resolved if g != 1]
+    identity = [coeffs for g, coeffs in resolved if g == 1]
+    ctx.counts["multiply_plain"] += len(resolved)
+    ctx.counts["rotate"] += len(live)
+
+    c0_ntt = ct.components[0].to_ntt().data
+    acc_cur0 = np.zeros((len(current), n), dtype=np.int64)
+    acc_cur1 = None
+    if identity:
+        c1_ntt = ct.components[1].to_ntt().data
+        acc_cur1 = np.zeros_like(acc_cur0)
+        m_id = plan_cur.forward_batch(
+            np.mod(np.stack(identity)[:, None, :], cur_pcol))
+        for m_cur_ntt in m_id:
+            acc_cur0 += np.mod(m_cur_ntt * c0_ntt, cur_pcol)
+            acc_cur1 += np.mod(m_cur_ntt * c1_ntt, cur_pcol)
+    if live:
+        elements = [g for g, _ in live]
+        coeff_stack = np.stack([coeffs for _, coeffs in live])[:, None, :]
+        # Batched plaintext transforms: every diagonal over the current base
+        # and the extended base in two stacked passes.
+        m_cur = plan_cur.forward_batch(np.mod(coeff_stack, cur_pcol))
+        m_ext = rotator.plan.forward_batch(np.mod(coeff_stack, ext_pcol))
+        # (R, 2, k_ext, n) key-switch accumulators, weighted per-diagonal and
+        # reduced across the batch in one pass.
+        ks = rotator.inner_product_many(elements)
+        acc_ext = np.mod(np.mod(ks * m_ext[:, None], ext_pcol).sum(axis=0),
+                         ext_pcol)
+        perms = np.stack([ntt_permutation(n, g) for g in elements])
+        c0_perm = np.moveaxis(c0_ntt[:, perms], 1, 0)       # (R, k, n)
+        acc_cur0 += np.mod(c0_perm * m_cur, cur_pcol).sum(axis=0)
+
+    c0_out = RnsPoly(current, n,
+                     plan_cur.inverse(np.mod(acc_cur0, cur_pcol)),
+                     is_ntt=False)
+    c1_out = None
+    if acc_cur1 is not None:
+        c1_out = RnsPoly(current, n,
+                         plan_cur.inverse(np.mod(acc_cur1, cur_pcol)),
+                         is_ntt=False)
+    if live:
+        ((u0, u1),) = rotator.finish_batch(acc_ext[None])
+        c0_out = c0_out + u0
+        c1_out = u1 if c1_out is None else c1_out + u1
+    if c1_out is None:
+        c1_out = RnsPoly.zero(current, n, is_ntt=False)
+    return Ciphertext(rotator.params, [c0_out, c1_out], scale=ct.scale)

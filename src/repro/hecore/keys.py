@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.hecore import ntt
 from repro.hecore.modmath import mod_add
 from repro.hecore.params import EncryptionParameters, SPECIAL_PRIME_COUNT
 from repro.hecore.polyring import RnsPoly
@@ -50,6 +51,30 @@ class KeySwitchKey:
 
     def __init__(self, digits: List[Tuple[RnsPoly, RnsPoly]]):
         self.digits = digits
+        #: Per-restriction stacked views of the digit polys, filled lazily by
+        #: :meth:`stacked_digits` (and pre-seeded by deserialization, which
+        #: lays key blobs out contiguously so the full-level entry is free).
+        self._stacked: Dict[Tuple[Tuple[int, ...], int], np.ndarray] = {}
+
+    def stacked_digits(self, rows: Sequence[int], count: int) -> np.ndarray:
+        """Digits ``0..count-1`` restricted to base *rows*, as one block.
+
+        Returns a ``(count, 2, len(rows), n)`` int64 array (NTT form): axis 0
+        is the digit, axis 1 the key component, axis 2 the residue row.  The
+        restriction is cached on the key, so every key switch at one modulus
+        level — naive or hoisted — shares a single re-layout instead of
+        re-gathering ``2 * count`` row subsets per call.
+        """
+        cache_key = (tuple(int(r) for r in rows), int(count))
+        block = self._stacked.get(cache_key)
+        if block is None:
+            row_list = list(cache_key[0])
+            block = np.stack([
+                np.stack([k0.data[row_list], k1.data[row_list]])
+                for k0, k1 in self.digits[:count]
+            ])
+            self._stacked[cache_key] = block
+        return block
 
     def size_bytes(self, params: EncryptionParameters) -> int:
         """Serialized size under logical accounting (k residues, 8 B words)."""
@@ -66,6 +91,9 @@ class GaloisKeys:
 
     def __init__(self, keys: Dict[int, KeySwitchKey]):
         self.keys = keys
+        #: Multi-element key blocks for hoisted batches, filled lazily by
+        #: :meth:`stacked_block` and keyed by (elements, rows, digit count).
+        self._stacked_blocks: Dict[Tuple, np.ndarray] = {}
 
     def __contains__(self, galois_elt: int) -> bool:
         return galois_elt in self.keys
@@ -78,6 +106,26 @@ class GaloisKeys:
                 f"no Galois key for element {galois_elt}; generate it with "
                 f"KeyGenerator.galois_keys"
             ) from None
+
+    def stacked_block(self, galois_elts: Sequence[int], rows: Sequence[int],
+                      count: int) -> np.ndarray:
+        """``(len(galois_elts), count, 2, len(rows), n)`` stacked key block.
+
+        The hoisted batch kernels inner-product one decomposed ciphertext
+        against EVERY requested element's key in a single numpy pass; this
+        pre-stacks (and caches, per modulus level) the keys in that layout so
+        repeated hoisted batches pay no per-rotation gathering.
+        """
+        key = (tuple(int(g) for g in galois_elts),
+               tuple(int(r) for r in rows), int(count))
+        block = self._stacked_blocks.get(key)
+        if block is None:
+            block = np.stack([
+                self.key_for(g).stacked_digits(rows, count)
+                for g in key[0]
+            ])
+            self._stacked_blocks[key] = block
+        return block
 
     def size_bytes(self, params: EncryptionParameters) -> int:
         return sum(k.size_bytes(params) for k in self.keys.values())
@@ -181,20 +229,90 @@ class KeyGenerator:
         return RelinKeys(key.digits)
 
     def galois_keys(self, steps: Iterable[int] = (), galois_elts: Iterable[int] = (),
-                    include_conjugation: bool = False) -> GaloisKeys:
-        """Galois keys for the given rotation *steps* and/or raw elements."""
+                    include_conjugation: bool = False,
+                    existing: Optional[GaloisKeys] = None) -> GaloisKeys:
+        """Galois keys for the given rotation *steps* and/or raw elements.
+
+        With *existing*, elements already present keep their generated keys
+        (same :class:`KeySwitchKey` objects, so stacked caches survive) and
+        only the missing ones are generated; the extended *existing* object
+        is returned.
+        """
         n = self.params.poly_degree
         elements = {galois_element_for_step(s, n) for s in steps}
         elements.update(galois_elts)
         if include_conjugation:
             elements.add(galois_element_for_conjugation(n))
-        keys = {}
+        # The identity automorphism never needs a key-switch key (rotations
+        # by step 0 are handled without key switching).
+        elements.discard(1)
+        keys = {} if existing is None else existing.keys
         for g in sorted(elements):
+            if g in keys:
+                continue
             # NTT-form automorphism: a pure index permutation, no INTT/NTT
             # round trip per Galois element.
             s_g = self._secret.poly_ntt.apply_automorphism(g)
             keys[g] = self._make_keyswitch_key(s_g)
-        return GaloisKeys(keys)
+        return existing if existing is not None else GaloisKeys(keys)
+
+
+def keyswitch_ext_base(current: RnsBase, params: EncryptionParameters) -> RnsBase:
+    """The extended base (current data moduli + special primes) of a switch."""
+    return RnsBase(list(current.moduli) + list(params.special_primes))
+
+
+def keyswitch_rows(current: RnsBase, params: EncryptionParameters) -> List[int]:
+    """Full-base row indices of the extended base's residues."""
+    full = params.full_base
+    special_rows = [full.moduli.index(p) for p in params.special_primes]
+    return list(range(len(current))) + special_rows
+
+
+def decompose_for_keyswitch(target: RnsPoly, ext_base: RnsBase) -> np.ndarray:
+    """Digit decomposition of *target*, lifted to *ext_base* and NTT'd.
+
+    This is the expensive first half of every key switch — and the half
+    Halevi–Shoup hoisting shares across rotations.  Returns an
+    ``(L, k_ext, n)`` int64 block (digit ``i`` in slab ``i``, NTT form)
+    produced by one batched forward transform.
+
+    The lift is CENTERED: digit residues ``v in [0, p_i)`` are mapped to
+    ``(-p_i/2, p_i/2]`` before reduction mod each extended modulus.  Negation
+    commutes exactly with the centered lift (``c(p - v) = -c(v)``), so a
+    Galois automorphism applied before or after decomposition yields
+    bit-identical digits — the invariant that makes hoisted rotations
+    byte-equal to the naive per-rotation path.  (It also shaves a little
+    key-switch noise: centered digits are half the magnitude.)
+    """
+    if target.is_ntt:
+        target = target.from_ntt()
+    pcol = target.base.moduli_col
+    centered = np.where(target.data > pcol >> 1, target.data - pcol, target.data)
+    lifted = np.mod(centered[:, None, :], ext_base.moduli_col[None, :, :])
+    plan = ntt.get_stack_plan(target.degree, ext_base.moduli)
+    return plan.forward_batch(lifted)
+
+
+def keyswitch_inner_product(digits_ntt: np.ndarray,
+                            key_block: np.ndarray,
+                            ext_base: RnsBase) -> np.ndarray:
+    """Dyadic inner product of decomposed digits with one key's digit block.
+
+    ``digits_ntt`` is ``(L, k_ext, n)`` (from :func:`decompose_for_keyswitch`,
+    possibly permuted by a Galois element), ``key_block`` is the matching
+    ``(L, 2, k_ext, n)`` from :meth:`KeySwitchKey.stacked_digits`.  Returns
+    the ``(2, k_ext, n)`` NTT-form accumulator.
+
+    Lazy reduction: each product is below ``2**60`` (30-bit moduli), so up
+    to 8 digits sum exactly in int64 BEFORE any reduction — one mod for the
+    whole inner product instead of one per digit.
+    """
+    pcol = ext_base.moduli_col
+    products = digits_ntt[:, None] * key_block
+    if len(digits_ntt) <= 8 and int(pcol.max()) <= (1 << 30):
+        return np.mod(products.sum(axis=0), pcol)
+    return np.mod(np.mod(products, pcol).sum(axis=0), pcol)
 
 
 def switch_key(
@@ -208,27 +326,19 @@ def switch_key(
     if target.is_ntt:
         target = target.from_ntt()
     current = target.base
-    full = params.full_base
     n = params.poly_degree
     special = params.special_primes
-    ext_base = RnsBase(list(current.moduli) + list(special))
-    special_rows = [full.moduli.index(p) for p in special]
+    ext_base = keyswitch_ext_base(current, params)
+    rows = keyswitch_rows(current, params)
 
-    acc0 = RnsPoly.zero(ext_base, n, is_ntt=True)
-    acc1 = RnsPoly.zero(ext_base, n, is_ntt=True)
-    for i, p_i in enumerate(current.moduli):
-        digit = target.data[i]
-        lifted_rows = np.mod(digit[None, :], ext_base.moduli_col)
-        lifted = RnsPoly(ext_base, n, lifted_rows, is_ntt=False).to_ntt()
-        k0, k1 = ksk.digits[i]
-        rows = list(range(len(current))) + special_rows
-        k0_r = RnsPoly(ext_base, n, k0.data[rows], is_ntt=True)
-        k1_r = RnsPoly(ext_base, n, k1.data[rows], is_ntt=True)
-        acc0 = acc0 + lifted * k0_r
-        acc1 = acc1 + lifted * k1_r
+    digits_ntt = decompose_for_keyswitch(target, ext_base)
+    key_block = ksk.stacked_digits(rows, len(current))
+    acc = keyswitch_inner_product(digits_ntt, key_block, ext_base)
 
-    u0 = acc0.from_ntt()
-    u1 = acc1.from_ntt()
+    plan = ntt.get_stack_plan(n, ext_base.moduli)
+    coeff = plan.inverse_batch(acc)
+    u0 = RnsPoly(ext_base, n, coeff[0], is_ntt=False)
+    u1 = RnsPoly(ext_base, n, coeff[1], is_ntt=False)
     for _ in range(len(special)):
         u0 = u0.divide_and_round_by_last()
         u1 = u1.divide_and_round_by_last()

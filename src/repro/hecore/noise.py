@@ -79,6 +79,21 @@ class NoiseEstimator:
     def after_rotation(self, est: NoiseEstimate) -> NoiseEstimate:
         return self._spend(est, ROTATION_BITS)
 
+    def after_hoisted_rotations(self, est: NoiseEstimate,
+                                count: int) -> NoiseEstimate:
+        """*count* rotations of one ciphertext sharing a hoisted decompose.
+
+        Each rotation adds the same key-switch term as the naive path (the
+        shared centered decompose changes where the digits are computed, not
+        their magnitude), and the fused rotate-and-sum primitives combine
+        all rotated copies before the single rescale — so the growth is one
+        rotation's key-switch bits plus log2(count + 1) accumulation bits,
+        not ``count * ROTATION_BITS``.
+        """
+        if count <= 0:
+            return est
+        return self._spend(est, ROTATION_BITS + math.log2(count + 1))
+
     def after_multiply_plain(self, est: NoiseEstimate) -> NoiseEstimate:
         """Plain multiply scales noise by ~||encoded plaintext||: t·sqrt(N)."""
         return self._spend(est, self.t_bits + self.log_n / 2)

@@ -490,6 +490,52 @@ class NttStackPlan:
         # Entries are < 2p and n_inv < p, so the product stays int64-exact.
         return np.mod(work * self._n_inv_col, self._pcol)
 
+    # --------------------------------------------------------- batch axis
+    def batch_plan(self, batch: int) -> "NttStackPlan":
+        """Plan over *batch* tiled copies of this plan's residue stack.
+
+        Every kernel above is purely row-wise (tables broadcast along the
+        ``k`` axis), so transforming ``batch`` stacks at once is exactly the
+        plan whose moduli sequence is this one's repeated ``batch`` times.
+        The tiled plan shares the module-level cache, so its twiddle tables
+        and scratch buffers are built once per ``(n, moduli, batch)``.
+        """
+        if batch < 1:
+            raise ValueError(f"batch size {batch} must be >= 1")
+        if batch == 1:
+            return self
+        return get_stack_plan(self.n, self.moduli * batch)
+
+    def _check_batch_shape(self, stacks: np.ndarray) -> np.ndarray:
+        stacks = np.asarray(stacks, dtype=np.int64)
+        if stacks.ndim != 3 or stacks.shape[1:] != (len(self.moduli), self.n):
+            raise ValueError(
+                f"batch shape {stacks.shape} != (B, {len(self.moduli)}, {self.n})"
+            )
+        return stacks
+
+    def forward_batch(self, stacks: np.ndarray,
+                      check_bounds: bool = False) -> np.ndarray:
+        """Forward NTT of a ``(B, k, n)`` batch of residue stacks.
+
+        Bit-exact with ``B`` separate :meth:`forward` calls, but the whole
+        batch runs as one ``(B*k, n)`` pass through the butterfly network —
+        the stacked kernel hoisted rotations use to transform every
+        key-switch digit (and every rotation's accumulator) at once.
+        """
+        stacks = self._check_batch_shape(stacks)
+        b, k, n = stacks.shape
+        out = self.batch_plan(b).forward(stacks.reshape(b * k, n), check_bounds)
+        return out.reshape(b, k, n)
+
+    def inverse_batch(self, stacks: np.ndarray,
+                      check_bounds: bool = False) -> np.ndarray:
+        """Inverse of :meth:`forward_batch` (one ``(B*k, n)`` pass)."""
+        stacks = self._check_batch_shape(stacks)
+        b, k, n = stacks.shape
+        out = self.batch_plan(b).inverse(stacks.reshape(b * k, n), check_bounds)
+        return out.reshape(b, k, n)
+
     def dyadic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Point-wise product of two stacked evaluation matrices."""
         return np.mod(np.asarray(a, dtype=np.int64) * b, self._pcol)

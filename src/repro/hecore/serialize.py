@@ -255,17 +255,25 @@ def _unpack_ksk(blob: bytes, offset: int, base: RnsBase, degree: int,
     row_bytes = 8 * n_moduli * degree
     if offset + 2 * n_digits * row_bytes > len(blob):
         raise ValueError("key blob truncated inside its digit data")
-    digits = []
-    for _ in range(n_digits):
-        pair = []
-        for _ in range(2):
-            data = np.frombuffer(blob, dtype="<i8", count=n_moduli * degree,
-                                 offset=offset).reshape(n_moduli, degree)
-            offset += row_bytes
-            pair.append(RnsPoly(base, degree, data.astype(np.int64),
-                                is_ntt=True))
-        digits.append((pair[0], pair[1]))
-    return KeySwitchKey(digits), offset
+    # Deserialize straight into the stacked cache layout: one contiguous
+    # (digits, 2, k, n) block whose slices back the per-digit RnsPolys as
+    # views.  The full-level stacked_digits() restriction — what every key
+    # switch at the top level (and every hoisted rotation) asks for — is
+    # then the block itself, so deserialized keys skip the re-layout copy
+    # entirely.
+    store = np.frombuffer(
+        blob, dtype="<i8", count=2 * n_digits * n_moduli * degree,
+        offset=offset,
+    ).reshape(n_digits, 2, n_moduli, degree).astype(np.int64)
+    offset += 2 * n_digits * row_bytes
+    digits = [
+        (RnsPoly(base, degree, store[d, 0], is_ntt=True),
+         RnsPoly(base, degree, store[d, 1], is_ntt=True))
+        for d in range(n_digits)
+    ]
+    ksk = KeySwitchKey(digits)
+    ksk._stacked[(tuple(range(n_moduli)), n_digits)] = store
+    return ksk, offset
 
 
 def _key_preamble(kind: int, params_like: RnsPoly) -> "list[bytes]":

@@ -50,6 +50,9 @@ class SessionMetrics:
     bytes_up: int = 0            # physical payload bytes, client -> server
     bytes_down: int = 0          # physical payload bytes, server -> client
     queue_depth: int = 0         # current backlog
+    rotations: int = 0           # slot rotations evaluated for this session
+    hoisted_decomposes: int = 0  # key-switch decomposes shared via hoisting
+    naive_decomposes: int = 0    # per-rotation (unshared) decomposes
     _latencies_s: List[float] = field(default_factory=list, repr=False)
 
     def observe_latency(self, seconds: float) -> None:
@@ -78,6 +81,9 @@ class SessionMetrics:
             "bytes_up": self.bytes_up,
             "bytes_down": self.bytes_down,
             "queue_depth": self.queue_depth,
+            "rotations": self.rotations,
+            "hoisted_decomposes": self.hoisted_decomposes,
+            "naive_decomposes": self.naive_decomposes,
             "latency_p50_ms": round(self.latency_p50_ms(), 3),
             "latency_p99_ms": round(self.latency_p99_ms(), 3),
         }
@@ -119,6 +125,11 @@ class RuntimeMetrics:
                                    for m in self.sessions.values()),
             "bytes_up": sum(m.bytes_up for m in self.sessions.values()),
             "bytes_down": sum(m.bytes_down for m in self.sessions.values()),
+            "rotations": sum(m.rotations for m in self.sessions.values()),
+            "hoisted_decomposes": sum(m.hoisted_decomposes
+                                      for m in self.sessions.values()),
+            "naive_decomposes": sum(m.naive_decomposes
+                                    for m in self.sessions.values()),
             "sessions": sessions,
         }
 
@@ -132,6 +143,9 @@ class RuntimeMetrics:
             f"{total['errors']} error(s)",
             f"  physical bytes: {total['bytes_up']} up / "
             f"{total['bytes_down']} down",
+            f"  rotations: {total['rotations']} "
+            f"({total['hoisted_decomposes']} hoisted / "
+            f"{total['naive_decomposes']} naive decomposes)",
         ]
         header = (f"  {'sess':>4s} {'peer':20s} {'reqs':>5s} {'resp':>5s} "
                   f"{'busy':>5s} {'err':>4s} {'up B':>10s} {'down B':>10s} "

@@ -367,10 +367,20 @@ class OffloadServer:
         try:
             handler = self._handlers[request.op]
             session.ensure_context()
+            counts_before = dict(session.ctx.counts)
             if asyncio.iscoroutinefunction(handler):
                 result = await handler(session, request)
             else:
                 result = await asyncio.to_thread(handler, session, request)
+            counts = session.ctx.counts
+            session.metrics.rotations += (
+                counts.get("rotate", 0) - counts_before.get("rotate", 0))
+            session.metrics.hoisted_decomposes += (
+                counts.get("hoisted_decompose", 0)
+                - counts_before.get("hoisted_decompose", 0))
+            session.metrics.naive_decomposes += (
+                counts.get("naive_decompose", 0)
+                - counts_before.get("naive_decompose", 0))
             cts, meta = _normalize_result(result)
             blobs = tuple(serialize_ciphertext(ct, compress_seed=False)
                           for ct in cts)

@@ -1,0 +1,240 @@
+"""Hoisted rotations: bit-exactness, fused kernels, counters, and noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.linalg import EncryptedMatVec, rotate_and_sum_steps
+from repro.hecore import hoisting
+from repro.hecore.bfv import BfvContext
+from repro.hecore.ckks import CkksContext
+from repro.hecore.hoisting import (
+    FLAT_SUM_LIMIT,
+    HoistedRotator,
+    ntt_permutation,
+)
+from repro.hecore.noise import NoiseEstimator
+from repro.hecore.params import SchemeType, small_test_parameters
+from repro.hecore.serialize import serialize_ciphertext
+
+
+def _fresh_bfv(seed=1234):
+    params = small_test_parameters(SchemeType.BFV, poly_degree=1024,
+                                   plain_bits=16, data_bits=(30, 30, 30))
+    return BfvContext(params, seed=seed)
+
+
+def _fresh_ckks(seed=5678):
+    params = small_test_parameters(SchemeType.CKKS, poly_degree=1024,
+                                   data_bits=(30, 24, 24))
+    return CkksContext(params, seed=seed)
+
+
+# ------------------------------------------------------------ bit-exactness
+def test_rotate_many_bitexact_with_sequential_bfv(bfv):
+    steps = (1, 2, 3, 5, 8, -1)
+    bfv.make_galois_keys(steps)
+    ct = bfv.encrypt(bfv.encode(np.arange(512, dtype=np.int64) % 97))
+    hoisted = bfv.rotate_many(ct, steps)
+    for s, h in zip(steps, hoisted):
+        naive = bfv.rotate_rows(ct, s)
+        assert serialize_ciphertext(naive) == serialize_ciphertext(h), \
+            f"hoisted rotation by {s} is not bit-exact"
+
+
+def test_rotate_many_bitexact_with_sequential_ckks(ckks):
+    steps = (1, 4, 7)
+    ckks.make_galois_keys(steps, include_conjugation=True)
+    ct = ckks.encrypt(ckks.encode(np.linspace(-1.0, 1.0, 512)))
+    hoisted = ckks.rotate_many(ct, steps, include_conjugation=True)
+    for s, h in zip(steps, hoisted):
+        assert (serialize_ciphertext(ckks.rotate(ct, s))
+                == serialize_ciphertext(h))
+    # The trailing entry is the conjugation.
+    assert (serialize_ciphertext(ckks.conjugate(ct))
+            == serialize_ciphertext(hoisted[-1]))
+
+
+def test_rotate_many_identity_step(bfv):
+    bfv.make_galois_keys([1])
+    ct = bfv.encrypt(bfv.encode(np.arange(64, dtype=np.int64)))
+    out = bfv.rotate_many(ct, (0, 1))
+    assert serialize_ciphertext(out[0]) == serialize_ciphertext(ct)
+    assert (serialize_ciphertext(out[1])
+            == serialize_ciphertext(bfv.rotate_rows(ct, 1)))
+
+
+def test_hoisted_rotator_rejects_three_component(bfv):
+    from repro.hecore.ciphertext import Ciphertext
+
+    ct = bfv.encrypt(bfv.encode(np.arange(8, dtype=np.int64)))
+    big = Ciphertext(bfv.params, list(ct.components) + [ct.components[0]])
+    with pytest.raises(ValueError, match="relinearize"):
+        HoistedRotator(bfv, big)
+
+
+def test_rotation_requires_galois_keys():
+    ctx = _fresh_bfv(seed=3)
+    ct = ctx.encrypt(ctx.encode(np.arange(8, dtype=np.int64)))
+    with pytest.raises(ValueError, match="Galois keys"):
+        hoisting.rotate_many(ctx, ct, (1,))
+
+
+def test_ntt_permutation_is_cached_and_involutive():
+    n = 1024
+    perm = ntt_permutation(n, 3)
+    assert ntt_permutation(n, 3) is perm          # cache hit
+    assert sorted(perm) == list(range(n))         # a true permutation
+
+
+# ----------------------------------------------------------- property tests
+@given(step=st.integers(min_value=-8, max_value=8))
+def test_rotation_distributes_over_addition(bfv, step):
+    """rotate(a + b) == rotate(a) + rotate(b), hoisted path."""
+    bfv.make_galois_keys([step])
+    a = bfv.encrypt(bfv.encode(np.arange(32, dtype=np.int64)))
+    b = bfv.encrypt(bfv.encode(np.arange(32, dtype=np.int64)[::-1] * 3))
+    lhs = bfv.rotate_many(bfv.add(a, b), (step,))[0]
+    rhs = bfv.add(bfv.rotate_many(a, (step,))[0],
+                  bfv.rotate_many(b, (step,))[0])
+    assert np.array_equal(bfv.decrypt(lhs), bfv.decrypt(rhs))
+
+
+@given(width_log2=st.integers(min_value=1, max_value=6))
+def test_rotate_and_sum_matches_log_tree_bfv(width_log2):
+    width = 1 << width_log2
+    ctx = _fresh_bfv(seed=width)
+    ctx.make_galois_keys(rotate_and_sum_steps(width))
+    msg = np.arange(512, dtype=np.int64) % 53
+    ct = ctx.encrypt(ctx.encode(msg))
+    fused = ctx.rotate_and_sum(ct, width)
+    # Log tree, built naively so the reference is independent of hoisting.
+    tree = ct
+    step = width // 2
+    while step >= 1:
+        tree = ctx.add(tree, ctx.rotate_rows(tree, step))
+        step //= 2
+    assert np.array_equal(ctx.decrypt(fused), ctx.decrypt(tree))
+
+
+def test_rotate_and_sum_matches_log_tree_ckks():
+    width = 8
+    ctx = _fresh_ckks(seed=8)
+    ctx.make_galois_keys(rotate_and_sum_steps(width))
+    vals = np.linspace(0.0, 1.0, 512)
+    ct = ctx.encrypt(ctx.encode(vals))
+    fused = np.real(ctx.decrypt(ctx.rotate_and_sum(ct, width)))
+    tree = ct
+    step = width // 2
+    while step >= 1:
+        tree = ctx.add(tree, ctx.rotate(tree, step))
+        step //= 2
+    assert np.allclose(fused, np.real(ctx.decrypt(tree)), atol=1e-2)
+
+
+def test_rotate_and_sum_wide_span_uses_bsgs():
+    width = 2 * FLAT_SUM_LIMIT
+    ctx = _fresh_bfv(seed=64)
+    ctx.make_galois_keys(rotate_and_sum_steps(width))
+    msg = np.arange(512, dtype=np.int64) % 31
+    ct = ctx.encrypt(ctx.encode(msg))
+    before = ctx.counts["hoisted_decompose"]
+    out = ctx.rotate_and_sum(ct, width)
+    # Two hoisted phases: baby span then giant span.
+    assert ctx.counts["hoisted_decompose"] - before == 2
+    window = np.asarray(ctx.decrypt(out))[:width]
+    assert window[0] == msg[:width].sum() % ctx.params.plain_modulus
+
+
+def test_rotate_and_sum_falls_back_without_hoisted_keys():
+    """Only the pow2 ladder uploaded -> log-tree path, no hoisted decompose."""
+    width = 8
+    ctx = _fresh_bfv(seed=11)
+    ctx.make_galois_keys([width >> k for k in range(1, width.bit_length())])
+    ct = ctx.encrypt(ctx.encode(np.arange(256, dtype=np.int64)))
+    before = dict(ctx.counts)
+    out = ctx.rotate_and_sum(ct, width)
+    assert ctx.counts["hoisted_decompose"] == before.get("hoisted_decompose", 0)
+    assert ctx.counts["naive_decompose"] > before.get("naive_decompose", 0)
+    assert np.asarray(ctx.decrypt(out))[0] == np.arange(width).sum()
+
+
+def test_rotate_weighted_sum_matches_naive_chain():
+    ctx = _fresh_bfv(seed=21)
+    dim = 8
+    rng = np.random.default_rng(2)
+    mat = rng.integers(0, 7, size=(dim, dim))
+    mv = EncryptedMatVec(ctx, mat)
+    ctx.make_galois_keys(mv.required_rotation_steps())
+    vec = rng.integers(0, 40, size=dim)
+    ct = ctx.encrypt(ctx.encode(mv.pack_input(vec).astype(np.int64)))
+    # Naive rotate -> multiply_plain -> add chain.
+    naive = None
+    terms = []
+    for j, mask in mv._diagonal_masks():
+        encoded = ctx.encode(mask.astype(np.int64))
+        terms.append((j, encoded))
+        shifted = ctx.rotate_rows(ct, j) if j else ct
+        term = ctx.multiply_plain(shifted, encoded)
+        naive = term if naive is None else ctx.add(naive, term)
+    fused = ctx.rotate_weighted_sum(ct, terms)
+    assert np.array_equal(ctx.decrypt(fused), ctx.decrypt(naive))
+    assert np.array_equal(mv.unpack_output(ctx.decrypt(fused)),
+                          mv.reference(vec))
+
+
+def test_encrypted_matvec_uses_fused_kernel():
+    ctx = _fresh_bfv(seed=31)
+    dim = 8
+    mat = np.eye(dim, dtype=np.int64) + 1
+    mv = EncryptedMatVec(ctx, mat)
+    ctx.make_galois_keys(mv.required_rotation_steps())
+    vec = np.arange(dim)
+    ct = ctx.encrypt(ctx.encode(mv.pack_input(vec).astype(np.int64)))
+    before = ctx.counts["hoisted_decompose"]
+    out = mv(ct)
+    assert ctx.counts["hoisted_decompose"] == before + 1
+    assert np.array_equal(mv.unpack_output(ctx.decrypt(out)),
+                          mv.reference(vec))
+
+
+# ------------------------------------------------------------------ counters
+def test_rotation_counters(bfv):
+    steps = (1, 2, 4)
+    bfv.make_galois_keys(steps)
+    ct = bfv.encrypt(bfv.encode(np.arange(16, dtype=np.int64)))
+    before = dict(bfv.counts)
+    bfv.rotate_many(ct, steps)
+    assert bfv.counts["rotate"] - before.get("rotate", 0) == len(steps)
+    assert bfv.counts["hoisted_decompose"] - before.get("hoisted_decompose",
+                                                        0) == 1
+    bfv.rotate_rows(ct, 1)
+    assert bfv.counts["naive_decompose"] - before.get("naive_decompose",
+                                                      0) == 1
+
+
+# ----------------------------------------------------------------- noise
+def test_hoisted_noise_matches_naive_rotation():
+    """A hoisted rotation spends the same budget as the naive key switch."""
+    ctx = _fresh_bfv(seed=41)
+    ctx.make_galois_keys([1])
+    ct = ctx.encrypt(ctx.encode(np.arange(16, dtype=np.int64)))
+    naive = ctx.noise_budget(ctx.rotate_rows(ct, 1))
+    hoisted = ctx.noise_budget(ctx.rotate_many(ct, (1,))[0])
+    assert hoisted == naive
+
+
+def test_hoisted_span_noise_within_modeled_bound():
+    width = 8
+    params = small_test_parameters(SchemeType.BFV, poly_degree=2048,
+                                   plain_bits=16, data_bits=(30, 30, 30))
+    ctx = BfvContext(params, seed=17)
+    ctx.make_galois_keys(rotate_and_sum_steps(width))
+    estimator = NoiseEstimator(params)
+    ct = ctx.encrypt(ctx.encode(np.arange(32, dtype=np.int64)))
+    measured_drop = (ctx.noise_budget(ct)
+                     - ctx.noise_budget(ctx.rotate_and_sum(ct, width)))
+    predicted = estimator.after_hoisted_rotations(estimator.fresh(),
+                                                  width - 1)
+    predicted_drop = estimator.fresh().budget_bits - predicted.budget_bits
+    assert abs(measured_drop - predicted_drop) <= 6

@@ -81,6 +81,37 @@ def test_galois_keys_cover_requested_steps(keygen, params):
         keys.key_for(999999)
 
 
+def test_galois_keys_extend_existing_without_regenerating(keygen, params):
+    """Already-generated elements keep the SAME KeySwitchKey objects."""
+    n = params.poly_degree
+    first = keygen.galois_keys([1, 2])
+    g1 = galois_element_for_step(1, n)
+    g2 = galois_element_for_step(2, n)
+    key_before = first.key_for(g1)
+    extended = keygen.galois_keys([1, 2, 4], existing=first)
+    assert extended is first
+    assert extended.key_for(g1) is key_before
+    assert extended.key_for(g2) is first.key_for(g2)
+    assert galois_element_for_step(4, n) in extended
+
+
+def test_context_galois_key_cache_survives_regeneration():
+    """make_galois_keys only generates missing elements (satellite check)."""
+    from repro.hecore.bfv import BfvContext
+
+    ctx = BfvContext(small_test_parameters(
+        SchemeType.BFV, poly_degree=256, plain_bits=14, data_bits=(29, 29)),
+        seed=5)
+    n = ctx.params.poly_degree
+    gk1 = ctx.make_galois_keys([1, 2])
+    g1 = galois_element_for_step(1, n)
+    key_obj = gk1.key_for(g1)
+    gk2 = ctx.make_galois_keys([1, 4])
+    assert gk2 is gk1
+    assert gk2.key_for(g1) is key_obj
+    assert galois_element_for_step(4, n) in gk2
+
+
 def test_key_sizes_scale_with_parameters(params, keygen):
     ksk = keygen.relin_keys()
     size = ksk.size_bytes(params)

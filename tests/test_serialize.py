@@ -220,6 +220,56 @@ def test_galois_keys_roundtrip(bfv):
         assert _ksk_equal(gk.keys[elt], restored.keys[elt])
 
 
+def test_deserialized_galois_keys_prestack_without_copy(bfv):
+    """Key blobs deserialize straight into the stacked hoisting layout.
+
+    The unpacked contiguous store doubles as the full-level stacked-digit
+    cache entry, so the first hoisted rotation after a key upload performs
+    no re-layout copy: the per-digit RnsPoly views and the stacked block
+    share memory.
+    """
+    gk = bfv.make_galois_keys([1, 2])
+    restored = deserialize_galois_keys(serialize_galois_keys(gk), bfv.params)
+    for ksk in restored.keys.values():
+        k_full = ksk.digits[0][0].data.shape[0]
+        n_digits = len(ksk.digits)
+        rows = list(range(k_full))
+        block = ksk.stacked_digits(rows, n_digits)
+        assert block.shape == (n_digits, 2, k_full, bfv.params.poly_degree)
+        # Same storage, not a stacking copy.
+        assert np.shares_memory(block, ksk.digits[0][0].data)
+        assert np.shares_memory(block, ksk.digits[-1][1].data)
+        # Cache hit returns the identical array.
+        assert ksk.stacked_digits(rows, n_digits) is block
+        for d, (k0, k1) in enumerate(ksk.digits):
+            assert np.array_equal(block[d, 0], k0.data)
+            assert np.array_equal(block[d, 1], k1.data)
+
+
+def test_stacked_digits_partial_rows(bfv):
+    """Reduced-level requests (subset of rows / digits) stack correctly."""
+    gk = bfv.make_galois_keys([4])
+    restored = deserialize_galois_keys(serialize_galois_keys(gk), bfv.params)
+    ksk = next(iter(restored.keys.values()))
+    k_full = ksk.digits[0][0].data.shape[0]
+    rows = [0, k_full - 1]
+    block = ksk.stacked_digits(rows, 1)
+    assert block.shape == (1, 2, 2, bfv.params.poly_degree)
+    assert np.array_equal(block[0, 0], ksk.digits[0][0].data[rows])
+    assert ksk.stacked_digits(rows, 1) is block
+
+
+def test_deserialized_galois_keys_bitexact_rotation(bfv):
+    """Rotating with a deserialized key matches the in-memory key exactly."""
+    gk = bfv.make_galois_keys([3])
+    restored = deserialize_galois_keys(serialize_galois_keys(gk), bfv.params)
+    ct = bfv.encrypt(bfv.encode(np.arange(128, dtype=np.int64)))
+    a = serialize_ciphertext(bfv.rotate_rows(ct, 3, gk))
+    b = serialize_ciphertext(bfv.rotate_rows(ct, 3, restored))
+    c = serialize_ciphertext(bfv.rotate_many(ct, (3,), restored)[0])
+    assert a == b == c
+
+
 def test_key_kind_confusion_rejected(bfv):
     pk_blob = serialize_public_key(bfv.keygen.public_key())
     with pytest.raises(ValueError, match="kind"):
