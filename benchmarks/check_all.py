@@ -10,7 +10,10 @@ a change:
 * ``bench_wire_format`` — CHOCO wire-format sizes and (de)serialization
   throughput;
 * ``bench_hoisting`` — fused hoisted-rotation kernels against the naive
-  per-rotation paths.
+  per-rotation paths;
+* ``bench_chaos_soak`` — the runtime's resilience invariants (exactly-once
+  execution, ledger parity, leak-free shutdown) under long randomized
+  fault schedules.
 
 Usage::
 
@@ -29,6 +32,7 @@ GATES = [
     "bench_he_throughput.py",
     "bench_wire_format.py",
     "bench_hoisting.py",
+    "bench_chaos_soak.py",
 ]
 
 

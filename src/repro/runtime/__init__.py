@@ -3,10 +3,24 @@
 Real sessions, framing, fair scheduling, and backpressure over the CHOCO
 wire format: an :class:`OffloadServer` serves HE compute to many
 :class:`OffloadClient` sessions over TCP or over an in-memory
-:class:`SimulatedLink` that drives the analytical cost model.
+:class:`SimulatedLink` that drives the analytical cost model.  The
+protocol survives hostile networks: idempotent compute (exactly-once
+handler execution under retries), ``RESUME`` session reattachment, and
+``PING``/``PONG`` heartbeats — all reproducibly testable with the seeded
+fault injection in :mod:`repro.runtime.chaos`.
 """
 
+from repro.runtime.chaos import (
+    DEFAULT_PLAN,
+    FaultEvent,
+    FaultPlan,
+    FaultyTransport,
+    SoakReport,
+    chaos_soak,
+    run_chaos_soak,
+)
 from repro.runtime.client import (
+    ClientStats,
     OffloadClient,
     OffloadError,
     OffloadTimeout,
@@ -35,8 +49,13 @@ from repro.runtime.server import (
 from repro.runtime.transport import SimulatedLink, TcpTransport, Transport
 
 __all__ = [
+    "ClientStats",
     "ComputeRequest",
+    "DEFAULT_PLAN",
     "ErrorCode",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyTransport",
     "FrameError",
     "FRAME_MAGIC",
     "FRAME_VERSION",
@@ -54,10 +73,13 @@ __all__ = [
     "ServerSession",
     "SessionMetrics",
     "SimulatedLink",
+    "SoakReport",
     "TcpTransport",
     "Transport",
+    "chaos_soak",
     "decode_frame",
     "encode_frame",
     "percentile",
     "read_frame",
+    "run_chaos_soak",
 ]

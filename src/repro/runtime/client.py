@@ -5,11 +5,22 @@
 reads frames off the connection and resolves per-request futures, so many
 requests can be in flight concurrently (the server schedules them fairly).
 
-Reliability knobs match what a battery-powered client needs:
+Reliability knobs match what a battery-powered client on a lossy link
+needs:
 
 * connection retries with exponential backoff (in ``TcpTransport.connect``),
 * per-request timeouts, retried with exponential backoff up to
   ``max_retries`` before surfacing :class:`OffloadTimeout`,
+* **idempotent retries**: one ``request_id`` per *logical* request, reused
+  verbatim by every resubmission, so the server's dedupe window can replay
+  a lost ``RESULT`` instead of executing the handler twice,
+* **reconnect and replay**: when the connection dies mid-request the client
+  opens a fresh transport, presents its resume token (``RESUME``), and
+  resubmits the same request ids — the server-side session (keystore,
+  state, dedupe window) survives, so megabytes of Galois keys are never
+  re-uploaded,
+* ``PING``/``PONG`` heartbeats (``heartbeat_s``) that detect a dead peer
+  between requests instead of at the next timeout,
 * ``BUSY`` backpressure honored by waiting the server's ``retry_after`` hint
   before re-submitting (surfacing :class:`ServerBusy` when retries run out),
 * seed-compressed symmetric uploads by default (``compress_seed=True``) —
@@ -18,15 +29,33 @@ Reliability knobs match what a battery-powered client needs:
 
 Transfer accounting goes through ``transport.account_upload`` /
 ``account_download`` with *logical* ciphertext bytes
-(:meth:`Ciphertext.size_bytes`), so a :class:`SimulatedLink` reproduces the
-in-process :class:`CostLedger` numbers exactly.
+(:meth:`Ciphertext.size_bytes`), charged **once per logical request** no
+matter how many times the frames are retried — a :class:`SimulatedLink`
+therefore reproduces the in-process :class:`CostLedger` numbers exactly,
+faults or no faults.
+
+Connection-level ``ERROR`` frames that arrive mid-session (``request_id ==
+0``, e.g. the server's "unexpected frame" complaint) do **not** kill the
+pump or the in-flight requests: they are recorded and surfaced as an
+:class:`OffloadError` on the *next* API call.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Awaitable,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.hecore.ciphertext import Ciphertext
 from repro.hecore.params import EncryptionParameters
@@ -50,9 +79,17 @@ from repro.runtime.framing import (
     KeyUpload,
     KeyKind,
     MessageType,
+    Ping,
+    Pong,
     Result,
+    Resume,
+    ResumeAck,
 )
 from repro.runtime.transport import TcpTransport, Transport
+
+#: A coroutine factory producing a fresh connected transport; used for the
+#: initial connection and for every reconnect-and-resume.
+TransportFactory = Callable[[], Awaitable[Transport]]
 
 
 class OffloadError(RuntimeError):
@@ -75,18 +112,41 @@ class ServerBusy(OffloadError):
         self.retry_after_ms = retry_after_ms
 
 
+@dataclass
+class ClientStats:
+    """Client-side reliability counters (one instance per client)."""
+
+    attempts: int = 0        # COMPUTE frames sent (incl. resubmissions)
+    retries: int = 0         # resubmissions of an already-sent request id
+    timeouts: int = 0        # attempts that timed out waiting for a reply
+    busy_waits: int = 0      # BUSY replies honored with a backoff wait
+    resumes: int = 0         # successful RESUME reattachments
+    reconnect_failures: int = 0
+    pings_sent: int = 0
+    pongs_received: int = 0
+    session_errors: int = 0  # anonymous ERROR frames recorded, not fatal
+
+    def snapshot(self) -> Dict:
+        return dict(self.__dict__)
+
+
 class OffloadClient:
     """One session against an :class:`OffloadServer`."""
 
     def __init__(self, params: EncryptionParameters,
                  host: Optional[str] = None, port: Optional[int] = None, *,
                  transport: Optional[Transport] = None,
+                 transport_factory: Optional[TransportFactory] = None,
                  request_timeout: float = 30.0, max_retries: int = 4,
                  backoff_s: float = 0.05, connect_retries: int = 3,
                  compress_seed: bool = True,
+                 auto_resume: bool = True,
+                 heartbeat_s: Optional[float] = None,
                  max_frame_bytes: int = MAX_FRAME_BYTES):
-        if transport is None and (host is None or port is None):
-            raise ValueError("need either host/port or an explicit transport")
+        if (transport is None and transport_factory is None
+                and (host is None or port is None)):
+            raise ValueError(
+                "need host/port, an explicit transport, or a factory")
         self.params = params
         self.host = host
         self.port = port
@@ -95,27 +155,43 @@ class OffloadClient:
         self.backoff_s = backoff_s
         self.connect_retries = connect_retries
         self.compress_seed = compress_seed
+        self.auto_resume = auto_resume
+        self.heartbeat_s = heartbeat_s
         self.max_frame_bytes = max_frame_bytes
         self.transport = transport
+        self._transport_factory = transport_factory
         self.session_id: Optional[int] = None
         self.server_queue_limit: Optional[int] = None
         self.server_concurrency: Optional[int] = None
         self.banner: Optional[str] = None
+        self.resume_token: Optional[bytes] = None
+        self.grace_period_ms: int = 0
+        self.stats = ClientStats()
         self._rid = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
-        self._key_waiters: Dict[KeyKind, asyncio.Future] = {}
+        self._key_waiters: Dict[KeyKind, Deque[asyncio.Future]] = {}
         self._pump_task: Optional[asyncio.Task] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._resume_lock = asyncio.Lock()
         self._conn_error: Optional[Exception] = None
+        self._session_errors: Deque[Error] = deque(maxlen=16)
         self._closed = False
 
     # ------------------------------------------------------------ lifecycle
+    async def _new_transport(self) -> Transport:
+        if self._transport_factory is not None:
+            return await self._transport_factory()
+        if self.host is None or self.port is None:
+            raise OffloadError(
+                "cannot open a new connection: no host/port or factory")
+        return await TcpTransport.connect(
+            self.host, self.port, retries=self.connect_retries,
+            backoff_s=self.backoff_s, max_frame_bytes=self.max_frame_bytes)
+
     async def connect(self) -> "OffloadClient":
         """Open the transport, handshake, and start the reader pump."""
         if self.transport is None:
-            self.transport = await TcpTransport.connect(
-                self.host, self.port, retries=self.connect_retries,
-                backoff_s=self.backoff_s,
-                max_frame_bytes=self.max_frame_bytes)
+            self.transport = await self._new_transport()
         hello = Hello.from_params(self.params)
         await self.transport.send_frame(MessageType.HELLO, hello.pack())
         mtype, _flags, payload = await self.transport.recv_frame()
@@ -129,7 +205,11 @@ class OffloadClient:
         self.server_queue_limit = ack.queue_limit
         self.server_concurrency = ack.concurrency
         self.banner = ack.banner
+        self.resume_token = ack.resume_token or None
+        self.grace_period_ms = ack.grace_ms
         self._pump_task = asyncio.ensure_future(self._pump())
+        if self.heartbeat_s is not None and self.heartbeat_s > 0:
+            self._heartbeat_task = asyncio.ensure_future(self._heartbeat())
         return self
 
     async def close(self) -> None:
@@ -137,19 +217,21 @@ class OffloadClient:
         if self._closed:
             return
         self._closed = True
+        for task in (self._heartbeat_task, self._pump_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._heartbeat_task = None
+        self._pump_task = None
         if self.transport is not None:
-            try:
-                await self.transport.send_frame(MessageType.BYE)
-            except (ConnectionError, OSError):
-                pass
-        if self._pump_task is not None:
-            self._pump_task.cancel()
-            try:
-                await self._pump_task
-            except asyncio.CancelledError:
-                pass
-            self._pump_task = None
-        if self.transport is not None:
+            if self._conn_error is None:
+                try:
+                    await self.transport.send_frame(MessageType.BYE)
+                except (ConnectionError, OSError):
+                    pass
             await self.transport.close()
         self._fail_waiters(OffloadError("connection closed"))
 
@@ -172,46 +254,167 @@ class OffloadClient:
                     self._resolve(busy.request_id, ("busy", busy))
                 elif mtype is MessageType.KEY_ACK:
                     ack = KeyAck.unpack(payload)
-                    waiter = self._key_waiters.pop(ack.kind, None)
-                    if waiter is not None and not waiter.done():
-                        waiter.set_result(ack)
+                    waiters = self._key_waiters.get(ack.kind)
+                    while waiters:
+                        waiter = waiters.popleft()
+                        if not waiter.done():
+                            waiter.set_result(ack)
+                            break
+                elif mtype is MessageType.PONG:
+                    self.stats.pongs_received += 1
                 elif mtype is MessageType.ERROR:
                     err = Error.unpack(payload)
                     if err.request_id and err.request_id in self._pending:
                         self._resolve(err.request_id, ("error", err))
                     else:
-                        raise OffloadError(
-                            f"server error [{err.code.name}]: {err.message}",
-                            err.code)
+                        # Connection-scoped (request_id == 0) or stale error:
+                        # record it for the next API call instead of killing
+                        # the pump and every in-flight request with it.
+                        self.stats.session_errors += 1
+                        self._session_errors.append(err)
                 elif mtype is MessageType.BYE:
                     raise ConnectionError("server said BYE")
                 # Anything else is a server bug; ignore rather than dying.
         except asyncio.CancelledError:
             raise
-        except (ConnectionError, FrameError, OffloadError) as exc:
+        except (ConnectionError, FrameError, OSError) as exc:
             self._conn_error = exc
             self._fail_waiters(exc)
+
+    async def _heartbeat(self) -> None:
+        nonce = itertools.count(1)
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            if self._conn_error is not None:
+                continue  # a reconnect (or the next request) will recover
+            try:
+                await self.transport.send_frame(
+                    MessageType.PING, Ping(next(nonce)).pack())
+                self.stats.pings_sent += 1
+            except (ConnectionError, OSError) as exc:
+                if self._conn_error is None:
+                    self._conn_error = exc
 
     def _resolve(self, request_id: int, value) -> None:
         future = self._pending.pop(request_id, None)
         if future is not None and not future.done():
             future.set_result(value)
 
+    @staticmethod
+    def _abandon(future: Optional[asyncio.Future]) -> None:
+        """Drop a future no one will await again.  The pump may have failed
+        it concurrently (``_fail_waiters``); mark that exception retrieved
+        so the event loop doesn't log it at garbage collection."""
+        if future is not None and future.done() and not future.cancelled():
+            future.exception()
+
     def _fail_waiters(self, exc: Exception) -> None:
         for future in list(self._pending.values()):
             if not future.done():
                 future.set_exception(exc)
         self._pending.clear()
-        for future in list(self._key_waiters.values()):
-            if not future.done():
-                future.set_exception(exc)
-        self._key_waiters.clear()
+        for waiters in self._key_waiters.values():
+            for future in waiters:
+                if not future.done():
+                    future.set_exception(exc)
+            waiters.clear()
 
-    def _check_alive(self) -> None:
+    def _check_closed(self) -> None:
         if self._closed:
             raise OffloadError("client is closed")
-        if self._conn_error is not None:
+
+    def _raise_session_error(self) -> None:
+        """Surface a recorded connection-scoped ERROR frame, once."""
+        if self._session_errors:
+            err = self._session_errors.popleft()
+            raise OffloadError(
+                f"server error [{err.code.name}]: {err.message}", err.code)
+
+    @property
+    def session_error(self) -> Optional[Error]:
+        """The oldest unraised connection-scoped error, if any (peek)."""
+        return self._session_errors[0] if self._session_errors else None
+
+    # --------------------------------------------------------- resumption
+    def _can_resume(self) -> bool:
+        return (self.auto_resume and self.resume_token is not None
+                and (self._transport_factory is not None
+                     or (self.host is not None and self.port is not None)))
+
+    async def resume(self) -> None:
+        """Reconnect and reattach to the server-side session.
+
+        Safe to call concurrently (serialized internally); a no-op when the
+        connection is healthy.  Raises :class:`OffloadError` when the server
+        rejects the token or every reconnect attempt fails.
+        """
+        async with self._resume_lock:
+            if self._closed:
+                raise OffloadError("client is closed")
+            if self._conn_error is None:
+                return
+            if self.resume_token is None or self.session_id is None:
+                raise OffloadError(
+                    f"connection lost: {self._conn_error} "
+                    f"(no resume token to reattach with)")
+            if self._pump_task is not None:
+                self._pump_task.cancel()
+                try:
+                    await self._pump_task
+                except asyncio.CancelledError:
+                    pass
+                self._pump_task = None
+            if self.transport is not None:
+                await self.transport.close()
+            delay = self.backoff_s
+            last_exc: Optional[Exception] = None
+            for attempt in range(self.max_retries + 1):
+                transport: Optional[Transport] = None
+                try:
+                    transport = await self._new_transport()
+                    await transport.send_frame(
+                        MessageType.RESUME,
+                        Resume(self.session_id, self.resume_token).pack())
+                    mtype, _flags, payload = await asyncio.wait_for(
+                        transport.recv_frame(), self.request_timeout)
+                except (ConnectionError, OSError, FrameError,
+                        asyncio.TimeoutError) as exc:
+                    last_exc = exc
+                    if transport is not None:
+                        await transport.close()
+                    if attempt < self.max_retries:
+                        await asyncio.sleep(delay)
+                        delay *= 2
+                    continue
+                if mtype is MessageType.ERROR:
+                    err = Error.unpack(payload)
+                    await transport.close()
+                    self.stats.reconnect_failures += 1
+                    raise OffloadError(
+                        f"resume rejected: {err.message}", err.code)
+                if mtype is not MessageType.RESUME_ACK:
+                    last_exc = OffloadError(
+                        f"expected RESUME_ACK, got {mtype.name}")
+                    await transport.close()
+                    continue
+                ResumeAck.unpack(payload)  # validates the frame
+                self.transport = transport
+                self._conn_error = None
+                self._pump_task = asyncio.ensure_future(self._pump())
+                self.stats.resumes += 1
+                return
+            self.stats.reconnect_failures += 1
+            raise OffloadError(
+                f"resume failed after {self.max_retries + 1} attempt(s): "
+                f"{last_exc}")
+
+    async def _ensure_live(self) -> None:
+        """Raise, or transparently resume, when the connection is down."""
+        if self._conn_error is None:
+            return
+        if not self._can_resume():
             raise OffloadError(f"connection lost: {self._conn_error}")
+        await self.resume()
 
     # ------------------------------------------------------------- key sync
     async def upload_keys(self, public=None, relin=None, galois=None) -> None:
@@ -219,8 +422,13 @@ class OffloadClient:
 
         Key uploads are *not* charged to the transfer ledger — matching the
         in-process protocol, which treats key/database provisioning as the
-        offline phase outside the per-inference costs (§5.2).
+        offline phase outside the per-inference costs (§5.2).  Each upload
+        follows the client's retry policy (timeout + exponential backoff up
+        to ``max_retries``); concurrent uploads of the same kind are safe —
+        acknowledgements are matched to waiters first-in first-out.
         """
+        self._check_closed()
+        self._raise_session_error()
         uploads = []
         if public is not None:
             uploads.append((KeyKind.PUBLIC, serialize_public_key(public)))
@@ -229,18 +437,47 @@ class OffloadClient:
         if galois is not None:
             uploads.append((KeyKind.GALOIS, serialize_galois_keys(galois)))
         for kind, blob in uploads:
-            self._check_alive()
-            waiter = asyncio.get_running_loop().create_future()
-            self._key_waiters[kind] = waiter
-            await self.transport.send_frame(
-                MessageType.KEY_UPLOAD, KeyUpload(kind, blob).pack())
+            delay = self.backoff_s
+            payload = KeyUpload(kind, blob).pack()
+            for attempt in range(self.max_retries + 1):
+                self._check_closed()
+                await self._ensure_live()
+                waiter = asyncio.get_running_loop().create_future()
+                self._key_waiters.setdefault(kind, deque()).append(waiter)
+                try:
+                    await self.transport.send_frame(
+                        MessageType.KEY_UPLOAD, payload)
+                    await asyncio.wait_for(waiter, self.request_timeout)
+                    break
+                except asyncio.TimeoutError:
+                    self._discard_key_waiter(kind, waiter)
+                    if attempt == self.max_retries:
+                        raise OffloadTimeout(
+                            f"no KEY_ACK for {kind.name} key within "
+                            f"{self.request_timeout}s "
+                            f"({attempt + 1} attempt(s))")
+                    await asyncio.sleep(delay)
+                    delay *= 2
+                except (ConnectionError, OSError, FrameError) as exc:
+                    self._discard_key_waiter(kind, waiter)
+                    if self._conn_error is None:
+                        self._conn_error = exc
+                    if attempt == self.max_retries or not self._can_resume():
+                        raise OffloadError(
+                            f"connection lost during {kind.name} key "
+                            f"upload: {exc}")
+                    await asyncio.sleep(delay)
+                    delay *= 2
+
+    def _discard_key_waiter(self, kind: KeyKind,
+                            waiter: asyncio.Future) -> None:
+        waiters = self._key_waiters.get(kind)
+        if waiters is not None:
             try:
-                await asyncio.wait_for(waiter, self.request_timeout)
-            except asyncio.TimeoutError:
-                self._key_waiters.pop(kind, None)
-                raise OffloadTimeout(
-                    f"no KEY_ACK for {kind.name} key within "
-                    f"{self.request_timeout}s")
+                waiters.remove(waiter)
+            except ValueError:
+                pass  # already drained by _fail_waiters
+        self._abandon(waiter)
 
     # -------------------------------------------------------------- compute
     async def request(self, op: str, cts: Iterable[Ciphertext] = (),
@@ -251,39 +488,59 @@ class OffloadClient:
                       ) -> Tuple[List[Ciphertext], dict]:
         """Submit one compute request; returns (result_cts, result_meta).
 
-        Serialization happens once; every (re)submission reuses the blobs.
-        ``BUSY`` replies wait out the server's retry-after hint; timeouts
-        back off exponentially.  ``account=False`` skips ledger accounting
-        (for provisioning uploads that the analytical model treats as
-        offline).
+        One ``request_id`` is allocated per *logical* request and reused by
+        every resubmission — timeouts, ``BUSY`` backoff, and reconnects all
+        replay the same id, which the server dedupes (exactly-once handler
+        execution).  Serialization happens once; every (re)submission reuses
+        the blobs.  The transfer ledger is charged once, up front, per
+        logical request — retries are a transport artifact the analytical
+        model never sees.  ``account=False`` skips ledger accounting (for
+        provisioning uploads that the analytical model treats as offline).
         """
-        self._check_alive()
+        self._check_closed()
+        self._raise_session_error()
         timeout = self.request_timeout if timeout is None else timeout
         retries = self.max_retries if retries is None else retries
         cts = list(cts)
         blobs = tuple(serialize_ciphertext(ct, compress_seed=self.compress_seed)
                       for ct in cts)
-        logical_up = [ct.size_bytes() for ct in cts]
+        request_id = next(self._rid)
+        payload = Compute(request_id, op, dict(meta or {}), blobs).pack()
+        if account:
+            for ct in cts:
+                self.transport.account_upload(ct.size_bytes())
         delay = self.backoff_s
         last_busy: Optional[Busy] = None
         for attempt in range(retries + 1):
-            self._check_alive()
-            request_id = next(self._rid)
+            self._check_closed()
+            await self._ensure_live()
             future = asyncio.get_running_loop().create_future()
             self._pending[request_id] = future
-            payload = Compute(request_id, op, dict(meta or {}), blobs).pack()
-            if account:
-                for nbytes in logical_up:
-                    self.transport.account_upload(nbytes)
-            await self.transport.send_frame(MessageType.COMPUTE, payload)
+            self.stats.attempts += 1
+            if attempt:
+                self.stats.retries += 1
             try:
+                await self.transport.send_frame(MessageType.COMPUTE, payload)
                 kind, reply = await asyncio.wait_for(future, timeout)
             except asyncio.TimeoutError:
                 self._pending.pop(request_id, None)
+                self._abandon(future)
+                self.stats.timeouts += 1
                 if attempt == retries:
                     raise OffloadTimeout(
                         f"request {op!r} timed out after {attempt + 1} "
                         f"attempt(s) of {timeout}s")
+                await asyncio.sleep(delay)
+                delay *= 2
+                continue
+            except (ConnectionError, OSError, FrameError) as exc:
+                self._pending.pop(request_id, None)
+                self._abandon(future)
+                if self._conn_error is None:
+                    self._conn_error = exc
+                if attempt == retries or not self._can_resume():
+                    raise OffloadError(
+                        f"request {op!r}: connection lost: {exc}")
                 await asyncio.sleep(delay)
                 delay *= 2
                 continue
@@ -296,6 +553,7 @@ class OffloadClient:
                 return out_cts, reply.meta
             if kind == "busy":
                 last_busy = reply
+                self.stats.busy_waits += 1
                 if attempt == retries:
                     break
                 wait_s = max(reply.retry_after_ms / 1000.0, delay)

@@ -14,14 +14,24 @@ crash the runtime in low-level array code.
 The session flow (see ``docs/PROTOCOL.md`` for the narrative version):
 
     C -> S : HELLO        parameter fingerprint (scheme, N, moduli, ...)
-    S -> C : HELLO_ACK    session id, queue limit, concurrency
+    S -> C : HELLO_ACK    session id, queue limit, concurrency, resume token
     C -> S : KEY_UPLOAD   public / relinearization / Galois key blobs
     S -> C : KEY_ACK
     C -> S : COMPUTE      op name, JSON metadata, ciphertext batch
     S -> C : RESULT       ciphertext batch + metadata
            | BUSY         queue full: retry after the given delay
            | ERROR        typed failure
+    C -> S : PING         liveness probe (any time after the handshake)
+    S -> C : PONG         echoes the probe nonce
     C -> S : BYE
+
+A client that lost its connection mid-session opens a new one and sends
+``RESUME`` (session id + the resume token from ``HELLO_ACK``) instead of
+``HELLO``; the server reattaches the existing session — keys, state,
+metrics, dedupe window — and answers ``RESUME_ACK``.  ``COMPUTE`` request
+ids are idempotency keys: the client reuses one id for every resubmission
+of a logical request, and the server replays the cached ``RESULT`` rather
+than re-executing (see the dedupe-window contract in ``docs/PROTOCOL.md``).
 """
 
 from __future__ import annotations
@@ -36,7 +46,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.hecore.params import EncryptionParameters, SchemeType
 
 FRAME_MAGIC = b"CHOF"
-FRAME_VERSION = 1
+#: Version 2 added RESUME / RESUME_ACK / PING / PONG and the resume token in
+#: HELLO_ACK.  There is no cross-version negotiation: both ends of a CHOCO
+#: deployment ship from this repository.
+FRAME_VERSION = 2
 
 #: Default ceiling on a single frame's payload.  Generous enough for a full
 #: Galois key set at production parameters, small enough to bound a hostile
@@ -63,6 +76,10 @@ class MessageType(enum.IntEnum):
     BUSY = 7
     ERROR = 8
     BYE = 9
+    RESUME = 10
+    RESUME_ACK = 11
+    PING = 12
+    PONG = 13
 
 
 class KeyKind(enum.IntEnum):
@@ -78,6 +95,7 @@ class ErrorCode(enum.IntEnum):
     MISSING_KEYS = 4       # the op needs evaluation keys not yet uploaded
     HANDLER_FAILED = 5     # the registered handler raised
     PROTOCOL_VIOLATION = 6  # server-side code touched a client-only capability
+    RESUME_REJECTED = 7    # unknown session, bad token, or grace period over
 
 
 # ---------------------------------------------------------------------------
@@ -247,22 +265,124 @@ class Hello:
 class HelloAck:
     """Server handshake reply.
 
-    Layout: session_id u32 | queue_limit u16 | concurrency u16 | banner str16.
+    Layout: session_id u32 | queue_limit u16 | concurrency u16
+    | resume_token bytes16 | grace_ms u32 | banner str16.
+
+    ``resume_token`` is the secret a reconnecting client must present in a
+    :class:`Resume` frame; ``grace_ms`` is how long the server retains a
+    disconnected session before reaping it.
     """
 
     session_id: int
     queue_limit: int
     concurrency: int
     banner: str = ""
+    resume_token: bytes = b""
+    grace_ms: int = 0
 
     def pack(self) -> bytes:
-        return struct.pack("<IHH", self.session_id, self.queue_limit,
-                           self.concurrency) + _pack_str16(self.banner)
+        return (struct.pack("<IHH", self.session_id, self.queue_limit,
+                            self.concurrency)
+                + _pack_bytes16(self.resume_token)
+                + struct.pack("<I", self.grace_ms)
+                + _pack_str16(self.banner))
 
     @classmethod
     def unpack(cls, payload: bytes) -> "HelloAck":
         cur = _Cursor(payload)
-        out = cls(cur.u32(), cur.u16(), cur.u16(), cur.str16())
+        session_id, queue_limit, concurrency = cur.u32(), cur.u16(), cur.u16()
+        resume_token = cur.bytes16()
+        grace_ms = cur.u32()
+        banner = cur.str16()
+        cur.finish()
+        return cls(session_id, queue_limit, concurrency, banner,
+                   resume_token, grace_ms)
+
+
+@dataclass(frozen=True)
+class Resume:
+    """Reattach to an existing session after a lost connection.
+
+    Sent as the *first* frame on a fresh connection, in place of
+    :class:`Hello`.  Layout: session_id u32 | token bytes16.
+    """
+
+    session_id: int
+    token: bytes
+
+    def pack(self) -> bytes:
+        return struct.pack("<I", self.session_id) + _pack_bytes16(self.token)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "Resume":
+        cur = _Cursor(payload)
+        out = cls(cur.u32(), cur.bytes16())
+        cur.finish()
+        return out
+
+
+@dataclass(frozen=True)
+class ResumeAck:
+    """Successful reattach.
+
+    Layout: session_id u32 | queue_limit u16 | concurrency u16 | key_mask u8
+    | banner str16.  ``key_mask`` has bit ``1 << (kind - 1)`` set for every
+    :class:`KeyKind` the session already holds, so the client knows nothing
+    needs re-uploading.
+    """
+
+    session_id: int
+    queue_limit: int
+    concurrency: int
+    key_mask: int = 0
+    banner: str = ""
+
+    def has_key(self, kind: KeyKind) -> bool:
+        return bool(self.key_mask & (1 << (int(kind) - 1)))
+
+    def pack(self) -> bytes:
+        return (struct.pack("<IHHB", self.session_id, self.queue_limit,
+                            self.concurrency, self.key_mask)
+                + _pack_str16(self.banner))
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "ResumeAck":
+        cur = _Cursor(payload)
+        out = cls(cur.u32(), cur.u16(), cur.u16(), cur.u8(), cur.str16())
+        cur.finish()
+        return out
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Client liveness probe.  Layout: nonce u64."""
+
+    nonce: int
+
+    def pack(self) -> bytes:
+        return struct.pack("<Q", self.nonce)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "Ping":
+        cur = _Cursor(payload)
+        out = cls(cur.u64())
+        cur.finish()
+        return out
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Server liveness reply, echoing the probe nonce.  Layout: nonce u64."""
+
+    nonce: int
+
+    def pack(self) -> bytes:
+        return struct.pack("<Q", self.nonce)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "Pong":
+        cur = _Cursor(payload)
+        out = cls(cur.u64())
         cur.finish()
         return out
 

@@ -45,6 +45,11 @@ class SessionMetrics:
     errors: int = 0              # ERROR frames sent
     busy_rejections: int = 0     # BUSY frames sent (queue-full backpressure)
     key_uploads: int = 0
+    handler_invocations: int = 0  # handlers actually run (exactly-once audit)
+    duplicates_suppressed: int = 0  # retried ids already queued or in flight
+    results_replayed: int = 0    # retried ids answered from the dedupe window
+    resumes: int = 0             # successful RESUME reattachments
+    pings: int = 0               # PING frames answered with PONG
     ciphertexts_in: int = 0
     ciphertexts_out: int = 0
     bytes_up: int = 0            # physical payload bytes, client -> server
@@ -76,6 +81,11 @@ class SessionMetrics:
             "errors": self.errors,
             "busy_rejections": self.busy_rejections,
             "key_uploads": self.key_uploads,
+            "handler_invocations": self.handler_invocations,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "results_replayed": self.results_replayed,
+            "resumes": self.resumes,
+            "pings": self.pings,
             "ciphertexts_in": self.ciphertexts_in,
             "ciphertexts_out": self.ciphertexts_out,
             "bytes_up": self.bytes_up,
@@ -97,6 +107,9 @@ class RuntimeMetrics:
         self.service_order: List[int] = []
         self.sessions_opened = 0
         self.sessions_rejected = 0
+        self.sessions_resumed = 0
+        self.sessions_reaped = 0
+        self.resumes_rejected = 0
 
     def open_session(self, session_id: int, peer: str = "?") -> SessionMetrics:
         metrics = SessionMetrics(session_id=session_id, peer=peer)
@@ -118,6 +131,15 @@ class RuntimeMetrics:
         return {
             "sessions_opened": self.sessions_opened,
             "sessions_rejected": self.sessions_rejected,
+            "sessions_resumed": self.sessions_resumed,
+            "sessions_reaped": self.sessions_reaped,
+            "resumes_rejected": self.resumes_rejected,
+            "handler_invocations": sum(m.handler_invocations
+                                       for m in self.sessions.values()),
+            "duplicates_suppressed": sum(m.duplicates_suppressed
+                                         for m in self.sessions.values()),
+            "results_replayed": sum(m.results_replayed
+                                    for m in self.sessions.values()),
             "requests": sum(m.requests for m in self.sessions.values()),
             "responses": sum(m.responses for m in self.sessions.values()),
             "errors": sum(m.errors for m in self.sessions.values()),
@@ -146,6 +168,10 @@ class RuntimeMetrics:
             f"  rotations: {total['rotations']} "
             f"({total['hoisted_decomposes']} hoisted / "
             f"{total['naive_decomposes']} naive decomposes)",
+            f"  resilience: {total['sessions_resumed']} resume(s), "
+            f"{total['sessions_reaped']} reaped, "
+            f"{total['duplicates_suppressed']} duplicate(s) suppressed, "
+            f"{total['results_replayed']} result(s) replayed",
         ]
         header = (f"  {'sess':>4s} {'peer':20s} {'reqs':>5s} {'resp':>5s} "
                   f"{'busy':>5s} {'err':>4s} {'up B':>10s} {'down B':>10s} "

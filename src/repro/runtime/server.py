@@ -8,9 +8,29 @@ of the protocol), its own bounded request queue, and its own metrics.
 Scheduling is fair round-robin across sessions: a single scheduler task
 rotates through every session with queued work and dispatches one request at
 a time into a bounded worker pool (``concurrency`` slots), so a chatty
-session cannot starve a quiet one.  When a session's queue is full the
-server answers ``BUSY`` with a retry-after hint instead of buffering
-unboundedly — backpressure is part of the wire contract, not an afterthought.
+session cannot starve a quiet one.  Within one session execution is strictly
+serialized — two workers never touch the same session's evaluation context
+(or its ``state``) concurrently — while different sessions still run in
+parallel.  When a session's queue is full the server answers ``BUSY`` with a
+retry-after hint instead of buffering unboundedly — backpressure is part of
+the wire contract, not an afterthought.
+
+The server is built for lossy links (the paper's client model, §7):
+
+* **Idempotent compute.**  ``COMPUTE`` request ids are idempotency keys.
+  A resubmitted id that is still queued or executing is silently absorbed
+  (the original's ``RESULT`` answers both); an id in the recently-completed
+  dedupe window gets the cached ``RESULT`` replayed without re-executing the
+  handler.  A timed-out retry can therefore never run a handler twice.
+* **Session resumption.**  A lost connection *detaches* the session rather
+  than destroying it.  Within ``resume_grace_s`` the client can open a new
+  connection and present its resume token (``RESUME``); the server reattaches
+  the session — keystore, state, metrics, dedupe window — so megabytes of
+  Galois keys are never re-uploaded.  Work queued before the disconnect keeps
+  executing while detached; its results wait in the dedupe window.
+* **Heartbeats and reaping.**  ``PING`` is answered with ``PONG``; a reaper
+  task closes detached sessions whose grace period expired and (optionally)
+  live sessions idle past ``idle_timeout_s``.
 
 The server-side evaluation context is built from the *uploaded* keys only.
 It mechanically forbids decryption (raising
@@ -23,8 +43,9 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import secrets
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
@@ -51,7 +72,11 @@ from repro.runtime.framing import (
     KeyKind,
     KeyUpload,
     MessageType,
+    Ping,
+    Pong,
     Result,
+    Resume,
+    ResumeAck,
 )
 from repro.runtime.metrics import RuntimeMetrics, SessionMetrics
 from repro.runtime.transport import TcpTransport, Transport
@@ -95,6 +120,23 @@ class ServerSession:
         self.ctx = None
         self._send_lock = asyncio.Lock()
         self.closed = False
+        #: Secret the client must present in a RESUME frame to reattach.
+        self.resume_token: bytes = secrets.token_bytes(16)
+        #: Request ids currently queued or executing (idempotency guard).
+        self.inflight_ids: set = set()
+        #: Recently completed ids -> packed RESULT payload, bounded by the
+        #: server's ``dedupe_window`` (oldest evicted first).
+        self.completed: "OrderedDict[int, bytes]" = OrderedDict()
+        #: True while a worker runs this session's handler (per-session
+        #: execution is serialized; sessions stay parallel across each other).
+        self.executing = False
+        #: When the connection died (None while attached).
+        self.detached_at: Optional[float] = None
+        #: Monotonic timestamp of the last frame received from the client.
+        self.last_seen: float = time.monotonic()
+        #: The client said BYE: no retention, the session dies with the
+        #: connection.
+        self.bye_received = False
 
     @property
     def params(self) -> EncryptionParameters:
@@ -111,6 +153,20 @@ class ServerSession:
         async with self._send_lock:
             await self.transport.send_frame(mtype, payload)
 
+    def remember_result(self, request_id: int, payload: bytes) -> None:
+        """Retire *request_id* into the dedupe window (replayable RESULT)."""
+        self.inflight_ids.discard(request_id)
+        self.completed[request_id] = payload
+        self.completed.move_to_end(request_id)
+        while len(self.completed) > self.server.dedupe_window:
+            self.completed.popitem(last=False)
+
+    def key_mask(self) -> int:
+        mask = 0
+        for kind in self.keystore:
+            mask |= 1 << (int(kind) - 1)
+        return mask
+
 
 class OffloadServer:
     """Serves the client-aided protocol to many concurrent sessions."""
@@ -120,17 +176,25 @@ class OffloadServer:
                  retry_after_ms: int = 50, banner: str = "choco-offload",
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  context_seed: bytes = b"offload-server-eval",
+                 dedupe_window: int = 64,
+                 resume_grace_s: float = 30.0,
+                 idle_timeout_s: Optional[float] = None,
                  verbose: bool = False):
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
         if concurrency < 1:
             raise ValueError("concurrency must be at least 1")
+        if dedupe_window < 1:
+            raise ValueError("dedupe_window must be at least 1")
         self.params = params
         self.queue_limit = queue_limit
         self.concurrency = concurrency
         self.retry_after_ms = retry_after_ms
         self.banner = banner
         self.max_frame_bytes = max_frame_bytes
+        self.dedupe_window = dedupe_window
+        self.resume_grace_s = resume_grace_s
+        self.idle_timeout_s = idle_timeout_s
         self.verbose = verbose
         self._context_seed = context_seed
         self.metrics = RuntimeMetrics()
@@ -141,8 +205,10 @@ class OffloadServer:
         self._work = asyncio.Event()
         self._slots = asyncio.Semaphore(concurrency)
         self._scheduler_task: Optional[asyncio.Task] = None
+        self._reaper_task: Optional[asyncio.Task] = None
         self._worker_tasks: set = set()
         self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._closing = False
         self.host: Optional[str] = None
         self.port: Optional[int] = None
         self.register("echo", _echo_handler)
@@ -164,19 +230,23 @@ class OffloadServer:
 
     async def stop(self) -> None:
         """Close the listener and all sessions; print metrics if verbose."""
+        self._closing = True
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
             self._tcp_server = None
         for session in list(self._sessions.values()):
+            self._unregister(session)
             await session.transport.close()
-        if self._scheduler_task is not None:
-            self._scheduler_task.cancel()
-            try:
-                await self._scheduler_task
-            except asyncio.CancelledError:
-                pass
-            self._scheduler_task = None
+        for task in (self._scheduler_task, self._reaper_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._scheduler_task = None
+        self._reaper_task = None
         for task in list(self._worker_tasks):
             task.cancel()
         if self._worker_tasks:
@@ -187,6 +257,8 @@ class OffloadServer:
     def _ensure_scheduler(self) -> None:
         if self._scheduler_task is None or self._scheduler_task.done():
             self._scheduler_task = asyncio.ensure_future(self._scheduler())
+        if self._reaper_task is None or self._reaper_task.done():
+            self._reaper_task = asyncio.ensure_future(self._reaper())
 
     # ----------------------------------------------------- session serving
     async def _on_tcp_connection(self, reader: asyncio.StreamReader,
@@ -204,15 +276,24 @@ class OffloadServer:
                 return
             await self._session_loop(session)
         except (ConnectionError, FrameError):
-            pass  # peer vanished or spoke garbage: drop the session
+            pass  # peer vanished or spoke garbage: drop the connection
         finally:
-            if session is not None:
-                self._unregister(session)
+            # Only the transport currently attached may detach the session —
+            # a connection superseded by RESUME must not tear down its heir.
+            if (session is not None and session.transport is transport
+                    and not session.closed):
+                if (session.bye_received or self._closing
+                        or self.resume_grace_s <= 0):
+                    self._unregister(session)
+                else:
+                    self._detach(session)
             await transport.close()
 
     async def _handshake(self, transport: Transport,
                          ) -> Optional[ServerSession]:
         mtype, _flags, payload = await transport.recv_frame()
+        if mtype is MessageType.RESUME:
+            return await self._handle_resume(transport, payload)
         if mtype is not MessageType.HELLO:
             await transport.send_frame(MessageType.ERROR, Error(
                 0, ErrorCode.BAD_FRAME, "expected HELLO").pack())
@@ -236,20 +317,57 @@ class OffloadServer:
         self._sessions[session_id] = session
         self._rr.append(session_id)
         await transport.send_frame(MessageType.HELLO_ACK, HelloAck(
-            session_id, self.queue_limit, self.concurrency,
-            self.banner).pack())
+            session_id, self.queue_limit, self.concurrency, self.banner,
+            session.resume_token,
+            int(max(self.resume_grace_s, 0) * 1000)).pack())
+        return session
+
+    async def _handle_resume(self, transport: Transport, payload: bytes,
+                             ) -> Optional[ServerSession]:
+        try:
+            resume = Resume.unpack(payload)
+        except FrameError as exc:
+            await transport.send_frame(MessageType.ERROR, Error(
+                0, ErrorCode.BAD_FRAME, str(exc)).pack())
+            return None
+        session = self._sessions.get(resume.session_id)
+        if (session is None or session.closed or session.bye_received
+                or not secrets.compare_digest(session.resume_token,
+                                              resume.token)):
+            self.metrics.resumes_rejected += 1
+            await transport.send_frame(MessageType.ERROR, Error(
+                0, ErrorCode.RESUME_REJECTED,
+                f"no resumable session {resume.session_id}").pack())
+            return None
+        old = session.transport
+        session.transport = transport
+        session.detached_at = None
+        session.last_seen = time.monotonic()
+        session.metrics.resumes += 1
+        self.metrics.sessions_resumed += 1
+        if old is not transport:
+            # Kick the superseded connection loose; its serve loop sees the
+            # closed transport and exits without touching the session.
+            await old.close()
+        await transport.send_frame(MessageType.RESUME_ACK, ResumeAck(
+            session.id, self.queue_limit, self.concurrency,
+            session.key_mask(), self.banner).pack())
         return session
 
     async def _session_loop(self, session: ServerSession) -> None:
         while True:
             mtype, _flags, payload = await session.transport.recv_frame()
+            session.last_seen = time.monotonic()
             session.metrics.bytes_up += len(payload)
             if mtype is MessageType.BYE:
+                session.bye_received = True
                 return
             if mtype is MessageType.KEY_UPLOAD:
                 await self._handle_key_upload(session, payload)
             elif mtype is MessageType.COMPUTE:
                 await self._handle_compute(session, payload)
+            elif mtype is MessageType.PING:
+                await self._handle_ping(session, payload)
             elif mtype is MessageType.ERROR:
                 return  # client-side fatal error: drop the session
             else:
@@ -257,6 +375,15 @@ class OffloadServer:
                 await session.send(MessageType.ERROR, Error(
                     0, ErrorCode.BAD_FRAME,
                     f"unexpected {mtype.name} frame").pack())
+
+    async def _handle_ping(self, session: ServerSession,
+                           payload: bytes) -> None:
+        try:
+            ping = Ping.unpack(payload)
+        except FrameError:
+            ping = Ping(0)
+        session.metrics.pings += 1
+        await session.send(MessageType.PONG, Pong(ping.nonce).pack())
 
     async def _handle_key_upload(self, session: ServerSession,
                                  payload: bytes) -> None:
@@ -292,6 +419,17 @@ class OffloadServer:
             await session.send(MessageType.ERROR, Error(
                 0, ErrorCode.BAD_FRAME, str(exc)).pack())
             return
+        # Idempotency: a resubmitted request id is answered, never re-run.
+        cached = session.completed.get(compute.request_id)
+        if cached is not None:
+            session.metrics.results_replayed += 1
+            await session.send(MessageType.RESULT, cached)
+            return
+        if compute.request_id in session.inflight_ids:
+            # Still queued or executing: the original's RESULT answers the
+            # retry (same request id on the same connection).
+            session.metrics.duplicates_suppressed += 1
+            return
         if compute.op not in self._handlers:
             session.metrics.errors += 1
             await session.send(MessageType.ERROR, Error(
@@ -315,10 +453,15 @@ class OffloadServer:
             return
         session.queue.append(ComputeRequest(
             compute.request_id, compute.op, compute.meta, cts))
+        session.inflight_ids.add(compute.request_id)
         session.metrics.requests += 1
         session.metrics.ciphertexts_in += len(cts)
         session.metrics.queue_depth = len(session.queue)
         self._work.set()
+
+    def _detach(self, session: ServerSession) -> None:
+        """Keep the session for ``resume_grace_s``; the reaper enforces it."""
+        session.detached_at = time.monotonic()
 
     def _unregister(self, session: ServerSession) -> None:
         session.closed = True
@@ -333,12 +476,18 @@ class OffloadServer:
     def _next_request(self,
                       ) -> Tuple[Optional[ServerSession],
                                  Optional[ComputeRequest]]:
-        """Fair pick: rotate the session ring, take one queued request."""
+        """Fair pick: rotate the session ring, take one queued request.
+
+        Sessions with a handler already running are skipped — per-session
+        execution is serialized so two workers never share one session's
+        evaluation context (or its op counters).
+        """
         for _ in range(len(self._rr)):
             sid = self._rr[0]
             self._rr.rotate(-1)
             session = self._sessions.get(sid)
-            if session is not None and session.queue:
+            if session is not None and session.queue and not session.executing:
+                session.executing = True
                 request = session.queue.popleft()
                 session.metrics.queue_depth = len(session.queue)
                 return session, request
@@ -360,6 +509,26 @@ class OffloadServer:
             self._worker_tasks.add(task)
             task.add_done_callback(self._worker_tasks.discard)
 
+    async def _reaper(self) -> None:
+        """Close detached sessions past grace and (optionally) idle ones."""
+        interval = max(0.02, min(1.0, max(self.resume_grace_s, 0.1) / 5))
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for session in list(self._sessions.values()):
+                expired_detach = (
+                    session.detached_at is not None
+                    and now - session.detached_at >= self.resume_grace_s)
+                idle = (
+                    self.idle_timeout_s is not None
+                    and session.detached_at is None
+                    and now - session.last_seen >= self.idle_timeout_s
+                    and not session.queue and not session.executing)
+                if expired_detach or idle:
+                    self._unregister(session)
+                    self.metrics.sessions_reaped += 1
+                    await session.transport.close()
+
     async def _execute(self, session: ServerSession,
                        request: ComputeRequest) -> None:
         self.metrics.record_dispatch(session.id)
@@ -367,6 +536,7 @@ class OffloadServer:
         try:
             handler = self._handlers[request.op]
             session.ensure_context()
+            session.metrics.handler_invocations += 1
             counts_before = dict(session.ctx.counts)
             if asyncio.iscoroutinefunction(handler):
                 result = await handler(session, request)
@@ -385,12 +555,19 @@ class OffloadServer:
             blobs = tuple(serialize_ciphertext(ct, compress_seed=False)
                           for ct in cts)
             payload = Result(request.request_id, meta, blobs).pack()
+            # Cache BEFORE sending: if the connection is dead the client
+            # resumes and replays the id, and the cached RESULT answers it.
+            session.remember_result(request.request_id, payload)
             if not session.closed:
-                await session.send(MessageType.RESULT, payload)
-                session.metrics.responses += 1
-                session.metrics.ciphertexts_out += len(blobs)
-                session.metrics.bytes_down += len(payload)
-                session.metrics.observe_latency(time.monotonic() - started)
+                try:
+                    await session.send(MessageType.RESULT, payload)
+                except (ConnectionError, OSError):
+                    pass  # detached mid-send; the dedupe window serves it
+                else:
+                    session.metrics.responses += 1
+                    session.metrics.ciphertexts_out += len(blobs)
+                    session.metrics.bytes_down += len(payload)
+                    session.metrics.observe_latency(time.monotonic() - started)
         except ProtocolViolation as exc:
             await self._send_error(session, request,
                                    ErrorCode.PROTOCOL_VIOLATION, exc)
@@ -406,6 +583,7 @@ class OffloadServer:
                 code = ErrorCode.MISSING_KEYS
             await self._send_error(session, request, code, exc)
         finally:
+            session.executing = False
             self._slots.release()
             self._work.set()  # re-check queues freed up by this completion
 
@@ -413,6 +591,9 @@ class OffloadServer:
                           request: ComputeRequest, code: ErrorCode,
                           exc: Exception) -> None:
         session.metrics.errors += 1
+        # Failed ids leave the idempotency window: an explicit client retry
+        # after a typed error is a fresh execution, not a replay.
+        session.inflight_ids.discard(request.request_id)
         if session.closed:
             return
         try:

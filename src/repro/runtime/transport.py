@@ -47,6 +47,14 @@ class Transport:
                          flags: int = 0) -> None:
         raise NotImplementedError
 
+    async def send_raw(self, data: bytes) -> None:
+        """Put raw bytes on the wire, bypassing frame encoding.
+
+        Exists so fault injectors (:mod:`repro.runtime.chaos`) can emit
+        corrupted or truncated frames; regular code never calls it.
+        """
+        raise NotImplementedError
+
     async def recv_frame(self) -> Tuple[MessageType, int, bytes]:
         raise NotImplementedError
 
@@ -106,6 +114,11 @@ class TcpTransport(Transport):
         frame = encode_frame(mtype, payload, flags)
         self._writer.write(frame)
         self.bytes_sent += len(frame)
+        await self._writer.drain()
+
+    async def send_raw(self, data: bytes) -> None:
+        self._writer.write(data)
+        self.bytes_sent += len(data)
         await self._writer.drain()
 
     async def recv_frame(self) -> Tuple[MessageType, int, bytes]:
@@ -169,6 +182,12 @@ class SimulatedLink(Transport):
         frame = encode_frame(mtype, payload, flags)
         self.bytes_sent += len(frame)
         await self._outbox.put(frame)
+
+    async def send_raw(self, data: bytes) -> None:
+        if self._closed:
+            raise ConnectionError("simulated link is closed")
+        self.bytes_sent += len(data)
+        await self._outbox.put(data)
 
     async def recv_frame(self) -> Tuple[MessageType, int, bytes]:
         frame = await self._inbox.get()

@@ -35,7 +35,11 @@ from repro.runtime.framing import (
     HelloAck,
     KeyKind,
     KeyUpload,
+    Ping,
+    Pong,
     Result,
+    Resume,
+    ResumeAck,
 )
 
 
@@ -101,6 +105,8 @@ def test_payload_roundtrips(bfv_params):
     assert hello.mismatch(bfv_params) is None
     ack = HelloAck(3, 16, 2, "banner")
     assert HelloAck.unpack(ack.pack()) == ack
+    full_ack = HelloAck(3, 16, 2, "banner", b"t" * 16, 30_000)
+    assert HelloAck.unpack(full_ack.pack()) == full_ack
     compute = Compute(9, "knn/query", {"batch": 1}, (b"ct0", b"ct1"))
     assert Compute.unpack(compute.pack()) == compute
     result = Result(9, {"ok": True}, (b"out",))
@@ -420,27 +426,73 @@ def test_queue_full_busy_and_retry(bfv_params):
 
 
 def test_request_timeout_then_retry_succeeds(bfv_params):
+    """A RESULT delayed past the client timeout triggers a resubmission —
+    which the server absorbs as a duplicate: the handler runs exactly once,
+    the session state mutates exactly once, and the original's RESULT
+    resolves the retried request (same request id, idempotent compute)."""
     async def main():
-        release = asyncio.Event()
         calls = {"n": 0}
 
         async def slow_once(session, request):
             calls["n"] += 1
+            session.state["mutations"] = session.state.get("mutations", 0) + 1
             if calls["n"] == 1:
-                await release.wait()    # first attempt stalls indefinitely
+                await asyncio.sleep(0.5)   # push RESULT past the timeout
             return []
 
-        # Two slots so the retry is not stuck behind the stalled first try.
         server = OffloadServer(bfv_params, concurrency=2)
         server.register("slow-once", slow_once)
         host, port = await server.start()
         try:
             client = await OffloadClient(bfv_params, host, port).connect()
-            out, _meta = await client.request("slow-once", timeout=0.3,
-                                              retries=2)
+            out, _meta = await client.request("slow-once", timeout=0.2,
+                                              retries=4)
             assert out == []
-            assert calls["n"] == 2      # one timed-out attempt, one retry
-            release.set()
+            assert calls["n"] == 1      # retried on the wire, ran once
+            stats = server.metrics.get(1)
+            assert stats.handler_invocations == 1
+            assert stats.duplicates_suppressed >= 1
+            session = next(iter(server._sessions.values()))
+            assert session.state["mutations"] == 1
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_result_replayed_from_dedupe_window(bfv_params, bfv):
+    """A retry that arrives *after* the original RESULT was sent (lost on
+    the wire, say) is answered from the dedupe window without re-executing,
+    and the replayed bytes equal the original result."""
+    async def main():
+        calls = {"n": 0}
+
+        def once(session, request):
+            calls["n"] += 1
+            return request.cts
+
+        server = OffloadServer(bfv_params)
+        server.register("once", once)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port).connect()
+            ct = bfv.encrypt_symmetric([7])
+            out1, _ = await client.request("once", [ct])
+            # Resubmit the completed request id by hand, exactly as a retry
+            # whose original RESULT was lost on the wire would.
+            payload = Compute(1, "once", {},
+                              (serialize_ciphertext(ct),)).pack()
+            future = asyncio.get_running_loop().create_future()
+            client._pending[1] = future
+            await client.transport.send_frame(MessageType.COMPUTE, payload)
+            kind, reply = await asyncio.wait_for(future, 5)
+            assert kind == "result"
+            assert calls["n"] == 1
+            assert server.metrics.get(1).results_replayed == 1
+            # The replay carries the original result bytes verbatim.
+            assert reply.blobs == (
+                serialize_ciphertext(out1[0], compress_seed=False),)
             await client.close()
         finally:
             await server.stop()
@@ -523,6 +575,264 @@ def test_simulated_link_matches_cost_ledger(ckks_params):
     assert link.link_energy_j() > 0
     # Physical frame bytes flowed in both directions too.
     assert link.bytes_sent > 0 and link.bytes_received > 0
+
+
+def test_v2_resilience_payload_roundtrips():
+    resume = Resume(7, b"s" * 16)
+    assert Resume.unpack(resume.pack()) == resume
+    ack = ResumeAck(7, 16, 2, 0b110, "back")
+    assert ResumeAck.unpack(ack.pack()) == ack
+    assert not ack.has_key(KeyKind.PUBLIC)
+    assert ack.has_key(KeyKind.RELIN)
+    assert ack.has_key(KeyKind.GALOIS)
+    ping = Ping(0xDEADBEEFCAFE)
+    assert Ping.unpack(ping.pack()) == ping
+    pong = Pong(ping.nonce)
+    assert Pong.unpack(pong.pack()) == pong
+    with pytest.raises(FrameError):
+        Resume.unpack(resume.pack()[:-1])
+    with pytest.raises(FrameError, match="trailing"):
+        Ping.unpack(ping.pack() + b"\0")
+
+
+# ---------------------------------------------------------------------------
+# Per-session serialization, pump resilience, resumption, heartbeats
+# ---------------------------------------------------------------------------
+
+def test_same_session_serialized_sessions_parallel(bfv_params):
+    """With concurrency=2, two requests of one session never run
+    concurrently, while requests of *different* sessions do."""
+    async def main():
+        active = {}
+        violations = []
+        overlap = asyncio.Event()
+
+        async def tick(session, request):
+            active[session.id] = active.get(session.id, 0) + 1
+            if active[session.id] > 1:
+                violations.append(session.id)
+            if sum(1 for n in active.values() if n > 0) >= 2:
+                overlap.set()
+            # Hold every handler until both sessions have one running: the
+            # only way forward is cross-session parallelism.
+            await asyncio.wait_for(overlap.wait(), 5)
+            await asyncio.sleep(0.01)
+            active[session.id] -= 1
+            return []
+
+        server = OffloadServer(bfv_params, concurrency=2)
+        server.register("tick", tick)
+        host, port = await server.start()
+        try:
+            a = await OffloadClient(bfv_params, host, port).connect()
+            b = await OffloadClient(bfv_params, host, port).connect()
+            await asyncio.gather(*[
+                client.request("tick", timeout=10)
+                for client in (a, b) for _ in range(3)])
+            assert violations == []
+            assert overlap.is_set()
+            for sid in (1, 2):
+                stats = server.metrics.get(sid)
+                assert stats.responses == 3
+                assert stats.handler_invocations == 3
+            await a.close()
+            await b.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_anonymous_error_surfaces_without_killing_pump(bfv_params, bfv):
+    """A connection-scoped ERROR (request_id == 0) must not crash the reader
+    pump: it is recorded, raised once on the next API call, and the session
+    keeps working afterwards."""
+    async def main():
+        server = OffloadServer(bfv_params)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port).connect()
+            # A RESULT frame is nonsense client->server; the server answers
+            # with an anonymous ERROR(BAD_FRAME).
+            await client.transport.send_frame(
+                MessageType.RESULT, Result(0, {}, ()).pack())
+            while client.session_error is None:
+                await asyncio.sleep(0.005)
+            assert client.session_error.code is ErrorCode.BAD_FRAME
+            with pytest.raises(OffloadError, match="unexpected"):
+                await client.request("echo")
+            # The pump survived: the very next request round-trips fine.
+            ct = bfv.encrypt_symmetric([5])
+            out, _ = await client.request("echo", [ct])
+            assert np.array_equal(bfv.decrypt(out[0])[:1], [5])
+            assert client.session_error is None
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_busy_retries_charge_ledger_once(bfv_params, bfv):
+    """BUSY-driven resubmissions are a transport artifact: each logical
+    request charges the analytical ledger exactly once."""
+    async def main():
+        release = asyncio.Event()
+        started = asyncio.Event()
+
+        async def stall(session, request):
+            started.set()
+            await release.wait()
+            return []
+
+        ledger = CostLedger()
+        client_end, server_end = SimulatedLink.pair(ledger=ledger)
+        server = OffloadServer(bfv_params, queue_limit=1, concurrency=1,
+                               retry_after_ms=5)
+        server.register("stall", stall)
+        serve_task = asyncio.ensure_future(server.serve_transport(server_end))
+        client = await OffloadClient(bfv_params,
+                                     transport=client_end).connect()
+        ct = bfv.encrypt_symmetric([1])
+        first = asyncio.ensure_future(
+            client.request("stall", [ct], timeout=30))
+        await started.wait()
+        second = asyncio.ensure_future(
+            client.request("stall", [ct], timeout=30))
+        while server.metrics.get(1).requests < 2:
+            await asyncio.sleep(0.005)
+        # The third bounces with BUSY until the gate opens.
+        third = asyncio.ensure_future(
+            client.request("stall", [ct], retries=40, timeout=30))
+        while server.metrics.get(1).busy_rejections < 2:
+            await asyncio.sleep(0.005)
+        release.set()
+        await asyncio.gather(first, second, third)
+        assert client.stats.busy_waits >= 2
+        # Three logical uploads -> three charges, regardless of retries.
+        assert ledger.bytes_up == 3 * ct.size_bytes()
+        assert ledger.rounds == 3
+        await client.close()
+        await server.stop()
+        serve_task.cancel()
+
+    run(main())
+
+
+def test_concurrent_same_kind_key_uploads(bfv_params, bfv):
+    """Two overlapping uploads of the same key kind each get their own ACK
+    (FIFO waiters) instead of one clobbering the other's future."""
+    async def main():
+        server = OffloadServer(bfv_params)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port).connect()
+            relin = bfv.relin_keys()
+            await asyncio.gather(client.upload_keys(relin=relin),
+                                 client.upload_keys(relin=relin))
+            assert server.metrics.get(1).key_uploads == 2
+            assert not client._key_waiters.get(KeyKind.RELIN)
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_resume_reattaches_without_rekey(bfv_params, bfv):
+    """After a dropped connection the client reattaches via RESUME inside
+    the grace period and keeps its uploaded Galois keys — the next rotation
+    request works without re-provisioning."""
+    async def main():
+        server = OffloadServer(bfv_params, resume_grace_s=5.0)
+
+        def rot(session, request):
+            return [session.ctx.rotate_rows(request.cts[0], 1)]
+
+        server.register("rot", rot)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port).connect()
+            assert client.resume_token is not None
+            assert client.grace_period_ms == 5000
+            await client.upload_keys(galois=bfv.make_galois_keys([1]))
+            ct = bfv.encrypt_symmetric(list(range(8)))
+            out, _ = await client.request("rot", [ct])
+            expected = bfv.decrypt(out[0])
+            # Sever the connection out from under the client (no BYE).
+            await client.transport.close()
+            out2, _ = await client.request("rot", [ct], timeout=5)
+            assert np.array_equal(bfv.decrypt(out2[0]), expected)
+            assert client.stats.resumes == 1
+            assert server.metrics.sessions_resumed == 1
+            # The keys never crossed the wire a second time.
+            assert server.metrics.get(1).key_uploads == 1
+            assert server.metrics.get(1).resumes == 1
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_resume_with_bad_token_rejected(bfv_params):
+    async def main():
+        server = OffloadServer(bfv_params, resume_grace_s=5.0)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port).connect()
+            await client.transport.close()
+            client.resume_token = b"\0" * 16        # forged
+            with pytest.raises(OffloadError) as exc_info:
+                await client.request("echo", timeout=2)
+            assert exc_info.value.code is ErrorCode.RESUME_REJECTED
+            assert server.metrics.resumes_rejected == 1
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_heartbeat_ping_pong(bfv_params):
+    async def main():
+        server = OffloadServer(bfv_params)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port,
+                                         heartbeat_s=0.03).connect()
+            while client.stats.pongs_received < 2:
+                await asyncio.sleep(0.01)
+            assert client.stats.pings_sent >= 2
+            assert server.metrics.get(1).pings >= 2
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_detached_session_reaped_after_grace(bfv_params):
+    """A session whose peer vanishes without BYE is kept for the resume
+    grace period, then reaped."""
+    async def main():
+        server = OffloadServer(bfv_params, resume_grace_s=0.1)
+        host, port = await server.start()
+        try:
+            client = await OffloadClient(bfv_params, host, port,
+                                         auto_resume=False).connect()
+            assert len(server._sessions) == 1
+            await client.transport.close()       # vanish, no BYE
+            deadline = asyncio.get_running_loop().time() + 5
+            while server._sessions:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.02)
+            assert server.metrics.sessions_reaped == 1
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
 
 
 def test_simulated_link_key_uploads_not_charged(bfv_params, bfv):
