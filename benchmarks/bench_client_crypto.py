@@ -1,0 +1,199 @@
+"""Batched client-crypto throughput: stacked kernels vs looped single-shot.
+
+Engineering telemetry for the batched client-crypto engine
+(:func:`repro.hecore.bfv.BfvContext.encrypt_many` /
+:func:`~repro.hecore.bfv.BfvContext.decrypt_many`): M ciphertexts share one
+``(M, N)`` sampler draw, one stacked forward/inverse NTT over the
+``(M*k, N)`` residue block, and one vectorized RNS scale-and-round, instead
+of M independent passes.  Two kernels, each at N=2048 and N=4096:
+
+* ``encrypt`` — ``encrypt_many`` of M=16 packed vectors vs a loop of
+  single-shot ``encrypt`` calls;
+* ``decrypt`` — ``decrypt_many`` (vectorized CRT scaling with float
+  correction) vs a loop of the exact big-integer decrypt path it replaced
+  (``compose`` + per-coefficient ``scale_and_round``).  The N=4096 context
+  uses three 30-bit data limbs so the baseline pays the real multi-limb
+  big-integer cost.
+
+Both assert value-level equality between the implementations before timing
+anything.  ``--check`` exits non-zero when a batched kernel falls below its
+minimum required speedup (3x for decrypt at N=4096, per the batching issue)
+or regresses more than 20% against the previous recorded run.  Results go
+to ``benchmarks/results/BENCH_client_crypto.json``.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.hecore.bfv import BfvContext
+from repro.hecore.params import SchemeType, small_test_parameters
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_client_crypto.json"
+
+#: Acceptance floors from the batching issue: the 3x decrypt floor at
+#: N=4096 (three data limbs, bigint baseline) is the hard criterion.  The
+#: N=2048 decrypt floor is lower because its two-limb modulus keeps even
+#: the baseline compose vectorized; the encrypt floors only guard against
+#: the batch path degrading below looped speed — encrypt is NTT-bound, so
+#: batching buys amortized Python/sampling overhead, not kernel time.
+MIN_SPEEDUP = {
+    "encrypt_n2048": 0.9,
+    "encrypt_n4096": 0.9,
+    "decrypt_n2048": 1.8,
+    "decrypt_n4096": 3.0,
+}
+
+REGRESSION_TOLERANCE = 0.20
+
+BATCH = 16
+
+
+def _best_of_pair(looped_fn, batched_fn, reps, rounds=6):
+    """Seconds-per-op for both implementations, interleaving their timing
+    windows so background load drift hits each side equally, and taking the
+    fastest window per side."""
+    looped_fn()  # warm caches / NTT plans / restricted secret keys
+    batched_fn()
+    bests = [float("inf"), float("inf")]
+    for _ in range(rounds):
+        for i, fn in enumerate((looped_fn, batched_fn)):
+            start = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            bests[i] = min(bests[i], (time.perf_counter() - start) / reps)
+    return tuple(bests)
+
+
+def _make_context(degree):
+    # N=4096 runs three data limbs (q ~ 90 bits): past the 62-bit envelope
+    # of the vectorized int64 compose, so the looped baseline pays the
+    # genuine per-coefficient big-integer CRT the RNS path replaces — the
+    # regime the 3x floor is calibrated against.  N=2048 keeps the two-limb
+    # set (q ~ 60 bits) where even the baseline compose is vectorized.
+    data_bits = (30, 30, 30) if degree >= 4096 else (30, 30)
+    params = small_test_parameters(SchemeType.BFV, poly_degree=degree,
+                                   plain_bits=16, data_bits=data_bits)
+    return BfvContext(params, seed=b"bench-client-crypto")
+
+
+def _measure_encrypt(ctx):
+    """One stacked encrypt of BATCH vectors vs BATCH single-shot encrypts."""
+    rng = np.random.default_rng(3)
+    t = ctx.params.plain_modulus
+    vals = [rng.integers(0, t, size=ctx.params.poly_degree)
+            for _ in range(BATCH)]
+    plaintexts = [ctx.encode(v) for v in vals]  # time the crypto, not encode
+
+    def looped():
+        return [ctx.encrypt(pt) for pt in plaintexts]
+
+    def batched():
+        return ctx.encrypt_many(plaintexts)
+
+    for ct, v in zip(batched(), vals):
+        assert np.array_equal(ctx.decrypt(ct), np.mod(v, t)), \
+            "batched encrypt round-trip produced wrong values"
+    return _best_of_pair(looped, batched, 1)
+
+
+def _measure_decrypt(ctx):
+    """Stacked RNS decrypt of BATCH ciphertexts vs the looped exact
+    big-integer path it replaced."""
+    rng = np.random.default_rng(4)
+    t = ctx.params.plain_modulus
+    vals = [rng.integers(0, t, size=ctx.params.poly_degree)
+            for _ in range(BATCH)]
+    cts = ctx.encrypt_many(vals)
+
+    def looped_bigint():
+        return [ctx._decrypt_bigint(ct) for ct in cts]
+
+    def batched():
+        return ctx.decrypt_many(cts)
+
+    for fast, exact in zip(batched(), looped_bigint()):
+        assert np.array_equal(fast, exact), \
+            "vectorized RNS decrypt disagrees with the bigint path"
+    # More interleaved windows than the encrypt pair: the decrypt floor is
+    # the hard acceptance gate, so give each side enough windows that one
+    # scheduler hiccup cannot decide the ratio.
+    return _best_of_pair(looped_bigint, batched, 1, rounds=12)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if a batched kernel misses its minimum speedup "
+        "or regresses >20%% vs the previous recorded run",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_PATH, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    previous = None
+    if args.output.exists():
+        previous = json.loads(args.output.read_text())
+
+    measurements = {}
+    degrees = {}
+    for degree in (2048, 4096):
+        ctx = _make_context(degree)
+        measurements[f"encrypt_n{degree}"] = _measure_encrypt(ctx)
+        measurements[f"decrypt_n{degree}"] = _measure_decrypt(ctx)
+        degrees[degree] = [int(p) for p in ctx.params.data_base.moduli]
+
+    report = {
+        "batch": BATCH,
+        "data_moduli": {str(n): mods for n, mods in degrees.items()},
+        "tolerance": REGRESSION_TOLERANCE,
+        "kernels": {},
+    }
+    failures = []
+    for name, (looped_s, batched_s) in measurements.items():
+        speedup = looped_s / batched_s
+        report["kernels"][name] = {
+            "looped_ms": round(1e3 * looped_s, 3),
+            "batched_ms": round(1e3 * batched_s, 3),
+            "speedup": round(speedup, 3),
+            "min_speedup": MIN_SPEEDUP[name],
+        }
+        print(f"  {name:16s} looped {1e3 * looped_s:9.2f} ms   "
+              f"batched {1e3 * batched_s:9.2f} ms   {speedup:5.2f}x "
+              f"(floor {MIN_SPEEDUP[name]:.1f}x)")
+        if speedup < MIN_SPEEDUP[name]:
+            failures.append(
+                f"{name}: {speedup:.2f}x is below the required "
+                f"{MIN_SPEEDUP[name]:.1f}x speedup"
+            )
+        if previous is not None:
+            prev = previous.get("kernels", {}).get(name)
+            if prev is not None:
+                reference = prev["speedup"]
+                if speedup < reference * (1.0 - REGRESSION_TOLERANCE):
+                    failures.append(
+                        f"{name}: {speedup:.2f}x is more than "
+                        f"{REGRESSION_TOLERANCE:.0%} below the previous run "
+                        f"({reference:.2f}x)"
+                    )
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check and failures:
+        for line in failures:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ a change:
   throughput;
 * ``bench_hoisting`` — fused hoisted-rotation kernels against the naive
   per-rotation paths;
+* ``bench_client_crypto`` — batched encrypt/decrypt engine against looped
+  single-shot calls (including the 3x RNS-decrypt floor over the bigint
+  baseline at N=4096);
 * ``bench_chaos_soak`` — the runtime's resilience invariants (exactly-once
   execution, ledger parity, leak-free shutdown) under long randomized
   fault schedules.
@@ -32,6 +35,7 @@ GATES = [
     "bench_he_throughput.py",
     "bench_wire_format.py",
     "bench_hoisting.py",
+    "bench_client_crypto.py",
     "bench_chaos_soak.py",
 ]
 

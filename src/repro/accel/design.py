@@ -300,6 +300,33 @@ class AcceleratorModel:
         energy = self._decrypt_dynamic_energy() + self.leakage_w * cycles / CLOCK_HZ
         return OperationCost(cycles=cycles, energy_j=energy)
 
+    def batch_overhead_cycles(self) -> float:
+        """Calibrated fixed cycles a batched schedule amortizes per op.
+
+        Each invocation of the crypto pipeline pays ``_FIXED_OVERHEAD_CYCLES``
+        of drain/configuration latency (a stage of both
+        :meth:`encrypt_stage_cycles` and ``_decrypt_cycles``).  Back-to-back
+        operations in one stacked batch keep the pipeline primed, so only the
+        first op of a batch pays it.
+        """
+        return _TIME_CALIBRATION * _FIXED_OVERHEAD_CYCLES
+
+    def _batched_cost(self, one: OperationCost, batch: int) -> OperationCost:
+        if batch <= 0:
+            return OperationCost(cycles=0.0, energy_j=0.0)
+        saved = (batch - 1) * self.batch_overhead_cycles()
+        cycles = batch * one.cycles - saved
+        energy = batch * one.energy_j - self.leakage_w * saved / CLOCK_HZ
+        return OperationCost(cycles=cycles, energy_j=energy)
+
+    def encrypt_many_cost(self, batch: int) -> OperationCost:
+        """Cost of *batch* encryptions issued as one stacked batch."""
+        return self._batched_cost(self.encrypt_cost(), batch)
+
+    def decrypt_many_cost(self, batch: int) -> OperationCost:
+        """Cost of *batch* decryptions issued as one stacked batch."""
+        return self._batched_cost(self.decrypt_cost(), batch)
+
     @property
     def average_power_w(self) -> float:
         """Average power while encrypting (the Figure 7 power axis)."""

@@ -172,12 +172,17 @@ class ClientAidedDnnPlan:
         return public_key + (galois_count + 1) * per_switch_key
 
     def client_crypto_time(self, cost_model: ClientCostModel) -> float:
-        return (self.encrypt_ops * cost_model.encrypt_s
-                + self.decrypt_ops * cost_model.decrypt_s)
+        """Client crypto time under the batched schedule: each round's
+        uploads (and downloads) run as one stacked batch, so only the first
+        op of each batch pays the cost model's per-invocation overhead."""
+        return sum(cost_model.encrypt_many_s(r.up_cts)
+                   + cost_model.decrypt_many_s(r.down_cts)
+                   for r in self.rounds)
 
     def client_crypto_energy(self, cost_model: ClientCostModel) -> float:
-        return (self.encrypt_ops * cost_model.encrypt_j
-                + self.decrypt_ops * cost_model.decrypt_j)
+        return sum(cost_model.encrypt_many_j(r.up_cts)
+                   + cost_model.decrypt_many_j(r.down_cts)
+                   for r in self.rounds)
 
     def client_activation_time(self,
                                client: Optional[Imx6SoftwareClient] = None) -> float:
@@ -222,6 +227,8 @@ class ClientAidedDnnPlan:
         led = CostLedger()
         led.client_encrypt_ops = self.encrypt_ops
         led.client_decrypt_ops = self.decrypt_ops
+        led.client_encrypt_batches = sum(1 for r in self.rounds if r.up_cts)
+        led.client_decrypt_batches = sum(1 for r in self.rounds if r.down_cts)
         led.client_compute_s = self.client_time(cost_model)
         led.client_energy_j = self.client_energy(cost_model)
         ct = self.params.ciphertext_bytes()
@@ -340,10 +347,11 @@ def _encrypted_conv(session: ClientAidedSession, conv: ConvLayer,
     spec = Conv2dSpec(conv.in_channels, conv.out_channels, h, w, conv.kernel_size)
     enc_conv = TiledEncryptedConv2d(ctx, spec, conv.weights)
     ctx.make_galois_keys(enc_conv.required_rotation_steps())
-    cts = [session.upload(session.client_encrypt(v.astype(np.int64)))
-           for v in enc_conv.pack_input(padded)]
+    cts = [session.upload(ct) for ct in session.client_encrypt_many(
+        [v.astype(np.int64) for v in enc_conv.pack_input(padded)])]
     out_cts = session.server_compute(enc_conv, cts)
-    slots = [session.client_decrypt(session.download(ct)) for ct in out_cts]
+    slots = session.client_decrypt_many(
+        [session.download(ct) for ct in out_cts])
     return enc_conv.unpack_outputs(slots)
 
 

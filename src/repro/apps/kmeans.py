@@ -96,13 +96,14 @@ class EncryptedKMeans:
         point) distance.
         """
         query_cts = [
-            session.upload(session.client_encrypt(v))
-            for v in self.kernel.pack_queries(centroids)
+            session.upload(ct)
+            for ct in session.client_encrypt_many(
+                self.kernel.pack_queries(centroids))
         ]
         out = session.server_compute(self.kernel.compute,
                                      self.point_cts, query_cts)
-        decrypted = [np.real(session.client_decrypt(session.download(ct)))
-                     for ct in out]
+        decrypted = [np.real(v) for v in session.client_decrypt_many(
+            [session.download(ct) for ct in out])]
         return self.kernel.decode_matrix(decrypted, len(centroids))
 
     def _encrypted_centroid_update(self, assignments: np.ndarray,
@@ -126,9 +127,10 @@ class EncryptedKMeans:
                 return sums
 
             sum_cts = session.server_compute(cluster_sums)
-            for dim, ct in enumerate(sum_cts):
-                value = np.real(session.client_decrypt(session.download(ct)))[0]
-                centroids[cluster, dim] = value / counts[cluster]
+            decrypted = session.client_decrypt_many(
+                [session.download(ct) for ct in sum_cts])
+            for dim, vec in enumerate(decrypted):
+                centroids[cluster, dim] = np.real(vec)[0] / counts[cluster]
         return centroids
 
     # ------------------------------------------------------------ reference

@@ -103,14 +103,14 @@ class EncryptedKnn:
         distances = []
         for batch in self._batches:
             query_cts = [
-                session.upload(session.client_encrypt(v))
-                for v in batch.kernel.pack_query(query)
+                session.upload(ct)
+                for ct in session.client_encrypt_many(batch.kernel.pack_query(query))
             ]
             out_cts = session.server_compute(batch.kernel.compute,
                                              batch.point_cts, query_cts)
             decrypted = [
-                np.real(session.client_decrypt(session.download(ct)))
-                for ct in out_cts
+                np.real(v) for v in session.client_decrypt_many(
+                    [session.download(ct) for ct in out_cts])
             ]
             distances.append(batch.kernel.decode(decrypted))
         all_distances = np.concatenate(distances)
@@ -132,7 +132,8 @@ class EncryptedKnn:
         """Decrypt the stored database (test helper: the client owns the key)."""
         out = []
         for batch in self._batches:
-            decrypted = [np.real(self.ctx.decrypt(ct)) for ct in batch.point_cts]
+            decrypted = [np.real(v)
+                         for v in self.ctx.decrypt_many(batch.point_cts)]
             for i in range(batch.count):
                 out.append(self._unpack_point(batch, decrypted, i))
         return out
@@ -252,6 +253,13 @@ class RemoteKnn:
             return self.ctx.encrypt_symmetric(values)
         return self.ctx.encrypt(values)
 
+    def _encrypt_many(self, values_list):
+        """Batch upload path: one stacked client pass for the whole list
+        (seed-compressed when symmetric)."""
+        if self.symmetric:
+            return self.ctx.encrypt_symmetric_many(values_list)
+        return self.ctx.encrypt_many(values_list)
+
     async def add_points(self, points: np.ndarray,
                          labels: Sequence[int]) -> int:
         """Provision one encrypted contribution; returns its batch id."""
@@ -266,7 +274,7 @@ class RemoteKnn:
         galois = self.ctx.make_galois_keys(kernel.required_rotation_steps())
         await self.client.upload_keys(relin=self.ctx.relin_keys(),
                                       galois=galois)
-        cts = [self._encrypt(v) for v in kernel.pack_points(points)]
+        cts = self._encrypt_many(kernel.pack_points(points))
         _, meta = await self.client.request(
             KnnOffloadService.OP_STORE, cts,
             {"n_points": len(points), "dims": int(points.shape[1]),
@@ -284,10 +292,10 @@ class RemoteKnn:
         query = np.asarray(query, dtype=float)
         distances = []
         for kernel, batch_id in self._batches:
-            query_cts = [self._encrypt(v) for v in kernel.pack_query(query)]
+            query_cts = self._encrypt_many(kernel.pack_query(query))
             out_cts, _meta = await self.client.request(
                 KnnOffloadService.OP_QUERY, query_cts, {"batch": batch_id})
-            decrypted = [np.real(self.ctx.decrypt(ct)) for ct in out_cts]
+            decrypted = [np.real(v) for v in self.ctx.decrypt_many(out_cts)]
             distances.append(kernel.decode(decrypted))
         all_distances = np.concatenate(distances)
         neighbors = np.argsort(all_distances)[: self.k]

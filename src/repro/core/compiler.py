@@ -257,12 +257,26 @@ class CompiledProgram:
             raise ValueError(f"missing program inputs: {sorted(missing)}")
         if self.rotation_steps:
             ctx.make_galois_keys(self.rotation_steps)
-        executor = _Executor(ctx, self.program.slots, inputs)
-        out = {}
-        for name, expr in self.program.outputs.items():
-            ct = executor.evaluate(expr)
-            out[name] = np.real(ctx.decrypt(ct))[: self.program.slots]
-        return out
+        # Encrypt all plaintext program inputs in one stacked client pass,
+        # and decrypt all program outputs in another — the compiler is a
+        # natural batch boundary for the client-crypto engine.
+        prepared = dict(inputs)
+        plain_names = [name for name in sorted(self.input_names)
+                       if not hasattr(prepared[name], "components")]
+        if plain_names:
+            padded = []
+            for name in plain_names:
+                vec = np.zeros(self.program.slots)
+                raw = np.asarray(prepared[name], dtype=float)
+                vec[: len(raw)] = raw
+                padded.append(vec)
+            prepared.update(zip(plain_names, ctx.encrypt_many(padded)))
+        executor = _Executor(ctx, self.program.slots, prepared)
+        out_cts = [(name, executor.evaluate(expr))
+                   for name, expr in self.program.outputs.items()]
+        decrypted = ctx.decrypt_many([ct for _, ct in out_cts])
+        return {name: np.real(vec)[: self.program.slots]
+                for (name, _), vec in zip(out_cts, decrypted)}
 
     def reference(self, inputs: Dict[str, Sequence[float]]) -> Dict[str, np.ndarray]:
         """Plaintext oracle evaluation of the same program."""

@@ -83,15 +83,15 @@ class DistanceKernel:
         return set()
 
     def encrypt_points(self, points: np.ndarray):
-        return [self.ctx.encrypt(v) for v in self.pack_points(points)]
+        return self.ctx.encrypt_many(self.pack_points(points))
 
     def encrypt_query(self, query: np.ndarray):
-        return [self.ctx.encrypt(v) for v in self.pack_query(query)]
+        return self.ctx.encrypt_many(self.pack_query(query))
 
     def distances(self, point_cts, query_cts, galois_keys=None) -> np.ndarray:
         """End-to-end helper: compute, decrypt, decode."""
         outputs = self.compute(point_cts, query_cts, galois_keys)
-        return self.decode([np.real(self.ctx.decrypt(ct)) for ct in outputs])
+        return self.decode([np.real(v) for v in self.ctx.decrypt_many(outputs)])
 
     def _check(self, points: np.ndarray):
         n, d = points.shape

@@ -31,6 +31,11 @@ class CostLedger:
 
     client_encrypt_ops: int = 0
     client_decrypt_ops: int = 0
+    # Batched-schedule accounting: how many stacked encrypt/decrypt passes
+    # produced those ops.  ops >> batches means the client amortizes its
+    # per-invocation overhead well (Fig. 12's batched client schedule).
+    client_encrypt_batches: int = 0
+    client_decrypt_batches: int = 0
     client_compute_s: float = 0.0
     client_energy_j: float = 0.0
     bytes_up: int = 0
@@ -82,6 +87,8 @@ class CostLedger:
     def merge(self, other: "CostLedger") -> None:
         self.client_encrypt_ops += other.client_encrypt_ops
         self.client_decrypt_ops += other.client_decrypt_ops
+        self.client_encrypt_batches += other.client_encrypt_batches
+        self.client_decrypt_batches += other.client_decrypt_batches
         self.client_compute_s += other.client_compute_s
         self.client_energy_j += other.client_energy_j
         self.bytes_up += other.bytes_up
@@ -94,15 +101,44 @@ class CostLedger:
 
 
 class ClientCostModel:
-    """Per-HE-operation client costs under one hardware assumption."""
+    """Per-HE-operation client costs under one hardware assumption.
+
+    The ``*_batch_overhead_*`` fields are the per-invocation fixed cost a
+    batched schedule amortizes: a batch of ``m`` operations costs
+    ``m * per_op - (m - 1) * overhead``.  Software models pay the overhead
+    on every op (no pipeline to keep warm), so theirs is zero; the
+    CHOCO-TACO model amortizes its fixed per-invocation pipeline cycles
+    (see ``AcceleratorModel.batch_overhead_cycles``).
+    """
 
     def __init__(self, name: str, encrypt_s: float, decrypt_s: float,
-                 encrypt_j: float, decrypt_j: float):
+                 encrypt_j: float, decrypt_j: float,
+                 encrypt_batch_overhead_s: float = 0.0,
+                 decrypt_batch_overhead_s: float = 0.0,
+                 encrypt_batch_overhead_j: float = 0.0,
+                 decrypt_batch_overhead_j: float = 0.0):
         self.name = name
         self.encrypt_s = encrypt_s
         self.decrypt_s = decrypt_s
         self.encrypt_j = encrypt_j
         self.decrypt_j = decrypt_j
+        self.encrypt_batch_overhead_s = encrypt_batch_overhead_s
+        self.decrypt_batch_overhead_s = decrypt_batch_overhead_s
+        self.encrypt_batch_overhead_j = encrypt_batch_overhead_j
+        self.decrypt_batch_overhead_j = decrypt_batch_overhead_j
+
+    # ------------------------------------------------------- batched costs
+    def encrypt_many_s(self, m: int) -> float:
+        return 0.0 if m <= 0 else m * self.encrypt_s - (m - 1) * self.encrypt_batch_overhead_s
+
+    def decrypt_many_s(self, m: int) -> float:
+        return 0.0 if m <= 0 else m * self.decrypt_s - (m - 1) * self.decrypt_batch_overhead_s
+
+    def encrypt_many_j(self, m: int) -> float:
+        return 0.0 if m <= 0 else m * self.encrypt_j - (m - 1) * self.encrypt_batch_overhead_j
+
+    def decrypt_many_j(self, m: int) -> float:
+        return 0.0 if m <= 0 else m * self.decrypt_j - (m - 1) * self.decrypt_batch_overhead_j
 
     # ------------------------------------------------------------ factories
     @classmethod
@@ -135,21 +171,35 @@ class ClientCostModel:
         from repro.accel.ckks_support import CkksAcceleration
         from repro.accel.design import AcceleratorModel
 
+        from repro.accel.design import CLOCK_HZ
+
         n = params.poly_degree
         k = params.logical_residue_count
+        hw = (model or AcceleratorModel()).at_parameters(n, k)
+        # The fixed pipeline overhead only the first op of a stacked batch
+        # pays (see AcceleratorModel.batch_overhead_cycles); leakage is the
+        # only energy drawn during those cycles.
+        overhead_s = hw.batch_overhead_cycles() / CLOCK_HZ
+        overhead_j = hw.leakage_w * overhead_s
         if params.scheme is SchemeType.CKKS:
             ckks = CkksAcceleration()
             enc = ckks.encrypt_encode_time(n, k)
             dec = ckks.decrypt_decode_time(n, k)
-            hw = (model or AcceleratorModel()).at_parameters(n, k)
             enc_j = hw.encrypt_cost().energy_j + Imx6SoftwareClient().energy(enc) * 0.05
             dec_j = hw.decrypt_cost().energy_j + Imx6SoftwareClient().energy(dec) * 0.44
-            return cls("choco-taco", enc, dec, enc_j, dec_j)
-        hw = (model or AcceleratorModel()).at_parameters(n, k)
+            return cls("choco-taco", enc, dec, enc_j, dec_j,
+                       encrypt_batch_overhead_s=overhead_s,
+                       decrypt_batch_overhead_s=overhead_s,
+                       encrypt_batch_overhead_j=overhead_j,
+                       decrypt_batch_overhead_j=overhead_j)
         enc_cost = hw.encrypt_cost()
         dec_cost = hw.decrypt_cost()
         return cls("choco-taco", enc_cost.time_s, dec_cost.time_s,
-                   enc_cost.energy_j, dec_cost.energy_j)
+                   enc_cost.energy_j, dec_cost.energy_j,
+                   encrypt_batch_overhead_s=overhead_s,
+                   decrypt_batch_overhead_s=overhead_s,
+                   encrypt_batch_overhead_j=overhead_j,
+                   decrypt_batch_overhead_j=overhead_j)
 
 
 class ProtocolViolation(RuntimeError):
@@ -212,6 +262,31 @@ class ClientAidedSession:
         self.ledger.client_compute_s += self.cost_model.decrypt_s
         self.ledger.client_energy_j += self.cost_model.decrypt_j
         self._record("decrypt", "client decrypts and refreshes noise")
+        return out
+
+    def client_encrypt_many(self, values_list):
+        """Encrypt a batch through the stacked engine, charging the
+        batch-amortized cost (one pipeline overhead for the whole batch)."""
+        cts = self.ctx.encrypt_many(values_list)
+        m = len(cts)
+        self.ledger.client_encrypt_ops += m
+        if m:
+            self.ledger.client_encrypt_batches += 1
+        self.ledger.client_compute_s += self.cost_model.encrypt_many_s(m)
+        self.ledger.client_energy_j += self.cost_model.encrypt_many_j(m)
+        self._record("encrypt", f"client encrypts batch of {m}")
+        return cts
+
+    def client_decrypt_many(self, cts):
+        """Decrypt a batch through the stacked engine (batch-amortized)."""
+        out = self.ctx.decrypt_many(cts)
+        m = len(out)
+        self.ledger.client_decrypt_ops += m
+        if m:
+            self.ledger.client_decrypt_batches += 1
+        self.ledger.client_compute_s += self.cost_model.decrypt_many_s(m)
+        self.ledger.client_energy_j += self.cost_model.decrypt_many_j(m)
+        self._record("decrypt", f"client decrypts batch of {m}")
         return out
 
     def client_plain_compute(self, seconds: float) -> None:

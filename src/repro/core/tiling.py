@@ -85,8 +85,8 @@ class TiledEncryptedConv2d:
         return vectors
 
     def encrypt_input(self, image: np.ndarray):
-        return [self.ctx.encrypt(v.astype(self._dtype()))
-                for v in self.pack_input(image)]
+        return self.ctx.encrypt_many(
+            [v.astype(self._dtype()) for v in self.pack_input(image)])
 
     def _dtype(self):
         from repro.hecore.params import SchemeType

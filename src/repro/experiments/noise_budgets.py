@@ -51,7 +51,9 @@ def measure_noise_budget_row(n: int, t_bits: int,
     ctx.make_galois_keys([ROTATION, -(WINDOW - ROTATION)])
     packing = RedundantPacking(window=WINDOW, redundancy=4, count=1)
     values = np.arange(1, WINDOW + 1, dtype=np.int64)
-    ct = ctx.encrypt(packing.pack([values]).astype(np.int64))
+    # Explicit encode-then-encrypt (shared plaintext path; encode cost is
+    # charged once rather than double-counted inside encrypt breakdowns).
+    ct = ctx.encrypt(ctx.encode(packing.pack([values]).astype(np.int64)))
 
     initial = ctx.noise_budget(ct)
     rotated = windowed_rotation_redundant(ctx, ct, ROTATION, packing.layout)

@@ -1,0 +1,187 @@
+"""Stacked (m, k, n) residue-block kernels for the batched client crypto.
+
+The client-side cost CHOCO offloads is dominated by per-ciphertext work:
+sampling, the forward/inverse NTTs and the Δ-scaling of encrypt, and the CRT
+scaling of decrypt.  ``encrypt_many`` / ``decrypt_many`` (in :mod:`bfv` and
+:mod:`ckks`) process M ciphertexts at once by stacking their residue
+matrices into one ``(m, k, n)`` int64 block and pushing the whole block
+through :class:`~repro.hecore.ntt.NttStackPlan`'s batch transforms — one
+``(m*k, n)`` stacked NTT instead of M k-row ones, and every modular fixup a
+single vectorized pass.
+
+Every helper here replicates the corresponding :class:`RnsPoly` formula
+verbatim (same conditional-subtract adds, same centered mod-switch
+remainder), so batch results are bit-identical to the looped single-shot
+path — the property tests in ``tests/test_batch_crypto.py`` pin this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.hecore import ntt
+from repro.hecore.modmath import center, mod_inv
+from repro.hecore.polyring import RnsPoly
+from repro.hecore.rns import RnsBase
+
+
+#: Target bytes of residue payload per pipeline tile.  A looped single-shot
+#: encrypt/decrypt keeps its whole (k, n) working set L2-resident across the
+#: NTT → dyadic → fixup chain; a monolithic (M, k, n) block streams multi-MB
+#: intermediates through every step and loses that locality.  The batch
+#: engines therefore sample once up front (preserving the documented PRNG
+#: block schedule) and then run the kernel pipeline over tiles of this many
+#: bytes, so consecutive steps reuse cache-warm blocks.
+_TILE_BYTES = 3 << 18
+
+
+def tile_size(base: RnsBase, degree: int, parts: int = 1) -> int:
+    """Ciphertexts per pipeline tile for blocks of ``parts`` components."""
+    per_ct = parts * len(base.moduli) * degree * 8
+    return max(1, _TILE_BYTES // per_ct)
+
+
+def signed_block(base: RnsBase, values: np.ndarray) -> np.ndarray:
+    """``(m, n)`` small signed values → ``(m, k, n)`` canonical residues.
+
+    The batch analogue of :meth:`RnsPoly.from_signed_array`.
+    """
+    return np.mod(values.astype(np.int64)[:, None, :], base.moduli_col)
+
+
+def forward_block(base: RnsBase, degree: int, block: np.ndarray,
+                  raw: bool = False) -> np.ndarray:
+    """Stacked forward NTT over an ``(m, k, n)`` coefficient block.
+
+    ``raw=True`` leaves the evaluations in raw butterfly order (no final
+    unscramble gather) — pair with :func:`dyadic_block_raw` and
+    ``inverse_block(..., raw=True)`` so the two permutation passes cancel.
+    """
+    return ntt.get_stack_plan(degree, base.moduli).forward_batch(
+        block, unscramble=not raw)
+
+
+def inverse_block(base: RnsBase, degree: int, block: np.ndarray,
+                  raw: bool = False) -> np.ndarray:
+    """Stacked inverse NTT over an ``(m, k, n)`` evaluation block.
+
+    ``raw=True`` declares the input already in raw butterfly order.
+    """
+    return ntt.get_stack_plan(degree, base.moduli).inverse_batch(
+        block, prescrambled=raw)
+
+
+def dyadic_block(base: RnsBase, block: np.ndarray, poly: RnsPoly) -> np.ndarray:
+    """Pointwise NTT-domain product of every block row with one poly.
+
+    Plain mul-mod, exact in int64: both factors are canonical ``< 2**30``.
+    Matches ``NttStackPlan.dyadic_multiply`` (``np.mod(a * b, p)``).
+    """
+    return np.mod(block * poly.data[None, :, :], base.moduli_col)
+
+
+def raw_tables(poly: RnsPoly) -> Tuple[np.ndarray, np.ndarray]:
+    """This NTT poly's residues in raw butterfly order, plus Shoup quotients.
+
+    Cached on the poly (see ``RnsPoly._raw_tables``), so it must only be used
+    on long-lived key material that is never mutated in place — the secret
+    key's restricted forms and the public key components.  The Shoup table is
+    ``None`` for moduli at or above :data:`ntt.SHOUP_MODULUS_BOUND` (no
+    library parameter set reaches it; callers then fall back to ``np.mod``).
+    """
+    cached = poly._raw_tables
+    if cached is None:
+        plan = ntt.get_stack_plan(poly.degree, poly.base.moduli)
+        data = np.ascontiguousarray(poly.data[:, plan.scramble_order])
+        if max(poly.base.moduli) < ntt.SHOUP_MODULUS_BOUND:
+            shoup = (data << 32) // poly.base.moduli_col
+        else:
+            shoup = None
+        cached = (data, shoup)
+        poly._raw_tables = cached
+    return cached
+
+
+def dyadic_block_raw(base: RnsBase, block: np.ndarray, poly: RnsPoly) -> np.ndarray:
+    """Pointwise product with a cached key poly, both sides in raw butterfly
+    order (``forward_block(..., raw=True)`` output).
+
+    Uses Shoup's precomputed-quotient multiply — ``q = (x * floor(w * 2**32 /
+    p)) >> 32``; ``x*w - q*p`` lands in ``[0, 2p)`` for canonical ``x`` — so
+    the hot dyadic step contains no division.  One conditional subtract
+    restores the canonical range, making the result bit-identical to
+    :func:`dyadic_block` up to the (cancelled) permutation.
+    """
+    data, shoup = raw_tables(poly)
+    if shoup is None:
+        return np.mod(block * data[None, :, :], base.moduli_col)
+    q = (block * shoup[None, :, :]) >> 32
+    q *= base.moduli_col
+    prod = block * data[None, :, :]
+    prod -= q
+    pu = prod.view(np.uint64)
+    np.minimum(pu, pu - base.moduli_col.view(np.uint64), out=pu)
+    return prod
+
+
+def add_blocks(base: RnsBase, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise modular sum of canonical blocks (conditional subtract).
+
+    The subtract is the unsigned-minimum trick from the NTT kernels: viewed
+    as uint64, ``total - p`` wraps above ``2**63`` whenever ``total < p``, so
+    an in-place elementwise minimum selects the reduced representative
+    without a boolean mask or a second temporary.
+    """
+    total = a + b
+    tu = total.view(np.uint64)
+    np.minimum(tu, tu - base.moduli_col.view(np.uint64), out=tu)
+    return total
+
+
+def negate_block(base: RnsBase, block: np.ndarray) -> np.ndarray:
+    """Elementwise modular negation of a canonical block."""
+    return np.where(block == 0, 0, base.moduli_col - block)
+
+
+def scalar_multiply_block(base: RnsBase, block: np.ndarray, scalar: int) -> np.ndarray:
+    """Multiply every coefficient by a (possibly big) integer scalar."""
+    scol = np.array([int(scalar) % p for p in base.moduli],
+                    dtype=np.int64).reshape(-1, 1)
+    return np.mod(block * scol, base.moduli_col)
+
+
+def divide_and_round_by_last_block(
+    base: RnsBase, block: np.ndarray
+) -> Tuple[RnsBase, np.ndarray]:
+    """Batch modulus switch: the :meth:`RnsPoly.divide_and_round_by_last`
+    formula applied to a whole ``(m, k, n)`` block at once.
+
+    Returns ``(dropped_base, (m, k-1, n) block)``.
+    """
+    last = base.moduli[-1]
+    target = base.drop_last()
+    tcol = target.moduli_col
+    remainder = center(block[:, -1, :], last)
+    inv_last_col = np.array(
+        [mod_inv(last % p, p) for p in target.moduli], dtype=np.int64
+    ).reshape(-1, 1)
+    diff = block[:, :-1, :] - np.mod(remainder[:, None, :], tcol)
+    diff = np.where(diff < 0, diff + tcol, diff)
+    return target, np.mod(diff * inv_last_col, tcol)
+
+
+def split_polys(
+    base: RnsBase, degree: int, block: np.ndarray, is_ntt: bool = False
+) -> List[RnsPoly]:
+    """``(m, k, n)`` block → m independent :class:`RnsPoly` (contiguous copies,
+    so downstream in-place ops on one ciphertext cannot alias its batchmates).
+    """
+    return [RnsPoly(base, degree, np.ascontiguousarray(row), is_ntt=is_ntt)
+            for row in block]
+
+
+def stack_components(polys: List[RnsPoly]) -> np.ndarray:
+    """m coefficient-form polys over one base → ``(m, k, n)`` block."""
+    return np.stack([p.from_ntt().data for p in polys])

@@ -18,12 +18,13 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.hecore import hoisting, ntt
+from repro.hecore import batchcrypt, hoisting, ntt
 from repro.hecore.ciphertext import Ciphertext
 from repro.hecore.keys import (
     GaloisKeys,
     KeyGenerator,
     RelinKeys,
+    expand_uniform_poly,
     galois_element_for_conjugation,
     galois_element_for_step,
     switch_key,
@@ -75,10 +76,36 @@ class BatchEncoder:
         evals[self._positions] = slots
         return Plaintext(self._plan.inverse(evals[None, :])[0], self.modulus)
 
+    def encode_many(self, values_list: Sequence[Sequence[int]]) -> List[Plaintext]:
+        """Encode M slot vectors with one stacked inverse NTT.
+
+        Bit-identical to M :meth:`encode` calls (the stacked transform is
+        bit-exact with the per-row one).
+        """
+        n = self.params.poly_degree
+        m = len(values_list)
+        if m == 0:
+            return []
+        evals = np.zeros((m, 1, n), dtype=np.int64)
+        for i, values in enumerate(values_list):
+            if len(values) > n:
+                raise ValueError(f"too many values ({len(values)}) for {n} slots")
+            evals[i, 0, self._positions[: len(values)]] = np.mod(
+                np.asarray(values, dtype=np.int64), self.modulus
+            )
+        coeffs = self._plan.inverse_batch(evals)[:, 0, :]
+        return [Plaintext(row, self.modulus) for row in coeffs]
+
     def decode(self, plaintext: Plaintext) -> np.ndarray:
         """Unpack a plaintext back into its N slot values."""
         evals = self._plan.forward(plaintext.coeffs[None, :])[0]
         return evals[self._positions]
+
+    def decode_rows(self, coeff_rows: np.ndarray) -> np.ndarray:
+        """Decode M coefficient rows ``(m, n)`` → slot rows ``(m, n)`` with
+        one stacked forward NTT; bit-identical to M :meth:`decode` calls."""
+        evals = self._plan.forward_batch(coeff_rows[:, None, :])[:, 0, :]
+        return evals[:, self._positions]
 
 
 class BfvContext:
@@ -125,19 +152,37 @@ class BfvContext:
     def decode(self, plaintext: Plaintext) -> np.ndarray:
         return self.encoder.decode(plaintext)
 
+    def _as_plaintexts(self, values_list: Sequence) -> List[Plaintext]:
+        """Encode the raw entries of a mixed values/plaintexts batch with one
+        stacked inverse NTT, passing pre-encoded plaintexts through."""
+        plaintexts = [v if isinstance(v, Plaintext) else None
+                      for v in values_list]
+        raw = [v for v, pt in zip(values_list, plaintexts) if pt is None]
+        if raw:
+            encoded = iter(self.encoder.encode_many(raw))
+            plaintexts = [pt if pt is not None else next(encoded)
+                          for pt in plaintexts]
+        return plaintexts
+
     # ------------------------------------------------------- encrypt/decrypt
-    def encrypt(self, values) -> Ciphertext:
-        """Encrypt a slot vector (or a pre-encoded :class:`Plaintext`)."""
+    def encrypt(self, values, rng: Optional[BlakePrng] = None) -> Ciphertext:
+        """Encrypt a slot vector (or a pre-encoded :class:`Plaintext`).
+
+        *rng* overrides the context PRNG (used by the batch-equivalence
+        property tests to replay :meth:`encrypt_many`'s fork schedule); the
+        default draws from the context stream exactly as before.
+        """
         plaintext = values if isinstance(values, Plaintext) else self.encode(values)
         self.counts["encrypt"] += 1
         params = self.params
         n = params.poly_degree
         full = params.full_base
         pk = self.keygen.public_key()
+        rng = self._prng if rng is None else rng
 
-        u = RnsPoly.from_signed_array(full, self._prng.sample_ternary(n)).to_ntt()
-        e1 = RnsPoly.from_signed_array(full, self._prng.sample_error(n))
-        e2 = RnsPoly.from_signed_array(full, self._prng.sample_error(n))
+        u = RnsPoly.from_signed_array(full, rng.sample_ternary(n)).to_ntt()
+        e1 = RnsPoly.from_signed_array(full, rng.sample_error(n))
+        e2 = RnsPoly.from_signed_array(full, rng.sample_error(n))
         c0 = (pk.p0 * u).from_ntt() + e1
         c1 = (pk.p1 * u).from_ntt() + e2
         # Modulus-switch away the key primes (Figure 5's Mod Switching stage).
@@ -150,7 +195,74 @@ class BfvContext:
         c0 = c0 + m_poly.scalar_multiply(delta)
         return Ciphertext(params, [c0, c1])
 
-    def encrypt_symmetric(self, values, seed: Optional[bytes] = None) -> Ciphertext:
+    def encrypt_many(self, values_list: Sequence,
+                     rng: Optional[BlakePrng] = None) -> List[Ciphertext]:
+        """Encrypt M slot vectors (or plaintexts) as one stacked batch.
+
+        All randomness for the batch is drawn as ``(M, N)`` blocks from
+        labeled forks of the context PRNG (``batch-encrypt`` → ``u`` /
+        ``e1`` / ``e2``), so row ``i`` of each block equals the ``i``-th
+        sequential draw from the same fork — the schedule the equivalence
+        tests replay.  Both public-key products run through a single
+        ``(2M·k, N)`` stacked NTT pair, and the mod-switch and Δ-scaling are
+        one vectorized pass over the whole block.
+        """
+        plaintexts = self._as_plaintexts(values_list)
+        m = len(plaintexts)
+        if m == 0:
+            return []
+        self.counts["encrypt"] += m
+        params = self.params
+        n = params.poly_degree
+        full = params.full_base
+        pk = self.keygen.public_key()
+        rng = self._prng.fork("batch-encrypt") if rng is None else rng
+
+        u_all = rng.fork("u").sample_ternary((m, n))
+        e1_all = rng.fork("e1").sample_error((m, n))
+        e2_all = rng.fork("e2").sample_error((m, n))
+        msg_all = np.stack([pt.coeffs for pt in plaintexts])
+        delta = params.data_base.modulus // params.plain_modulus
+        out: List[Ciphertext] = []
+        # Sampling above is one (M, N) draw per stream; the kernel pipeline
+        # below runs over cache-sized ciphertext tiles so each tile's blocks
+        # stay resident from the NTT through the Δ-scaling.
+        tile = batchcrypt.tile_size(full, n, parts=2)
+        for start in range(0, m, tile):
+            stop = min(start + tile, m)
+            g = stop - start
+            u = batchcrypt.signed_block(full, u_all[start:stop])
+            e1 = batchcrypt.signed_block(full, e1_all[start:stop])
+            e2 = batchcrypt.signed_block(full, e2_all[start:stop])
+            # Raw butterfly-order sandwich: forward without the unscramble
+            # gather, Shoup dyadic against the pre-permuted public key, and a
+            # prescrambled inverse — the two permutation passes cancel.
+            u_ntt = batchcrypt.forward_block(full, n, u, raw=True)
+            # c0 and c1 products stacked into one (2g, k, n) block: a single
+            # inverse transform covers both components of every ciphertext.
+            prod = np.concatenate([
+                batchcrypt.dyadic_block_raw(full, u_ntt, pk.p0),
+                batchcrypt.dyadic_block_raw(full, u_ntt, pk.p1),
+            ])
+            block = batchcrypt.inverse_block(full, n, prod, raw=True)
+            block = batchcrypt.add_blocks(full, block,
+                                          np.concatenate([e1, e2]))
+            base = full
+            for _ in params.special_primes:
+                base, block = batchcrypt.divide_and_round_by_last_block(
+                    base, block)
+            msg = batchcrypt.signed_block(base, msg_all[start:stop])
+            c0 = batchcrypt.add_blocks(
+                base, block[:g],
+                batchcrypt.scalar_multiply_block(base, msg, delta))
+            c0_polys = batchcrypt.split_polys(base, n, c0)
+            c1_polys = batchcrypt.split_polys(base, n, block[g:])
+            out.extend(Ciphertext(params, [p0, p1])
+                       for p0, p1 in zip(c0_polys, c1_polys))
+        return out
+
+    def encrypt_symmetric(self, values, seed: Optional[bytes] = None,
+                          rng: Optional[BlakePrng] = None) -> Ciphertext:
         """Symmetric (secret-key) encryption with a seed-expanded ``c1``.
 
         Fresh client uploads don't need public-key encryption: the client
@@ -158,17 +270,16 @@ class BfvContext:
         lets the wire format carry only ``c0`` plus 32 bytes (the
         seed-compression extension; see Ciphertext.size_bytes).
         """
-        from repro.hecore.keys import expand_uniform_poly
-
         plaintext = values if isinstance(values, Plaintext) else self.encode(values)
         self.counts["encrypt"] += 1
         params = self.params
         n = params.poly_degree
         base = params.data_base
+        rng = self._prng if rng is None else rng
         if seed is None:
-            seed = self._prng.random_bytes(32)
+            seed = rng.random_bytes(32)
         a = expand_uniform_poly(seed, base, n)
-        e = RnsPoly.from_signed_array(base, self._prng.sample_error(n))
+        e = RnsPoly.from_signed_array(base, rng.sample_error(n))
         s_ntt = self.keygen.secret_key().restricted_ntt(base, params.full_base)
         c0 = -(a.to_ntt() * s_ntt).from_ntt() + e
         delta = base.modulus // params.plain_modulus
@@ -176,8 +287,57 @@ class BfvContext:
         c0 = c0 + m_poly.scalar_multiply(delta)
         return Ciphertext(params, [c0, a], seed=bytes(seed))
 
-    def _raw_decrypt_ints(self, ct: Ciphertext) -> List[int]:
-        """CRT-composed ``[c0 + c1 s (+ c2 s^2)]_q`` as canonical integers."""
+    def encrypt_symmetric_many(self, values_list: Sequence,
+                               rng: Optional[BlakePrng] = None
+                               ) -> List[Ciphertext]:
+        """Seed-compressed symmetric encryption of M vectors as one batch.
+
+        PRNG schedule: the 32-byte seeds come sequentially from the ``seed``
+        fork of a ``batch-encrypt-symmetric`` fork, the error block as one
+        ``(M, N)`` draw from its ``e`` fork.  The ``a·s`` products share one
+        stacked forward/inverse NTT pair across the batch.
+        """
+        plaintexts = self._as_plaintexts(values_list)
+        m = len(plaintexts)
+        if m == 0:
+            return []
+        self.counts["encrypt"] += m
+        params = self.params
+        n = params.poly_degree
+        base = params.data_base
+        rng = (self._prng.fork("batch-encrypt-symmetric")
+               if rng is None else rng)
+        seed_rng = rng.fork("seed")
+        seeds = [seed_rng.random_bytes(32) for _ in range(m)]
+        e_all = rng.fork("e").sample_error((m, n))
+        s_ntt = self.keygen.secret_key().restricted_ntt(base, params.full_base)
+        delta = base.modulus // params.plain_modulus
+        msg_all = np.stack([pt.coeffs for pt in plaintexts])
+        out: List[Ciphertext] = []
+        tile = batchcrypt.tile_size(base, n, parts=2)
+        for start in range(0, m, tile):
+            stop = min(start + tile, m)
+            e = batchcrypt.signed_block(base, e_all[start:stop])
+            a_block = np.stack([expand_uniform_poly(seed, base, n).data
+                                for seed in seeds[start:stop]])
+            a_ntt = batchcrypt.forward_block(base, n, a_block, raw=True)
+            prod = batchcrypt.inverse_block(
+                base, n, batchcrypt.dyadic_block_raw(base, a_ntt, s_ntt),
+                raw=True)
+            c0 = batchcrypt.add_blocks(
+                base, batchcrypt.negate_block(base, prod), e)
+            msg = batchcrypt.signed_block(base, msg_all[start:stop])
+            c0 = batchcrypt.add_blocks(
+                base, c0, batchcrypt.scalar_multiply_block(base, msg, delta))
+            c0_polys = batchcrypt.split_polys(base, n, c0)
+            a_polys = batchcrypt.split_polys(base, n, a_block)
+            out.extend(
+                Ciphertext(params, [p0, a], seed=bytes(seed))
+                for p0, a, seed in zip(c0_polys, a_polys, seeds[start:stop]))
+        return out
+
+    def _raw_decrypt_poly(self, ct: Ciphertext) -> RnsPoly:
+        """``[c0 + c1 s (+ c2 s^2)]_q`` in coefficient form over the level base."""
         params = self.params
         base = ct.level_base
         s_ntt = self.keygen.secret_key().restricted_ntt(base, params.full_base)
@@ -186,11 +346,46 @@ class BfvContext:
         for comp in ct.components[1:]:
             acc = acc + (comp.to_ntt() * s_power).from_ntt()
             s_power = s_power * s_ntt
-        return acc.base.compose(acc.from_ntt().data)
+        return acc.from_ntt()
+
+    def _raw_decrypt_ints(self, ct: Ciphertext) -> List[int]:
+        """CRT-composed ``[c0 + c1 s (+ c2 s^2)]_q`` as canonical integers."""
+        acc = self._raw_decrypt_poly(ct)
+        return acc.base.compose(acc.data)
+
+    def _scale_to_plain(self, base, block: np.ndarray) -> np.ndarray:
+        """``round(t/q · x) mod t`` over an ``(m, k, n)`` residue block.
+
+        The bigint-free RNS scaling (:meth:`RnsBase.scale_and_round_mod`);
+        coefficients whose float correction lands inside the guard band are
+        recomputed exactly — identical results either way, pinned by tests.
+        """
+        t = self.params.plain_modulus
+        values, unsafe = base.scale_and_round_mod(block, t)
+        if unsafe.any():
+            q = base.modulus
+            for mi, col in zip(*np.nonzero(unsafe)):
+                x = base.compose(block[mi][:, [col]])
+                values[mi, col] = scale_and_round(x, t, q)[0] % t
+        return values
 
     def decrypt(self, ct: Ciphertext) -> np.ndarray:
-        """Decrypt to the slot vector (Eq. 3: round(t/q ⋅ [c0 + c1 s]_q) mod t)."""
+        """Decrypt to the slot vector (Eq. 3: round(t/q ⋅ [c0 + c1 s]_q) mod t).
+
+        Runs entirely in vectorized RNS arithmetic — no big-integer CRT
+        composition; see :meth:`RnsBase.scale_and_round_mod`.
+        """
         self.counts["decrypt"] += 1
+        acc = self._raw_decrypt_poly(ct)
+        coeffs = self._scale_to_plain(acc.base, acc.data[None])[0]
+        return self.decode(Plaintext(coeffs, self.params.plain_modulus))
+
+    def _decrypt_bigint(self, ct: Ciphertext) -> np.ndarray:
+        """Exact big-integer reference decrypt (pre-RNS-scaling code path).
+
+        Kept as the correctness oracle for the vectorized path and as the
+        looped baseline of ``bench_client_crypto``; not ``counts``-charged.
+        """
         params = self.params
         q = ct.level_base.modulus
         t = params.plain_modulus
@@ -198,16 +393,73 @@ class BfvContext:
         coeffs = np.array([v % t for v in scale_and_round(x, t, q)], dtype=np.int64)
         return self.decode(Plaintext(coeffs, t))
 
+    def decrypt_many(self, cts: Sequence[Ciphertext]) -> List[np.ndarray]:
+        """Decrypt M ciphertexts as stacked batches.
+
+        Two-component ciphertexts sharing a level base form one ``(M, k, n)``
+        block: a single stacked NTT pair for the ``c1·s`` products, one
+        vectorized RNS scaling, and one stacked decode.  Odd ciphertexts
+        (3-component, lone bases) fall back to :meth:`decrypt` individually.
+        Results are bit-identical to looped :meth:`decrypt` calls.
+        """
+        results: List[Optional[np.ndarray]] = [None] * len(cts)
+        groups = {}
+        for i, ct in enumerate(cts):
+            if len(ct) == 2:
+                groups.setdefault(ct.level_base.moduli, []).append(i)
+            else:
+                results[i] = self.decrypt(ct)
+        params = self.params
+        n = params.poly_degree
+        for indices in groups.values():
+            base = cts[indices[0]].level_base
+            s_ntt = self.keygen.secret_key().restricted_ntt(base, params.full_base)
+            coeff_rows = []
+            # Cache-sized ciphertext tiles: each tile's block stays resident
+            # from the c1 forward transform through the RNS scaling.
+            tile = batchcrypt.tile_size(base, n, parts=2)
+            for start in range(0, len(indices), tile):
+                chunk = indices[start:start + tile]
+                c0 = batchcrypt.stack_components(
+                    [cts[i].components[0] for i in chunk])
+                c1 = batchcrypt.stack_components(
+                    [cts[i].components[1] for i in chunk])
+                prod = batchcrypt.inverse_block(
+                    base, n,
+                    batchcrypt.dyadic_block_raw(
+                        base, batchcrypt.forward_block(base, n, c1, raw=True),
+                        s_ntt),
+                    raw=True)
+                acc = batchcrypt.add_blocks(base, c0, prod)
+                coeff_rows.append(self._scale_to_plain(base, acc))
+            slots = self.encoder.decode_rows(np.concatenate(coeff_rows))
+            for row, i in enumerate(indices):
+                results[i] = slots[row]
+            self.counts["decrypt"] += len(indices)
+        return results
+
     def noise_budget(self, ct: Ciphertext) -> int:
         """Invariant noise budget in bits (SEAL's ``invariant_noise_budget``).
 
         Exhausting the budget (0 bits) renders the ciphertext undecryptable —
         the constraint Table 4 and rotational redundancy are about.
+
+        Vectorized: a float CRT estimate of ``|t·x mod q| / q`` ranks the
+        coefficients, and only the near-maximal candidates are composed to
+        exact big integers for the bit-length — the estimate's error
+        (``~k²·2⁻⁵³``) is orders of magnitude below the selection tolerance,
+        so the returned budget is exact.
         """
-        q = ct.level_base.modulus
+        base = ct.level_base
+        q = base.modulus
         t = self.params.plain_modulus
-        x = self._raw_decrypt_ints(ct)
-        worst = max(abs(centered_mod(t * v, q)) for v in x)
+        acc = self._raw_decrypt_poly(ct)
+        tcol = np.array([t % p for p in base.moduli], dtype=np.int64).reshape(-1, 1)
+        tz = np.mod(acc.data * tcol, base.moduli_col)
+        frac = base.fractional_positions(tz)
+        dist = np.minimum(frac, 1.0 - frac)
+        candidates = np.nonzero(dist >= dist.max() - 2.0 ** -40)[0]
+        worst = max(abs(v) for v in base.compose_centered(tz[:, candidates]))
         if worst == 0:
             return q.bit_length() - 1
         budget = q.bit_length() - 1 - worst.bit_length()

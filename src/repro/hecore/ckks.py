@@ -13,12 +13,13 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.hecore import hoisting
+from repro.hecore import batchcrypt, hoisting
 from repro.hecore.ciphertext import Ciphertext
 from repro.hecore.keys import (
     GaloisKeys,
     KeyGenerator,
     RelinKeys,
+    expand_uniform_poly,
     galois_element_for_conjugation,
     galois_element_for_step,
     switch_key,
@@ -75,11 +76,18 @@ class CkksEncoder:
 
     def decode(self, plaintext: CkksPlaintext) -> np.ndarray:
         """Decode back to N/2 (complex) slot values."""
-        n = self.params.poly_degree
         ints = plaintext.poly.to_int_coeffs(centered=True)
-        coeffs = np.array([float(v) for v in ints]) / plaintext.scale
-        evals = n * np.fft.ifft(coeffs * self._psi_powers)
-        return evals[self._positions]
+        coeffs = np.array([float(v) for v in ints])
+        return self.decode_rows(coeffs[None, :], plaintext.scale)[0]
+
+    def decode_rows(self, coeff_rows: np.ndarray, scales) -> np.ndarray:
+        """Decode M centered-coefficient rows ``(m, n)`` → slot rows
+        ``(m, n/2)``; *scales* is a scalar or per-row array."""
+        n = self.params.poly_degree
+        scales = np.asarray(scales, dtype=np.float64).reshape(-1, 1)
+        coeffs = coeff_rows / scales
+        evals = n * np.fft.ifft(coeffs * self._psi_powers[None, :], axis=-1)
+        return evals[:, self._positions]
 
 
 class CkksContext:
@@ -118,18 +126,23 @@ class CkksContext:
         return self.encoder.decode(plaintext)
 
     # ------------------------------------------------------- encrypt/decrypt
-    def encrypt(self, values) -> Ciphertext:
-        """Encrypt a value vector (or a pre-encoded :class:`CkksPlaintext`)."""
+    def encrypt(self, values, rng: Optional[BlakePrng] = None) -> Ciphertext:
+        """Encrypt a value vector (or a pre-encoded :class:`CkksPlaintext`).
+
+        *rng* overrides the context PRNG (used by the batch-equivalence
+        property tests to replay :meth:`encrypt_many`'s fork schedule).
+        """
         plaintext = values if isinstance(values, CkksPlaintext) else self.encode(values)
         self.counts["encrypt"] += 1
         params = self.params
         n = params.poly_degree
         full = params.full_base
         pk = self.keygen.public_key()
+        rng = self._prng if rng is None else rng
 
-        u = RnsPoly.from_signed_array(full, self._prng.sample_ternary(n)).to_ntt()
-        e1 = RnsPoly.from_signed_array(full, self._prng.sample_error(n))
-        e2 = RnsPoly.from_signed_array(full, self._prng.sample_error(n))
+        u = RnsPoly.from_signed_array(full, rng.sample_ternary(n)).to_ntt()
+        e1 = RnsPoly.from_signed_array(full, rng.sample_error(n))
+        e2 = RnsPoly.from_signed_array(full, rng.sample_error(n))
         c0 = (pk.p0 * u).from_ntt() + e1
         c1 = (pk.p1 * u).from_ntt() + e2
         for _ in params.special_primes:
@@ -138,30 +151,136 @@ class CkksContext:
         c0 = c0 + plaintext.poly
         return Ciphertext(params, [c0, c1], scale=plaintext.scale)
 
-    def encrypt_symmetric(self, values, seed: Optional[bytes] = None) -> Ciphertext:
+    def encrypt_many(self, values_list: Sequence,
+                     rng: Optional[BlakePrng] = None) -> list:
+        """Encrypt M value vectors (or plaintexts) as one stacked batch.
+
+        Same structure and PRNG fork schedule as
+        :meth:`BfvContext.encrypt_many` (``batch-encrypt`` → ``u`` / ``e1`` /
+        ``e2`` forks, one ``(2M·k, N)`` stacked NTT pair, vectorized
+        mod-switch); the encoded message is added directly instead of
+        Δ-scaled.  Bit-identical to looped :meth:`encrypt` under the fork
+        schedule.
+        """
+        plaintexts = [v if isinstance(v, CkksPlaintext) else self.encode(v)
+                      for v in values_list]
+        m = len(plaintexts)
+        if m == 0:
+            return []
+        self.counts["encrypt"] += m
+        params = self.params
+        n = params.poly_degree
+        full = params.full_base
+        pk = self.keygen.public_key()
+        rng = self._prng.fork("batch-encrypt") if rng is None else rng
+
+        u_all = rng.fork("u").sample_ternary((m, n))
+        e1_all = rng.fork("e1").sample_error((m, n))
+        e2_all = rng.fork("e2").sample_error((m, n))
+        msg_all = np.stack([pt.poly.data for pt in plaintexts])
+        out: list = []
+        # One (M, N) draw per stream above; cache-sized ciphertext tiles
+        # below (see batchcrypt.tile_size).
+        tile = batchcrypt.tile_size(full, n, parts=2)
+        for start in range(0, m, tile):
+            stop = min(start + tile, m)
+            g = stop - start
+            u = batchcrypt.signed_block(full, u_all[start:stop])
+            e1 = batchcrypt.signed_block(full, e1_all[start:stop])
+            e2 = batchcrypt.signed_block(full, e2_all[start:stop])
+            # Raw butterfly-order sandwich (see bfv.encrypt_many): the
+            # forward unscramble and inverse scramble gathers cancel, and the
+            # dyadic runs in Shoup form against the pre-permuted public key.
+            u_ntt = batchcrypt.forward_block(full, n, u, raw=True)
+            prod = np.concatenate([
+                batchcrypt.dyadic_block_raw(full, u_ntt, pk.p0),
+                batchcrypt.dyadic_block_raw(full, u_ntt, pk.p1),
+            ])
+            block = batchcrypt.inverse_block(full, n, prod, raw=True)
+            block = batchcrypt.add_blocks(full, block,
+                                          np.concatenate([e1, e2]))
+            base = full
+            for _ in params.special_primes:
+                base, block = batchcrypt.divide_and_round_by_last_block(
+                    base, block)
+            c0 = batchcrypt.add_blocks(base, block[:g], msg_all[start:stop])
+            c0_polys = batchcrypt.split_polys(base, n, c0)
+            c1_polys = batchcrypt.split_polys(base, n, block[g:])
+            out.extend(
+                Ciphertext(params, [p0, p1], scale=pt.scale)
+                for p0, p1, pt in zip(c0_polys, c1_polys,
+                                      plaintexts[start:stop]))
+        return out
+
+    def encrypt_symmetric(self, values, seed: Optional[bytes] = None,
+                          rng: Optional[BlakePrng] = None) -> Ciphertext:
         """Symmetric (secret-key) encryption with a seed-expanded ``c1``.
 
         See :meth:`BfvContext.encrypt_symmetric`; the CKKS variant adds the
         scaled message directly (no Δ scaling).
         """
-        from repro.hecore.keys import expand_uniform_poly
-
         plaintext = values if isinstance(values, CkksPlaintext) else self.encode(values)
         self.counts["encrypt"] += 1
         params = self.params
         n = params.poly_degree
         base = params.data_base
+        rng = self._prng if rng is None else rng
         if seed is None:
-            seed = self._prng.random_bytes(32)
+            seed = rng.random_bytes(32)
         a = expand_uniform_poly(seed, base, n)
-        e = RnsPoly.from_signed_array(base, self._prng.sample_error(n))
+        e = RnsPoly.from_signed_array(base, rng.sample_error(n))
         s_ntt = self.keygen.secret_key().restricted_ntt(base, params.full_base)
         c0 = -(a.to_ntt() * s_ntt).from_ntt() + e + plaintext.poly
         return Ciphertext(params, [c0, a], scale=plaintext.scale, seed=bytes(seed))
 
-    def decrypt(self, ct: Ciphertext) -> np.ndarray:
-        """Decrypt to the (approximate) slot vector."""
-        self.counts["decrypt"] += 1
+    def encrypt_symmetric_many(self, values_list: Sequence,
+                               rng: Optional[BlakePrng] = None) -> list:
+        """Seed-compressed symmetric encryption of M vectors as one batch.
+
+        PRNG schedule matches :meth:`BfvContext.encrypt_symmetric_many`
+        (``batch-encrypt-symmetric`` → ``seed`` / ``e`` forks).
+        """
+        plaintexts = [v if isinstance(v, CkksPlaintext) else self.encode(v)
+                      for v in values_list]
+        m = len(plaintexts)
+        if m == 0:
+            return []
+        self.counts["encrypt"] += m
+        params = self.params
+        n = params.poly_degree
+        base = params.data_base
+        rng = (self._prng.fork("batch-encrypt-symmetric")
+               if rng is None else rng)
+        seed_rng = rng.fork("seed")
+        seeds = [seed_rng.random_bytes(32) for _ in range(m)]
+        e_all = rng.fork("e").sample_error((m, n))
+        s_ntt = self.keygen.secret_key().restricted_ntt(base, params.full_base)
+        msg_all = np.stack([pt.poly.data for pt in plaintexts])
+        out: list = []
+        tile = batchcrypt.tile_size(base, n, parts=2)
+        for start in range(0, m, tile):
+            stop = min(start + tile, m)
+            e = batchcrypt.signed_block(base, e_all[start:stop])
+            a_block = np.stack([expand_uniform_poly(seed, base, n).data
+                                for seed in seeds[start:stop]])
+            a_ntt = batchcrypt.forward_block(base, n, a_block, raw=True)
+            prod = batchcrypt.inverse_block(
+                base, n, batchcrypt.dyadic_block_raw(base, a_ntt, s_ntt),
+                raw=True)
+            c0 = batchcrypt.add_blocks(
+                base, batchcrypt.negate_block(base, prod), e)
+            c0 = batchcrypt.add_blocks(base, c0, msg_all[start:stop])
+            c0_polys = batchcrypt.split_polys(base, n, c0)
+            a_polys = batchcrypt.split_polys(base, n, a_block)
+            out.extend(
+                Ciphertext(params, [p0, a], scale=pt.scale, seed=bytes(seed))
+                for p0, a, pt, seed in zip(c0_polys, a_polys,
+                                           plaintexts[start:stop],
+                                           seeds[start:stop]))
+        return out
+
+    def _raw_decrypt_poly(self, ct: Ciphertext) -> RnsPoly:
+        """``[c0 + c1 s (+ c2 s^2)]_q`` in coefficient form over the level base."""
         base = ct.level_base
         s_ntt = self.keygen.secret_key().restricted_ntt(base, self.params.full_base)
         acc = ct.components[0].from_ntt()
@@ -169,7 +288,90 @@ class CkksContext:
         for comp in ct.components[1:]:
             acc = acc + (comp.to_ntt() * s_power).from_ntt()
             s_power = s_power * s_ntt
-        return self.encoder.decode(CkksPlaintext(acc, ct.scale))
+        return acc.from_ntt()
+
+    def _plain_coeffs(self, base, block: np.ndarray) -> np.ndarray:
+        """Centered message coefficients of an ``(m, k, n)`` block as floats.
+
+        Uses the exact int64 sub-base CRT (:meth:`RnsBase.
+        compose_centered_small`) — CKKS message coefficients are tiny
+        relative to ``q``, so almost every coefficient is recovered without
+        big integers; flagged ones take the exact path, with identical
+        results.
+        """
+        values, unsafe = base.compose_centered_small(block)
+        out = values.astype(np.float64)
+        if unsafe.any():
+            for mi, col in zip(*np.nonzero(unsafe)):
+                out[mi, col] = float(
+                    base.compose_centered(block[mi][:, [col]])[0])
+        return out
+
+    def decrypt(self, ct: Ciphertext) -> np.ndarray:
+        """Decrypt to the (approximate) slot vector.
+
+        Bigint-free: the centered coefficients come from the vectorized
+        sub-base CRT rather than per-coefficient Python integers.
+        """
+        self.counts["decrypt"] += 1
+        acc = self._raw_decrypt_poly(ct)
+        coeffs = self._plain_coeffs(acc.base, acc.data[None])[0]
+        return self.encoder.decode_rows(coeffs[None, :], ct.scale)[0]
+
+    def _decrypt_bigint(self, ct: Ciphertext) -> np.ndarray:
+        """Exact big-integer reference decrypt (pre-RNS-scaling code path).
+
+        The correctness oracle for the vectorized path and the looped
+        baseline of ``bench_client_crypto``; not ``counts``-charged.
+        """
+        acc = self._raw_decrypt_poly(ct)
+        ints = acc.base.compose_centered(acc.data)
+        coeffs = np.array([float(v) for v in ints])
+        return self.encoder.decode_rows(coeffs[None, :], ct.scale)[0]
+
+    def decrypt_many(self, cts: Sequence[Ciphertext]) -> list:
+        """Decrypt M ciphertexts as stacked batches.
+
+        Groups 2-component ciphertexts by level base into ``(M, k, n)``
+        blocks (one stacked NTT pair, one vectorized CRT, one batched
+        decode); odd ciphertexts fall back to :meth:`decrypt`.  Bit-identical
+        to looped :meth:`decrypt` calls.
+        """
+        results: list = [None] * len(cts)
+        groups = {}
+        for i, ct in enumerate(cts):
+            if len(ct) == 2:
+                groups.setdefault(ct.level_base.moduli, []).append(i)
+            else:
+                results[i] = self.decrypt(ct)
+        params = self.params
+        n = params.poly_degree
+        for indices in groups.values():
+            base = cts[indices[0]].level_base
+            s_ntt = self.keygen.secret_key().restricted_ntt(base, params.full_base)
+            coeff_rows = []
+            tile = batchcrypt.tile_size(base, n, parts=2)
+            for start in range(0, len(indices), tile):
+                chunk = indices[start:start + tile]
+                c0 = batchcrypt.stack_components(
+                    [cts[i].components[0] for i in chunk])
+                c1 = batchcrypt.stack_components(
+                    [cts[i].components[1] for i in chunk])
+                prod = batchcrypt.inverse_block(
+                    base, n,
+                    batchcrypt.dyadic_block_raw(
+                        base, batchcrypt.forward_block(base, n, c1, raw=True),
+                        s_ntt),
+                    raw=True)
+                acc = batchcrypt.add_blocks(base, c0, prod)
+                coeff_rows.append(self._plain_coeffs(base, acc))
+            coeffs = np.concatenate(coeff_rows)
+            scales = np.array([cts[i].scale for i in indices])
+            slots = self.encoder.decode_rows(coeffs, scales)
+            for row, i in enumerate(indices):
+                results[i] = slots[row]
+            self.counts["decrypt"] += len(indices)
+        return results
 
     # ------------------------------------------------------------ evaluator
     def _check_aligned(self, a: Ciphertext, b: Ciphertext) -> None:

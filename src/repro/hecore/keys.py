@@ -31,11 +31,23 @@ class SecretKey:
     def __init__(self, poly: RnsPoly):
         self.poly = poly                      # coefficient form
         self.poly_ntt = poly.to_ntt()
+        self._restricted: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], RnsPoly] = {}
 
     def restricted_ntt(self, base: RnsBase, full_base: RnsBase) -> RnsPoly:
-        """The secret key in NTT form over a sub-base of the full base."""
-        rows = [full_base.moduli.index(p) for p in base.moduli]
-        return RnsPoly(base, self.poly.degree, self.poly_ntt.data[rows], is_ntt=True)
+        """The secret key in NTT form over a sub-base of the full base.
+
+        Cached per ``(base, full_base)`` — decrypt calls this on every
+        ciphertext, and rebuilding the row-sliced poly dominated small
+        decrypts before the cache.
+        """
+        key = (base.moduli, full_base.moduli)
+        cached = self._restricted.get(key)
+        if cached is None:
+            rows = [full_base.moduli.index(p) for p in base.moduli]
+            cached = RnsPoly(base, self.poly.degree, self.poly_ntt.data[rows],
+                             is_ntt=True)
+            self._restricted[key] = cached
+        return cached
 
 
 class PublicKey:

@@ -169,6 +169,13 @@ SHOUP_MODULUS_BOUND = 1 << 30
 
 _U32 = np.uint64(32)
 
+#: Target payload per butterfly pass of the batch kernels.  Each stage
+#: streams the whole ``(rows, n)`` int64 ping-pong buffers, so batches are
+#: processed in row groups of roughly this many bytes to stay L2-resident
+#: (measured: per-row cost rises ~1.5x once the pass outgrows the cache;
+#: ~12 rows at n=4096 is the sweet spot on the reference machine).
+_BATCH_CHUNK_BYTES = 3 << 17
+
 
 class NttStackPlan:
     """Stacked negacyclic NTT/INTT over a whole RNS base at once.
@@ -303,24 +310,46 @@ class NttStackPlan:
             return work
         return np.mod(work, self._pcol)
 
-    def forward(self, stack: np.ndarray, check_bounds: bool = False) -> np.ndarray:
+    @property
+    def scramble_order(self) -> np.ndarray:
+        """Permutation taking standard evaluation order to the raw order the
+        butterfly network produces (see :meth:`forward`'s ``unscramble``)."""
+        return self._scramble
+
+    def forward(self, stack: np.ndarray, check_bounds: bool = False,
+                unscramble: bool = True,
+                out: np.ndarray = None) -> np.ndarray:
         """Negacyclic forward NTT of every row of a ``(k, n)`` matrix.
 
         With ``check_bounds=True`` the kernel asserts the lazy-reduction
         invariants at every stage (used by the property tests; costs extra
         comparisons, so production callers leave it off).
+
+        With ``unscramble=False`` the final gather into standard evaluation
+        order is skipped: the rows come back permuted by
+        :attr:`scramble_order`.  A pointwise product in that order fed to
+        :meth:`inverse` with ``prescrambled=True`` cancels both permutation
+        passes — the forward → dyadic → inverse sandwich of the batch
+        encrypt/decrypt pipelines.
         """
         work = self._canonical(stack)
         if self._use_shoup:
-            return self._forward_shoup(work, check_bounds)
-        return self._forward_generic(work, check_bounds)
+            return self._forward_shoup(work, check_bounds, unscramble, out)
+        return self._forward_generic(work, check_bounds, unscramble, out)
 
-    def inverse(self, stack: np.ndarray, check_bounds: bool = False) -> np.ndarray:
-        """Inverse of :meth:`forward` (Gentleman–Sande, fused 1/N scaling)."""
+    def inverse(self, stack: np.ndarray, check_bounds: bool = False,
+                prescrambled: bool = False,
+                out: np.ndarray = None) -> np.ndarray:
+        """Inverse of :meth:`forward` (Gentleman–Sande, fused 1/N scaling).
+
+        ``prescrambled=True`` declares the input already permuted by
+        :attr:`scramble_order` (i.e. produced by ``forward(...,
+        unscramble=False)`` plus pointwise ops), skipping the entry gather.
+        """
         work = self._canonical(stack)
         if self._use_shoup:
-            return self._inverse_shoup(work, check_bounds)
-        return self._inverse_generic(work, check_bounds)
+            return self._inverse_shoup(work, check_bounds, prescrambled, out)
+        return self._inverse_generic(work, check_bounds, prescrambled, out)
 
     # ------------------------------------------------- Shoup (division-free)
     @staticmethod
@@ -354,7 +383,9 @@ class NttStackPlan:
             )
         return self._scratch_bufs
 
-    def _forward_shoup(self, work: np.ndarray, check_bounds: bool) -> np.ndarray:
+    def _forward_shoup(self, work: np.ndarray, check_bounds: bool,
+                       unscramble: bool = True,
+                       out: np.ndarray = None) -> np.ndarray:
         k = work.shape[0]
         hn = self.n // 2
         zin, zout, xb, qb, tb = self._scratch(k)
@@ -397,18 +428,29 @@ class NttStackPlan:
         np.minimum(zin, zout, out=zin)
         np.subtract(zin, self._p_u, out=zout)
         np.minimum(zin, zout, out=zin)
-        result = np.empty((k, self.n), dtype=np.int64)
-        np.take(zin.view(np.int64), self._unscramble, axis=1, out=result)
+        result = out if out is not None else np.empty((k, self.n), dtype=np.int64)
+        if unscramble:
+            np.take(zin.view(np.int64), self._unscramble, axis=1, out=result)
+        else:
+            # Raw butterfly order: a contiguous copy out of the scratch buffer
+            # replaces the gather (the caller holds :attr:`scramble_order`).
+            np.copyto(result, zin.view(np.int64))
         return result
 
-    def _inverse_shoup(self, work: np.ndarray, check_bounds: bool) -> np.ndarray:
+    def _inverse_shoup(self, work: np.ndarray, check_bounds: bool,
+                       prescrambled: bool = False,
+                       out: np.ndarray = None) -> np.ndarray:
         k = work.shape[0]
         hn = self.n // 2
         zin, zout, xb, qb, db = self._scratch(k)
         # Gather straight into the uint64 work buffer viewed as int64 (the
         # canonical inputs are < p < 2**63, so the bit patterns coincide);
-        # np.take with ``out=`` avoids the fancy-indexing temporary.
-        np.take(work, self._scramble, axis=1, out=zin.view(np.int64))
+        # np.take with ``out=`` avoids the fancy-indexing temporary.  Input
+        # already in raw butterfly order skips the gather entirely.
+        if prescrambled:
+            np.copyto(zin.view(np.int64), work)
+        else:
+            np.take(work, self._scramble, axis=1, out=zin.view(np.int64))
         two_p = self._two_p_u
         for w, wq in zip(reversed(self._inv_tw_u), reversed(self._inv_tw_q)):
             chunk = w.shape[2]
@@ -442,10 +484,15 @@ class NttStackPlan:
         zin -= zout                                        # [0, 2p)
         np.subtract(zin, self._p_u, out=zout)
         np.minimum(zin, zout, out=zin)
-        return zin.astype(np.int64)
+        if out is None:
+            return zin.astype(np.int64)
+        np.copyto(out, zin.view(np.int64))
+        return out
 
     # ------------------------------------------ generic (31-bit safe) kernels
-    def _forward_generic(self, work: np.ndarray, check_bounds: bool) -> np.ndarray:
+    def _forward_generic(self, work: np.ndarray, check_bounds: bool,
+                         unscramble: bool = True,
+                         out: np.ndarray = None) -> np.ndarray:
         k = work.shape[0]
         for tw in self._fwd_twiddles:
             m = tw.shape[1]
@@ -459,17 +506,24 @@ class NttStackPlan:
                 assert int(blocks.max(initial=0)) < int(2 * self._pcol.max())
                 assert int(product.max(initial=0)) < LAZY_PRODUCT_BOUND
             v = np.mod(product, pc)
-            out = np.empty_like(blocks)
+            stage_out = np.empty_like(blocks)
             # Lazy butterflies: even + v < 2p and even - v + p in (0, 2p),
             # so the stage output needs no division.
-            out[:, :, :half] = even + v
-            out[:, :, half:] = even - v + pc
-            work = out.reshape(k, -1)
+            stage_out[:, :, :half] = even + v
+            stage_out[:, :, half:] = even - v + pc
+            work = stage_out.reshape(k, -1)
         work = self._lazy_reduce(work, self._pcol)
-        return work[:, self._unscramble]
+        result = work if not unscramble else work[:, self._unscramble]
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
 
-    def _inverse_generic(self, work: np.ndarray, check_bounds: bool) -> np.ndarray:
-        work = work[:, self._scramble]
+    def _inverse_generic(self, work: np.ndarray, check_bounds: bool,
+                         prescrambled: bool = False,
+                         out: np.ndarray = None) -> np.ndarray:
+        if not prescrambled:
+            work = work[:, self._scramble]
         k = work.shape[0]
         for tw in reversed(self._inv_twiddles):
             m = tw.shape[1]
@@ -483,12 +537,14 @@ class NttStackPlan:
             if check_bounds:
                 assert int(blocks.max(initial=0)) < int(2 * self._pcol.max())
                 assert int(product.max(initial=0)) < LAZY_PRODUCT_BOUND
-            out = np.empty_like(blocks)
-            out[:, :, :half] = u + v
-            out[:, :, half:] = np.mod(product, pc)
-            work = out.reshape(k, -1)
+            stage_out = np.empty_like(blocks)
+            stage_out[:, :, :half] = u + v
+            stage_out[:, :, half:] = np.mod(product, pc)
+            work = stage_out.reshape(k, -1)
         # Entries are < 2p and n_inv < p, so the product stays int64-exact.
-        return np.mod(work * self._n_inv_col, self._pcol)
+        if out is None:
+            return np.mod(work * self._n_inv_col, self._pcol)
+        return np.mod(work * self._n_inv_col, self._pcol, out=out)
 
     # --------------------------------------------------------- batch axis
     def batch_plan(self, batch: int) -> "NttStackPlan":
@@ -514,27 +570,66 @@ class NttStackPlan:
             )
         return stacks
 
-    def forward_batch(self, stacks: np.ndarray,
-                      check_bounds: bool = False) -> np.ndarray:
+    def _batch_group(self, b: int) -> int:
+        """Stacks per butterfly pass: the full batch only while the working
+        set stays cache-resident.
+
+        Every stage of the row-wise kernels streams the whole ``(rows, n)``
+        ping-pong buffers, so once ``rows * n`` outgrows L2 the per-row cost
+        climbs ~1.5x.  Large batches are therefore processed in groups whose
+        row count stays near ``_BATCH_CHUNK_BYTES`` of payload; each group
+        size maps to one cached tiled plan, so scratch buffers and twiddle
+        tables are reused across calls regardless of the caller's batch size.
+        """
+        k = len(self.moduli)
+        target_rows = max(k, _BATCH_CHUNK_BYTES // (8 * self.n))
+        return max(1, min(b, target_rows // k))
+
+    def _transform_batch(self, stacks: np.ndarray, inverse: bool,
+                         check_bounds: bool, raw: bool = False) -> np.ndarray:
+        stacks = self._check_batch_shape(stacks)
+        b, k, n = stacks.shape
+        kwargs = ({"prescrambled": raw} if inverse else {"unscramble": not raw})
+        group = self._batch_group(b)
+        if group >= b:
+            plan = self.batch_plan(b)
+            kernel = plan.inverse if inverse else plan.forward
+            return kernel(stacks.reshape(b * k, n), check_bounds,
+                          **kwargs).reshape(b, k, n)
+        out = np.empty((b, k, n), dtype=np.int64)
+        for start in range(0, b, group):
+            stop = min(start + group, b)
+            rows = stop - start
+            plan = self.batch_plan(rows)
+            kernel = plan.inverse if inverse else plan.forward
+            # Writing the kernel epilogue straight into the output slice
+            # (contiguous view) saves one full-block copy per group.
+            kernel(stacks[start:stop].reshape(rows * k, n), check_bounds,
+                   out=out[start:stop].reshape(rows * k, n), **kwargs)
+        return out
+
+    def forward_batch(self, stacks: np.ndarray, check_bounds: bool = False,
+                      unscramble: bool = True) -> np.ndarray:
         """Forward NTT of a ``(B, k, n)`` batch of residue stacks.
 
-        Bit-exact with ``B`` separate :meth:`forward` calls, but the whole
-        batch runs as one ``(B*k, n)`` pass through the butterfly network —
-        the stacked kernel hoisted rotations use to transform every
+        Bit-exact with ``B`` separate :meth:`forward` calls, but the batch
+        runs as cache-blocked ``(rows, n)`` passes through the butterfly
+        network — the stacked kernel hoisted rotations use to transform every
         key-switch digit (and every rotation's accumulator) at once.
+        ``unscramble=False`` keeps rows in raw butterfly order (see
+        :meth:`forward`); the permutation is identical for every group
+        because :attr:`scramble_order` depends only on ``n``.
         """
-        stacks = self._check_batch_shape(stacks)
-        b, k, n = stacks.shape
-        out = self.batch_plan(b).forward(stacks.reshape(b * k, n), check_bounds)
-        return out.reshape(b, k, n)
+        return self._transform_batch(stacks, inverse=False,
+                                     check_bounds=check_bounds,
+                                     raw=not unscramble)
 
-    def inverse_batch(self, stacks: np.ndarray,
-                      check_bounds: bool = False) -> np.ndarray:
-        """Inverse of :meth:`forward_batch` (one ``(B*k, n)`` pass)."""
-        stacks = self._check_batch_shape(stacks)
-        b, k, n = stacks.shape
-        out = self.batch_plan(b).inverse(stacks.reshape(b * k, n), check_bounds)
-        return out.reshape(b, k, n)
+    def inverse_batch(self, stacks: np.ndarray, check_bounds: bool = False,
+                      prescrambled: bool = False) -> np.ndarray:
+        """Inverse of :meth:`forward_batch` (same cache-blocked passes)."""
+        return self._transform_batch(stacks, inverse=True,
+                                     check_bounds=check_bounds,
+                                     raw=prescrambled)
 
     def dyadic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Point-wise product of two stacked evaluation matrices."""

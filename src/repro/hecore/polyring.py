@@ -22,7 +22,11 @@ from repro.hecore.rns import RnsBase
 class RnsPoly:
     """A polynomial over an RNS base, optionally in NTT form."""
 
-    __slots__ = ("base", "degree", "data", "is_ntt")
+    # _raw_tables caches this poly's residues permuted into raw butterfly
+    # order (plus Shoup quotients) for the batch dyadic kernels; it is only
+    # populated for long-lived, never-mutated key material (see
+    # :func:`repro.hecore.batchcrypt.raw_tables`).
+    __slots__ = ("base", "degree", "data", "is_ntt", "_raw_tables")
 
     def __init__(self, base: RnsBase, degree: int, data: np.ndarray, is_ntt: bool = False):
         if data.shape != (len(base), degree):
@@ -31,6 +35,7 @@ class RnsPoly:
         self.degree = degree
         self.data = data.astype(np.int64, copy=False)
         self.is_ntt = is_ntt
+        self._raw_tables = None
 
     # ------------------------------------------------------------------ ctor
     @classmethod

@@ -12,9 +12,15 @@ substitution table).
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+from typing import Optional, Tuple, Union
 
 import numpy as np
+
+#: Sampler sizes: a single length ``n`` or a shape tuple such as ``(m, n)``
+#: for batch draws.  A ``(m, n)`` draw consumes the generator stream exactly
+#: like ``m`` sequential ``(n,)`` draws (PCG64 fills row-major), which is what
+#: the batched client-crypto PRNG fork schedule relies on.
+Size = Union[int, Tuple[int, ...]]
 
 #: Standard deviation of the RLWE error distribution, matching SEAL's default.
 ERROR_STDDEV = 3.2
@@ -52,16 +58,16 @@ class BlakePrng:
         """*n* pseudo-random bytes."""
         return self._generator.bytes(n)
 
-    def sample_uniform(self, n: int, modulus: int) -> np.ndarray:
-        """*n* residues uniform in ``[0, modulus)``."""
-        return self._generator.integers(0, modulus, size=n, dtype=np.int64)
+    def sample_uniform(self, size: Size, modulus: int) -> np.ndarray:
+        """Residues uniform in ``[0, modulus)``; *size* is a length or shape."""
+        return self._generator.integers(0, modulus, size=size, dtype=np.int64)
 
-    def sample_ternary(self, n: int) -> np.ndarray:
-        """*n* values uniform over {−1, 0, 1} — the secret/``u`` distribution."""
-        return self._generator.integers(-1, 2, size=n, dtype=np.int64)
+    def sample_ternary(self, size: Size) -> np.ndarray:
+        """Values uniform over {−1, 0, 1} — the secret/``u`` distribution."""
+        return self._generator.integers(-1, 2, size=size, dtype=np.int64)
 
-    def sample_error(self, n: int, stddev: float = ERROR_STDDEV) -> np.ndarray:
-        """*n* discrete-Gaussian-style error values (rounded normal, clipped)."""
-        raw = np.rint(self._generator.normal(0.0, stddev, size=n)).astype(np.int64)
+    def sample_error(self, size: Size, stddev: float = ERROR_STDDEV) -> np.ndarray:
+        """Discrete-Gaussian-style error values (rounded normal, clipped)."""
+        raw = np.rint(self._generator.normal(0.0, stddev, size=size)).astype(np.int64)
         bound = max(1, int(6 * stddev))
         return np.clip(raw, -bound, bound)
