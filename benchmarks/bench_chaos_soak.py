@@ -60,25 +60,7 @@ def main(argv=None):
                                 seed=seed, plan=plan)
         print(report.render())
         print()
-        scenarios[name] = {
-            "seed": seed,
-            "ok": report.ok,
-            "elapsed_s": round(report.elapsed_s, 3),
-            "logical_requests": report.logical_requests,
-            "handler_invocations": report.handler_invocations,
-            "duplicates_suppressed": report.duplicates_suppressed,
-            "results_replayed": report.results_replayed,
-            "client_retries": report.retries,
-            "resumes": report.resumes,
-            "reaped": report.reaped,
-            "key_uploads": report.key_uploads,
-            "fault_counts": report.fault_counts,
-            "ledger_bytes_up": report.bytes_up,
-            "ledger_bytes_down": report.bytes_down,
-            "oracle_bytes_up": report.oracle_bytes_up,
-            "oracle_bytes_down": report.oracle_bytes_down,
-            "failures": report.failures,
-        }
+        scenarios[name] = report.as_dict()
         failures.extend(f"{name}: {f}" for f in report.failures)
 
     out = {

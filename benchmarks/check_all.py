@@ -16,7 +16,14 @@ a change:
   baseline at N=4096);
 * ``bench_chaos_soak`` — the runtime's resilience invariants (exactly-once
   execution, ledger parity, leak-free shutdown) under long randomized
-  fault schedules.
+  fault schedules;
+* ``bench_fleet`` — sharded multi-worker serving: aggregate KNN COMPUTE
+  throughput through the router against a core-aware floor, plus the
+  fleet chaos soak (worker kill, failover, exactly-once, ledger parity).
+  Runs in ``--quick`` mode here to keep the tier within budget.
+
+A per-gate wall-clock summary prints at the end, so a gate quietly eating
+the tier's time budget is visible before it becomes a problem.
 
 Usage::
 
@@ -27,27 +34,32 @@ Usage::
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).parent
 
+#: (script, extra arguments beyond --check)
 GATES = [
-    "bench_he_throughput.py",
-    "bench_wire_format.py",
-    "bench_hoisting.py",
-    "bench_client_crypto.py",
-    "bench_chaos_soak.py",
+    ("bench_he_throughput.py", []),
+    ("bench_wire_format.py", []),
+    ("bench_hoisting.py", []),
+    ("bench_client_crypto.py", []),
+    ("bench_chaos_soak.py", []),
+    ("bench_fleet.py", ["--quick"]),
 ]
 
 
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
     selected = [
-        g for g in GATES
-        if not argv or any(pattern in g for pattern in argv)
+        (gate, extra) for gate, extra in GATES
+        if not argv or any(pattern in gate for pattern in argv)
     ]
     if not selected:
-        print(f"no gate matches {argv!r}; available: {GATES}", file=sys.stderr)
+        names = [gate for gate, _ in GATES]
+        print(f"no gate matches {argv!r}; available: {names}",
+              file=sys.stderr)
         return 2
 
     env = dict(os.environ)
@@ -57,14 +69,25 @@ def main(argv=None):
     )
 
     failed = []
-    for gate in selected:
+    timings = []
+    for gate, extra in selected:
         print(f"=== {gate} ===", flush=True)
+        started = time.monotonic()
         result = subprocess.run(
-            [sys.executable, str(BENCH_DIR / gate), "--check"], env=env
+            [sys.executable, str(BENCH_DIR / gate), "--check", *extra],
+            env=env,
         )
+        elapsed = time.monotonic() - started
+        timings.append((gate, elapsed, result.returncode == 0))
         if result.returncode != 0:
             failed.append(gate)
         print(flush=True)
+
+    total = sum(elapsed for _, elapsed, _ in timings)
+    print("gate timing summary:")
+    for gate, elapsed, ok in timings:
+        print(f"  {'PASS' if ok else 'FAIL'}  {elapsed:7.2f}s  {gate}")
+    print(f"        {total:7.2f}s  total")
 
     if failed:
         print(f"FAILED gates: {', '.join(failed)}", file=sys.stderr)

@@ -179,13 +179,25 @@ class KnnOffloadService:
 
     @classmethod
     def install(cls, server) -> None:
-        """Register the KNN operations on *server*."""
+        """Register the KNN operations on *server* (inline execution)."""
         server.register(cls.OP_STORE, cls._store)
         server.register(cls.OP_QUERY, cls._query)
 
+    @classmethod
+    def install_pooled(cls, registry) -> None:
+        """Register the KNN operations as pooled pure functions.
+
+        This is an :mod:`repro.runtime.evalpool` installer: *registry* maps
+        op names to ``fn(ctx, state, meta, cts)``.  Store and query share
+        their implementation with the inline handlers, so a pooled fleet
+        worker and a single-process server compute identical bytes.
+        """
+        registry[cls.OP_STORE] = cls.store_op
+        registry[cls.OP_QUERY] = cls.query_op
+
+    # Pure implementations, shared by the inline and pooled paths --------
     @staticmethod
-    def _store(session, request):
-        meta = request.meta
+    def store_op(ctx, state, meta, cts):
         try:
             n_points = int(meta["n_points"])
             dims = int(meta["dims"])
@@ -197,20 +209,32 @@ class KnnOffloadService:
             raise ValueError(f"unknown kernel variant {variant!r}")
         if n_points < 1 or dims < 1:
             raise ValueError("knn/store needs positive n_points and dims")
-        kernel = variant_cls(session.ensure_context(),
+        kernel = variant_cls(ctx,
                              DistanceProblem(n_points=n_points, dims=dims))
-        batches = session.state.setdefault("knn_batches", [])
-        batches.append((kernel, list(request.cts)))
+        batches = state.setdefault("knn_batches", [])
+        batches.append((kernel, list(cts)))
         return [], {"batch": len(batches) - 1, "points": n_points}
 
     @staticmethod
-    def _query(session, request):
-        batches = session.state.get("knn_batches") or []
-        index = int(request.meta.get("batch", 0))
+    def query_op(ctx, state, meta, cts):
+        batches = state.get("knn_batches") or []
+        index = int(meta.get("batch", 0))
         if not 0 <= index < len(batches):
             raise ValueError(f"no stored batch {index} in this session")
         kernel, point_cts = batches[index]
-        return kernel.compute(point_cts, list(request.cts)), {}
+        return kernel.compute(point_cts, list(cts)), {}
+
+    @staticmethod
+    def _store(session, request):
+        return KnnOffloadService.store_op(
+            session.ensure_context(), session.state, request.meta,
+            request.cts)
+
+    @staticmethod
+    def _query(session, request):
+        return KnnOffloadService.query_op(
+            session.ensure_context(), session.state, request.meta,
+            request.cts)
 
 
 class RemoteKnn:

@@ -188,6 +188,46 @@ def _install_demo_ops(server) -> None:
     server.register("square", square)
 
 
+#: Installer specs for the fleet path — worker processes resolve these by
+#: name, so the same ops are served whether sharded or single-process.
+_SERVE_INSTALLERS = (
+    "repro.apps.knn:KnnOffloadService.install",
+    "repro.cli:_install_demo_ops",
+)
+_SERVE_POOLED_INSTALLERS = (
+    "repro.apps.knn:KnnOffloadService.install_pooled",
+)
+
+
+async def _serve_selftest(params, host, port) -> int:
+    """One encrypted round trip against the server we just started."""
+    import numpy as np
+
+    from repro.hecore.params import SchemeType
+    from repro.runtime import OffloadClient
+
+    ctx = _make_context(params, seed=b"serve-selftest")
+    client = await OffloadClient(params, host, port).connect()
+    try:
+        await client.upload_keys(relin=ctx.relin_keys())
+        values = (np.array([1, 2, 3]) if params.scheme is SchemeType.BFV
+                  else np.array([1.0, 2.0, 3.0]))
+        ct = ctx.encrypt_symmetric(ctx.encode(values))
+        out, _meta = await client.request("square", [ct])
+        decrypted = np.real(ctx.decrypt(out[0]))[: len(values)]
+        rounded = [round(float(v)) for v in decrypted]
+        expected = [round(float(v) ** 2) for v in values]
+        if rounded != expected:
+            print(f"selftest MISMATCH: {rounded} != {expected}",
+                  file=sys.stderr)
+            return 1
+        print(f"selftest ok: square{values.tolist()} -> {rounded} "
+              f"(session {client.session_id})")
+        return 0
+    finally:
+        await client.close()
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -197,14 +237,41 @@ def _cmd_serve(args) -> int:
     params = _resolve_params(args.params)
 
     async def run() -> int:
-        server = OffloadServer(params, queue_limit=args.queue_limit,
-                               concurrency=args.concurrency, verbose=True)
-        KnnOffloadService.install(server)
-        _install_demo_ops(server)
-        host, port = await server.start(args.host, args.port)
-        print(f"offload server on {host}:{port} "
-              f"({params.describe()}); Ctrl-C to stop")
+        if args.workers > 0:
+            from repro.runtime.fleet import FleetServer
+
+            server = FleetServer(
+                params, args.workers,
+                installers=_SERVE_INSTALLERS,
+                pooled_installers=_SERVE_POOLED_INSTALLERS,
+                eval_workers=args.eval_workers,
+                queue_limit=args.queue_limit,
+                concurrency=args.concurrency)
+            host, port = await server.start(args.host, args.port)
+            print(f"offload fleet on {host}:{port} "
+                  f"({args.workers} worker(s) x {args.eval_workers} eval "
+                  f"subprocess(es); {params.describe()}); Ctrl-C to stop")
+        else:
+            eval_pool = None
+            if args.eval_workers > 0:
+                from repro.runtime import EvalPool, pooled_op_names
+
+                eval_pool = EvalPool(params, args.eval_workers,
+                                     _SERVE_POOLED_INSTALLERS)
+            server = OffloadServer(params, queue_limit=args.queue_limit,
+                                   concurrency=args.concurrency,
+                                   eval_pool=eval_pool, verbose=True)
+            KnnOffloadService.install(server)
+            _install_demo_ops(server)
+            if eval_pool is not None:
+                for op in pooled_op_names(_SERVE_POOLED_INSTALLERS):
+                    server.register_pooled(op)
+            host, port = await server.start(args.host, args.port)
+            print(f"offload server on {host}:{port} "
+                  f"({params.describe()}); Ctrl-C to stop")
         try:
+            if args.selftest:
+                return await _serve_selftest(params, host, port)
             await asyncio.Event().wait()
         except asyncio.CancelledError:
             pass
@@ -290,6 +357,15 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--port", type=int, default=7700)
     srv.add_argument("--params", default="test-bfv",
                      help=f"parameter preset: {', '.join(_PARAM_PRESETS)}")
+    srv.add_argument("--workers", type=int, default=0,
+                     help="shard sessions across N worker processes behind "
+                          "a router (0 = single-process)")
+    srv.add_argument("--eval-workers", type=int, default=0,
+                     help="per-worker eval subprocesses for pooled COMPUTE "
+                          "ops (0 = run handlers on the serving loop)")
+    srv.add_argument("--selftest", action="store_true",
+                     help="start, run one encrypted round trip against "
+                          "the server, and exit")
     srv.add_argument("--queue-limit", type=int, default=16,
                      help="per-session request queue bound")
     srv.add_argument("--concurrency", type=int, default=1,

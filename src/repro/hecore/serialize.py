@@ -355,6 +355,81 @@ def deserialize_galois_keys(blob: bytes,
 
 
 # ---------------------------------------------------------------------------
+# Parameter specs (for rebuilding contexts in other processes)
+# ---------------------------------------------------------------------------
+
+#: Parameter-spec blobs: magic, version, scheme, poly_degree, plain_bits
+#: (-1 when absent), scale_bits (-1 when absent), n_logical, n_special.
+_PARAMS_MAGIC = b"CHOP"
+_PARAMS_HEADER = struct.Struct("<4sBBIhhBB")
+
+
+def serialize_params(params: EncryptionParameters) -> bytes:
+    """Serialize the *spec* of a parameter set, not its derived material.
+
+    :meth:`EncryptionParameters.create` derives the plaintext modulus, the
+    RNS bases, and the CKKS scale deterministically from the spec, so a
+    worker process that re-runs ``create`` on the deserialized spec gets
+    bit-identical moduli — the fleet runtime ships this blob instead of
+    pickling live parameter objects (or, worse, live contexts).
+    """
+    label = params.label.encode("utf-8")
+    if len(label) > 0xFFFF:
+        raise ValueError("parameter label exceeds 64 KiB")
+    logical = params.logical_coeff_bits
+    if len(logical) > 0xFF:
+        raise ValueError("too many logical moduli to serialize")
+    parts = [_PARAMS_HEADER.pack(
+        _PARAMS_MAGIC, VERSION, _SCHEME_CODES[params.scheme],
+        params.poly_degree,
+        -1 if params.plain_bits is None else params.plain_bits,
+        -1 if params.scale_bits is None else params.scale_bits,
+        len(logical), len(params.special_primes),
+    )]
+    parts.append(struct.pack(f"<{len(logical)}H", *logical))
+    parts.append(struct.pack("<H", len(label)))
+    parts.append(label)
+    return b"".join(parts)
+
+
+def deserialize_params(blob: bytes) -> EncryptionParameters:
+    """Rebuild a parameter set from a :func:`serialize_params` spec blob."""
+    if len(blob) < _PARAMS_HEADER.size:
+        raise ValueError("parameter blob shorter than its header")
+    (magic, version, scheme_code, poly_degree, plain_bits, scale_bits,
+     n_logical, n_special) = _PARAMS_HEADER.unpack_from(blob)
+    if magic != _PARAMS_MAGIC:
+        raise ValueError("not a CHOCO parameter blob (bad magic)")
+    if version != VERSION:
+        raise ValueError(f"unsupported parameter blob version {version}")
+    scheme = _SCHEME_FROM_CODE.get(scheme_code)
+    if scheme is None:
+        raise ValueError(f"unknown scheme code {scheme_code}")
+    offset = _PARAMS_HEADER.size
+    need = 2 * n_logical + 2
+    if len(blob) < offset + need:
+        raise ValueError("parameter blob truncated")
+    logical = struct.unpack_from(f"<{n_logical}H", blob, offset)
+    offset += 2 * n_logical
+    (label_len,) = struct.unpack_from("<H", blob, offset)
+    offset += 2
+    if len(blob) != offset + label_len:
+        raise ValueError("parameter blob length mismatch")
+    try:
+        label = blob[offset:].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ValueError("invalid UTF-8 in parameter label") from exc
+    # enforce_security=False: the derivation is identical either way, and
+    # deliberately-small test parameter sets must round-trip too.
+    return EncryptionParameters.create(
+        scheme, poly_degree, logical,
+        plain_bits=None if plain_bits < 0 else plain_bits,
+        scale_bits=None if scale_bits < 0 else scale_bits,
+        label=label, enforce_security=False,
+        special_prime_count=n_special)
+
+
+# ---------------------------------------------------------------------------
 # Size accounting
 # ---------------------------------------------------------------------------
 

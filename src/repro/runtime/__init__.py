@@ -17,7 +17,9 @@ from repro.runtime.chaos import (
     FaultyTransport,
     SoakReport,
     chaos_soak,
+    fleet_chaos_soak,
     run_chaos_soak,
+    run_fleet_chaos_soak,
 )
 from repro.runtime.client import (
     ClientStats,
@@ -26,6 +28,8 @@ from repro.runtime.client import (
     OffloadTimeout,
     ServerBusy,
 )
+from repro.runtime.evalpool import EvalPool, pooled_op_names, resolve_spec
+from repro.runtime.fleet import FleetServer, WorkerConfig, WorkerHandle
 from repro.runtime.framing import (
     FRAME_MAGIC,
     FRAME_VERSION,
@@ -39,12 +43,18 @@ from repro.runtime.framing import (
     encode_frame,
     read_frame,
 )
-from repro.runtime.metrics import RuntimeMetrics, SessionMetrics, percentile
+from repro.runtime.metrics import (
+    FleetMetrics,
+    RuntimeMetrics,
+    SessionMetrics,
+    percentile,
+)
 from repro.runtime.server import (
     ComputeRequest,
     MissingEvaluationKey,
     OffloadServer,
     ServerSession,
+    build_restricted_context,
 )
 from repro.runtime.transport import SimulatedLink, TcpTransport, Transport
 
@@ -53,9 +63,12 @@ __all__ = [
     "ComputeRequest",
     "DEFAULT_PLAN",
     "ErrorCode",
+    "EvalPool",
     "FaultEvent",
     "FaultPlan",
     "FaultyTransport",
+    "FleetMetrics",
+    "FleetServer",
     "FrameError",
     "FRAME_MAGIC",
     "FRAME_VERSION",
@@ -76,10 +89,17 @@ __all__ = [
     "SoakReport",
     "TcpTransport",
     "Transport",
+    "WorkerConfig",
+    "WorkerHandle",
+    "build_restricted_context",
     "chaos_soak",
     "decode_frame",
     "encode_frame",
+    "fleet_chaos_soak",
     "percentile",
+    "pooled_op_names",
     "read_frame",
+    "resolve_spec",
     "run_chaos_soak",
+    "run_fleet_chaos_soak",
 ]

@@ -26,6 +26,9 @@ The PRNG is the repo's deterministic :class:`~repro.hecore.random.BlakePrng`
 from __future__ import annotations
 
 import asyncio
+import os
+import shutil
+import tempfile
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -281,11 +284,53 @@ class SoakReport:
     leaked_futures: int = 0
     leaked_workers: int = 0
     leaked_sessions: int = 0
+    # Fleet-soak extensions (zero for the single-process soak).
+    n_workers: int = 1
+    failovers: int = 0
+    key_reuploads: int = 0
+    worker_restarts: int = 0
+    admission_rejections: int = 0
+    per_worker: List[Dict] = field(default_factory=list)
     failures: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def as_dict(self) -> Dict:
+        """Machine-readable form (consumed by the fleet bench gate)."""
+        return {
+            "ok": self.ok,
+            "n_sessions": self.n_sessions,
+            "n_requests": self.n_requests,
+            "n_workers": self.n_workers,
+            "seed": self.seed,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "logical_requests": self.logical_requests,
+            "handler_invocations": self.handler_invocations,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "results_replayed": self.results_replayed,
+            "resumes": self.resumes,
+            "reaped": self.reaped,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "key_reuploads": self.key_reuploads,
+            "worker_restarts": self.worker_restarts,
+            "admission_rejections": self.admission_rejections,
+            "fault_counts": dict(self.fault_counts),
+            "bytes_up": self.bytes_up,
+            "bytes_down": self.bytes_down,
+            "oracle_bytes_up": self.oracle_bytes_up,
+            "oracle_bytes_down": self.oracle_bytes_down,
+            "key_uploads": self.key_uploads,
+            "leaks": {
+                "futures": self.leaked_futures,
+                "workers": self.leaked_workers,
+                "sessions": self.leaked_sessions,
+            },
+            "per_worker": [dict(w) for w in self.per_worker],
+            "failures": list(self.failures),
+        }
 
     def render(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -309,6 +354,21 @@ class SoakReport:
             f"{self.leaked_workers} worker(s), "
             f"{self.leaked_sessions} session(s)",
         ]
+        if self.n_workers > 1 or self.worker_restarts:
+            lines.append(
+                f"  fleet: {self.n_workers} worker(s), "
+                f"{self.worker_restarts} restart(s), "
+                f"{self.failovers} failover(s), "
+                f"{self.key_reuploads} key re-upload(s), "
+                f"{self.admission_rejections} admission rejection(s)")
+            for w in self.per_worker:
+                m = w.get("metrics", {})
+                lines.append(
+                    f"    worker {w.get('worker', '?')}"
+                    f"{' (retired)' if w.get('retired') else ''}: "
+                    f"{m.get('handler_invocations', 0)} execution(s), "
+                    f"{m.get('responses', 0)} response(s), "
+                    f"{w.get('sessions', 0)} session(s)")
         lines.extend(f"  FAILURE: {f}" for f in self.failures)
         return "\n".join(lines)
 
@@ -500,3 +560,240 @@ async def chaos_soak(params: Optional[EncryptionParameters] = None, *,
 def run_chaos_soak(**kwargs) -> SoakReport:
     """Synchronous wrapper around :func:`chaos_soak`."""
     return asyncio.run(chaos_soak(**kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Fleet soak: worker-kill chaos over a sharded FleetServer
+# ---------------------------------------------------------------------------
+
+def _logged_counting_echo(session, request):
+    """The counting echo plus an append-only per-process execution log.
+
+    Fleet workers are killed mid-soak, so their in-memory exactly-once
+    counters die with them.  The log file — one per worker process, named
+    by pid so distinct generations never collide — is the cross-death
+    audit: one line per handler execution, keyed by the request's logical
+    ``uid`` (which, unlike the per-connection request id, survives
+    failover to a fresh session).
+    """
+    log_dir = session.server.op_config.get("exec_log_dir")
+    uid = request.meta.get("uid")
+    if log_dir and uid is not None:
+        path = os.path.join(log_dir, f"exec-{os.getpid()}.log")
+        with open(path, "a", encoding="ascii") as fh:
+            fh.write(f"{uid}\n")
+    return _counting_echo(session, request)
+
+
+def install_chaos_ops(server) -> None:
+    """Worker installer (``repro.runtime.chaos:install_chaos_ops``)."""
+    server.register("chaos/count", _logged_counting_echo)
+
+
+async def fleet_chaos_soak(params: Optional[EncryptionParameters] = None, *,
+                           n_workers: int = 2, n_sessions: int = 4,
+                           n_requests: int = 10, seed: int = 2027,
+                           kill_workers: int = 1, kill_fate: str = "idle",
+                           eval_workers: int = 0,
+                           session_cap: Optional[int] = None,
+                           request_timeout: float = 2.0,
+                           max_retries: int = 40,
+                           exec_log_dir: Optional[str] = None,
+                           ) -> SoakReport:
+    """Kill workers under live sharded traffic and audit exactly-once.
+
+    N failover-enabled clients run the counting workload against a
+    :class:`~repro.runtime.fleet.FleetServer`; once a third of the logical
+    requests have completed, workers are killed (``kill_fate="idle"`` dies
+    between requests, preserving accounting) and the supervisor respawns
+    them.  The audit then asserts, across all worker generations:
+
+    * **exactly-once**: every logical ``uid`` appears exactly once in the
+      union of the per-process execution logs — no lost or duplicated
+      work across worker death and client failover (``kill_fate="hard"``
+      relaxes this to at-least-once: a crash between handler execution
+      and the RESULT frame legitimately re-executes on replay);
+    * **ledger parity**: every client's :class:`CostLedger` is
+      byte-identical to a fault-free single-process oracle run — retries,
+      resumes, and failover key replays all cost nothing;
+    * **supervision**: every kill produced a worker restart, and at least
+      one client actually exercised the failover path.
+    """
+    if params is None:
+        params = small_test_parameters(SchemeType.BFV, poly_degree=1024,
+                                       plain_bits=16, data_bits=(30, 30))
+    from repro.runtime.fleet import FleetServer
+
+    report = SoakReport(n_sessions=n_sessions, n_requests=n_requests,
+                        seed=seed)
+    report.n_workers = n_workers
+    started = time.monotonic()
+    total = n_sessions * n_requests
+    own_log_dir = exec_log_dir is None
+    log_dir = exec_log_dir or tempfile.mkdtemp(prefix="choco-fleet-soak-")
+
+    fleet = FleetServer(
+        params, n_workers,
+        installers=("repro.runtime.chaos:install_chaos_ops",),
+        eval_workers=eval_workers,
+        session_cap=session_cap,
+        queue_limit=16, concurrency=1,
+        resume_grace_s=10.0, dedupe_window=128,
+        op_config={"exec_log_dir": log_dir})
+    host, port = await fleet.start()
+
+    clients: List[OffloadClient] = []
+    ledgers: List[CostLedger] = []
+    completions = [0]
+
+    async def killer() -> None:
+        for k in range(kill_workers):
+            threshold = max(1, (k + 1) * total // (kill_workers + 2))
+            while completions[0] < threshold:
+                await asyncio.sleep(0.01)
+            index = k % n_workers
+            # Poll first so the dying generation's work is retired into the
+            # fleet totals rather than forgotten.
+            await fleet.refresh_metrics()
+            generation = await fleet.kill_worker(index, kill_fate)
+            await fleet.wait_worker_restart(index, generation)
+
+    async def one_session(i: int) -> List[str]:
+        failures: List[str] = []
+        ctx = BfvContext(params, seed=9100 + i)
+        ledger = CostLedger()
+        ledgers.append(ledger)
+
+        async def factory() -> Transport:
+            inner = await TcpTransport.connect(host, port, retries=8,
+                                               backoff_s=0.02)
+            # Unarmed FaultyTransport: a pure ledger-accounting shim — the
+            # only chaos in this soak is worker death itself.
+            return FaultyTransport(inner, FaultPlan(), armed=False,
+                                   ledger=ledger)
+
+        client = OffloadClient(params, host, port,
+                               transport_factory=factory,
+                               request_timeout=request_timeout,
+                               max_retries=max_retries, backoff_s=0.02,
+                               failover=True)
+        clients.append(client)
+        await client.connect()
+        await client.upload_keys(galois=ctx.make_galois_keys([1]))
+        try:
+            for seq in range(n_requests):
+                vec = [seq + 1, 0]
+                ct = ctx.encrypt_symmetric(vec)
+                out, _meta = await client.request(
+                    "chaos/count", [ct],
+                    {"uid": f"s{i}q{seq}", "seq": seq})
+                if len(out) != 1 or list(ctx.decrypt(out[0])[:2]) != vec:
+                    failures.append(
+                        f"session {i}: request {seq} returned a wrong "
+                        f"result")
+                completions[0] += 1
+        finally:
+            await client.close()
+        return failures
+
+    killer_task = asyncio.ensure_future(killer())
+    results = await asyncio.gather(
+        *(one_session(i) for i in range(n_sessions)),
+        return_exceptions=True)
+    for i, res in enumerate(results):
+        if isinstance(res, BaseException):
+            report.failures.append(f"session {i} crashed: {res!r}")
+        else:
+            report.failures.extend(res)
+    if report.failures:
+        killer_task.cancel()
+        await asyncio.gather(killer_task, return_exceptions=True)
+    else:
+        try:
+            await asyncio.wait_for(killer_task, timeout=60.0)
+        except asyncio.TimeoutError:
+            report.failures.append(
+                "worker kill/restart schedule never completed")
+
+    # ---------------------------------------------------------- the audit
+    fleet_snap = await fleet.refresh_metrics()
+    report.per_worker = fleet_snap["per_worker"]
+    report.worker_restarts = fleet.metrics.worker_restarts
+    report.admission_rejections = fleet.metrics.admission_rejections
+    report.resumes = sum(w.get("metrics", {}).get("sessions_resumed", 0)
+                         for w in report.per_worker)
+    report.failovers = sum(c.stats.failovers for c in clients)
+    report.key_reuploads = sum(c.stats.key_reuploads for c in clients)
+    report.retries = sum(c.stats.retries for c in clients)
+    report.logical_requests = total
+
+    # Exactly-once across worker generations, from the execution logs.
+    counts: Counter = Counter()
+    for name in sorted(os.listdir(log_dir)):
+        if not name.startswith("exec-"):
+            continue
+        with open(os.path.join(log_dir, name), encoding="ascii") as fh:
+            for line in fh:
+                uid = line.strip()
+                if uid:
+                    counts[uid] += 1
+    report.handler_invocations = sum(counts.values())
+    expected = {f"s{i}q{seq}"
+                for i in range(n_sessions) for seq in range(n_requests)}
+    missing = sorted(expected - counts.keys())
+    extra = sorted(counts.keys() - expected)
+    dupes = sorted(uid for uid, c in counts.items() if c > 1)
+    if missing:
+        report.failures.append(
+            f"exactly-once violated: {len(missing)} request(s) never "
+            f"executed (e.g. {missing[:3]})")
+    if extra:
+        report.failures.append(
+            f"execution log names {len(extra)} unknown request(s) "
+            f"(e.g. {extra[:3]})")
+    if dupes and kill_fate != "hard":
+        # A hard kill can crash a worker after a handler ran but before
+        # its RESULT left the process; the replacement worker legitimately
+        # re-executes on replay (at-least-once).  The graceful "idle" fate
+        # dies only between requests, so there exactly-once must hold.
+        report.failures.append(
+            f"exactly-once violated: {len(dupes)} request(s) executed "
+            f"more than once (e.g. {dupes[:3]})")
+
+    # Byte-identical ledger parity with a fault-free single-process run.
+    oracle = await _oracle_session(params, BfvContext(params, seed=8999),
+                                   n_requests)
+    report.oracle_bytes_up = oracle.bytes_up
+    report.oracle_bytes_down = oracle.bytes_down
+    for i, ledger in enumerate(ledgers):
+        if (ledger.bytes_up != oracle.bytes_up
+                or ledger.bytes_down != oracle.bytes_down
+                or ledger.rounds != oracle.rounds):
+            report.failures.append(
+                f"session {i}: ledger {ledger.bytes_up}B up / "
+                f"{ledger.bytes_down}B down / {ledger.rounds} round(s) "
+                f"!= oracle {oracle.bytes_up}B / {oracle.bytes_down}B / "
+                f"{oracle.rounds} (failover was not transfer-free)")
+    report.bytes_up = sum(ledger.bytes_up for ledger in ledgers)
+    report.bytes_down = sum(ledger.bytes_down for ledger in ledgers)
+
+    if not report.failures and kill_workers:
+        if report.worker_restarts < kill_workers:
+            report.failures.append(
+                f"{report.worker_restarts} worker restart(s) for "
+                f"{kill_workers} kill(s)")
+        if report.failovers < 1:
+            report.failures.append(
+                "no client exercised the failover path despite a worker "
+                "kill")
+
+    await fleet.stop()
+    if own_log_dir:
+        shutil.rmtree(log_dir, ignore_errors=True)
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+def run_fleet_chaos_soak(**kwargs) -> SoakReport:
+    """Synchronous wrapper around :func:`fleet_chaos_soak`."""
+    return asyncio.run(fleet_chaos_soak(**kwargs))

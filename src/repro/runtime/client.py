@@ -121,10 +121,13 @@ class ClientStats:
     timeouts: int = 0        # attempts that timed out waiting for a reply
     busy_waits: int = 0      # BUSY replies honored with a backoff wait
     resumes: int = 0         # successful RESUME reattachments
+    failovers: int = 0       # fresh sessions opened after a rejected RESUME
+    key_reuploads: int = 0   # KEYS_EVICTED signals answered with re-uploads
     reconnect_failures: int = 0
     pings_sent: int = 0
     pongs_received: int = 0
     session_errors: int = 0  # anonymous ERROR frames recorded, not fatal
+    half_open_resets: int = 0  # connections declared dead after silent timeouts
 
     def snapshot(self) -> Dict:
         return dict(self.__dict__)
@@ -138,9 +141,13 @@ class OffloadClient:
                  transport: Optional[Transport] = None,
                  transport_factory: Optional[TransportFactory] = None,
                  request_timeout: float = 30.0, max_retries: int = 4,
-                 backoff_s: float = 0.05, connect_retries: int = 3,
+                 backoff_s: float = 0.05, max_backoff_s: float = 2.0,
+                 suspect_after: int = 2, connect_retries: int = 3,
                  compress_seed: bool = True,
                  auto_resume: bool = True,
+                 failover: bool = False,
+                 on_failover: Optional[Callable[["OffloadClient"],
+                                               object]] = None,
                  heartbeat_s: Optional[float] = None,
                  max_frame_bytes: int = MAX_FRAME_BYTES):
         if (transport is None and transport_factory is None
@@ -153,9 +160,25 @@ class OffloadClient:
         self.request_timeout = request_timeout
         self.max_retries = max_retries
         self.backoff_s = backoff_s
+        #: Retry backoff doubles per attempt but never past this ceiling —
+        #: an uncapped exponential turns a retry budget of 40 into hours.
+        self.max_backoff_s = max_backoff_s
+        #: Consecutive silent timeouts on one connection before the client
+        #: declares it half-open and reconnects.  A NAT, a proxy, or a fork
+        #: that duplicated the peer's socket can leave a TCP connection
+        #: writable-but-unread forever; without this the retry loop would
+        #: resubmit into the void and never trigger RESUME/failover.
+        self.suspect_after = max(1, suspect_after)
         self.connect_retries = connect_retries
         self.compress_seed = compress_seed
         self.auto_resume = auto_resume
+        #: When a RESUME is rejected (the owning fleet worker died and took
+        #: the session with it), fall back to a fresh HELLO handshake and
+        #: re-provision cached keys instead of failing the session.
+        self.failover = failover or on_failover is not None
+        #: Application hook invoked after a successful failover handshake,
+        #: for rebuilding server-side session state (may be a coroutine).
+        self.on_failover = on_failover
         self.heartbeat_s = heartbeat_s
         self.max_frame_bytes = max_frame_bytes
         self.transport = transport
@@ -167,6 +190,14 @@ class OffloadClient:
         self.resume_token: Optional[bytes] = None
         self.grace_period_ms: int = 0
         self.stats = ClientStats()
+        #: Serialized key blobs by kind, exactly as uploaded (Galois blobs
+        #: accumulate).  This is what KEYS_EVICTED re-uploads and failover
+        #: re-provisioning replay — keys are regenerated from bytes, never
+        #: from the secret key, so the cache mirrors the server verbatim.
+        self._key_blob_cache: Dict[KeyKind, List[bytes]] = {}
+        #: A failover handshake succeeded but key re-provisioning was cut
+        #: short; the next successful reattach finishes the job.
+        self._reprovision_needed = False
         self._rid = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._key_waiters: Dict[KeyKind, Deque[asyncio.Future]] = {}
@@ -189,12 +220,35 @@ class OffloadClient:
             backoff_s=self.backoff_s, max_frame_bytes=self.max_frame_bytes)
 
     async def connect(self) -> "OffloadClient":
-        """Open the transport, handshake, and start the reader pump."""
-        if self.transport is None:
-            self.transport = await self._new_transport()
-        hello = Hello.from_params(self.params)
-        await self.transport.send_frame(MessageType.HELLO, hello.pack())
-        mtype, _flags, payload = await self.transport.recv_frame()
+        """Open the transport, handshake, and start the reader pump.
+
+        A ``BUSY`` answer to ``HELLO`` is fleet admission control (the
+        session cap is reached): the client honors ``retry_after_ms`` and
+        retries on a fresh connection, surfacing :class:`ServerBusy` when
+        ``max_retries`` run out.
+        """
+        delay = self.backoff_s
+        for attempt in range(self.max_retries + 1):
+            if self.transport is None:
+                self.transport = await self._new_transport()
+            hello = Hello.from_params(self.params)
+            await self.transport.send_frame(MessageType.HELLO, hello.pack())
+            mtype, _flags, payload = await self.transport.recv_frame()
+            if mtype is not MessageType.BUSY:
+                break
+            busy = Busy.unpack(payload)
+            self.stats.busy_waits += 1
+            await self.transport.close()
+            self.transport = None
+            reconnectable = (self._transport_factory is not None
+                             or (self.host is not None
+                                 and self.port is not None))
+            if attempt == self.max_retries or not reconnectable:
+                raise ServerBusy(
+                    f"admission rejected: fleet at capacity "
+                    f"({attempt + 1} attempt(s))", busy.retry_after_ms)
+            await asyncio.sleep(max(busy.retry_after_ms / 1000.0, delay))
+            delay = min(delay * 2, self.max_backoff_s)
         if mtype is MessageType.ERROR:
             err = Error.unpack(payload)
             raise OffloadError(f"handshake rejected: {err.message}", err.code)
@@ -384,11 +438,26 @@ class OffloadClient:
                         await transport.close()
                     if attempt < self.max_retries:
                         await asyncio.sleep(delay)
-                        delay *= 2
+                        delay = min(delay * 2, self.max_backoff_s)
                     continue
                 if mtype is MessageType.ERROR:
                     err = Error.unpack(payload)
                     await transport.close()
+                    if (err.code is ErrorCode.RESUME_REJECTED
+                            and self.failover):
+                        # The owning worker lost the session (killed and
+                        # restarted, or the grace period lapsed): open a
+                        # fresh session and re-provision from the cache.
+                        try:
+                            await self._failover()
+                            return
+                        except (ConnectionError, OSError, FrameError,
+                                asyncio.TimeoutError) as exc:
+                            last_exc = exc
+                            if attempt < self.max_retries:
+                                await asyncio.sleep(delay)
+                                delay = min(delay * 2, self.max_backoff_s)
+                            continue
                     self.stats.reconnect_failures += 1
                     raise OffloadError(
                         f"resume rejected: {err.message}", err.code)
@@ -402,11 +471,73 @@ class OffloadClient:
                 self._conn_error = None
                 self._pump_task = asyncio.ensure_future(self._pump())
                 self.stats.resumes += 1
+                if self._reprovision_needed:
+                    # A previous failover was cut short mid-provisioning;
+                    # finish it now (Galois re-uploads merge server-side).
+                    await self._reupload_cached_keys(ensure_live=False)
+                    self._reprovision_needed = False
                 return
             self.stats.reconnect_failures += 1
             raise OffloadError(
                 f"resume failed after {self.max_retries + 1} attempt(s): "
                 f"{last_exc}")
+
+    async def _failover(self) -> None:
+        """Fresh-session fallback after a rejected RESUME (one attempt).
+
+        Performs a full HELLO handshake on a new connection, adopts the new
+        session id and resume token, restarts the pump, replays every
+        cached key blob (uncharged — provisioning is the offline phase,
+        exactly like the originals), then invokes ``on_failover`` so the
+        application can rebuild server-side state.  In-flight request ids
+        stay valid: their retry loops resubmit against the new session.
+        Called under ``_resume_lock``; raises connection-class errors so
+        the resume retry loop treats a failed attempt as retryable.
+        """
+        transport = await self._new_transport()
+        try:
+            await transport.send_frame(
+                MessageType.HELLO, Hello.from_params(self.params).pack())
+            mtype, _flags, payload = await asyncio.wait_for(
+                transport.recv_frame(), self.request_timeout)
+        except BaseException:
+            await transport.close()
+            raise
+        if mtype is MessageType.BUSY:
+            busy = Busy.unpack(payload)
+            self.stats.busy_waits += 1
+            await transport.close()
+            await asyncio.sleep(max(busy.retry_after_ms / 1000.0,
+                                    self.backoff_s))
+            raise ConnectionError("fleet at capacity during failover")
+        if mtype is MessageType.ERROR:
+            err = Error.unpack(payload)
+            await transport.close()
+            self.stats.reconnect_failures += 1
+            raise OffloadError(
+                f"failover handshake rejected: {err.message}", err.code)
+        if mtype is not MessageType.HELLO_ACK:
+            await transport.close()
+            raise ConnectionError(
+                f"failover expected HELLO_ACK, got {mtype.name}")
+        ack = HelloAck.unpack(payload)
+        self.session_id = ack.session_id
+        self.server_queue_limit = ack.queue_limit
+        self.server_concurrency = ack.concurrency
+        self.banner = ack.banner
+        self.resume_token = ack.resume_token or None
+        self.grace_period_ms = ack.grace_ms
+        self.transport = transport
+        self._conn_error = None
+        self._pump_task = asyncio.ensure_future(self._pump())
+        self.stats.failovers += 1
+        self._reprovision_needed = True
+        await self._reupload_cached_keys(ensure_live=False)
+        self._reprovision_needed = False
+        if self.on_failover is not None:
+            result = self.on_failover(self)
+            if asyncio.iscoroutine(result):
+                await result
 
     async def _ensure_live(self) -> None:
         """Raise, or transparently resume, when the connection is down."""
@@ -437,37 +568,89 @@ class OffloadClient:
         if galois is not None:
             uploads.append((KeyKind.GALOIS, serialize_galois_keys(galois)))
         for kind, blob in uploads:
-            delay = self.backoff_s
-            payload = KeyUpload(kind, blob).pack()
-            for attempt in range(self.max_retries + 1):
-                self._check_closed()
+            self._remember_key_blob(kind, blob)
+            await self._upload_blob(kind, blob)
+
+    def _remember_key_blob(self, kind: KeyKind, blob: bytes) -> None:
+        """Cache the blob for KEYS_EVICTED / failover re-provisioning.
+
+        Galois uploads are incremental server-side, so their blobs
+        accumulate; public and relin uploads replace the previous blob.
+        """
+        if kind is KeyKind.GALOIS:
+            self._key_blob_cache.setdefault(kind, []).append(blob)
+        else:
+            self._key_blob_cache[kind] = [blob]
+
+    async def _reupload_cached_keys(self, *, charge: bool = False,
+                                    ensure_live: bool = True) -> None:
+        """Replay every cached key blob to the current session.
+
+        ``charge=True`` bills the ledger the blob bytes once per call —
+        the KEYS_EVICTED path, where re-upload traffic is a real online
+        cost the eviction caused.  Failover re-provisioning stays
+        uncharged, like the original offline uploads it replays.
+        """
+        for kind, blobs in list(self._key_blob_cache.items()):
+            for blob in blobs:
+                if charge:
+                    self.transport.account_upload(len(blob))
+                await self._upload_blob(kind, blob, ensure_live=ensure_live)
+
+    async def _upload_blob(self, kind: KeyKind, blob: bytes, *,
+                           ensure_live: bool = True) -> None:
+        """One key blob with the client's retry policy.
+
+        ``ensure_live=False`` is the re-provisioning path, called while
+        ``_resume_lock`` is already held: connection failures re-raise for
+        the caller's retry loop instead of recursing into ``resume()``.
+        """
+        delay = self.backoff_s
+        payload = KeyUpload(kind, blob).pack()
+        silent_timeouts = 0
+        for attempt in range(self.max_retries + 1):
+            self._check_closed()
+            if ensure_live:
                 await self._ensure_live()
-                waiter = asyncio.get_running_loop().create_future()
-                self._key_waiters.setdefault(kind, deque()).append(waiter)
-                try:
-                    await self.transport.send_frame(
-                        MessageType.KEY_UPLOAD, payload)
-                    await asyncio.wait_for(waiter, self.request_timeout)
-                    break
-                except asyncio.TimeoutError:
-                    self._discard_key_waiter(kind, waiter)
-                    if attempt == self.max_retries:
-                        raise OffloadTimeout(
-                            f"no KEY_ACK for {kind.name} key within "
-                            f"{self.request_timeout}s "
-                            f"({attempt + 1} attempt(s))")
-                    await asyncio.sleep(delay)
-                    delay *= 2
-                except (ConnectionError, OSError, FrameError) as exc:
-                    self._discard_key_waiter(kind, waiter)
-                    if self._conn_error is None:
-                        self._conn_error = exc
-                    if attempt == self.max_retries or not self._can_resume():
-                        raise OffloadError(
-                            f"connection lost during {kind.name} key "
-                            f"upload: {exc}")
-                    await asyncio.sleep(delay)
-                    delay *= 2
+            waiter = asyncio.get_running_loop().create_future()
+            self._key_waiters.setdefault(kind, deque()).append(waiter)
+            try:
+                await self.transport.send_frame(
+                    MessageType.KEY_UPLOAD, payload)
+                await asyncio.wait_for(waiter, self.request_timeout)
+                return
+            except asyncio.TimeoutError:
+                self._discard_key_waiter(kind, waiter)
+                if attempt == self.max_retries:
+                    raise OffloadTimeout(
+                        f"no KEY_ACK for {kind.name} key within "
+                        f"{self.request_timeout}s "
+                        f"({attempt + 1} attempt(s))")
+                silent_timeouts += 1
+                if (ensure_live and silent_timeouts >= self.suspect_after
+                        and self._conn_error is None
+                        and self._can_resume()):
+                    # Same half-open defense as request(): writes land,
+                    # replies never come — reconnect instead of resending.
+                    self.stats.half_open_resets += 1
+                    self._conn_error = ConnectionError(
+                        f"suspected half-open connection: "
+                        f"{silent_timeouts} consecutive KEY_ACK timeouts")
+                    silent_timeouts = 0
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, self.max_backoff_s)
+            except (ConnectionError, OSError, FrameError) as exc:
+                self._discard_key_waiter(kind, waiter)
+                if self._conn_error is None:
+                    self._conn_error = exc
+                if not ensure_live:
+                    raise
+                if attempt == self.max_retries or not self._can_resume():
+                    raise OffloadError(
+                        f"connection lost during {kind.name} key "
+                        f"upload: {exc}")
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, self.max_backoff_s)
 
     def _discard_key_waiter(self, kind: KeyKind,
                             waiter: asyncio.Future) -> None:
@@ -511,6 +694,7 @@ class OffloadClient:
                 self.transport.account_upload(ct.size_bytes())
         delay = self.backoff_s
         last_busy: Optional[Busy] = None
+        silent_timeouts = 0
         for attempt in range(retries + 1):
             self._check_closed()
             await self._ensure_live()
@@ -530,8 +714,22 @@ class OffloadClient:
                     raise OffloadTimeout(
                         f"request {op!r} timed out after {attempt + 1} "
                         f"attempt(s) of {timeout}s")
+                silent_timeouts += 1
+                if (silent_timeouts >= self.suspect_after
+                        and self._conn_error is None
+                        and self._can_resume()):
+                    # The connection accepts writes but nothing ever comes
+                    # back — a half-open TCP link (dead peer, proxy holding
+                    # our socket open).  Declare it lost so the next
+                    # attempt reconnects via RESUME/failover instead of
+                    # resubmitting into the void forever.
+                    self.stats.half_open_resets += 1
+                    self._conn_error = ConnectionError(
+                        f"suspected half-open connection: "
+                        f"{silent_timeouts} consecutive request timeouts")
+                    silent_timeouts = 0
                 await asyncio.sleep(delay)
-                delay *= 2
+                delay = min(delay * 2, self.max_backoff_s)
                 continue
             except (ConnectionError, OSError, FrameError) as exc:
                 self._pending.pop(request_id, None)
@@ -542,8 +740,9 @@ class OffloadClient:
                     raise OffloadError(
                         f"request {op!r}: connection lost: {exc}")
                 await asyncio.sleep(delay)
-                delay *= 2
+                delay = min(delay * 2, self.max_backoff_s)
                 continue
+            silent_timeouts = 0  # any reply proves the connection is live
             if kind == "result":
                 out_cts = [deserialize_ciphertext(blob, self.params)
                            for blob in reply.blobs]
@@ -558,9 +757,18 @@ class OffloadClient:
                     break
                 wait_s = max(reply.retry_after_ms / 1000.0, delay)
                 await asyncio.sleep(wait_s)
-                delay *= 2
+                delay = min(delay * 2, self.max_backoff_s)
                 continue
             err: Error = reply
+            if (err.code is ErrorCode.KEYS_EVICTED
+                    and self._key_blob_cache and attempt < retries):
+                # The server's key-store LRU dropped our keys while idle.
+                # Re-provision from the cache — charged once per eviction
+                # event, retries within the upload are free — and resubmit
+                # the same request id (nothing executed server-side).
+                self.stats.key_reuploads += 1
+                await self._reupload_cached_keys(charge=account)
+                continue
             raise OffloadError(
                 f"request {op!r} failed [{err.code.name}]: {err.message}",
                 err.code)

@@ -1,0 +1,405 @@
+"""Process-pool evaluation executor for offload workers.
+
+One slow BFV multiply on the asyncio loop stalls every session a worker
+serves — heartbeats, key uploads, backpressure replies, all of it.  The
+runtime already pushes handlers into threads, but CPython threads share
+the GIL, so the numpy-heavy HE kernels still serialize.  An
+:class:`EvalPool` runs **pooled** operations in real subprocesses instead:
+the event loop keeps serving frames while ciphertext math burns a
+different core.
+
+Nothing live crosses the process boundary:
+
+* parameters travel as a :func:`~repro.hecore.serialize.serialize_params`
+  spec blob; each subprocess re-derives bit-identical moduli;
+* evaluation keys travel as the exact ``hecore.serialize`` blobs the
+  client uploaded (the server retains them per session), shipped lazily
+  and re-shipped only when the session's key version changes;
+* requests and results travel as wire-format ciphertext blobs — the same
+  bytes the CHOF frames carry, no pickled HE objects anywhere.
+
+Pooled operations are **pure functions** ``fn(ctx, state, meta, cts)``
+returning ``cts`` or ``(cts, meta)``, registered by installer specs of the
+form ``"module:attr"`` (resolved inside the subprocess, so the pool works
+under both ``fork`` and ``spawn`` start methods).  ``ctx`` is the same
+decrypt-forbidden restricted context the in-process server builds; ``state``
+is a per-session dict living in the subprocess, so stateful services (the
+KNN batch store) keep working.  Sessions are hash-pinned to one subprocess
+— per-session execution stays serialized, sessions stay parallel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib
+import multiprocessing
+import os
+import stat
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.protocol import ProtocolViolation
+from repro.hecore.params import EncryptionParameters
+from repro.hecore.serialize import (
+    deserialize_ciphertext,
+    deserialize_galois_keys,
+    deserialize_params,
+    deserialize_public_key,
+    deserialize_relin_key,
+    serialize_ciphertext,
+    serialize_params,
+)
+from repro.runtime.framing import KeyKind
+from repro.runtime.server import (
+    MissingEvaluationKey,
+    _normalize_result,
+    build_restricted_context,
+)
+
+#: A pooled operation: ``(ctx, state, meta, cts) -> cts | (cts, meta)``.
+PooledOp = Callable[[Any, Dict, Dict, List], Any]
+
+#: A pooled installer: ``(registry: Dict[str, PooledOp]) -> None``.
+PooledInstaller = Callable[[Dict[str, PooledOp]], None]
+
+_CALL_TIMEOUT_S = 300.0
+
+
+def resolve_spec(spec: str) -> Any:
+    """``"pkg.module:attr.subattr"`` -> the named object."""
+    module_name, _, attr_path = spec.partition(":")
+    if not module_name or not attr_path:
+        raise ValueError(f"installer spec {spec!r} is not 'module:attr'")
+    obj = importlib.import_module(module_name)
+    for attr in attr_path.split("."):
+        obj = getattr(obj, attr)
+    return obj
+
+
+def build_pooled_registry(installers: Tuple[str, ...],
+                          ) -> Dict[str, PooledOp]:
+    registry: Dict[str, PooledOp] = {}
+    for spec in installers:
+        resolve_spec(spec)(registry)
+    return registry
+
+
+def pooled_op_names(installers: Tuple[str, ...]) -> Tuple[str, ...]:
+    """The op names a set of installer specs would register."""
+    return tuple(sorted(build_pooled_registry(tuple(installers))))
+
+
+def _mp_context():
+    """fork where available (instant, shares loaded numpy); spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
+
+
+def close_inherited_sockets(keep: Iterable[int] = ()) -> None:
+    """Close every socket fd a fork duplicated into this child process.
+
+    A child forked while the parent serves TCP traffic inherits duplicate
+    descriptors for every open connection — including the parent's listen
+    socket and any relayed client links.  Those duplicates keep the
+    underlying connections half-open after the parent closes its copy: the
+    peer never receives FIN and blocks forever on a read.  The child needs
+    none of them (its control pipe is in *keep*; servers it runs open their
+    own sockets), so the safe move is to drop them all on entry.
+
+    Only sockets are touched — pipes and files (multiprocessing's resource
+    tracker, logging, stdio) keep their descriptors.  Best-effort and
+    POSIX-only: on platforms without ``/proc/self/fd`` this is a no-op,
+    which matches the ``spawn`` start method where nothing leaks.
+    """
+    keep_fds = {int(fd) for fd in keep} | {0, 1, 2}
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except OSError:
+        return
+    for fd in fds:
+        if fd in keep_fds:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:
+            continue
+
+
+# ---------------------------------------------------------------------------
+# Subprocess side
+# ---------------------------------------------------------------------------
+
+def _deserialize_key(kind: KeyKind, blob: bytes,
+                     params: EncryptionParameters):
+    if kind is KeyKind.PUBLIC:
+        return deserialize_public_key(blob, params)
+    if kind is KeyKind.RELIN:
+        return deserialize_relin_key(blob, params)
+    return deserialize_galois_keys(blob, params)
+
+
+def _eval_main(conn, params_blob: bytes, installers: Tuple[str, ...],
+               context_seed: bytes) -> None:
+    """Subprocess loop: rebuild params, register pooled ops, serve calls."""
+    close_inherited_sockets(keep=(conn.fileno(),))
+    params = deserialize_params(params_blob)
+    registry = build_pooled_registry(installers)
+    # sid -> {"keystore": {KeyKind: key}, "state": {}, "ctx": restricted}
+    sessions: Dict[int, Dict[str, Any]] = {}
+
+    def entry_for(sid: int) -> Dict[str, Any]:
+        return sessions.setdefault(
+            sid, {"keystore": {}, "state": {}, "ctx": None})
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # parent died or closed the pipe: shut down quietly
+        cmd = msg[0]
+        if cmd == "stop":
+            return
+        try:
+            if cmd == "keys":
+                _sid, kind_code, blobs = msg[1], msg[2], msg[3]
+                entry = entry_for(_sid)
+                kind = KeyKind(kind_code)
+                merged = None
+                for blob in blobs:
+                    key = _deserialize_key(kind, blob, params)
+                    if merged is None:
+                        merged = key
+                    else:
+                        merged.keys.update(key.keys)
+                # Mutate the keystore in place: the restricted context's
+                # relin_keys closure holds a reference to this dict.
+                entry["keystore"][kind] = merged
+                if entry["ctx"] is not None and kind is KeyKind.GALOIS:
+                    entry["ctx"]._galois = merged
+                conn.send(("ok",))
+            elif cmd == "evict":
+                sessions.pop(msg[1], None)
+                conn.send(("ok",))
+            elif cmd == "exec":
+                _sid, op, meta, blobs = msg[1], msg[2], msg[3], msg[4]
+                entry = entry_for(_sid)
+                fn = registry.get(op)
+                if fn is None:
+                    raise RuntimeError(f"op {op!r} not in the pooled registry")
+                if entry["ctx"] is None:
+                    entry["ctx"] = build_restricted_context(
+                        params, entry["keystore"], context_seed)
+                ctx = entry["ctx"]
+                cts = [deserialize_ciphertext(blob, params)
+                       for blob in blobs]
+                counts_before = dict(ctx.counts)
+                out_cts, out_meta = _normalize_result(
+                    fn(ctx, entry["state"], dict(meta), cts))
+                counters = {k: v - counts_before.get(k, 0)
+                            for k, v in ctx.counts.items()
+                            if v != counts_before.get(k, 0)}
+                out_blobs = tuple(
+                    serialize_ciphertext(ct, compress_seed=False)
+                    for ct in out_cts)
+                conn.send(("result", out_blobs, out_meta, counters))
+            else:
+                conn.send(("error", "RuntimeError",
+                           f"unknown eval-pool command {cmd!r}"))
+        except Exception as exc:  # noqa: BLE001 — typed name crosses the pipe
+            conn.send(("error", type(exc).__name__, str(exc)))
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+class _Slot:
+    """One eval subprocess plus its pipe, lock, and shipped-key ledger."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.lock = asyncio.Lock()
+        #: (session_id, KeyKind) -> key version already shipped.
+        self.shipped: Dict[Tuple[int, KeyKind], int] = {}
+
+
+class EvalPool:
+    """N subprocess evaluators behind an async dispatch facade.
+
+    ``execute`` pins each session to ``session_id % size`` so per-session
+    state (stored batches, restricted context, key cache) lives in exactly
+    one subprocess and per-session execution stays serialized — mirroring
+    the server's own scheduling invariant.  A dead subprocess is respawned
+    on the next call that notices; the interrupted request surfaces as a
+    ``HANDLER_FAILED`` and the client's idempotent retry re-executes it
+    (the failed id left the dedupe window, so that is a fresh run).
+    """
+
+    def __init__(self, params: EncryptionParameters, size: int,
+                 installers: Tuple[str, ...] = (), *,
+                 context_seed: bytes = b"offload-server-eval"):
+        if size < 1:
+            raise ValueError("eval pool needs at least one worker")
+        self.size = size
+        self.installers = tuple(installers)
+        self._params_blob = serialize_params(params)
+        self._context_seed = context_seed
+        self._mp = _mp_context()
+        self._slots = [_Slot(i) for i in range(size)]
+        self._closed = False
+        self.started_at = time.monotonic()
+        self.executions = 0
+        self.busy_s = 0.0
+        self.key_ships = 0
+        self.respawns = 0
+        for slot in self._slots:
+            self._spawn(slot)
+
+    # ------------------------------------------------------------ plumbing
+    def _spawn(self, slot: _Slot) -> None:
+        parent_conn, child_conn = self._mp.Pipe()
+        process = self._mp.Process(
+            target=_eval_main,
+            args=(child_conn, self._params_blob, self.installers,
+                  self._context_seed),
+            daemon=True, name=f"choco-eval-{slot.index}")
+        process.start()
+        child_conn.close()
+        slot.process = process
+        slot.conn = parent_conn
+        slot.shipped = {}
+
+    def _respawn(self, slot: _Slot) -> None:
+        self.respawns += 1
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if slot.process is not None and slot.process.is_alive():
+            slot.process.terminate()
+        self._spawn(slot)
+
+    def _call(self, slot: _Slot, msg: tuple,
+              timeout: float = _CALL_TIMEOUT_S):
+        """Blocking roundtrip on the slot's pipe (run via to_thread)."""
+        slot.conn.send(msg)
+        if not slot.conn.poll(timeout):
+            raise RuntimeError(
+                f"eval-pool worker {slot.index} timed out after {timeout}s")
+        return slot.conn.recv()
+
+    @staticmethod
+    def _raise_remote(tname: str, message: str) -> None:
+        if tname == "ProtocolViolation":
+            raise ProtocolViolation(message)
+        if tname == "MissingEvaluationKey":
+            raise MissingEvaluationKey(message)
+        if tname == "ValueError":
+            raise ValueError(message)
+        raise RuntimeError(f"{tname}: {message}")
+
+    # ------------------------------------------------------------ dispatch
+    async def execute(self, session, request,
+                      ) -> Tuple[Tuple[bytes, ...], Dict, Dict]:
+        """Run one pooled request; returns (result_blobs, meta, counters)."""
+        if self._closed:
+            raise RuntimeError("eval pool is closed")
+        slot = self._slots[session.id % self.size]
+        async with slot.lock:
+            started = time.monotonic()
+            try:
+                for kind, version in list(session.key_versions.items()):
+                    if slot.shipped.get((session.id, kind)) == version:
+                        continue
+                    blobs = tuple(session.key_blobs.get(kind, ()))
+                    if not blobs:
+                        continue  # evicted since: nothing to ship
+                    reply = await asyncio.to_thread(
+                        self._call, slot,
+                        ("keys", session.id, int(kind), blobs))
+                    if reply[0] == "error":
+                        self._raise_remote(reply[1], reply[2])
+                    slot.shipped[(session.id, kind)] = version
+                    self.key_ships += 1
+                reply = await asyncio.to_thread(
+                    self._call, slot,
+                    ("exec", session.id, request.op, dict(request.meta),
+                     tuple(request.blobs)))
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self._respawn(slot)
+                raise RuntimeError(
+                    f"eval-pool worker {slot.index} died running "
+                    f"{request.op!r}: {exc}") from exc
+            finally:
+                self.busy_s += time.monotonic() - started
+        if reply[0] == "error":
+            self._raise_remote(reply[1], reply[2])
+        self.executions += 1
+        _tag, out_blobs, out_meta, counters = reply
+        return tuple(out_blobs), dict(out_meta), dict(counters)
+
+    def forget_session(self, session_id: int) -> None:
+        """Drop a session's shipped-key state (eviction or close).
+
+        Synchronous and non-blocking: the subprocess purge rides on a
+        fire-and-forget task when a loop is running, so the server can call
+        this from teardown paths without awaiting pipe traffic.
+        """
+        owner = self._slots[session_id % self.size]
+        for key in [k for k in owner.shipped if k[0] == session_id]:
+            owner.shipped.pop(key, None)
+        if self._closed:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        loop.create_task(self._purge(owner, session_id))
+
+    async def _purge(self, slot: _Slot, session_id: int) -> None:
+        try:
+            async with slot.lock:
+                if self._closed:
+                    return
+                await asyncio.to_thread(self._call, slot,
+                                        ("evict", session_id), 10.0)
+        except Exception:  # noqa: BLE001 — best-effort memory hygiene
+            pass
+
+    # ------------------------------------------------------------ lifecycle
+    def snapshot(self) -> Dict:
+        elapsed = max(time.monotonic() - self.started_at, 1e-9)
+        return {
+            "size": self.size,
+            "executions": self.executions,
+            "busy_s": round(self.busy_s, 4),
+            "utilization": round(
+                min(self.busy_s / (elapsed * self.size), 1.0), 4),
+            "key_ships": self.key_ships,
+            "respawns": self.respawns,
+        }
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            async with slot.lock:
+                try:
+                    await asyncio.to_thread(slot.conn.send, ("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for slot in self._slots:
+            if slot.process is not None:
+                await asyncio.to_thread(slot.process.join, 5.0)
+                if slot.process.is_alive():
+                    slot.process.terminate()
+            try:
+                slot.conn.close()
+            except OSError:
+                pass

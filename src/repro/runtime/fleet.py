@@ -1,0 +1,633 @@
+"""Sharded multi-worker serving fleet for the offload runtime.
+
+One :class:`~repro.runtime.server.OffloadServer` process tops out at one
+core: the GIL serializes its HE kernels and a single asyncio loop carries
+every session.  A :class:`FleetServer` scales out instead of up — a
+front-end **router** process accepts CHOF connections and relays each one
+to a shared-nothing **worker** process, each worker being a full
+``OffloadServer`` (optionally with its own
+:class:`~repro.runtime.evalpool.EvalPool`) listening on a loopback port.
+
+The sharding trick is in the session ids.  Worker *i* of *n* allocates ids
+from the arithmetic progression ``start=i+1, step=n``, so the owner of any
+session is the pure function ``(session_id - 1) % n`` — sticky routing
+needs no shared table, no coordination, and survives router restarts for
+free.  A ``HELLO`` (new session) goes to the least-loaded live worker; a
+``RESUME`` is routed to the owner computed from its session id.  After the
+first frame the router is a dumb byte pump: it never parses ciphertexts
+and adds no per-request work.
+
+Failure handling composes with the v2 protocol instead of duplicating it:
+
+* A worker death closes its relayed connections; clients RESUME, the
+  router routes the RESUME to the (respawned, blank) owner, the worker
+  answers ``RESUME_REJECTED``, and a failover-enabled client opens a fresh
+  session and replays its cached keys (see ``OffloadClient(failover=True)``).
+  Exactly-once is preserved end to end because request ids are idempotency
+  keys and nothing re-executes without the client resubmitting.
+* Admission control is fleet-wide: beyond ``session_cap`` concurrently
+  connected sessions a ``HELLO`` is answered with ``BUSY`` (retry-after
+  hint included) and the connection is closed.  RESUMEs are always
+  admitted — reattachment never grows the fleet.
+* A supervisor task respawns dead workers (a fresh *generation* on a fresh
+  port) and retires the dead generation's last metrics snapshot into
+  :class:`~repro.runtime.metrics.FleetMetrics`, so fleet totals never
+  forget work a killed worker already served.
+
+Workers are driven over a control pipe (``snapshot`` / ``kill_idle`` /
+``stop``); ``kill_idle`` is the chaos fate the fleet soak uses — the worker
+``os._exit(17)``-s at the next instant no handler is executing and no
+queue holds work, which kills it *between* requests and lets the soak
+assert exactly-once without racing a half-executed handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.hecore.params import EncryptionParameters
+from repro.hecore.serialize import deserialize_params, serialize_params
+from repro.runtime.evalpool import (
+    EvalPool,
+    close_inherited_sockets,
+    pooled_op_names,
+    resolve_spec,
+)
+from repro.runtime.framing import (
+    MAX_FRAME_BYTES,
+    Busy,
+    Error,
+    ErrorCode,
+    FrameError,
+    MessageType,
+    Resume,
+    encode_frame,
+    read_frame,
+)
+from repro.runtime.metrics import FleetMetrics
+from repro.runtime.server import OffloadServer
+
+logger = logging.getLogger("repro.runtime.fleet")
+
+#: Exit code of a worker that honored a ``kill_idle`` chaos fate.
+IDLE_KILL_EXIT_CODE = 17
+
+_SPAWN_TIMEOUT_S = 60.0
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker process needs, as picklable primitives.
+
+    No live HE objects cross the process boundary: parameters travel as a
+    :func:`~repro.hecore.serialize.serialize_params` blob and operation
+    registries travel as ``"module:attr"`` installer specs resolved inside
+    the worker (so the fleet works under both ``fork`` and ``spawn``).
+    """
+
+    index: int
+    stride: int
+    params_blob: bytes
+    installers: Tuple[str, ...] = ()
+    pooled_installers: Tuple[str, ...] = ()
+    eval_workers: int = 0
+    queue_limit: int = 16
+    concurrency: int = 1
+    retry_after_ms: int = 50
+    keystore_limit: Optional[int] = None
+    resume_grace_s: float = 30.0
+    dedupe_window: int = 64
+    idle_timeout_s: Optional[float] = None
+    banner: str = "choco-fleet"
+    op_config: Dict[str, Any] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Worker process side
+# ---------------------------------------------------------------------------
+
+def _worker_main(conn, config: WorkerConfig) -> None:
+    """Process entry point: run one sharded worker until told to stop."""
+    # A worker respawned mid-soak forks off a router that is actively
+    # relaying traffic; the inherited socket duplicates would hold every
+    # in-flight client connection half-open after the router closes its
+    # side (no FIN reaches the client, which then blocks forever).  Drop
+    # them before serving anything.
+    close_inherited_sockets(keep=(conn.fileno(),))
+    try:
+        asyncio.run(_worker_serve(conn, config))
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+
+
+async def _worker_serve(conn, config: WorkerConfig) -> None:
+    params = deserialize_params(config.params_blob)
+    eval_pool = None
+    if config.eval_workers > 0 and config.pooled_installers:
+        eval_pool = EvalPool(params, config.eval_workers,
+                             config.pooled_installers)
+    server = OffloadServer(
+        params,
+        queue_limit=config.queue_limit,
+        concurrency=config.concurrency,
+        retry_after_ms=config.retry_after_ms,
+        banner=f"{config.banner}/w{config.index}",
+        dedupe_window=config.dedupe_window,
+        resume_grace_s=config.resume_grace_s,
+        idle_timeout_s=config.idle_timeout_s,
+        session_id_start=config.index + 1,
+        session_id_step=config.stride,
+        keystore_limit=config.keystore_limit,
+        eval_pool=eval_pool,
+        op_config=dict(config.op_config),
+    )
+    for spec in config.installers:
+        resolve_spec(spec)(server)
+    if eval_pool is not None:
+        for op in pooled_op_names(config.pooled_installers):
+            server.register_pooled(op)
+
+    _host, port = await server.start("127.0.0.1", 0)
+    loop = asyncio.get_running_loop()
+    stop_event = asyncio.Event()
+    kill_flag = asyncio.Event()
+    send_lock = threading.Lock()
+
+    async def _snapshot() -> Dict:
+        queue_depth = sum(len(s.queue) for s in server._sessions.values())
+        return {
+            "worker": config.index,
+            "pid": os.getpid(),
+            "port": port,
+            "sessions": len(server._sessions),
+            "queue_depth": queue_depth,
+            "metrics": server.metrics.snapshot(),
+            "eval_pool": (eval_pool.snapshot()
+                          if eval_pool is not None else None),
+        }
+
+    def _control_reader() -> None:
+        """Blocking pipe reader; EOF (router died) means shut down."""
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                loop.call_soon_threadsafe(stop_event.set)
+                return
+            cmd = msg[0]
+            if cmd == "stop":
+                loop.call_soon_threadsafe(stop_event.set)
+                return
+            if cmd == "snapshot":
+                fut = asyncio.run_coroutine_threadsafe(_snapshot(), loop)
+                try:
+                    snap = fut.result(timeout=10.0)
+                except Exception as exc:  # noqa: BLE001 - report, don't die
+                    snap = {"worker": config.index, "error": str(exc)}
+                with send_lock:
+                    try:
+                        conn.send(("snapshot", snap))
+                    except (BrokenPipeError, OSError):
+                        loop.call_soon_threadsafe(stop_event.set)
+                        return
+            elif cmd == "kill_idle":
+                loop.call_soon_threadsafe(kill_flag.set)
+
+    async def _idle_killer() -> None:
+        """Chaos fate: die *between* requests, never inside one.
+
+        The idle check and the exit happen with no await between them, so
+        the decision is atomic with respect to the event loop: no handler
+        is mid-flight and no accepted request is silently dropped.
+        """
+        await kill_flag.wait()
+        while True:
+            idle = not any(s.executing or s.queue
+                           for s in server._sessions.values())
+            if idle:
+                os._exit(IDLE_KILL_EXIT_CODE)
+            await asyncio.sleep(0.005)
+
+    reader_thread = threading.Thread(
+        target=_control_reader, name=f"fleet-ctl-{config.index}", daemon=True)
+    reader_thread.start()
+    killer_task = asyncio.ensure_future(_idle_killer())
+    with send_lock:
+        conn.send(("ready", port))
+
+    try:
+        await stop_event.wait()
+    finally:
+        killer_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await killer_task
+        await server.stop()
+        if eval_pool is not None:
+            await eval_pool.close()
+        with contextlib.suppress(OSError):
+            conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Router side
+# ---------------------------------------------------------------------------
+
+class WorkerHandle:
+    """Router-side view of one live worker generation."""
+
+    def __init__(self, index: int, generation: int, process, conn,
+                 port: int):
+        self.index = index
+        self.generation = generation
+        self.process = process
+        self.conn = conn
+        self.port = port
+        self.active_conns = 0
+        self._lock = asyncio.Lock()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    async def control(self, msg: tuple, timeout: float = 10.0):
+        """One request/reply roundtrip on the control pipe."""
+        async with self._lock:
+            return await asyncio.to_thread(self._roundtrip, msg, timeout)
+
+    def _roundtrip(self, msg: tuple, timeout: float):
+        self.conn.send(msg)
+        if not self.conn.poll(timeout):
+            raise RuntimeError(
+                f"worker {self.index} control timeout after {timeout}s")
+        return self.conn.recv()
+
+    async def send(self, msg: tuple) -> None:
+        """Fire-and-forget control message (kill fates have no reply)."""
+        async with self._lock:
+            await asyncio.to_thread(self.conn.send, msg)
+
+    def close(self) -> None:
+        with contextlib.suppress(OSError):
+            self.conn.close()
+
+
+class FleetServer:
+    """Front-end router plus N shared-nothing worker processes."""
+
+    def __init__(self, params: EncryptionParameters, n_workers: int = 2, *,
+                 installers: Tuple[str, ...] = (),
+                 pooled_installers: Tuple[str, ...] = (),
+                 eval_workers: int = 0,
+                 session_cap: Optional[int] = None,
+                 queue_limit: int = 16, concurrency: int = 1,
+                 retry_after_ms: int = 50,
+                 keystore_limit: Optional[int] = None,
+                 resume_grace_s: float = 30.0,
+                 dedupe_window: int = 64,
+                 idle_timeout_s: Optional[float] = None,
+                 banner: str = "choco-fleet",
+                 op_config: Optional[Dict[str, Any]] = None,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        if n_workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        if session_cap is not None and session_cap < 1:
+            raise ValueError("session_cap must be at least 1 (or None)")
+        self.params = params
+        self.n_workers = n_workers
+        self.installers = tuple(installers)
+        self.pooled_installers = tuple(pooled_installers)
+        self.eval_workers = eval_workers
+        self.session_cap = session_cap
+        self.queue_limit = queue_limit
+        self.concurrency = concurrency
+        self.retry_after_ms = retry_after_ms
+        self.keystore_limit = keystore_limit
+        self.resume_grace_s = resume_grace_s
+        self.dedupe_window = dedupe_window
+        self.idle_timeout_s = idle_timeout_s
+        self.banner = banner
+        self.op_config = dict(op_config or {})
+        self.max_frame_bytes = max_frame_bytes
+        # Serializing up front also validates the params are spec-complete
+        # enough for workers to rebuild them bit-identically.
+        self._params_blob = serialize_params(params)
+        self.metrics = FleetMetrics()
+        self._mp = _mp_context()
+        self._workers: List[Optional[WorkerHandle]] = [None] * n_workers
+        self._generation = 0
+        self._admitted = 0
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._supervisor_task: Optional[asyncio.Task] = None
+        self._closing = False
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self, host: str = "127.0.0.1", port: int = 0,
+                    ) -> Tuple[str, int]:
+        """Spawn the workers, then listen; returns the router's endpoint."""
+        for index in range(self.n_workers):
+            self._workers[index] = await self._spawn_worker(index)
+        self._tcp_server = await asyncio.start_server(
+            self._on_connection, host, port)
+        sockname = self._tcp_server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._supervisor_task = asyncio.ensure_future(self._supervisor())
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        self._closing = True
+        if self._supervisor_task is not None:
+            self._supervisor_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._supervisor_task
+            self._supervisor_task = None
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for handle in self._workers:
+            if handle is None:
+                continue
+            with contextlib.suppress(Exception):
+                await handle.send(("stop",))
+        for handle in self._workers:
+            if handle is None:
+                continue
+            await asyncio.to_thread(handle.process.join, 5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                await asyncio.to_thread(handle.process.join, 2.0)
+            handle.close()
+        self._workers = [None] * self.n_workers
+
+    def _worker_config(self, index: int) -> WorkerConfig:
+        return WorkerConfig(
+            index=index, stride=self.n_workers,
+            params_blob=self._params_blob,
+            installers=self.installers,
+            pooled_installers=self.pooled_installers,
+            eval_workers=self.eval_workers,
+            queue_limit=self.queue_limit,
+            concurrency=self.concurrency,
+            retry_after_ms=self.retry_after_ms,
+            keystore_limit=self.keystore_limit,
+            resume_grace_s=self.resume_grace_s,
+            dedupe_window=self.dedupe_window,
+            idle_timeout_s=self.idle_timeout_s,
+            banner=self.banner,
+            op_config=self.op_config,
+        )
+
+    async def _spawn_worker(self, index: int) -> WorkerHandle:
+        generation = self._generation
+        self._generation += 1
+        return await asyncio.to_thread(self._spawn_worker_sync, index,
+                                       generation)
+
+    def _spawn_worker_sync(self, index: int,
+                           generation: int) -> WorkerHandle:
+        parent_conn, child_conn = self._mp.Pipe()
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(child_conn, self._worker_config(index)),
+            daemon=False,  # workers may own eval-pool subprocess children
+            name=f"choco-worker-{index}.g{generation}")
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(_SPAWN_TIMEOUT_S):
+            process.terminate()
+            raise RuntimeError(f"worker {index} never reported ready")
+        msg = parent_conn.recv()
+        if msg[0] != "ready":
+            process.terminate()
+            raise RuntimeError(
+                f"worker {index} sent {msg[0]!r} instead of ready")
+        return WorkerHandle(index, generation, process, parent_conn, msg[1])
+
+    async def _supervisor(self) -> None:
+        """Respawn dead workers; retire their metrics first."""
+        while True:
+            await asyncio.sleep(0.05)
+            for index in range(self.n_workers):
+                handle = self._workers[index]
+                if handle is None or handle.alive():
+                    continue
+                logger.warning(
+                    "fleet worker %d (gen %d, pid %s) died with exit code "
+                    "%s; respawning", index, handle.generation,
+                    handle.process.pid, handle.process.exitcode)
+                handle.close()
+                self.metrics.retire_worker(index)
+                self.metrics.worker_restarts += 1
+                self._workers[index] = None
+                try:
+                    self._workers[index] = await self._spawn_worker(index)
+                except Exception:  # noqa: BLE001 - retried next sweep
+                    logger.exception("fleet worker %d respawn failed", index)
+
+    # -------------------------------------------------------------- routing
+    def _pick_for_hello(self) -> Optional[WorkerHandle]:
+        """Least-loaded live worker (ties break toward the lowest index)."""
+        best = None
+        for handle in self._workers:
+            if handle is None or not handle.alive():
+                continue
+            if best is None or handle.active_conns < best.active_conns:
+                best = handle
+        return best
+
+    def owner_index(self, session_id: int) -> int:
+        """Sticky routing: the worker whose id progression minted *sid*."""
+        return (session_id - 1) % self.n_workers
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self.metrics.connections_total += 1
+        handle: Optional[WorkerHandle] = None
+        admitted = False
+        counted = False
+        try:
+            try:
+                mtype, flags, payload = await read_frame(
+                    reader, self.max_frame_bytes)
+            except (ConnectionError, FrameError):
+                return
+            if mtype is MessageType.HELLO:
+                if (self.session_cap is not None
+                        and self._admitted >= self.session_cap):
+                    self.metrics.admission_rejections += 1
+                    await self._reply(writer, MessageType.BUSY, Busy(
+                        0, self.retry_after_ms,
+                        min(self._admitted, 0xFFFF)).pack())
+                    return
+                handle = self._pick_for_hello()
+                if handle is None:
+                    self.metrics.admission_rejections += 1
+                    await self._reply(writer, MessageType.BUSY, Busy(
+                        0, self.retry_after_ms, 0).pack())
+                    return
+                self.metrics.sessions_routed += 1
+                admitted = True
+                self._admitted += 1
+                # Count the pick immediately (no await in between) so
+                # concurrent HELLOs spread instead of dog-piling one worker.
+                handle.active_conns += 1
+                counted = True
+            elif mtype is MessageType.RESUME:
+                try:
+                    resume = Resume.unpack(payload)
+                except FrameError as exc:
+                    await self._reply(writer, MessageType.ERROR, Error(
+                        0, ErrorCode.BAD_FRAME, str(exc)).pack())
+                    return
+                handle = self._workers[self.owner_index(resume.session_id)]
+                if handle is None or not handle.alive():
+                    # The owner is down right now; the client's failover
+                    # path treats this exactly like the respawned worker's
+                    # own rejection: fresh HELLO, new session.
+                    self.metrics.resumes_bounced += 1
+                    await self._reply(writer, MessageType.ERROR, Error(
+                        0, ErrorCode.RESUME_REJECTED,
+                        f"worker for session {resume.session_id} is "
+                        f"unavailable").pack())
+                    return
+                self.metrics.resumes_routed += 1
+                handle.active_conns += 1
+                counted = True
+            else:
+                await self._reply(writer, MessageType.ERROR, Error(
+                    0, ErrorCode.BAD_FRAME,
+                    f"expected HELLO or RESUME, got {mtype.name}").pack())
+                return
+            await self._relay(handle, mtype, flags, payload, reader, writer)
+        finally:
+            if counted and handle is not None:
+                handle.active_conns -= 1
+            if admitted:
+                self._admitted -= 1
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _reply(writer: asyncio.StreamWriter, mtype: MessageType,
+                     payload: bytes) -> None:
+        with contextlib.suppress(ConnectionError, OSError):
+            writer.write(encode_frame(mtype, payload))
+            await writer.drain()
+
+    async def _relay(self, handle: WorkerHandle, mtype: MessageType,
+                     flags: int, payload: bytes,
+                     client_reader: asyncio.StreamReader,
+                     client_writer: asyncio.StreamWriter) -> None:
+        """Forward the sniffed first frame, then pump raw bytes both ways."""
+        try:
+            backend_reader, backend_writer = await asyncio.open_connection(
+                "127.0.0.1", handle.port)
+        except OSError:
+            await self._reply(client_writer, MessageType.ERROR, Error(
+                0, ErrorCode.RESUME_REJECTED
+                if mtype is MessageType.RESUME else ErrorCode.BAD_FRAME,
+                "fleet worker unreachable").pack())
+            return
+        self.metrics.connections_active += 1
+        try:
+            backend_writer.write(encode_frame(mtype, payload, flags))
+            await backend_writer.drain()
+            up = asyncio.ensure_future(
+                self._pipe(client_reader, backend_writer))
+            down = asyncio.ensure_future(
+                self._pipe(backend_reader, client_writer))
+            # Either side closing ends the relay; the other pipe is torn
+            # down by closing both transports in the finally below.
+            done, pending = await asyncio.wait(
+                {up, down}, return_when=asyncio.FIRST_COMPLETED)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            self.metrics.connections_active -= 1
+            backend_writer.close()
+            with contextlib.suppress(Exception):
+                await backend_writer.wait_closed()
+
+    @staticmethod
+    async def _pipe(reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            return
+
+    # -------------------------------------------------------------- control
+    def worker(self, index: int) -> Optional[WorkerHandle]:
+        return self._workers[index]
+
+    async def refresh_metrics(self) -> Dict:
+        """Poll every live worker's snapshot; returns the fleet aggregate."""
+        for handle in list(self._workers):
+            if handle is None or not handle.alive():
+                continue
+            try:
+                reply = await handle.control(("snapshot",))
+            except Exception:  # noqa: BLE001 - a dying worker is retired
+                continue      # by the supervisor, not the poller
+            if reply and reply[0] == "snapshot":
+                snap = dict(reply[1])
+                snap["generation"] = handle.generation
+                self.metrics.update_worker(handle.index, snap)
+        return self.metrics.snapshot()
+
+    async def kill_worker(self, index: int, fate: str = "idle") -> int:
+        """Chaos entry point: kill worker *index*; returns its generation.
+
+        ``fate="idle"`` asks the worker to ``os._exit`` at the next moment
+        no handler is executing and no queue holds work (preserves
+        exactly-once accounting); ``fate="hard"`` SIGKILLs immediately
+        (in-flight work is lost and must be replayed by clients).
+        """
+        handle = self._workers[index]
+        if handle is None:
+            raise RuntimeError(f"worker {index} is not running")
+        generation = handle.generation
+        if fate == "idle":
+            await handle.send(("kill_idle",))
+        elif fate == "hard":
+            handle.process.kill()
+        else:
+            raise ValueError(f"unknown worker fate {fate!r}")
+        return generation
+
+    async def wait_worker_restart(self, index: int, old_generation: int,
+                                  timeout: float = 30.0) -> WorkerHandle:
+        """Block until the supervisor has respawned worker *index*."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            handle = self._workers[index]
+            if (handle is not None and handle.generation > old_generation
+                    and handle.alive()):
+                return handle
+            await asyncio.sleep(0.02)
+        raise TimeoutError(
+            f"worker {index} did not restart within {timeout}s")

@@ -96,6 +96,8 @@ class ErrorCode(enum.IntEnum):
     HANDLER_FAILED = 5     # the registered handler raised
     PROTOCOL_VIOLATION = 6  # server-side code touched a client-only capability
     RESUME_REJECTED = 7    # unknown session, bad token, or grace period over
+    KEYS_EVICTED = 8       # the key-store LRU dropped this session's keys;
+    #                        re-upload them and resubmit the same request id
 
 
 # ---------------------------------------------------------------------------

@@ -58,6 +58,8 @@ class SessionMetrics:
     rotations: int = 0           # slot rotations evaluated for this session
     hoisted_decomposes: int = 0  # key-switch decomposes shared via hoisting
     naive_decomposes: int = 0    # per-rotation (unshared) decomposes
+    key_evictions: int = 0       # key-store LRU dropped this session's keys
+    reupload_signals: int = 0    # KEYS_EVICTED errors sent to the client
     _latencies_s: List[float] = field(default_factory=list, repr=False)
 
     def observe_latency(self, seconds: float) -> None:
@@ -94,6 +96,8 @@ class SessionMetrics:
             "rotations": self.rotations,
             "hoisted_decomposes": self.hoisted_decomposes,
             "naive_decomposes": self.naive_decomposes,
+            "key_evictions": self.key_evictions,
+            "reupload_signals": self.reupload_signals,
             "latency_p50_ms": round(self.latency_p50_ms(), 3),
             "latency_p99_ms": round(self.latency_p99_ms(), 3),
         }
@@ -110,6 +114,11 @@ class RuntimeMetrics:
         self.sessions_resumed = 0
         self.sessions_reaped = 0
         self.resumes_rejected = 0
+        #: Times the scheduler task was respawned after dying on an
+        #: exception (a healthy server never increments this).
+        self.scheduler_restarts = 0
+        #: ``TypeName: message`` of the most recent scheduler death.
+        self.last_scheduler_error: Optional[str] = None
 
     def open_session(self, session_id: int, peer: str = "?") -> SessionMetrics:
         metrics = SessionMetrics(session_id=session_id, peer=peer)
@@ -134,6 +143,12 @@ class RuntimeMetrics:
             "sessions_resumed": self.sessions_resumed,
             "sessions_reaped": self.sessions_reaped,
             "resumes_rejected": self.resumes_rejected,
+            "scheduler_restarts": self.scheduler_restarts,
+            "last_scheduler_error": self.last_scheduler_error,
+            "key_evictions": sum(m.key_evictions
+                                 for m in self.sessions.values()),
+            "reupload_signals": sum(m.reupload_signals
+                                    for m in self.sessions.values()),
             "handler_invocations": sum(m.handler_invocations
                                        for m in self.sessions.values()),
             "duplicates_suppressed": sum(m.duplicates_suppressed
@@ -186,4 +201,95 @@ class RuntimeMetrics:
                 f"{m.bytes_up:10d} {m.bytes_down:10d} "
                 f"{m.latency_p50_ms():8.2f} {m.latency_p99_ms():8.2f}"
             )
+        return "\n".join(lines)
+
+
+class FleetMetrics:
+    """Router-side view over a sharded worker fleet.
+
+    Worker processes are shared-nothing, so the router can only see what
+    they report: each call to ``update_worker`` stores the latest snapshot
+    a worker shipped over its control pipe (per-worker queue depth, session
+    counts, eval-executor utilization, eviction/re-upload counters).  When
+    a worker dies its last snapshot is retired rather than discarded —
+    fleet totals must not forget work a killed worker already served.
+    """
+
+    def __init__(self):
+        #: index -> latest control-pipe snapshot from the live generation.
+        self.workers: Dict[int, Dict] = {}
+        #: Final known snapshots of dead worker generations.
+        self.retired: List[Dict] = []
+        self.worker_restarts = 0
+        self.admission_rejections = 0
+        self.sessions_routed = 0
+        self.resumes_routed = 0
+        self.resumes_bounced = 0    # RESUME for a worker that was down
+        self.connections_total = 0
+        self.connections_active = 0
+
+    def update_worker(self, index: int, snapshot: Dict) -> None:
+        self.workers[index] = dict(snapshot)
+
+    def retire_worker(self, index: int) -> None:
+        """A worker died: keep its last snapshot in the fleet totals."""
+        last = self.workers.pop(index, None)
+        if last is not None:
+            last["retired"] = True
+            self.retired.append(last)
+
+    def _all_snapshots(self) -> List[Dict]:
+        return list(self.retired) + [
+            self.workers[i] for i in sorted(self.workers)]
+
+    def snapshot(self) -> Dict:
+        """Fleet aggregate plus the per-worker breakdown, JSON-friendly."""
+        snaps = self._all_snapshots()
+
+        def total(key: str) -> int:
+            return sum(s.get("metrics", {}).get(key, 0) or 0 for s in snaps)
+
+        return {
+            "workers_live": len(self.workers),
+            "worker_restarts": self.worker_restarts,
+            "admission_rejections": self.admission_rejections,
+            "sessions_routed": self.sessions_routed,
+            "resumes_routed": self.resumes_routed,
+            "resumes_bounced": self.resumes_bounced,
+            "connections_total": self.connections_total,
+            "connections_active": self.connections_active,
+            "queue_depth": sum(s.get("queue_depth", 0) for s in snaps),
+            "handler_invocations": total("handler_invocations"),
+            "responses": total("responses"),
+            "key_evictions": total("key_evictions"),
+            "reupload_signals": total("reupload_signals"),
+            "scheduler_restarts": total("scheduler_restarts"),
+            "executor_utilization": round(sum(
+                (s.get("eval_pool") or {}).get("utilization", 0.0)
+                for s in snaps), 4),
+            "per_worker": snaps,
+        }
+
+    def render(self) -> str:
+        snap = self.snapshot()
+        lines = [
+            f"fleet metrics: {snap['workers_live']} live worker(s), "
+            f"{snap['worker_restarts']} restart(s), "
+            f"{snap['sessions_routed']} session(s) routed, "
+            f"{snap['admission_rejections']} admission rejection(s)",
+            f"  fleet totals: {snap['responses']} response(s), "
+            f"queue depth {snap['queue_depth']}, "
+            f"{snap['key_evictions']} eviction(s) / "
+            f"{snap['reupload_signals']} re-upload signal(s)",
+        ]
+        for s in snap["per_worker"]:
+            pool = s.get("eval_pool") or {}
+            m = s.get("metrics", {})
+            lines.append(
+                f"  worker {s.get('worker', '?')}"
+                f"{' (retired)' if s.get('retired') else ''}: "
+                f"{s.get('sessions', 0)} session(s), "
+                f"queue {s.get('queue_depth', 0)}, "
+                f"{m.get('responses', 0)} response(s), "
+                f"exec util {pool.get('utilization', 0.0):.2f}")
         return "\n".join(lines)

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import logging
 import secrets
 import time
 from collections import OrderedDict, deque
@@ -81,6 +82,8 @@ from repro.runtime.framing import (
 from repro.runtime.metrics import RuntimeMetrics, SessionMetrics
 from repro.runtime.transport import TcpTransport, Transport
 
+logger = logging.getLogger("repro.runtime")
+
 
 class MissingEvaluationKey(ValueError):
     """An operation needed an evaluation key the session never uploaded."""
@@ -88,12 +91,18 @@ class MissingEvaluationKey(ValueError):
 
 @dataclass
 class ComputeRequest:
-    """One deserialized offload request, queued for a worker."""
+    """One deserialized offload request, queued for a worker.
+
+    ``blobs`` keeps the raw wire ciphertexts alongside the deserialized
+    ``cts`` so a pooled executor can forward them to its subprocess without
+    a redundant re-serialization round.
+    """
 
     request_id: int
     op: str
     meta: Dict
     cts: List[Ciphertext]
+    blobs: Tuple[bytes, ...] = ()
     received_at: float = field(default_factory=time.monotonic)
 
 
@@ -114,6 +123,15 @@ class ServerSession:
         self.server = server
         self.metrics = metrics
         self.keystore: Dict[KeyKind, Any] = {}
+        #: Raw uploaded key blobs, retained so a pooled evaluation executor
+        #: can re-ship them to its subprocess (Galois uploads accumulate).
+        self.key_blobs: Dict[KeyKind, List[bytes]] = {}
+        #: Monotonic per-kind upload counters; the eval pool compares them
+        #: against what it already shipped to each subprocess.
+        self.key_versions: Dict[KeyKind, int] = {}
+        #: Kinds dropped by the key-store LRU; non-empty means the next
+        #: COMPUTE is answered with a KEYS_EVICTED re-upload signal.
+        self.evicted_kinds: set = set()
         #: Free-form per-session application state (e.g. stored KNN batches).
         self.state: Dict[str, Any] = {}
         self.queue: Deque[ComputeRequest] = deque()
@@ -179,6 +197,10 @@ class OffloadServer:
                  dedupe_window: int = 64,
                  resume_grace_s: float = 30.0,
                  idle_timeout_s: Optional[float] = None,
+                 session_id_start: int = 1, session_id_step: int = 1,
+                 keystore_limit: Optional[int] = None,
+                 eval_pool=None,
+                 op_config: Optional[Dict[str, Any]] = None,
                  verbose: bool = False):
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
@@ -186,6 +208,10 @@ class OffloadServer:
             raise ValueError("concurrency must be at least 1")
         if dedupe_window < 1:
             raise ValueError("dedupe_window must be at least 1")
+        if session_id_start < 1 or session_id_step < 1:
+            raise ValueError("session ids must start at >= 1 and step >= 1")
+        if keystore_limit is not None and keystore_limit < 1:
+            raise ValueError("keystore_limit must be at least 1 (or None)")
         self.params = params
         self.queue_limit = queue_limit
         self.concurrency = concurrency
@@ -196,12 +222,29 @@ class OffloadServer:
         self.resume_grace_s = resume_grace_s
         self.idle_timeout_s = idle_timeout_s
         self.verbose = verbose
+        #: Fleet workers bound this to a cap so N shared-nothing processes
+        #: don't hold N full key sets for every historical session.
+        self.keystore_limit = keystore_limit
+        #: Optional :class:`~repro.runtime.evalpool.EvalPool`; ops marked
+        #: via :meth:`register_pooled` execute in its subprocesses.
+        self.eval_pool = eval_pool
+        #: Free-form per-deployment handler configuration (e.g. the fleet
+        #: soak's execution-log directory), reachable as
+        #: ``session.server.op_config`` from any handler.
+        self.op_config: Dict[str, Any] = dict(op_config or {})
         self._context_seed = context_seed
         self.metrics = RuntimeMetrics()
         self._handlers: Dict[str, Handler] = {}
+        self._pooled_ops: set = set()
         self._sessions: Dict[int, ServerSession] = {}
         self._rr: Deque[int] = deque()
-        self._ids = itertools.count(1)
+        #: Sharded deployments give each worker a disjoint arithmetic
+        #: progression (start=i+1, step=n_workers) so a session id names
+        #: its owning worker: (sid - 1) % n_workers == i.  Sticky routing
+        #: becomes a pure function of the id — no shared routing table.
+        self._ids = itertools.count(session_id_start, session_id_step)
+        #: LRU over sessions holding evaluation keys (order = recency).
+        self._key_lru: "OrderedDict[int, None]" = OrderedDict()
         self._work = asyncio.Event()
         self._slots = asyncio.Semaphore(concurrency)
         self._scheduler_task: Optional[asyncio.Task] = None
@@ -217,6 +260,19 @@ class OffloadServer:
     def register(self, op: str, handler: Handler) -> None:
         """Register (or replace) the handler for operation *op*."""
         self._handlers[op] = handler
+
+    def register_pooled(self, op: str) -> None:
+        """Mark *op* for execution in the server's eval pool.
+
+        The op must also be registered (or be registrable) as a pure pooled
+        function in the pool's own registry; the inline handler registered
+        via :meth:`register` remains the fallback when no pool is attached.
+        """
+        if op not in self._handlers:
+            # Admission checks key off _handlers; a pooled-only op still
+            # needs an entry so UNKNOWN_OP is not returned for it.
+            self._handlers[op] = _pooled_only_handler(op)
+        self._pooled_ops.add(op)
 
     async def start(self, host: str = "127.0.0.1", port: int = 0,
                     ) -> Tuple[str, int]:
@@ -254,10 +310,31 @@ class OffloadServer:
         if self.verbose:
             print(self.metrics.render())
 
+    def _note_task_death(self, task: Optional[asyncio.Task],
+                         name: str) -> None:
+        """Surface why a core task died before it gets respawned.
+
+        A dead scheduler used to be respawned silently — the server kept
+        working but the exception (and the fact it ever happened) was
+        unobservable.  Now every crash-respawn is counted and the last
+        error is retained in the metrics snapshot.
+        """
+        if task is None or not task.done() or task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        self.metrics.scheduler_restarts += 1
+        self.metrics.last_scheduler_error = f"{type(exc).__name__}: {exc}"
+        logger.error("offload %s task died (restarting): %s",
+                     name, self.metrics.last_scheduler_error)
+
     def _ensure_scheduler(self) -> None:
         if self._scheduler_task is None or self._scheduler_task.done():
+            self._note_task_death(self._scheduler_task, "scheduler")
             self._scheduler_task = asyncio.ensure_future(self._scheduler())
         if self._reaper_task is None or self._reaper_task.done():
+            self._note_task_death(self._reaper_task, "reaper")
             self._reaper_task = asyncio.ensure_future(self._reaper())
 
     # ----------------------------------------------------- session serving
@@ -403,11 +480,18 @@ class OffloadServer:
         if upload.kind is KeyKind.GALOIS and upload.kind in session.keystore:
             # Incremental key provisioning: later uploads extend the set.
             session.keystore[upload.kind].keys.update(key.keys)
+            session.key_blobs.setdefault(upload.kind, []).append(upload.blob)
         else:
             session.keystore[upload.kind] = key
+            session.key_blobs[upload.kind] = [upload.blob]
+        session.key_versions[upload.kind] = (
+            session.key_versions.get(upload.kind, 0) + 1)
+        session.evicted_kinds.discard(upload.kind)
         if session.ctx is not None and upload.kind is KeyKind.GALOIS:
             session.ctx._galois = session.keystore[KeyKind.GALOIS]
         session.metrics.key_uploads += 1
+        self._touch_keys(session)
+        self._maybe_evict_keys(keep=session)
         await session.send(MessageType.KEY_ACK, KeyAck(upload.kind).pack())
 
     async def _handle_compute(self, session: ServerSession,
@@ -436,6 +520,17 @@ class OffloadServer:
                 compute.request_id, ErrorCode.UNKNOWN_OP,
                 f"unknown operation {compute.op!r}").pack())
             return
+        if session.evicted_kinds:
+            # Re-upload-on-miss: the LRU dropped this session's keys while
+            # it was idle.  Signal before any execution so the client can
+            # re-provision and resubmit the *same* request id — the
+            # exactly-once window is untouched (nothing ran).
+            session.metrics.reupload_signals += 1
+            kinds = ",".join(sorted(k.name for k in session.evicted_kinds))
+            await session.send(MessageType.ERROR, Error(
+                compute.request_id, ErrorCode.KEYS_EVICTED,
+                f"keys evicted: {kinds}").pack())
+            return
         if len(session.queue) >= self.queue_limit:
             session.metrics.busy_rejections += 1
             await session.send(MessageType.BUSY, Busy(
@@ -452,11 +547,14 @@ class OffloadServer:
                 f"bad ciphertext: {exc}").pack())
             return
         session.queue.append(ComputeRequest(
-            compute.request_id, compute.op, compute.meta, cts))
+            compute.request_id, compute.op, compute.meta, cts,
+            tuple(compute.blobs)))
         session.inflight_ids.add(compute.request_id)
         session.metrics.requests += 1
         session.metrics.ciphertexts_in += len(cts)
         session.metrics.queue_depth = len(session.queue)
+        if session.keystore:
+            self._touch_keys(session)  # active sessions stay LRU-hot
         self._work.set()
 
     def _detach(self, session: ServerSession) -> None:
@@ -466,11 +564,54 @@ class OffloadServer:
     def _unregister(self, session: ServerSession) -> None:
         session.closed = True
         self._sessions.pop(session.id, None)
+        self._key_lru.pop(session.id, None)
+        if self.eval_pool is not None:
+            self.eval_pool.forget_session(session.id)
         try:
             self._rr.remove(session.id)
         except ValueError:
             pass
         session.metrics.queue_depth = 0
+
+    # ---------------------------------------------------- key-store LRU
+    def _touch_keys(self, session: ServerSession) -> None:
+        self._key_lru[session.id] = None
+        self._key_lru.move_to_end(session.id)
+
+    def _maybe_evict_keys(self, keep: ServerSession) -> None:
+        """Enforce ``keystore_limit`` by dropping the coldest idle keys.
+
+        Only sessions with nothing queued or executing are eligible — an
+        eviction never invalidates work already admitted.  The victim's
+        next COMPUTE gets a ``KEYS_EVICTED`` signal and the client
+        re-uploads transparently (charged once per eviction event).
+        """
+        if self.keystore_limit is None:
+            return
+        while len(self._key_lru) > self.keystore_limit:
+            victim = None
+            for sid in self._key_lru:  # oldest first
+                candidate = self._sessions.get(sid)
+                if candidate is None:
+                    victim = sid  # stale entry: session already gone
+                    break
+                if (candidate is not keep and not candidate.executing
+                        and not candidate.queue):
+                    victim = sid
+                    break
+            if victim is None:
+                return  # everything over the cap is busy; retry later
+            self._key_lru.pop(victim, None)
+            session = self._sessions.get(victim)
+            if session is None:
+                continue
+            session.evicted_kinds = set(session.keystore)
+            session.keystore.clear()
+            session.key_blobs.clear()
+            session.ctx = None  # rebuilt from the re-uploaded keys
+            session.metrics.key_evictions += 1
+            if self.eval_pool is not None:
+                self.eval_pool.forget_session(session.id)
 
     # ----------------------------------------------------------- scheduling
     def _next_request(self,
@@ -500,7 +641,13 @@ class OffloadServer:
             # must stay in its session queue — visible to the backpressure
             # check — until a worker can actually run it.
             await self._slots.acquire()
-            session, request = self._next_request()
+            try:
+                session, request = self._next_request()
+            except BaseException:
+                # If picking crashes, the slot must not leak — a respawned
+                # scheduler would otherwise deadlock on an empty semaphore.
+                self._slots.release()
+                raise
             if session is None:
                 self._slots.release()
                 self._work.clear()
@@ -534,26 +681,42 @@ class OffloadServer:
         self.metrics.record_dispatch(session.id)
         started = time.monotonic()
         try:
-            handler = self._handlers[request.op]
-            session.ensure_context()
-            session.metrics.handler_invocations += 1
-            counts_before = dict(session.ctx.counts)
-            if asyncio.iscoroutinefunction(handler):
-                result = await handler(session, request)
+            if self.eval_pool is not None and request.op in self._pooled_ops:
+                # Process-pool path: the handler runs in a subprocess with
+                # its own rebuilt context; the asyncio loop stays free for
+                # keys/heartbeats.  Raw request blobs go over as-is and
+                # serialized results come back — no pickled HE objects.
+                session.metrics.handler_invocations += 1
+                blobs, meta, counters = await self.eval_pool.execute(
+                    session, request)
+                blobs = tuple(blobs)
+                session.metrics.rotations += counters.get("rotate", 0)
+                session.metrics.hoisted_decomposes += counters.get(
+                    "hoisted_decompose", 0)
+                session.metrics.naive_decomposes += counters.get(
+                    "naive_decompose", 0)
             else:
-                result = await asyncio.to_thread(handler, session, request)
-            counts = session.ctx.counts
-            session.metrics.rotations += (
-                counts.get("rotate", 0) - counts_before.get("rotate", 0))
-            session.metrics.hoisted_decomposes += (
-                counts.get("hoisted_decompose", 0)
-                - counts_before.get("hoisted_decompose", 0))
-            session.metrics.naive_decomposes += (
-                counts.get("naive_decompose", 0)
-                - counts_before.get("naive_decompose", 0))
-            cts, meta = _normalize_result(result)
-            blobs = tuple(serialize_ciphertext(ct, compress_seed=False)
-                          for ct in cts)
+                handler = self._handlers[request.op]
+                session.ensure_context()
+                session.metrics.handler_invocations += 1
+                counts_before = dict(session.ctx.counts)
+                if asyncio.iscoroutinefunction(handler):
+                    result = await handler(session, request)
+                else:
+                    result = await asyncio.to_thread(handler, session,
+                                                     request)
+                counts = session.ctx.counts
+                session.metrics.rotations += (
+                    counts.get("rotate", 0) - counts_before.get("rotate", 0))
+                session.metrics.hoisted_decomposes += (
+                    counts.get("hoisted_decompose", 0)
+                    - counts_before.get("hoisted_decompose", 0))
+                session.metrics.naive_decomposes += (
+                    counts.get("naive_decompose", 0)
+                    - counts_before.get("naive_decompose", 0))
+                cts, meta = _normalize_result(result)
+                blobs = tuple(serialize_ciphertext(ct, compress_seed=False)
+                              for ct in cts)
             payload = Result(request.request_id, meta, blobs).pack()
             # Cache BEFORE sending: if the connection is dead the client
             # resumes and replays the id, and the cached RESULT answers it.
@@ -605,38 +768,58 @@ class OffloadServer:
 
     # ------------------------------------------------------- eval contexts
     def _make_eval_context(self, session: ServerSession):
-        """A per-session evaluator built from *uploaded* keys only.
+        return build_restricted_context(self.params, session.keystore,
+                                        self._context_seed)
 
-        The context class generates its own (unrelated, never-used) key
-        material at construction; what matters is that decryption is
-        mechanically forbidden and relinearization/rotation resolve to the
-        keys the client uploaded — the server cannot fabricate either.
-        """
-        from repro.hecore.bfv import BfvContext
-        from repro.hecore.ckks import CkksContext
 
-        cls = (BfvContext if self.params.scheme is SchemeType.BFV
-               else CkksContext)
-        ctx = cls(self.params, seed=self._context_seed)
+def build_restricted_context(params: EncryptionParameters,
+                             keystore: Dict[KeyKind, Any],
+                             context_seed: bytes):
+    """A decrypt-forbidden evaluator built from *uploaded* keys only.
 
-        def _forbidden_decrypt(*_args, **_kwargs):
-            raise ProtocolViolation(
-                "offload server attempted a decryption; the secret key "
-                "never leaves the client"
-            )
+    The context class generates its own (unrelated, never-used) key
+    material at construction; what matters is that decryption is
+    mechanically forbidden and relinearization/rotation resolve to the
+    keys the client uploaded — the server cannot fabricate either.
+    Shared by :class:`OffloadServer` sessions and by eval-pool subprocesses
+    (:mod:`repro.runtime.evalpool`), which rebuild the same restricted
+    context from serialized params and shipped key blobs.
+    """
+    from repro.hecore.bfv import BfvContext
+    from repro.hecore.ckks import CkksContext
 
-        def _session_relin_keys():
-            key = session.keystore.get(KeyKind.RELIN)
-            if key is None:
-                raise MissingEvaluationKey(
-                    "relinearization key not uploaded for this session")
-            return key
+    cls = (BfvContext if params.scheme is SchemeType.BFV
+           else CkksContext)
+    ctx = cls(params, seed=context_seed)
 
-        ctx.decrypt = _forbidden_decrypt
-        ctx.relin_keys = _session_relin_keys
-        ctx._relin = None
-        ctx._galois = session.keystore.get(KeyKind.GALOIS)
-        return ctx
+    def _forbidden_decrypt(*_args, **_kwargs):
+        raise ProtocolViolation(
+            "offload server attempted a decryption; the secret key "
+            "never leaves the client"
+        )
+
+    def _session_relin_keys():
+        key = keystore.get(KeyKind.RELIN)
+        if key is None:
+            raise MissingEvaluationKey(
+                "relinearization key not uploaded for this session")
+        return key
+
+    ctx.decrypt = _forbidden_decrypt
+    ctx.relin_keys = _session_relin_keys
+    ctx._relin = None
+    ctx._galois = keystore.get(KeyKind.GALOIS)
+    return ctx
+
+
+def _pooled_only_handler(op: str) -> Handler:
+    """Inline fallback for an op registered only in the eval pool."""
+
+    def _unavailable(_session, _request):
+        raise RuntimeError(
+            f"operation {op!r} is pooled-only and no eval pool is attached")
+
+    return _unavailable
 
 
 def _normalize_result(result) -> Tuple[List[Ciphertext], Dict]:

@@ -75,6 +75,31 @@ def test_serve_and_offload_parsers():
         ["serve", "--port", "7777", "--queue-limit", "4",
          "--concurrency", "2"])
     assert args.port == 7777 and args.queue_limit == 4
+    # Fleet flags default to the in-process single-server path.
+    assert args.workers == 0 and args.eval_workers == 0
+    args = build_parser().parse_args(
+        ["serve", "--workers", "4", "--eval-workers", "2"])
+    assert args.workers == 4 and args.eval_workers == 2
     args = build_parser().parse_args(
         ["offload", "--selftest", "--values", "5,6"])
     assert args.selftest and args.values == "5,6"
+
+
+def test_serve_selftest_single_process(capsys):
+    """`repro serve --selftest` boots the server on an ephemeral port and
+    round-trips an encrypted square through it."""
+    assert main(["serve", "--selftest", "--port", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "offload server on" in out
+    assert "selftest ok" in out
+
+
+def test_serve_selftest_fleet(capsys):
+    """`--workers`/`--eval-workers` route the selftest through a sharded
+    fleet with per-worker eval subprocesses."""
+    assert main(["serve", "--selftest", "--port", "0",
+                 "--workers", "2", "--eval-workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "offload fleet on" in out
+    assert "2 worker(s) x 1 eval subprocess(es)" in out
+    assert "selftest ok" in out

@@ -1,0 +1,338 @@
+"""Tests for the sharded serving fleet: router sharding and sticky
+resume, admission control, the process-pool evaluation executor, the
+key-store LRU with re-upload-on-miss, and a short tier-1 fleet soak.
+
+Fleet tests spawn real worker processes over loopback TCP, so they are
+kept small (2 workers, a handful of requests); the long randomized soak
+lives in ``benchmarks/bench_fleet.py``.
+"""
+
+import asyncio
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import CostLedger
+from repro.hecore.bfv import BfvContext
+from repro.hecore.ckks import CkksContext
+from repro.hecore.serialize import deserialize_params, serialize_params
+from repro.runtime import (
+    OffloadClient,
+    OffloadServer,
+    ServerBusy,
+    SimulatedLink,
+)
+from repro.runtime.chaos import fleet_chaos_soak
+from repro.runtime.evalpool import EvalPool, pooled_op_names
+from repro.runtime.fleet import FleetServer
+
+CHAOS_INSTALLER = "repro.runtime.chaos:install_chaos_ops"
+KNN_POOLED_INSTALLER = "repro.apps.knn:KnnOffloadService.install_pooled"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------------
+# Parameter serialization: what workers rebuild their contexts from
+# ---------------------------------------------------------------------------
+
+def test_serialize_params_roundtrip(bfv_params, ckks_params):
+    """Workers rebuild contexts from ``serialize_params`` blobs; the
+    roundtrip must preserve every spec field bit-exactly."""
+    for params in (bfv_params, ckks_params):
+        rebuilt = deserialize_params(serialize_params(params))
+        assert rebuilt.scheme is params.scheme
+        assert rebuilt == params
+        # A context built from the rebuilt params interoperates with one
+        # built from the originals (same rings, same keys-from-seed).
+        if params.scheme.name == "BFV":
+            a = BfvContext(params, seed=99)
+            b = BfvContext(rebuilt, seed=99)
+            ct = a.encrypt_symmetric([7, 8])
+            assert list(b.decrypt(ct)[:2]) == [7, 8]
+
+
+# ---------------------------------------------------------------------------
+# Router: hash-sharded session placement, sticky RESUME routing
+# ---------------------------------------------------------------------------
+
+def test_fleet_shards_sessions_across_workers(bfv_params):
+    """Session ids shard onto workers by ``(sid - 1) % n``; the per-worker
+    banner exposes the placement, and requests execute on the owner."""
+    async def main():
+        fleet = FleetServer(bfv_params, 2, installers=(CHAOS_INSTALLER,))
+        host, port = await fleet.start()
+        clients = []
+        try:
+            for i in range(4):
+                client = await OffloadClient(
+                    bfv_params, host, port, request_timeout=10.0).connect()
+                clients.append(client)
+            for client in clients:
+                owner = (client.session_id - 1) % 2
+                assert client.banner.endswith(f"/w{owner}")
+            # Both shards are populated (least-connections + stride ids).
+            owners = {(c.session_id - 1) % 2 for c in clients}
+            assert owners == {0, 1}
+            # COMPUTE executes on the owning worker, end to end.
+            ctx = BfvContext(bfv_params, seed=41)
+            ct = ctx.encrypt_symmetric([5, 0])
+            for client in clients:
+                out, meta = await client.request("chaos/count", [ct],
+                                                 {"seq": 0})
+                assert meta["n"] == 1
+                assert list(ctx.decrypt(out[0])[:2]) == [5, 0]
+            snapshot = await fleet.refresh_metrics()
+            assert snapshot["sessions_routed"] == 4
+            per_worker = {w["worker"]: w["metrics"]["handler_invocations"]
+                          for w in snapshot["per_worker"]}
+            assert per_worker == {0: 2, 1: 2}
+        finally:
+            for client in clients:
+                await client.close()
+            await fleet.stop()
+
+    run(main())
+
+
+def test_fleet_resume_routes_to_owner(bfv_params):
+    """A RESUME lands on the worker that owns the session id — same
+    session, same worker, no re-provisioning."""
+    async def main():
+        fleet = FleetServer(bfv_params, 2, installers=(CHAOS_INSTALLER,),
+                            resume_grace_s=10.0)
+        host, port = await fleet.start()
+        try:
+            client = await OffloadClient(
+                bfv_params, host, port, request_timeout=10.0,
+                backoff_s=0.01).connect()
+            sid, banner = client.session_id, client.banner
+            ctx = BfvContext(bfv_params, seed=42)
+            ct = ctx.encrypt_symmetric([3, 0])
+            await client.request("chaos/count", [ct], {"seq": 0})
+            # Simulate a detected connection failure: the next request
+            # must resume through the router onto the same worker.
+            client._conn_error = ConnectionError("injected for test")
+            out, meta = await client.request("chaos/count", [ct], {"seq": 1})
+            assert meta["n"] == 2              # same session state
+            assert client.session_id == sid    # same session
+            assert client.banner == banner     # same worker shard
+            assert client.stats.resumes == 1
+            snapshot = await fleet.refresh_metrics()
+            assert snapshot["resumes_routed"] == 1
+            await client.close()
+        finally:
+            await fleet.stop()
+
+    run(main())
+
+
+def test_fleet_admission_cap(bfv_params):
+    """The fleet-wide session cap answers HELLO with BUSY + retry_after;
+    a slot freed by a disconnect is grantable again."""
+    async def main():
+        fleet = FleetServer(bfv_params, 1, installers=(CHAOS_INSTALLER,),
+                            session_cap=1, retry_after_ms=10,
+                            resume_grace_s=0.0)
+        host, port = await fleet.start()
+        try:
+            first = await OffloadClient(
+                bfv_params, host, port, request_timeout=5.0).connect()
+            rejected = OffloadClient(bfv_params, host, port,
+                                     request_timeout=5.0, max_retries=0)
+            with pytest.raises(ServerBusy):
+                await rejected.connect()
+            assert fleet.metrics.admission_rejections >= 1
+            await first.close()
+            # The departed session released its admission slot.
+            for _ in range(50):
+                if fleet.metrics.connections_active == 0:
+                    break
+                await asyncio.sleep(0.02)
+            second = await OffloadClient(
+                bfv_params, host, port, request_timeout=5.0,
+                backoff_s=0.02, max_retries=8).connect()
+            await second.close()
+        finally:
+            await fleet.stop()
+
+    run(main())
+
+
+# ---------------------------------------------------------------------------
+# Tier-1 fleet soak: worker kill, failover, exactly-once, ledger parity
+# ---------------------------------------------------------------------------
+
+def test_fleet_chaos_soak_short():
+    """One worker killed mid-traffic: every logical request executes
+    exactly once, ledgers stay byte-identical to the fault-free oracle,
+    and the supervisor restarts the dead worker."""
+    report = run(fleet_chaos_soak(n_workers=2, n_sessions=2, n_requests=4,
+                                  kill_workers=1, seed=7))
+    assert report.failures == []
+    d = report.as_dict()
+    assert d["handler_invocations"] == d["logical_requests"]
+    assert d["worker_restarts"] >= 1
+    assert d["failovers"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Process-pool evaluation executor
+# ---------------------------------------------------------------------------
+
+def test_eval_pool_matches_inline_knn(ckks_params):
+    """A pooled KNN op (subprocess executor) returns the same
+    classification as the inline handler, and ships each session's keys
+    to its pinned subprocess exactly once."""
+    from repro.apps.knn import KnnOffloadService, RemoteKnn
+
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=(8, 4))
+    labels = (np.arange(8) % 3).tolist()
+    query = points[2] + 0.01
+
+    async def classify(use_pool):
+        pool = None
+        server = OffloadServer(ckks_params, concurrency=1)
+        if use_pool:
+            pool = EvalPool(ckks_params, 1, (KNN_POOLED_INSTALLER,))
+            server.eval_pool = pool
+            for op in pooled_op_names((KNN_POOLED_INSTALLER,)):
+                server.register_pooled(op)
+        else:
+            KnnOffloadService.install(server)
+        client_end, server_end = SimulatedLink.pair()
+        serve_task = asyncio.ensure_future(
+            server.serve_transport(server_end))
+        try:
+            ctx = CkksContext(ckks_params, seed=17)
+            client = await OffloadClient(ckks_params,
+                                         transport=client_end).connect()
+            knn = RemoteKnn(client, ctx, k=3, variant="collapsed")
+            await knn.add_points(points, labels)
+            result = await knn.classify(query)
+            await client.close()
+            snapshot = pool.snapshot() if pool else None
+            return result.label, snapshot
+        finally:
+            await server.stop()
+            serve_task.cancel()
+            if pool is not None:
+                with contextlib.suppress(Exception):
+                    await pool.close()
+
+    pooled_label, snapshot = run(classify(use_pool=True))
+    inline_label, _ = run(classify(use_pool=False))
+    assert pooled_label == inline_label
+    assert snapshot["executions"] >= 1
+    # Relin + Galois keys shipped to the pinned subprocess once each.
+    assert snapshot["key_ships"] == 2
+    assert snapshot["respawns"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Key-store LRU: eviction, KEYS_EVICTED signaling, charged re-upload
+# ---------------------------------------------------------------------------
+
+def test_keystore_eviction_reupload_charged_once(bfv_params, bfv):
+    """When the LRU evicts an idle session's keys, its next COMPUTE gets
+    KEYS_EVICTED, the client transparently re-uploads from its blob cache,
+    and the ledger is charged the blob bytes exactly once."""
+    async def main():
+        server = OffloadServer(bfv_params, keystore_limit=1)
+
+        def count(session, request):
+            session.state["n"] = session.state.get("n", 0) + 1
+            return list(request.cts), {"n": session.state["n"]}
+
+        server.register("count", count)
+
+        ledger = CostLedger()
+        c1_end, s1_end = SimulatedLink.pair(ledger=ledger)
+        c2_end, s2_end = SimulatedLink.pair()
+        t1 = asyncio.ensure_future(server.serve_transport(s1_end))
+        t2 = asyncio.ensure_future(server.serve_transport(s2_end))
+        try:
+            client1 = await OffloadClient(bfv_params,
+                                          transport=c1_end).connect()
+            await client1.upload_keys(relin=bfv.relin_keys())
+            blob_bytes = sum(len(b) for blobs in
+                             client1._key_blob_cache.values() for b in blobs)
+            assert blob_bytes > 0
+
+            ct = bfv.encrypt_symmetric([2, 0])
+            # Baseline: what one COMPUTE round charges, keys resident.
+            before = ledger.bytes_up
+            _, meta = await client1.request("count", [ct])
+            assert meta["n"] == 1
+            normal_up = ledger.bytes_up - before
+
+            # A second session's upload pushes the LRU over the cap and
+            # evicts session 1's keys (idle: nothing queued or running).
+            client2 = await OffloadClient(bfv_params,
+                                          transport=c2_end).connect()
+            await client2.upload_keys(relin=bfv.relin_keys())
+            m1 = server.metrics.get(client1.session_id)
+            assert m1.key_evictions == 1
+
+            # Session 1's next COMPUTE: KEYS_EVICTED -> transparent
+            # re-upload -> same request id re-submitted and executed once.
+            before = ledger.bytes_up
+            _, meta = await client1.request("count", [ct])
+            assert meta["n"] == 2
+            assert client1.stats.key_reuploads == 1
+            assert m1.reupload_signals == 1
+            assert m1.handler_invocations == 2  # no duplicate execution
+            # The eviction round costs exactly one extra key blob upload.
+            assert ledger.bytes_up - before == normal_up + blob_bytes
+
+            # Steady state again: a follow-up request is back to baseline.
+            before = ledger.bytes_up
+            await client1.request("count", [ct])
+            assert ledger.bytes_up - before == normal_up
+            assert client1.stats.key_reuploads == 1
+
+            await client1.close()
+            await client2.close()
+        finally:
+            await server.stop()
+            t1.cancel()
+            t2.cancel()
+
+    run(main())
+
+
+def test_keystore_eviction_through_fleet(bfv_params):
+    """End-to-end through the router: per-worker LRUs evict, clients
+    re-provision transparently, and the fleet snapshot aggregates the
+    eviction and re-upload counters."""
+    async def main():
+        fleet = FleetServer(bfv_params, 1, installers=(CHAOS_INSTALLER,),
+                            keystore_limit=1)
+        host, port = await fleet.start()
+        try:
+            ctx = BfvContext(bfv_params, seed=43)
+            clients = []
+            for i in range(2):
+                client = await OffloadClient(
+                    bfv_params, host, port, request_timeout=10.0).connect()
+                await client.upload_keys(galois=ctx.make_galois_keys([1]))
+                clients.append(client)
+            # Client 2's upload evicted client 1's keys; client 1 recovers.
+            ct = ctx.encrypt_symmetric([9, 0])
+            out, meta = await clients[0].request("chaos/count", [ct],
+                                                 {"seq": 0})
+            assert list(ctx.decrypt(out[0])[:2]) == [9, 0]
+            assert clients[0].stats.key_reuploads == 1
+            snapshot = await fleet.refresh_metrics()
+            assert snapshot["key_evictions"] >= 1
+            assert snapshot["reupload_signals"] >= 1
+            for client in clients:
+                await client.close()
+        finally:
+            await fleet.stop()
+
+    run(main())

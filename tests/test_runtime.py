@@ -854,3 +854,43 @@ def test_simulated_link_key_uploads_not_charged(bfv_params, bfv):
         serve_task.cancel()
 
     run(main())
+
+
+def test_scheduler_death_recorded_and_respawned(bfv_params, bfv):
+    """Regression: a scheduler that dies on an exception used to be
+    respawned silently.  The respawn must be counted, the error retained
+    in the metrics snapshot, and the replacement must actually serve."""
+    async def main():
+        server = OffloadServer(bfv_params)
+        host, port = await server.start()
+        try:
+            assert server.metrics.scheduler_restarts == 0
+            # Replace the healthy scheduler with one that crashes at once.
+            server._scheduler_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await server._scheduler_task
+
+            async def doomed():
+                raise RuntimeError("injected scheduler crash")
+
+            server._scheduler_task = asyncio.ensure_future(doomed())
+            await asyncio.sleep(0.01)  # let it die
+            # The next connection's _ensure_scheduler notices and respawns.
+            client = await OffloadClient(bfv_params, host, port).connect()
+            assert server.metrics.scheduler_restarts == 1
+            assert ("RuntimeError: injected scheduler crash"
+                    == server.metrics.last_scheduler_error)
+            snap = server.metrics.snapshot()
+            assert snap["scheduler_restarts"] == 1
+            assert "injected scheduler crash" in snap["last_scheduler_error"]
+            # The respawned scheduler serves requests end to end.
+            ct = bfv.encrypt_symmetric([4])
+            out, _ = await client.request("echo", [ct])
+            assert bfv.decrypt(out[0])[0] == 4
+            # A cancelled task (clean shutdown path) is not an error.
+            assert server.metrics.scheduler_restarts == 1
+            await client.close()
+        finally:
+            await server.stop()
+
+    run(main())
