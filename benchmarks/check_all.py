@@ -20,17 +20,25 @@ a change:
 * ``bench_fleet`` — sharded multi-worker serving: aggregate KNN COMPUTE
   throughput through the router against a core-aware floor, plus the
   fleet chaos soak (worker kill, failover, exactly-once, ledger parity).
-  Runs in ``--quick`` mode here to keep the tier within budget.
+  Runs in ``--quick`` mode here to keep the tier within budget;
+* ``bench_ir`` — the ciphertext-program IR scheduler against the
+  hand-wired kernel paths (fig15 matvec and a 2-layer dnn slice), plus
+  the NTT-residency telemetry signal.
 
 A per-gate wall-clock summary prints at the end, so a gate quietly eating
-the tier's time budget is visible before it becomes a problem.
+the tier's time budget is visible before it becomes a problem.  The same
+summary is written as JSON (``benchmarks/results/check_all_summary.json``
+by default) so tooling can consume gate outcomes without scraping stdout.
 
 Usage::
 
-    python benchmarks/check_all.py            # run all gates
-    python benchmarks/check_all.py hoisting   # run a subset by substring
+    python benchmarks/check_all.py                 # run all gates
+    python benchmarks/check_all.py hoisting        # run a subset by substring
+    python benchmarks/check_all.py --only bench_ir # run one gate by exact name
 """
 
+import argparse
+import json
 import os
 import subprocess
 import sys
@@ -38,6 +46,7 @@ import time
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).parent
+SUMMARY_PATH = BENCH_DIR / "results" / "check_all_summary.json"
 
 #: (script, extra arguments beyond --check)
 GATES = [
@@ -47,18 +56,45 @@ GATES = [
     ("bench_client_crypto.py", []),
     ("bench_chaos_soak.py", []),
     ("bench_fleet.py", ["--quick"]),
+    ("bench_ir.py", []),
 ]
 
 
-def main(argv=None):
-    argv = sys.argv[1:] if argv is None else argv
+def _select(patterns, only):
+    """Resolve the gate subset: ``--only`` exact names, else substrings."""
+    if only:
+        names = {gate: (gate, extra) for gate, extra in GATES}
+        names.update({gate[: -len(".py")]: (gate, extra)
+                      for gate, extra in GATES})
+        missing = [name for name in only if name not in names]
+        if missing:
+            return None, missing
+        return [names[name] for name in only], []
     selected = [
         (gate, extra) for gate, extra in GATES
-        if not argv or any(pattern in gate for pattern in argv)
+        if not patterns or any(pattern in gate for pattern in patterns)
     ]
-    if not selected:
+    return (selected or None), patterns
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="run every benchmark gate in --check mode")
+    parser.add_argument(
+        "patterns", nargs="*",
+        help="run only gates whose script name contains any of these")
+    parser.add_argument(
+        "--only", action="append", default=[], metavar="GATE",
+        help="run exactly this gate (script name, .py optional); repeatable")
+    parser.add_argument(
+        "--summary", type=Path, default=SUMMARY_PATH,
+        help="where to write the machine-readable JSON summary")
+    args = parser.parse_args(argv)
+
+    selected, bad = _select(args.patterns, args.only)
+    if selected is None:
         names = [gate for gate, _ in GATES]
-        print(f"no gate matches {argv!r}; available: {names}",
+        print(f"no gate matches {bad!r}; available: {names}",
               file=sys.stderr)
         return 2
 
@@ -88,6 +124,18 @@ def main(argv=None):
     for gate, elapsed, ok in timings:
         print(f"  {'PASS' if ok else 'FAIL'}  {elapsed:7.2f}s  {gate}")
     print(f"        {total:7.2f}s  total")
+
+    summary = {
+        "ok": not failed,
+        "total_seconds": round(total, 3),
+        "gates": [
+            {"gate": gate, "seconds": round(elapsed, 3), "ok": ok}
+            for gate, elapsed, ok in timings
+        ],
+    }
+    args.summary.parent.mkdir(parents=True, exist_ok=True)
+    args.summary.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {args.summary}")
 
     if failed:
         print(f"FAILED gates: {', '.join(failed)}", file=sys.stderr)

@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.ir import ensure_galois_keys
 from repro.core.linalg import BsgsMatVec, Conv2dSpec, EncryptedConv2d
 from repro.core.packing import RedundantPacking
 from repro.core.protocol import ClientAidedSession, ClientCostModel, CostLedger
@@ -273,6 +274,9 @@ def run_encrypted_inference(ctx, network: Network, image: np.ndarray,
     if ctx.params.scheme is not SchemeType.BFV:
         raise ValueError("functional encrypted inference runs under BFV")
     session = session or ClientAidedSession(ctx)
+    # ONE merged Galois key set for the whole network, fed by every linear
+    # layer's required_rotation_steps — no per-layer keygen below.
+    ensure_galois_keys(ctx, inference_rotation_steps(ctx, network))
     logits = _run_inference(
         network, image, bits,
         conv_fn=lambda conv, x: _encrypted_conv(session, conv, x),
@@ -330,6 +334,38 @@ def _run_inference(network: Network, image: np.ndarray, bits: int,
     return x
 
 
+def inference_rotation_steps(ctx, network: Network) -> set:
+    """Merged rotation-step set for every offloaded layer of *network*.
+
+    Reconstructs each layer's encrypted-kernel plan (tiled conv specs from
+    the padded activation shapes, BSGS baby/giant ladders for FC weights)
+    and unions their ``required_rotation_steps`` — the scheduler-fed
+    single-keygen path the dnn/knn pipelines use instead of per-op calls.
+    """
+    from repro.core.tiling import TiledEncryptedConv2d
+
+    def conv_steps(conv: ConvLayer, in_shape) -> set:
+        p = conv.pad
+        c, h, w = in_shape
+        spec = Conv2dSpec(conv.in_channels, conv.out_channels,
+                          h + 2 * p, w + 2 * p, conv.kernel_size)
+        return TiledEncryptedConv2d(ctx, spec,
+                                    conv.weights).required_rotation_steps()
+
+    steps = set()
+    for layer, in_shape in network.linear_layers():
+        if isinstance(layer, FireLayer):
+            steps |= conv_steps(layer.squeeze_conv, in_shape)
+            mid = layer.squeeze_conv.output_shape(in_shape)
+            steps |= conv_steps(layer.expand1_conv, mid)
+            steps |= conv_steps(layer.expand3_conv, mid)
+        elif isinstance(layer, ConvLayer):
+            steps |= conv_steps(layer, in_shape)
+        elif isinstance(layer, FcLayer):
+            steps |= BsgsMatVec(ctx, layer.weights).required_rotation_steps()
+    return {s for s in steps if s}
+
+
 def _encrypted_conv(session: ClientAidedSession, conv: ConvLayer,
                     x: np.ndarray) -> np.ndarray:
     """One conv layer offloaded: pack (with client-side zero padding for
@@ -346,7 +382,6 @@ def _encrypted_conv(session: ClientAidedSession, conv: ConvLayer,
     c, h, w = padded.shape
     spec = Conv2dSpec(conv.in_channels, conv.out_channels, h, w, conv.kernel_size)
     enc_conv = TiledEncryptedConv2d(ctx, spec, conv.weights)
-    ctx.make_galois_keys(enc_conv.required_rotation_steps())
     cts = [session.upload(ct) for ct in session.client_encrypt_many(
         [v.astype(np.int64) for v in enc_conv.pack_input(padded)])]
     out_cts = session.server_compute(enc_conv, cts)
@@ -359,11 +394,11 @@ def _encrypted_fc(session: ClientAidedSession, fc: FcLayer,
                   x: np.ndarray) -> np.ndarray:
     """FC layers use the baby-step/giant-step diagonal product: ~2*sqrt(d)
     rotations and Galois keys instead of d - 1.  The baby rotations share
-    one hoisted key-switch decompose, and per-layer ``make_galois_keys``
-    calls reuse any elements an earlier layer already generated."""
+    one hoisted key-switch decompose; the session's merged key set (one
+    :func:`inference_rotation_steps` keygen per inference) already covers
+    this layer's ladder."""
     ctx = session.ctx
     mv = BsgsMatVec(ctx, fc.weights)
-    ctx.make_galois_keys(mv.required_rotation_steps())
     ct = session.upload(session.client_encrypt(mv.pack_input(x.ravel()).astype(np.int64)))
     out_ct = session.server_compute(mv, ct)
     return mv.unpack_output(session.client_decrypt(session.download(out_ct)))

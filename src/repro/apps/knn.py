@@ -27,6 +27,7 @@ from repro.core.distance import (
     DistanceKernel,
     DistanceProblem,
 )
+from repro.core.ir import ensure_galois_keys
 from repro.core.protocol import ClientAidedSession
 
 
@@ -42,10 +43,10 @@ class KnnResult:
 class _Batch:
     """One contribution: a kernel instance plus its encrypted points.
 
-    ``required_rotation_steps`` includes the hoisted step set of the fused
-    rotate-and-sum reduction, and ``make_galois_keys`` only generates
-    elements not already cached — so batches sharing a dimensionality add
-    no key material beyond the first.
+    Key generation is NOT per-batch: the pipeline unions every batch
+    kernel's ``required_rotation_steps`` into one merged
+    :func:`~repro.core.ir.ensure_galois_keys` call (batches sharing a
+    dimensionality add no key material beyond the first).
     """
 
     def __init__(self, ctx, variant_cls, points: np.ndarray):
@@ -53,7 +54,6 @@ class _Batch:
         self.dims = points.shape[1]
         self.kernel: DistanceKernel = variant_cls(
             ctx, DistanceProblem(n_points=self.count, dims=self.dims))
-        ctx.make_galois_keys(self.kernel.required_rotation_steps())
         self.point_cts = self.kernel.encrypt_points(points)
 
 
@@ -76,6 +76,13 @@ class EncryptedKnn:
         self.dims = points.shape[1]
         self.labels = np.asarray(labels)
         self._batches: List[_Batch] = [_Batch(ctx, self.variant_cls, points)]
+        self._refresh_galois_keys()
+
+    def _refresh_galois_keys(self):
+        """One merged keygen covering every stored batch's kernel."""
+        ensure_galois_keys(
+            self.ctx,
+            *(b.kernel.required_rotation_steps() for b in self._batches))
 
     @property
     def size(self) -> int:
@@ -94,6 +101,7 @@ class EncryptedKnn:
             raise ValueError(f"expected {self.dims}-dimensional points")
         self.labels = np.concatenate([self.labels, np.asarray(labels)])
         self._batches.append(_Batch(self.ctx, self.variant_cls, points))
+        self._refresh_galois_keys()
 
     def classify(self, query: np.ndarray,
                  session: Optional[ClientAidedSession] = None) -> KnnResult:
@@ -295,7 +303,10 @@ class RemoteKnn:
         kernel = self.variant_cls(
             self.ctx, DistanceProblem(n_points=len(points),
                                       dims=points.shape[1]))
-        galois = self.ctx.make_galois_keys(kernel.required_rotation_steps())
+        # Merged key set: every stored batch plus the new one, one keygen.
+        galois = ensure_galois_keys(
+            self.ctx, kernel.required_rotation_steps(),
+            *(k.required_rotation_steps() for k, _ in self._batches))
         await self.client.upload_keys(relin=self.ctx.relin_keys(),
                                       galois=galois)
         cts = self._encrypt_many(kernel.pack_points(points))

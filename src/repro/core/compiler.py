@@ -33,6 +33,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.core.ir import (IrBuilder, IrProgram, ScheduledProgram,
+                           compile_ir, ensure_galois_keys)
 from repro.core.paramsearch import ParameterChoice, WorkloadProfile, select_parameters
 from repro.hecore.params import SchemeType
 
@@ -242,20 +244,37 @@ class CompiledProgram:
     adds: int
     input_names: Set[str]
     recommended: ParameterChoice
+    _scheduled: Optional[ScheduledProgram] = field(default=None, repr=False)
+
+    # ----------------------------------------------------------- scheduling
+    def scheduled(self) -> ScheduledProgram:
+        """The program lowered to ciphertext IR and run through the
+        scheduler passes (rotation fusion, level-drop sinking, NTT
+        residency).  Cached: plaintext encodings and NTT tables survive
+        across :meth:`execute` calls."""
+        if self._scheduled is None:
+            self._scheduled = compile_ir(lower_to_ir(self.program),
+                                         SchemeType.CKKS)
+        return self._scheduled
 
     # ----------------------------------------------------------- execution
-    def execute(self, ctx, inputs: Dict[str, object]) -> Dict[str, np.ndarray]:
+    def execute(self, ctx, inputs: Dict[str, object],
+                use_scheduler: bool = True) -> Dict[str, np.ndarray]:
         """Run the program on a :class:`CkksContext`.
 
         *inputs* maps input names to plaintext vectors (encrypted here) or
         pre-encrypted ciphertexts.  Returns decrypted output vectors.
+        With ``use_scheduler=False`` the original direct executor runs —
+        the scheduler-off reference the exactness tests compare against.
         """
         if ctx.params.scheme is not SchemeType.CKKS:
             raise ValueError("Eva programs execute under CKKS")
         missing = self.input_names - set(inputs)
         if missing:
             raise ValueError(f"missing program inputs: {sorted(missing)}")
-        if self.rotation_steps:
+        if use_scheduler:
+            ensure_galois_keys(ctx, self.scheduled().rotation_steps())
+        elif self.rotation_steps:
             ctx.make_galois_keys(self.rotation_steps)
         # Encrypt all plaintext program inputs in one stacked client pass,
         # and decrypt all program outputs in another — the compiler is a
@@ -271,9 +290,13 @@ class CompiledProgram:
                 vec[: len(raw)] = raw
                 padded.append(vec)
             prepared.update(zip(plain_names, ctx.encrypt_many(padded)))
-        executor = _Executor(ctx, self.program.slots, prepared)
-        out_cts = [(name, executor.evaluate(expr))
-                   for name, expr in self.program.outputs.items()]
+        if use_scheduler:
+            outputs = self.scheduled().run(ctx, prepared)
+            out_cts = [(name, outputs[name]) for name in self.program.outputs]
+        else:
+            executor = _Executor(ctx, self.program.slots, prepared)
+            out_cts = [(name, executor.evaluate(expr))
+                       for name, expr in self.program.outputs.items()]
         decrypted = ctx.decrypt_many([ct for _, ct in out_cts])
         return {name: np.real(vec)[: self.program.slots]
                 for (name, _), vec in zip(out_cts, decrypted)}
@@ -432,6 +455,56 @@ def _negate_plain(pt):
     from repro.hecore.plaintext import CkksPlaintext
 
     return CkksPlaintext(-pt.poly, pt.scale)
+
+
+def lower_to_ir(program: EvaProgram) -> IrProgram:
+    """Lower an Eva expression DAG to the linear ciphertext IR.
+
+    Mirrors the direct executor's schedule exactly: a normalized rescale
+    follows every multiplication, plaintext operands stay attached to the
+    consuming node (the IR runner encodes them at the consumer's level and
+    scale), and zero-step rotations vanish.  The scheduler passes in
+    :mod:`repro.core.ir` then fuse rotations, sink the rescales, and keep
+    plain-multiply products NTT-resident.
+    """
+    builder = IrBuilder(slots=program.slots)
+    memo: Dict[int, int] = {}
+
+    def plain_vector(expr: Expr) -> np.ndarray:
+        if isinstance(expr, Constant):
+            v = np.zeros(program.slots)
+            v[: len(expr.values)] = expr.values
+            return v
+        return np.full(program.slots, expr.value)
+
+    def lower(expr: Expr) -> int:
+        key = id(expr)
+        if key in memo:
+            return memo[key]
+        if isinstance(expr, Input):
+            nid = builder.input(expr.name)
+        elif _is_plain(expr):
+            nid = builder.const(plain_vector(expr))
+        elif isinstance(expr, Neg):
+            nid = builder.neg(lower(expr.operand))
+        elif isinstance(expr, Rotate):
+            nid = builder.rotate(lower(expr.operand), expr.steps)
+        elif isinstance(expr, Add):
+            nid = builder.add(lower(expr.left), lower(expr.right))
+        elif isinstance(expr, Sub):
+            nid = builder.sub(lower(expr.left), lower(expr.right))
+        elif isinstance(expr, Mul):
+            nid = builder.rescale(builder.mul(lower(expr.left),
+                                              lower(expr.right)),
+                                  normalize=True)
+        else:
+            raise TypeError(f"unknown expression node {type(expr).__name__}")
+        memo[key] = nid
+        return nid
+
+    for name, expr in program.outputs.items():
+        builder.output(name, lower(expr))
+    return builder.program
 
 
 def compile_program(program: EvaProgram) -> CompiledProgram:

@@ -27,6 +27,7 @@ from typing import Dict, List, Sequence, Set, Tuple, Type
 
 import numpy as np
 
+from repro.core.ir import ScheduleError, compile_ir, trace_program
 from repro.core.linalg import (
     _rotate,
     rotate_and_accumulate,
@@ -65,20 +66,62 @@ class DistanceKernel:
         self.problem = problem
         self.slots = row_slot_count(ctx)
 
-    # Subclasses implement these four.
+    #: Route compute() through the traced-and-scheduled IR (the direct
+    #: path stays reachable as the exactness reference).
+    use_scheduler = True
+
+    # Subclasses implement these four (``_compute_direct`` runs against any
+    # evaluator surface — a live context or a recording tracer).
     def pack_points(self, points: np.ndarray) -> List[np.ndarray]:
         raise NotImplementedError
 
     def pack_query(self, query: np.ndarray) -> List[np.ndarray]:
         raise NotImplementedError
 
-    def compute(self, point_cts, query_cts, galois_keys=None):
+    def _compute_direct(self, ctx, point_cts, query_cts, galois_keys=None):
         raise NotImplementedError
 
     def decode(self, outputs: List[np.ndarray]) -> np.ndarray:
         raise NotImplementedError
 
     # Shared helpers -------------------------------------------------------
+    def _schedule(self, n_points_cts: int, n_query_cts: int):
+        """Trace this kernel's direct path once per ciphertext-count shape
+        and cache the scheduled program (None when untraceable)."""
+        cache = getattr(self, "_sched_cache", None)
+        if cache is None:
+            cache = self._sched_cache = {}
+        key = (n_points_cts, n_query_cts)
+        if key not in cache:
+            names = ([f"p{i}" for i in range(n_points_cts)]
+                     + [f"q{i}" for i in range(n_query_cts)])
+
+            def body(tracer, *handles):
+                return self._compute_direct(
+                    tracer, list(handles[:n_points_cts]),
+                    list(handles[n_points_cts:]), None)
+
+            try:
+                ir = trace_program(self.ctx.params, body, names)
+                cache[key] = compile_ir(ir, self.ctx.params.scheme)
+            except ScheduleError:
+                cache[key] = None
+        return cache[key]
+
+    def compute(self, point_cts, query_cts, galois_keys=None):
+        """Evaluate the kernel, scheduled by default (rotation fusion,
+        rescale sinking, NTT residency); falls back to the hand-wired
+        direct path when the kernel cannot be traced."""
+        sched = (self._schedule(len(point_cts), len(query_cts))
+                 if self.use_scheduler else None)
+        if sched is None:
+            return self._compute_direct(self.ctx, point_cts, query_cts,
+                                        galois_keys)
+        inputs = {f"p{i}": ct for i, ct in enumerate(point_cts)}
+        inputs.update({f"q{i}": ct for i, ct in enumerate(query_cts)})
+        outputs = sched.run(self.ctx, inputs, galois_keys)
+        return [outputs[f"out{i}"] for i in range(len(outputs))]
+
     def required_rotation_steps(self) -> Set[int]:
         return set()
 
@@ -98,8 +141,7 @@ class DistanceKernel:
         if n != self.problem.n_points or d != self.problem.dims:
             raise ValueError(f"points shape {points.shape} does not match problem")
 
-    def _squared_diff(self, a, b):
-        ctx = self.ctx
+    def _squared_diff(self, ctx, a, b):
         return ctx.rescale(ctx.square(ctx.sub(a, b)))
 
     def reference(self, points: np.ndarray, query: np.ndarray) -> np.ndarray:
@@ -131,12 +173,12 @@ class PointMajorKernel(DistanceKernel):
         # dimension sum can run as one fused hoisted span.
         return rotate_and_sum_steps(self.problem.padded_dims)
 
-    def compute(self, point_cts, query_cts, galois_keys=None):
+    def _compute_direct(self, ctx, point_cts, query_cts, galois_keys=None):
         q = query_cts[0]
         out = []
         for p in point_cts:
-            sq = self._squared_diff(p, q)
-            out.append(rotate_and_accumulate(self.ctx, sq, self.problem.padded_dims,
+            sq = self._squared_diff(ctx, p, q)
+            out.append(rotate_and_accumulate(ctx, sq, self.problem.padded_dims,
                                              galois_keys))
         return out
 
@@ -157,11 +199,10 @@ class DimensionMajorKernel(DistanceKernel):
         n = self.problem.n_points
         return [np.full(n, float(q_k)) for q_k in query]
 
-    def compute(self, point_cts, query_cts, galois_keys=None):
-        ctx = self.ctx
+    def _compute_direct(self, ctx, point_cts, query_cts, galois_keys=None):
         acc = None
         for p, q in zip(point_cts, query_cts):
-            sq = self._squared_diff(p, q)
+            sq = self._squared_diff(ctx, p, q)
             acc = sq if acc is None else ctx.add(acc, sq)
         return [acc]
 
@@ -204,12 +245,12 @@ class StackedPointMajorKernel(DistanceKernel):
     def required_rotation_steps(self):
         return rotate_and_sum_steps(self.problem.padded_dims)
 
-    def compute(self, point_cts, query_cts, galois_keys=None):
+    def _compute_direct(self, ctx, point_cts, query_cts, galois_keys=None):
         q = query_cts[0]
         out = []
         for p in point_cts:
-            sq = self._squared_diff(p, q)
-            out.append(rotate_and_accumulate(self.ctx, sq, self.problem.padded_dims,
+            sq = self._squared_diff(ctx, p, q)
+            out.append(rotate_and_accumulate(ctx, sq, self.problem.padded_dims,
                                              galois_keys))
         return out
 
@@ -267,12 +308,11 @@ class StackedDimensionMajorKernel(DistanceKernel):
             stride //= 2
         return steps
 
-    def compute(self, point_cts, query_cts, galois_keys=None):
-        ctx = self.ctx
+    def _compute_direct(self, ctx, point_cts, query_cts, galois_keys=None):
         n = self.problem.padded_points
         acc = None
         for p, q in zip(point_cts, query_cts):
-            sq = self._squared_diff(p, q)
+            sq = self._squared_diff(ctx, p, q)
             acc = sq if acc is None else ctx.add(acc, sq)
         # Fold the per-window partial sums into window 0.
         stride = _pow2(self.dims_per_ct)
@@ -307,10 +347,10 @@ class CollapsedPointMajorKernel(StackedPointMajorKernel):
             steps.add(-(g * self.points_per_ct))
         return {s for s in steps if s != 0}
 
-    def compute(self, point_cts, query_cts, galois_keys=None):
-        ctx = self.ctx
+    def _compute_direct(self, ctx, point_cts, query_cts, galois_keys=None):
         d = self.problem.padded_dims
-        sparse = super().compute(point_cts, query_cts, galois_keys)
+        sparse = super()._compute_direct(ctx, point_cts, query_cts,
+                                         galois_keys)
         collapsed = None
         for g, (block, (lo, hi)) in enumerate(zip(sparse, self._groups())):
             dense_block = None
@@ -386,8 +426,7 @@ class MultiQueryDimensionMajor(DimensionMajorKernel):
             copies *= 2
         return steps
 
-    def _replicate_points(self, ct, galois_keys=None):
-        ctx = self.ctx
+    def _replicate_points(self, ctx, ct, galois_keys=None):
         copies = 1
         while copies < self._regions:
             ct = ctx.add(ct, _rotate(ctx, ct, -(self.stride * copies),
@@ -395,12 +434,11 @@ class MultiQueryDimensionMajor(DimensionMajorKernel):
             copies *= 2
         return ct
 
-    def compute(self, point_cts, query_cts, galois_keys=None):
-        ctx = self.ctx
+    def _compute_direct(self, ctx, point_cts, query_cts, galois_keys=None):
         acc = None
         for p, q in zip(point_cts, query_cts):
-            replicated = self._replicate_points(p, galois_keys)
-            sq = self._squared_diff(replicated, q)
+            replicated = self._replicate_points(ctx, p, galois_keys)
+            sq = self._squared_diff(ctx, replicated, q)
             acc = sq if acc is None else ctx.add(acc, sq)
         return [acc]
 

@@ -1,0 +1,908 @@
+"""Ciphertext-program IR and the fusing scheduler (ROADMAP item 3).
+
+Consumers (``core.linalg``, ``core.distance``, the Eva compiler, apps)
+describe their homomorphic computation as a linear **ciphertext IR** —
+rotate / mul / add / sub / neg / rescale / mod-switch nodes over input
+ciphertexts and plaintext constants — instead of calling scheme primitives
+directly.  A scheduler then runs ordered passes over the DAG:
+
+1. **Weighted-sum fusion** (BFV) — maximal add-trees of
+   ``mul(rotate(x, s_j), const_j)`` over one source ciphertext collapse
+   into a single :class:`repro.hecore.hoisting.WeightedSumSpan` node: one
+   hoisted key-switch decompose, one inverse-NTT pair, one rescale for the
+   whole diagonal sum, with the plaintext NTT tables cached across calls.
+2. **Rotation fusion** — remaining live rotations are grouped by source
+   ciphertext and lowered onto one hoisted decompose per group
+   (``rotate_many``); ``rotate_sum`` nodes pick flat or BSGS spans by
+   width inside :func:`repro.hecore.hoisting.rotate_and_sum`.
+3. **Batch grouping** — plaintext constants consumed by a BFV program are
+   encoded in one stacked :meth:`BatchEncoder.encode_many` pass; encrypts
+   and decrypts batch at the program boundary (``encrypt_many`` /
+   ``decrypt_many`` in the callers).
+4. **Mod-switch sinking** — ``add(rescale(a), rescale(b))`` rewrites to
+   ``rescale(add(a, b))`` whenever both operands sit at the same level and
+   scale exponent, merging redundant level drops (same for BFV
+   ``mod_switch``).  Exact for BFV (mod-switch only moves noise);
+   rounding-noise-level drift for CKKS.
+5. **NTT-domain residency** — plain-multiply products stay in evaluation
+   (NTT) form; adds/subs/negs of resident values accumulate without leaving
+   it, and the deferred inverse transform is paid once at the first
+   coefficient-domain consumer.  Elided inverse→forward pairs are charged
+   to ``ctx.counts['ntt_elided']`` (units: residue-row transform pairs);
+   transforms the scheduler does perform charge ``ntt_forward`` /
+   ``ntt_inverse``.
+
+The scheduler-off reference path (:meth:`ScheduledProgram.run_reference`)
+executes the same IR one primitive at a time — the bit-exactness oracle
+the randomized DAG tests compare against.
+
+``TracerContext`` lets existing consumer code *emit* IR without being
+rewritten: it mimics the evaluator surface of a context (encode, add,
+multiply_plain, rotate, rescale, ...), recording nodes instead of
+computing.  ``core.linalg`` and ``core.distance`` trace their own direct
+evaluation bodies once and replay the scheduled program thereafter.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.hecore import hoisting
+from repro.hecore.params import SchemeType
+
+
+class ScheduleError(ValueError):
+    """The program cannot be represented/scheduled in the IR."""
+
+
+# ---------------------------------------------------------------------------
+# IR nodes
+# ---------------------------------------------------------------------------
+
+#: Node kinds producing ciphertext values.
+CT_KINDS = frozenset({
+    "input", "rotate", "add", "sub", "neg", "mul",
+    "rescale", "mod_switch", "rotate_sum", "weighted_sum",
+})
+
+#: Kinds whose output may legally stay in NTT (evaluation) form.
+_FORM_AGNOSTIC = frozenset({"add", "sub", "neg"})
+
+
+@dataclass
+class IrNode:
+    """One IR operation.  ``args`` index earlier nodes."""
+
+    kind: str
+    args: Tuple[int, ...] = ()
+    steps: int = 0                  # rotate
+    width: int = 0                  # rotate_sum
+    values: Optional[np.ndarray] = None   # const
+    name: str = ""                  # input
+    terms: Tuple[Tuple[int, int], ...] = ()  # weighted_sum: (step, const id)
+    normalize: bool = False         # rescale: snap scale back to nominal
+
+
+@dataclass
+class IrProgram:
+    """A linear ciphertext program: nodes in emission order plus outputs."""
+
+    nodes: List[IrNode] = field(default_factory=list)
+    outputs: Dict[str, int] = field(default_factory=dict)
+    slots: int = 0
+
+    def is_const(self, nid: int) -> bool:
+        return self.nodes[nid].kind == "const"
+
+    def ct_args(self, nid: int) -> Tuple[int, ...]:
+        return tuple(a for a in self.nodes[nid].args if not self.is_const(a))
+
+    def live_set(self) -> Set[int]:
+        """Nodes reachable from the outputs (consts included)."""
+        live: Set[int] = set()
+        stack = list(self.outputs.values())
+        while stack:
+            nid = stack.pop()
+            if nid in live:
+                continue
+            live.add(nid)
+            stack.extend(self.nodes[nid].args)
+            for _, cid in self.nodes[nid].terms:
+                stack.append(cid)
+        return live
+
+    def consumers(self, live: Optional[Set[int]] = None) -> Dict[int, List[int]]:
+        """node id -> ids of (live) nodes consuming it."""
+        out: Dict[int, List[int]] = {}
+        for nid, node in enumerate(self.nodes):
+            if live is not None and nid not in live:
+                continue
+            for a in node.args:
+                out.setdefault(a, []).append(nid)
+        return out
+
+
+class IrBuilder:
+    """Convenience constructor for :class:`IrProgram`."""
+
+    def __init__(self, slots: int = 0):
+        self.program = IrProgram(slots=slots)
+
+    # ------------------------------------------------------------- plumbing
+    def _emit(self, node: IrNode) -> int:
+        self.program.nodes.append(node)
+        return len(self.program.nodes) - 1
+
+    def _require_ct(self, nid: int, op: str) -> None:
+        if self.program.is_const(nid):
+            raise ScheduleError(f"{op} needs a ciphertext operand")
+
+    # ----------------------------------------------------------------- api
+    def input(self, name: str) -> int:
+        return self._emit(IrNode("input", name=name))
+
+    def const(self, values) -> int:
+        return self._emit(IrNode("const", values=np.asarray(values)))
+
+    def rotate(self, a: int, steps: int) -> int:
+        self._require_ct(a, "rotate")
+        if steps == 0:
+            return a
+        return self._emit(IrNode("rotate", (a,), steps=int(steps)))
+
+    def _binary(self, kind: str, a: int, b: int) -> int:
+        if self.program.is_const(a) and self.program.is_const(b):
+            raise ScheduleError("fold constant-only expressions before emitting")
+        return self._emit(IrNode(kind, (a, b)))
+
+    def add(self, a: int, b: int) -> int:
+        return self._binary("add", a, b)
+
+    def sub(self, a: int, b: int) -> int:
+        return self._binary("sub", a, b)
+
+    def mul(self, a: int, b: int) -> int:
+        return self._binary("mul", a, b)
+
+    def neg(self, a: int) -> int:
+        self._require_ct(a, "neg")
+        return self._emit(IrNode("neg", (a,)))
+
+    def rescale(self, a: int, normalize: bool = False) -> int:
+        self._require_ct(a, "rescale")
+        return self._emit(IrNode("rescale", (a,), normalize=normalize))
+
+    def mod_switch(self, a: int) -> int:
+        self._require_ct(a, "mod_switch")
+        return self._emit(IrNode("mod_switch", (a,)))
+
+    def rotate_sum(self, a: int, width: int) -> int:
+        self._require_ct(a, "rotate_sum")
+        if width <= 1:
+            return a
+        return self._emit(IrNode("rotate_sum", (a,), width=int(width)))
+
+    def output(self, name: str, a: int) -> None:
+        self._require_ct(a, "output")
+        self.program.outputs[name] = a
+
+
+# ---------------------------------------------------------------------------
+# Tracing: existing consumer code emits IR by running against this context
+# ---------------------------------------------------------------------------
+
+class _TraceValue:
+    """A symbolic ciphertext handle produced while tracing."""
+
+    __slots__ = ("nid",)
+    #: Consumers level-match plaintext encodes against ``ct.level_base``;
+    #: during tracing there is no level yet, so encodes stay base-deferred.
+    level_base = None
+
+    def __init__(self, nid: int):
+        self.nid = nid
+
+
+class _TracePlain:
+    """A symbolic plaintext handle (an IR const node)."""
+
+    __slots__ = ("nid",)
+
+    def __init__(self, nid: int):
+        self.nid = nid
+
+
+class TracerContext:
+    """A recording stand-in for a BFV/CKKS context.
+
+    Implements exactly the evaluator surface the linalg/distance direct
+    paths use.  Deliberately does **not** expose ``rotate_weighted_sum`` or
+    ``rotate_many``: tracing captures the *unfused* rotate/mul/add chain
+    and the scheduler re-derives the fusions as passes.
+    """
+
+    #: Lets consumers skip real-plaintext caching while being traced.
+    is_tracer = True
+
+    def __init__(self, params):
+        self.params = params
+        self.counts: Counter = Counter()
+        self.builder = IrBuilder(slots=params.poly_degree // 2)
+
+    # ------------------------------------------------------------ plumbing
+    def trace_input(self, name: str) -> _TraceValue:
+        return _TraceValue(self.builder.input(name))
+
+    def _ct(self, value) -> int:
+        if isinstance(value, _TraceValue):
+            return value.nid
+        raise ScheduleError(f"cannot trace non-IR value {type(value).__name__}")
+
+    # ----------------------------------------------------------- evaluator
+    def encode(self, values, scale=None, base=None) -> _TracePlain:
+        return _TracePlain(self.builder.const(values))
+
+    def add(self, a, b) -> _TraceValue:
+        return _TraceValue(self.builder.add(self._ct(a), self._ct(b)))
+
+    def sub(self, a, b) -> _TraceValue:
+        return _TraceValue(self.builder.sub(self._ct(a), self._ct(b)))
+
+    def negate(self, a) -> _TraceValue:
+        return _TraceValue(self.builder.neg(self._ct(a)))
+
+    def add_plain(self, ct, pt: _TracePlain) -> _TraceValue:
+        return _TraceValue(self.builder.add(self._ct(ct), pt.nid))
+
+    def multiply_plain(self, ct, pt: _TracePlain) -> _TraceValue:
+        return _TraceValue(self.builder.mul(self._ct(ct), pt.nid))
+
+    def multiply(self, a, b, relinearize: bool = True) -> _TraceValue:
+        if not relinearize:
+            raise ScheduleError("IR multiplies always relinearize")
+        return _TraceValue(self.builder.mul(self._ct(a), self._ct(b)))
+
+    def square(self, a, relinearize: bool = True) -> _TraceValue:
+        return self.multiply(a, a, relinearize)
+
+    def rescale(self, ct) -> _TraceValue:
+        return _TraceValue(self.builder.rescale(self._ct(ct)))
+
+    def mod_switch_down(self, ct) -> _TraceValue:
+        return _TraceValue(self.builder.mod_switch(self._ct(ct)))
+
+    def align(self, a, b):
+        return a, b            # the executor aligns levels dynamically
+
+    def rotate(self, ct, steps: int, galois_keys=None) -> _TraceValue:
+        return _TraceValue(self.builder.rotate(self._ct(ct), steps))
+
+    def rotate_and_sum(self, ct, width: int, galois_keys=None) -> _TraceValue:
+        return _TraceValue(self.builder.rotate_sum(self._ct(ct), width))
+
+
+def trace_program(params, fn, input_names: Sequence[str]) -> IrProgram:
+    """Run *fn(tracer, \\*handles)* and return the recorded program.
+
+    *fn* receives a :class:`TracerContext` followed by one symbolic handle
+    per input name, and returns a handle or a sequence of handles; outputs
+    are named ``out0..outN`` (a single handle still gets ``out0``).
+    """
+    tracer = TracerContext(params)
+    handles = [tracer.trace_input(name) for name in input_names]
+    result = fn(tracer, *handles)
+    if isinstance(result, _TraceValue):
+        result = [result]
+    for i, handle in enumerate(result):
+        tracer.builder.output(f"out{i}", tracer._ct(handle))
+    return tracer.builder.program
+
+
+# ---------------------------------------------------------------------------
+# Scheduling passes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScheduleReport:
+    """What the passes did — asserted by the pass-level unit tests."""
+
+    rotation_groups: int = 0        # fused multi-rotation groups
+    fused_rotations: int = 0        # rotations covered by those groups
+    weighted_sum_spans: int = 0     # add-trees collapsed to hoisted spans
+    weighted_sum_terms: int = 0     # mul terms those spans absorbed
+    rescales_sunk: int = 0          # rescale pairs merged below an add/sub
+    mod_switches_sunk: int = 0      # mod-switch pairs merged likewise
+    resident_nodes: int = 0         # values planned to stay in NTT form
+    batched_consts: int = 0         # BFV consts encoded in one stacked pass
+
+    def describe(self) -> str:
+        return (f"{self.weighted_sum_spans} weighted-sum span(s) "
+                f"({self.weighted_sum_terms} terms), "
+                f"{self.rotation_groups} rotation group(s) "
+                f"({self.fused_rotations} rotations), "
+                f"{self.rescales_sunk + self.mod_switches_sunk} level drop(s) "
+                f"sunk, {self.resident_nodes} NTT-resident node(s), "
+                f"{self.batched_consts} const(s) batch-encoded")
+
+
+def _fuse_weighted_sums(program: IrProgram, scheme: SchemeType,
+                        report: ScheduleReport) -> None:
+    """Collapse BFV diagonal add-trees into ``weighted_sum`` nodes.
+
+    A tree qualifies when every leaf is a single-consumer
+    ``mul(rotate(x, s) | x, const)`` over one common source ``x``, the
+    rotates themselves are single-consumer (shared baby rotations — BSGS —
+    stay with the rotation-fusion pass instead), and at least two leaves
+    carry distinct rotations.
+    """
+    if scheme is not SchemeType.BFV:
+        return
+    nodes = program.nodes
+    live = program.live_set()
+    consumers = program.consumers(live)
+    out_ids = set(program.outputs.values())
+
+    def single_consumer(nid: int) -> bool:
+        return len(consumers.get(nid, ())) == 1 and nid not in out_ids
+
+    def leaf_term(nid: int, source: Optional[int]):
+        """(source, step, const) when *nid* is a fusable leaf, else None."""
+        node = nodes[nid]
+        if node.kind != "mul":
+            return None
+        a, b = node.args
+        if program.is_const(a):
+            a, b = b, a
+        if not program.is_const(b) or program.is_const(a):
+            return None
+        rot = nodes[a]
+        if rot.kind == "rotate" and single_consumer(a):
+            src, step = rot.args[0], rot.steps
+        else:
+            src, step = a, 0
+        if source is not None and src != source:
+            return None
+        return src, step, b
+
+    def maximal(nid: int) -> bool:
+        """True when no larger add-tree strictly contains *nid*."""
+        cons = consumers.get(nid, ())
+        return (nid in out_ids or len(cons) != 1
+                or nodes[cons[0]].kind != "add")
+
+    for root in range(len(nodes)):
+        if (root not in live or nodes[root].kind != "add"
+                or not maximal(root)):
+            continue
+        # Collect the maximal single-consumer add-tree under `root`.
+        terms: List[Tuple[int, int]] = []
+        source: Optional[int] = None
+        ok = True
+        stack = [root]
+        while stack and ok:
+            nid = stack.pop()
+            node = nodes[nid]
+            if node.kind == "add" and (nid == root or single_consumer(nid)):
+                stack.extend(node.args)
+                continue
+            leaf = leaf_term(nid, source)
+            if leaf is None or not single_consumer(nid):
+                ok = False
+                break
+            source = leaf[0]
+            terms.append((leaf[1], leaf[2]))
+        if not ok or source is None or len(terms) < 2:
+            continue
+        if len({step for step, _ in terms if step}) < 2:
+            continue
+        nodes[root] = IrNode("weighted_sum", (source,),
+                             terms=tuple(sorted(terms)))
+        report.weighted_sum_spans += 1
+        report.weighted_sum_terms += len(terms)
+        live = program.live_set()
+        consumers = program.consumers(live)
+
+
+def _sink_level_drops(program: IrProgram, report: ScheduleReport) -> None:
+    """Rewrite ``add(drop(a), drop(b))`` → ``drop(add(a, b))`` to fixpoint.
+
+    Legal only when both drops are single-consumer siblings at the same
+    (level, scale-exponent) state: the merged drop then divides the summed
+    value exactly as the two separate drops would have (up to CKKS rescale
+    rounding noise, which lives below the noise floor by construction).
+    """
+    nodes = program.nodes
+
+    def states() -> Dict[int, Optional[Tuple[int, int]]]:
+        # Demand-driven: sunk drops reference nodes appended after them,
+        # so a simple id-order sweep would hit unresolved arguments.
+        state: Dict[int, Optional[Tuple[int, int]]] = {}
+        stack = list(range(len(nodes)))
+        while stack:
+            nid = stack[-1]
+            if nid in state:
+                stack.pop()
+                continue
+            node = nodes[nid]
+            if node.kind == "const":
+                state[nid] = None
+                stack.pop()
+                continue
+            missing = [a for a in node.args if a not in state]
+            if missing:
+                stack.extend(missing)
+                continue
+            ct_args = [a for a in node.args if state[a] is not None]
+            if node.kind in ("rescale", "mod_switch"):
+                lvl, sexp = state[node.args[0]]
+                state[nid] = (lvl + 1, max(1, sexp - 1))
+            elif node.kind == "mul":
+                if len(ct_args) == 2:
+                    (l1, s1), (l2, s2) = (state[a] for a in ct_args)
+                    state[nid] = (max(l1, l2), s1 + s2)
+                elif ct_args:
+                    lvl, sexp = state[ct_args[0]]
+                    state[nid] = (lvl, sexp + 1)
+                else:
+                    state[nid] = (0, 1)
+            elif ct_args:
+                pairs = [state[a] for a in ct_args]
+                state[nid] = (max(l for l, _ in pairs),
+                              max(s for _, s in pairs))
+            else:
+                state[nid] = (0, 1)
+            stack.pop()
+        return state
+
+    changed = True
+    while changed:
+        changed = False
+        state = states()
+        live = program.live_set()
+        consumers = program.consumers(live)
+        out_ids = set(program.outputs.values())
+        for root, node in enumerate(nodes):
+            if root not in live or node.kind not in ("add", "sub"):
+                continue
+            a, b = node.args
+            da, db = nodes[a], nodes[b]
+            if da.kind != db.kind or da.kind not in ("rescale", "mod_switch"):
+                continue
+            if da.normalize != db.normalize:
+                continue
+            if any(len(consumers.get(d, ())) != 1 or d in out_ids
+                   for d in (a, b)):
+                continue
+            if state[da.args[0]] != state[db.args[0]]:
+                continue
+            inner = len(nodes)
+            nodes.append(IrNode(node.kind, (da.args[0], db.args[0])))
+            nodes[root] = IrNode(da.kind, (inner,), normalize=da.normalize)
+            if da.kind == "rescale":
+                report.rescales_sunk += 1
+            else:
+                report.mod_switches_sunk += 1
+            changed = True
+            break   # indices shifted; recompute state and rescan
+
+
+def _group_rotations(program: IrProgram, report: ScheduleReport
+                     ) -> Dict[int, List[int]]:
+    """Group live rotations by source: one hoisted decompose per group.
+
+    Returns source node id -> rotate node ids (groups of 2+ only)."""
+    live = program.live_set()
+    by_source: Dict[int, List[int]] = {}
+    for nid in live:
+        node = program.nodes[nid]
+        if node.kind == "rotate":
+            by_source.setdefault(node.args[0], []).append(nid)
+    groups = {src: sorted(members, key=lambda m: program.nodes[m].steps)
+              for src, members in by_source.items() if len(members) > 1}
+    report.rotation_groups = len(groups)
+    report.fused_rotations = sum(len(m) for m in groups.values())
+    return groups
+
+
+def _mark_residency(program: IrProgram, report: ScheduleReport) -> Set[int]:
+    """Nodes whose value stays in NTT form until a coefficient consumer.
+
+    Plain-multiplies produce NTT-form values; adds/subs/negs stay resident
+    when every ciphertext operand is.  Everything else (rotation spans,
+    level drops, ct-ct multiplies, outputs) consumes coefficient form — the
+    deferred inverse is paid there, once."""
+    resident: Set[int] = set()
+    for nid, node in enumerate(program.nodes):
+        if node.kind == "mul" and len(program.ct_args(nid)) == 1:
+            resident.add(nid)
+        elif node.kind in _FORM_AGNOSTIC:
+            ct_args = program.ct_args(nid)
+            if ct_args and all(a in resident for a in ct_args):
+                resident.add(nid)
+    live = program.live_set()
+    resident &= live
+    report.resident_nodes = len(resident)
+    return resident
+
+
+def compile_ir(program: IrProgram, scheme: SchemeType) -> "ScheduledProgram":
+    """Run the pass pipeline and return an executable scheduled program."""
+    nodes = list(program.nodes)      # the passes rewrite a private copy
+    program = IrProgram(nodes=[IrNode(n.kind, n.args, n.steps, n.width,
+                                      n.values, n.name, n.terms, n.normalize)
+                               for n in nodes],
+                        outputs=dict(program.outputs), slots=program.slots)
+    report = ScheduleReport()
+    _fuse_weighted_sums(program, scheme, report)
+    _sink_level_drops(program, report)
+    groups = _group_rotations(program, report)
+    resident = _mark_residency(program, report)
+    return ScheduledProgram(program, scheme, report, groups, resident)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def _rows(ct, only_ntt: Optional[bool] = None) -> int:
+    """Residue rows across a ciphertext's components (counter units)."""
+    return sum(len(c.base) for c in ct.components
+               if only_ntt is None or c.is_ntt == only_ntt)
+
+
+def _negate_bfv_plain(pt):
+    from repro.hecore.plaintext import Plaintext
+
+    return Plaintext(np.mod(-pt.coeffs, pt.modulus), pt.modulus)
+
+
+def _negate_ckks_plain(pt):
+    from repro.hecore.plaintext import CkksPlaintext
+
+    return CkksPlaintext(-pt.poly, pt.scale)
+
+
+class ScheduledProgram:
+    """An IR program plus its schedule; reusable across calls and contexts.
+
+    Plaintext encodings, NTT-form plaintext tables, and weighted-sum spans
+    are cached per modulus chain, so repeated executions (the static-weight
+    inference loop) skip all plaintext transform work.
+    """
+
+    def __init__(self, program: IrProgram, scheme: SchemeType,
+                 report: ScheduleReport, groups: Dict[int, List[int]],
+                 resident: Set[int]):
+        self.program = program
+        self.scheme = scheme
+        self.report = report
+        self.groups = groups
+        self.resident = resident
+        self._group_of = {m: src for src, ms in groups.items() for m in ms}
+        self._spans: Dict[Tuple, hoisting.WeightedSumSpan] = {}
+        self._plain_cache: Dict[Tuple, object] = {}
+        self._ntt_plain_cache: Dict[Tuple, object] = {}
+        self._bfv_batch: Dict[int, Dict[int, object]] = {}
+
+    # ------------------------------------------------------------ metadata
+    def rotation_steps(self) -> Set[int]:
+        """Merged Galois step set the whole program needs (satellite: one
+        ``make_galois_keys`` call per pipeline, not one per op)."""
+        steps: Set[int] = set()
+        for nid in self.program.live_set():
+            node = self.program.nodes[nid]
+            if node.kind == "rotate":
+                steps.add(node.steps)
+            elif node.kind == "rotate_sum":
+                steps |= hoisting.rotate_and_sum_steps(node.width)
+            elif node.kind == "weighted_sum":
+                steps |= {s for s, _ in node.terms}
+        return {s for s in steps if s}
+
+    # ------------------------------------------------------------ plaintexts
+    def _const_values(self, cid: int) -> np.ndarray:
+        return self.program.nodes[cid].values
+
+    def _bfv_plain(self, ctx, cid: int):
+        """BFV plaintext for const *cid*, batch-encoded on first touch.
+
+        The first request under a given plain modulus encodes EVERY live
+        const in one stacked ``encode_many`` pass (batch-grouping pass)."""
+        t = ctx.params.plain_modulus
+        batch = self._bfv_batch.get(t)
+        if batch is None:
+            live = self.program.live_set()
+            cids = [nid for nid in sorted(live)
+                    if self.program.nodes[nid].kind == "const"]
+            encoder = getattr(ctx, "encoder", None)
+            if encoder is not None and hasattr(encoder, "encode_many") and cids:
+                pts = encoder.encode_many(
+                    [np.asarray(self._const_values(c), dtype=np.int64)
+                     for c in cids])
+            else:
+                pts = [ctx.encode(np.asarray(self._const_values(c),
+                                             dtype=np.int64)) for c in cids]
+            batch = self._bfv_batch[t] = dict(zip(cids, pts))
+            self.report.batched_consts = len(cids)
+        return batch[cid]
+
+    def _ckks_plain(self, ctx, cid: int, base, scale=None):
+        key = (cid, tuple(int(p) for p in base.moduli),
+               None if scale is None else round(float(scale), 6))
+        pt = self._plain_cache.get(key)
+        if pt is None:
+            values = np.asarray(self._const_values(cid), dtype=np.float64)
+            pt = ctx.encode(values, scale=scale, base=base)
+            self._plain_cache[key] = pt
+        return pt
+
+    def _plain_ntt(self, ctx, cid: int, base):
+        """NTT-form plaintext multiplicand for const *cid* at *base*."""
+        from repro.hecore.polyring import RnsPoly
+
+        key = (cid, tuple(int(p) for p in base.moduli))
+        m_ntt = self._ntt_plain_cache.get(key)
+        if m_ntt is None:
+            if self.scheme is SchemeType.BFV:
+                pt = self._bfv_plain(ctx, cid)
+                m_ntt = RnsPoly.from_signed_array(base, pt.coeffs).to_ntt()
+                scale = 1.0
+            else:
+                pt = self._ckks_plain(ctx, cid, base)
+                m_ntt = pt.poly.to_ntt()
+                scale = pt.scale
+            ctx.counts["ntt_forward"] += len(base)
+            self._ntt_plain_cache[key] = (m_ntt, scale)
+        else:
+            ctx.counts["ntt_elided"] += len(base)
+        return self._ntt_plain_cache[key]
+
+    def _span(self, ctx, nid: int) -> hoisting.WeightedSumSpan:
+        node = self.program.nodes[nid]
+        key = (nid, ctx.params.plain_modulus)
+        span = self._spans.get(key)
+        if span is None:
+            terms = [(step, self._bfv_plain(ctx, cid).coeffs)
+                     for step, cid in node.terms]
+            span = self._spans[key] = hoisting.WeightedSumSpan(terms)
+        return span
+
+    # ------------------------------------------------------------ execution
+    def run(self, ctx, inputs: Dict[str, object], galois_keys=None):
+        """Execute the scheduled program; returns output ciphertexts."""
+        return _IrRunner(self, ctx, inputs, galois_keys, fused=True).run()
+
+    def run_reference(self, ctx, inputs: Dict[str, object], galois_keys=None):
+        """Scheduler-off oracle: same IR, one primitive call per node —
+        no fusion, no residency, no caching."""
+        return _IrRunner(self, ctx, inputs, galois_keys, fused=False).run()
+
+
+class _IrRunner:
+    """Demand-driven evaluator over the scheduled (or raw) IR."""
+
+    def __init__(self, sched: ScheduledProgram, ctx, inputs, galois_keys,
+                 fused: bool):
+        self.sched = sched
+        self.program = sched.program
+        self.ctx = ctx
+        self.inputs = inputs
+        self.keys = galois_keys
+        self.fused = fused
+        self.ckks = ctx.params.scheme is SchemeType.CKKS
+        self.memo: Dict[int, object] = {}
+
+    # ------------------------------------------------------- form handling
+    def _to_coeff(self, ct):
+        if not any(c.is_ntt for c in ct.components):
+            return ct
+        from repro.hecore.ciphertext import Ciphertext
+
+        self.ctx.counts["ntt_inverse"] += _rows(ct, only_ntt=True)
+        return Ciphertext(ct.params, [c.from_ntt() for c in ct.components],
+                          scale=ct.scale)
+
+    def _to_ntt(self, ct):
+        from repro.hecore.ciphertext import Ciphertext
+
+        pending = _rows(ct, only_ntt=False)
+        if pending:
+            self.ctx.counts["ntt_forward"] += pending
+        resident = _rows(ct, only_ntt=True)
+        if resident:
+            # The producer skipped its inverse AND this forward: one
+            # inverse->forward pair per already-resident residue row.
+            self.ctx.counts["ntt_elided"] += resident
+        if not pending:
+            return ct
+        return Ciphertext(ct.params, [c.to_ntt() for c in ct.components],
+                          scale=ct.scale)
+
+    def _matched_forms(self, a, b):
+        a_ntt = any(c.is_ntt for c in a.components)
+        b_ntt = any(c.is_ntt for c in b.components)
+        if a_ntt == b_ntt:
+            return a, b
+        return self._to_coeff(a), self._to_coeff(b)
+
+    # ------------------------------------------------------------- helpers
+    def _rotate_one(self, ct, steps):
+        rotate = getattr(self.ctx, "rotate_rows", None) or self.ctx.rotate
+        return rotate(ct, steps, self.keys)
+
+    def _additive_plain(self, kind, ct, cid, const_left):
+        """add/sub with a plaintext operand — mirrors the Eva executor."""
+        ctx = self.ctx
+        ct = self._to_coeff(ct)
+        if self.ckks:
+            pt = self.sched._ckks_plain(ctx, cid, ct.level_base, scale=ct.scale)
+            negate_pt = _negate_ckks_plain
+        else:
+            pt = self.sched._bfv_plain(ctx, cid)
+            negate_pt = _negate_bfv_plain
+        if kind == "add":
+            return ctx.add_plain(ct, pt)
+        if const_left:                      # plain - ct
+            return ctx.add_plain(ctx.negate(ct), pt)
+        return ctx.add_plain(ct, negate_pt(pt))   # ct - plain
+
+    def _mul_plain(self, ct, cid):
+        ctx = self.ctx
+        if not self.fused:
+            ct = self._to_coeff(ct)
+            if self.ckks:
+                pt = self.sched._ckks_plain(ctx, cid, ct.level_base)
+            else:
+                pt = self.sched._bfv_plain(ctx, cid)
+            return ctx.multiply_plain(ct, pt)
+        # Residency pass: multiply in evaluation form and STAY there.  The
+        # product is bit-identical to multiply_plain (to_ntt/from_ntt are
+        # exact inverses mod p); only the inverse transform is deferred.
+        from repro.hecore.ciphertext import Ciphertext
+
+        ct_ntt = self._to_ntt(ct)
+        m_ntt, pt_scale = self.sched._plain_ntt(ctx, cid, ct.level_base)
+        ctx.counts["multiply_plain"] += 1
+        comps = [c * m_ntt for c in ct_ntt.components]
+        return Ciphertext(ct.params, comps, scale=ct.scale * pt_scale)
+
+    def _align(self, a, b):
+        if self.ckks and a.level_base != b.level_base:
+            a, b = self.ctx.align(self._to_coeff(a), self._to_coeff(b))
+        return a, b
+
+    def _group_results(self, src_nid: int):
+        """All rotations of a fused group, one hoisted decompose."""
+        key = ("group", src_nid)
+        results = self.memo.get(key)
+        if results is None:
+            members = self.sched.groups[src_nid]
+            steps = [self.program.nodes[m].steps for m in members]
+            src = self._to_coeff(self.memo[src_nid])
+            fused = getattr(self.ctx, "rotate_many", None)
+            if fused is not None:
+                cts = fused(src, steps, self.keys)
+            else:
+                cts = [self._rotate_one(src, s) for s in steps]
+            results = dict(zip(members, cts))
+            self.memo[key] = results
+        return results
+
+    # ----------------------------------------------------------- evaluation
+    def run(self):
+        outputs = {}
+        for name, nid in self.program.outputs.items():
+            self._eval(nid)
+            outputs[name] = self._to_coeff(self.memo[nid])
+        return outputs
+
+    def _eval(self, root: int):
+        stack = [root]
+        nodes = self.program.nodes
+        while stack:
+            nid = stack[-1]
+            if nid in self.memo:
+                stack.pop()
+                continue
+            deps = [a for a in nodes[nid].args if not self.program.is_const(a)]
+            missing = [d for d in deps if d not in self.memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            self.memo[nid] = self._compute(nid)
+            stack.pop()
+
+    def _compute(self, nid: int):
+        ctx = self.ctx
+        node = self.program.nodes[nid]
+        kind = node.kind
+        if kind == "input":
+            value = self.inputs[node.name]
+            if not hasattr(value, "components"):
+                raise ScheduleError(
+                    f"input {node.name!r} must be a ciphertext (encrypt "
+                    "program inputs at the batch boundary)")
+            return value
+        if kind == "neg":
+            return ctx.negate(self.memo[node.args[0]])
+        if kind == "rotate":
+            if self.fused and nid in self.sched._group_of:
+                return self._group_results(self.sched._group_of[nid])[nid]
+            return self._rotate_one(self._to_coeff(self.memo[node.args[0]]),
+                                    node.steps)
+        if kind in ("add", "sub"):
+            a, b = node.args
+            a_const = self.program.is_const(a)
+            b_const = self.program.is_const(b)
+            if a_const or b_const:
+                cid, ct_id = (a, b) if a_const else (b, a)
+                return self._additive_plain(kind, self.memo[ct_id], cid,
+                                            const_left=a_const)
+            va, vb = self._align(self.memo[a], self.memo[b])
+            if self.fused:
+                va, vb = self._matched_forms(va, vb)
+            else:
+                va, vb = self._to_coeff(va), self._to_coeff(vb)
+            return (ctx.add if kind == "add" else ctx.sub)(va, vb)
+        if kind == "mul":
+            a, b = node.args
+            if self.program.is_const(a) or self.program.is_const(b):
+                cid, ct_id = ((a, b) if self.program.is_const(a) else (b, a))
+                return self._mul_plain(self.memo[ct_id], cid)
+            va, vb = self._align(self.memo[a], self.memo[b])
+            if self.ckks and self.fused:
+                # CKKS ct-ct multiply starts in evaluation form anyway:
+                # resident operands skip their inverse->forward round trip.
+                elided = _rows(va, only_ntt=True) + _rows(vb, only_ntt=True)
+                if elided:
+                    ctx.counts["ntt_elided"] += elided
+            else:
+                va, vb = self._to_coeff(va), self._to_coeff(vb)
+            return ctx.multiply(va, vb)
+        if kind == "rescale":
+            out = ctx.rescale(self._to_coeff(self.memo[node.args[0]]))
+            if node.normalize:
+                drift = out.scale / ctx.params.scale
+                if not 0.5 < drift < 2.0:
+                    raise RuntimeError(
+                        "scale drifted out of the normalization range")
+                out.scale = ctx.params.scale
+            return out
+        if kind == "mod_switch":
+            return ctx.mod_switch_down(self._to_coeff(self.memo[node.args[0]]))
+        if kind == "rotate_sum":
+            ct = self._to_coeff(self.memo[node.args[0]])
+            fused = getattr(ctx, "rotate_and_sum", None)
+            if self.fused and fused is not None:
+                return fused(ct, node.width, self.keys)
+            step = node.width // 2
+            while step >= 1:
+                ct = ctx.add(ct, self._rotate_one(ct, step))
+                step //= 2
+            return ct
+        if kind == "weighted_sum":
+            ct = self._to_coeff(self.memo[node.args[0]])
+            return self.sched._span(ctx, nid)(ctx, ct, self.keys)
+        raise ScheduleError(f"unknown IR node kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Pipeline conveniences
+# ---------------------------------------------------------------------------
+
+def ensure_galois_keys(ctx, *step_sets):
+    """Union *step_sets* and make ONE merged Galois key set.
+
+    The dnn/knn pipelines call this once per session instead of generating
+    keys per-op; ``make_galois_keys`` reuses already-present elements.
+    Returns the context's Galois key object (extended in place)."""
+    steps: Set[int] = set()
+    for s in step_sets:
+        steps |= set(s)
+    steps.discard(0)
+    return ctx.make_galois_keys(steps)

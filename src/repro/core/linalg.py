@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.ir import ScheduleError, compile_ir, trace_program
 from repro.core.packing import ChannelLayout, RedundantPacking
 from repro.hecore.hoisting import rotate_and_sum_steps
 from repro.hecore.params import SchemeType
@@ -29,6 +30,50 @@ from repro.hecore.params import SchemeType
 
 def _is_bfv(ctx) -> bool:
     return ctx.params.scheme is SchemeType.BFV
+
+
+#: Sentinel: the kernel has not attempted to build its schedule yet.
+_UNSCHEDULED = object()
+
+
+class _ScheduledKernel:
+    """Mixin: trace the kernel's direct evaluation once, then replay it as
+    a scheduled ciphertext program.
+
+    Subclasses implement ``_direct(ctx, ct, galois_keys)`` — the original
+    hand-wired evaluation, written against the generic evaluator surface.
+    The first scheduled call runs ``_direct`` against a recording
+    :class:`~repro.core.ir.TracerContext` to capture the kernel's IR, then
+    the scheduler passes fuse its rotations into hoisted spans, batch its
+    constants, and keep intermediates NTT-resident.  The direct path stays
+    reachable (``use_scheduler=False``) as the bit-exactness reference.
+    """
+
+    use_scheduler = True
+    _sched = _UNSCHEDULED
+
+    def _schedule(self):
+        if self._sched is _UNSCHEDULED:
+            try:
+                ir = trace_program(self.ctx.params,
+                                   lambda tr, x: self._direct(tr, x, None),
+                                   ["x"])
+                self._sched = compile_ir(ir, self.ctx.params.scheme)
+            except ScheduleError:
+                self._sched = None   # untraceable: stay on the direct path
+        return self._sched
+
+    def schedule_report(self):
+        """The scheduler's pass report, or None when running direct."""
+        sched = self._schedule() if self.use_scheduler else None
+        return None if sched is None else sched.report
+
+    def __call__(self, ct, galois_keys=None):
+        if self.use_scheduler:
+            sched = self._schedule()
+            if sched is not None:
+                return sched.run(self.ctx, {"x": ct}, galois_keys)["out0"]
+        return self._direct(self.ctx, ct, galois_keys)
 
 
 def _encode_vector(ctx, values: np.ndarray, ct=None):
@@ -122,17 +167,19 @@ def conv_input_packing(ctx, spec: Conv2dSpec) -> RedundantPacking:
     return packing
 
 
-class EncryptedConv2d:
+class EncryptedConv2d(_ScheduledKernel):
     """Server-side encrypted convolution over a redundantly packed input."""
 
     def __init__(self, ctx, spec: Conv2dSpec, weights: np.ndarray,
-                 packing: RedundantPacking | None = None):
+                 packing: RedundantPacking | None = None,
+                 use_scheduler: bool = True):
         weights = np.asarray(weights)
         if weights.shape != (spec.out_channels, spec.in_channels,
                              spec.kernel_size, spec.kernel_size):
             raise ValueError(f"bad weight shape {weights.shape}")
         self.ctx = ctx
         self.spec = spec
+        self.use_scheduler = use_scheduler
         self.packing = packing or conv_input_packing(ctx, spec)
         layout = self.packing.layout
         self._row_spans = row_slot_count(ctx) // layout.span
@@ -172,7 +219,7 @@ class EncryptedConv2d:
         return {rot for rot, _ in self._plan if rot != 0}
 
     # ------------------------------------------------------------ execution
-    def __call__(self, ct, galois_keys=None):
+    def _direct(self, ctx, ct, galois_keys=None):
         """Evaluate the convolution on an encrypted, packed input.
 
         Encoded weight plaintexts are cached after the first evaluation
@@ -182,10 +229,12 @@ class EncryptedConv2d:
         whole plan runs as a single fused rotate-multiply-accumulate that
         pays one inverse transform and one rescale.
         """
-        ctx = self.ctx
-        cache = getattr(self, "_encoded_cache", None)
-        if cache is None:
-            cache = self._encoded_cache = {}
+        if getattr(ctx, "is_tracer", False):
+            cache = {}   # symbolic plaintexts must not poison the real cache
+        else:
+            cache = getattr(self, "_encoded_cache", None)
+            if cache is None:
+                cache = self._encoded_cache = {}
         if _is_bfv(ctx) and hasattr(ctx, "rotate_weighted_sum"):
             terms = []
             for i, (rotation, mask) in enumerate(self._plan):
@@ -239,7 +288,7 @@ class EncryptedConv2d:
         return out
 
 
-class EncryptedMatVec:
+class EncryptedMatVec(_ScheduledKernel):
     """Encrypted matrix-vector product via the windowed diagonal method.
 
     Packs the input vector in one fully-redundant window (redundancy =
@@ -247,11 +296,12 @@ class EncryptedMatVec:
     cheap ciphertext rotation.  Used for fully-connected layers.
     """
 
-    def __init__(self, ctx, matrix: np.ndarray):
+    def __init__(self, ctx, matrix: np.ndarray, use_scheduler: bool = True):
         matrix = np.asarray(matrix)
         if matrix.ndim != 2:
             raise ValueError("matrix must be 2-D")
         self.ctx = ctx
+        self.use_scheduler = use_scheduler
         self.matrix = matrix
         self.n_out, self.n_in = matrix.shape
         self.dim = max(self.n_out, self.n_in)
@@ -288,8 +338,7 @@ class EncryptedMatVec:
             masks.append((j, mask))
         return masks
 
-    def __call__(self, ct, galois_keys=None):
-        ctx = self.ctx
+    def _direct(self, ctx, ct, galois_keys=None):
         masks = self._diagonal_masks()
         if not masks:
             raise ValueError("matrix is all zeros")
@@ -328,8 +377,9 @@ class BsgsMatVec(EncryptedMatVec):
     by ``−g·b_count`` in plaintext so the algebra works out.
     """
 
-    def __init__(self, ctx, matrix: np.ndarray, baby_steps: int = 0):
-        super().__init__(ctx, matrix)
+    def __init__(self, ctx, matrix: np.ndarray, baby_steps: int = 0,
+                 use_scheduler: bool = True):
+        super().__init__(ctx, matrix, use_scheduler=use_scheduler)
         d = self.dim
         self.baby_count = baby_steps or max(1, int(math.isqrt(d)))
         self.giant_count = math.ceil(d / self.baby_count)
@@ -339,8 +389,7 @@ class BsgsMatVec(EncryptedMatVec):
         steps.update(g * self.baby_count for g in range(1, self.giant_count))
         return {s for s in steps if s}
 
-    def __call__(self, ct, galois_keys=None):
-        ctx = self.ctx
+    def _direct(self, ctx, ct, galois_keys=None):
         row = row_slot_count(ctx)
         offset = self.packing.layout.window_offset(0)
         d = self.dim

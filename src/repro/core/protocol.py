@@ -48,6 +48,13 @@ class CostLedger:
     rotations: int = 0
     hoisted_decomposes: int = 0
     naive_decomposes: int = 0
+    # NTT-residency accounting (units: residue-row transform passes).  The
+    # scheduler charges forward/inverse transforms it performs and credits
+    # ``ntt_elided`` for every inverse->forward pair its residency pass
+    # skipped across op boundaries.
+    ntt_forward: int = 0
+    ntt_inverse: int = 0
+    ntt_elided: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -98,6 +105,9 @@ class CostLedger:
         self.rotations += other.rotations
         self.hoisted_decomposes += other.hoisted_decomposes
         self.naive_decomposes += other.naive_decomposes
+        self.ntt_forward += other.ntt_forward
+        self.ntt_inverse += other.ntt_inverse
+        self.ntt_elided += other.ntt_elided
 
 
 class ClientCostModel:
@@ -329,6 +339,9 @@ class ClientAidedSession:
         self.ledger.rotations += delta.get("rotate", 0)
         self.ledger.hoisted_decomposes += delta.get("hoisted_decompose", 0)
         self.ledger.naive_decomposes += delta.get("naive_decompose", 0)
+        self.ledger.ntt_forward += delta.get("ntt_forward", 0)
+        self.ledger.ntt_inverse += delta.get("ntt_inverse", 0)
+        self.ledger.ntt_elided += delta.get("ntt_elided", 0)
         ops = ", ".join(f"{op}x{n}" for op, n in sorted(delta.items()) if n)
         self._record("server", f"encrypted compute: {ops or 'no-op'}")
         return result

@@ -470,6 +470,119 @@ def rotate_and_sum(ctx, ct: Ciphertext, width: int,
 # Fused diagonal matvec (rotate, plain-multiply, accumulate — all in NTT form)
 # ---------------------------------------------------------------------------
 
+class WeightedSumSpan:
+    """A reusable ``sum(m_j (*) rotate(ct, s_j))`` span with cached tables.
+
+    The plaintext side of a weighted rotation span is static: the Galois
+    elements, the coefficient automorphism permutations, and — crucially —
+    the forward-NTT transforms of every diagonal over both the current and
+    the extended RNS base depend only on the terms and the ciphertext's
+    modulus chain, not on the ciphertext.  A span instance computes them
+    once per modulus chain and replays them on every call; the IR
+    scheduler keeps one span per fused ``weighted_sum`` node, so steady-
+    state matvecs pay zero plaintext transform work.
+
+    Cache misses charge ``ctx.counts['ntt_forward']`` and hits charge
+    ``ntt_elided`` (units: residue-row transforms), making the residency
+    telemetry visible to the cost ledger and the benches.
+    """
+
+    def __init__(self, terms: Sequence[Tuple[int, np.ndarray]]):
+        if not terms:
+            raise ValueError("WeightedSumSpan needs at least one term")
+        self.terms = [(int(step), np.asarray(coeffs, dtype=np.int64))
+                      for step, coeffs in terms]
+        self._tables: dict = {}
+
+    def steps(self) -> set:
+        return {step for step, _ in self.terms if step}
+
+    def _resolved(self, ctx, rotator, current):
+        key = tuple(int(p) for p in current.moduli)
+        table = self._tables.get(key)
+        if table is not None:
+            ctx.counts["ntt_elided"] += table["rows"]
+            return table
+        n = rotator.n
+        cur_pcol = current.moduli_col
+        plan_cur = ntt.get_stack_plan(n, current.moduli)
+        resolved = [(galois_element_for_step(step, n), coeffs)
+                    for step, coeffs in self.terms]
+        live = [(g, coeffs) for g, coeffs in resolved if g != 1]
+        identity = [coeffs for g, coeffs in resolved if g == 1]
+        table = {"elements": [g for g, _ in live],
+                 "n_identity": len(identity),
+                 "m_id": None, "m_cur": None, "m_ext": None, "perms": None,
+                 "rows": 0}
+        if identity:
+            table["m_id"] = plan_cur.forward_batch(
+                np.mod(np.stack(identity)[:, None, :], cur_pcol))
+            table["rows"] += len(identity) * len(current)
+        if live:
+            coeff_stack = np.stack([coeffs for _, coeffs in live])[:, None, :]
+            # Batched plaintext transforms: every diagonal over the current
+            # base and the extended base in two stacked passes.
+            table["m_cur"] = plan_cur.forward_batch(
+                np.mod(coeff_stack, cur_pcol))
+            table["m_ext"] = rotator.plan.forward_batch(
+                np.mod(coeff_stack, rotator.ext_base.moduli_col))
+            table["perms"] = np.stack(
+                [ntt_permutation(n, g) for g in table["elements"]])
+            table["rows"] += len(live) * (len(current)
+                                          + len(rotator.ext_base))
+        ctx.counts["ntt_forward"] += table["rows"]
+        self._tables[key] = table
+        return table
+
+    def __call__(self, ctx, ct: Ciphertext,
+                 galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
+        rotator = HoistedRotator(ctx, ct, galois_keys)
+        n = rotator.n
+        current = ct.level_base
+        ext_pcol = rotator.ext_base.moduli_col
+        cur_pcol = current.moduli_col
+        plan_cur = ntt.get_stack_plan(n, current.moduli)
+        table = self._resolved(ctx, rotator, current)
+        elements = table["elements"]
+        ctx.counts["multiply_plain"] += len(self.terms)
+        ctx.counts["rotate"] += len(elements)
+
+        c0_ntt = ct.components[0].to_ntt().data
+        acc_cur0 = np.zeros((len(current), n), dtype=np.int64)
+        acc_cur1 = None
+        if table["n_identity"]:
+            c1_ntt = ct.components[1].to_ntt().data
+            acc_cur1 = np.zeros_like(acc_cur0)
+            for m_cur_ntt in table["m_id"]:
+                acc_cur0 += np.mod(m_cur_ntt * c0_ntt, cur_pcol)
+                acc_cur1 += np.mod(m_cur_ntt * c1_ntt, cur_pcol)
+        if elements:
+            # (R, 2, k_ext, n) key-switch accumulators, weighted per-diagonal
+            # and reduced across the batch in one pass.
+            ks = rotator.inner_product_many(elements)
+            acc_ext = np.mod(
+                np.mod(ks * table["m_ext"][:, None], ext_pcol).sum(axis=0),
+                ext_pcol)
+            c0_perm = np.moveaxis(c0_ntt[:, table["perms"]], 1, 0)  # (R, k, n)
+            acc_cur0 += np.mod(c0_perm * table["m_cur"], cur_pcol).sum(axis=0)
+
+        c0_out = RnsPoly(current, n,
+                         plan_cur.inverse(np.mod(acc_cur0, cur_pcol)),
+                         is_ntt=False)
+        c1_out = None
+        if acc_cur1 is not None:
+            c1_out = RnsPoly(current, n,
+                             plan_cur.inverse(np.mod(acc_cur1, cur_pcol)),
+                             is_ntt=False)
+        if elements:
+            ((u0, u1),) = rotator.finish_batch(acc_ext[None])
+            c0_out = c0_out + u0
+            c1_out = u1 if c1_out is None else c1_out + u1
+        if c1_out is None:
+            c1_out = RnsPoly.zero(current, n, is_ntt=False)
+        return Ciphertext(rotator.params, [c0_out, c1_out], scale=ct.scale)
+
+
 def rotate_weighted_sum(ctx, ct: Ciphertext,
                         terms: Sequence[Tuple[int, np.ndarray]],
                         galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
@@ -486,63 +599,8 @@ def rotate_weighted_sum(ctx, ct: Ciphertext,
     Decrypts identically to the naive rotate-multiply-add chain (the
     plaintext algebra is the same; only rounding-level noise placement
     differs), with strictly less noise accumulation in practice.
+
+    One-shot convenience over :class:`WeightedSumSpan`; repeated calls on
+    the same terms should hold a span to reuse its plaintext NTT tables.
     """
-    if not terms:
-        raise ValueError("rotate_weighted_sum needs at least one term")
-    rotator = HoistedRotator(ctx, ct, galois_keys)
-    n = rotator.n
-    current = ct.level_base
-    ext_pcol = rotator.ext_base.moduli_col
-    cur_pcol = current.moduli_col
-    plan_cur = ntt.get_stack_plan(n, current.moduli)
-
-    resolved = [(galois_element_for_step(step, n),
-                 np.asarray(coeffs, dtype=np.int64))
-                for step, coeffs in terms]
-    live = [(g, coeffs) for g, coeffs in resolved if g != 1]
-    identity = [coeffs for g, coeffs in resolved if g == 1]
-    ctx.counts["multiply_plain"] += len(resolved)
-    ctx.counts["rotate"] += len(live)
-
-    c0_ntt = ct.components[0].to_ntt().data
-    acc_cur0 = np.zeros((len(current), n), dtype=np.int64)
-    acc_cur1 = None
-    if identity:
-        c1_ntt = ct.components[1].to_ntt().data
-        acc_cur1 = np.zeros_like(acc_cur0)
-        m_id = plan_cur.forward_batch(
-            np.mod(np.stack(identity)[:, None, :], cur_pcol))
-        for m_cur_ntt in m_id:
-            acc_cur0 += np.mod(m_cur_ntt * c0_ntt, cur_pcol)
-            acc_cur1 += np.mod(m_cur_ntt * c1_ntt, cur_pcol)
-    if live:
-        elements = [g for g, _ in live]
-        coeff_stack = np.stack([coeffs for _, coeffs in live])[:, None, :]
-        # Batched plaintext transforms: every diagonal over the current base
-        # and the extended base in two stacked passes.
-        m_cur = plan_cur.forward_batch(np.mod(coeff_stack, cur_pcol))
-        m_ext = rotator.plan.forward_batch(np.mod(coeff_stack, ext_pcol))
-        # (R, 2, k_ext, n) key-switch accumulators, weighted per-diagonal and
-        # reduced across the batch in one pass.
-        ks = rotator.inner_product_many(elements)
-        acc_ext = np.mod(np.mod(ks * m_ext[:, None], ext_pcol).sum(axis=0),
-                         ext_pcol)
-        perms = np.stack([ntt_permutation(n, g) for g in elements])
-        c0_perm = np.moveaxis(c0_ntt[:, perms], 1, 0)       # (R, k, n)
-        acc_cur0 += np.mod(c0_perm * m_cur, cur_pcol).sum(axis=0)
-
-    c0_out = RnsPoly(current, n,
-                     plan_cur.inverse(np.mod(acc_cur0, cur_pcol)),
-                     is_ntt=False)
-    c1_out = None
-    if acc_cur1 is not None:
-        c1_out = RnsPoly(current, n,
-                         plan_cur.inverse(np.mod(acc_cur1, cur_pcol)),
-                         is_ntt=False)
-    if live:
-        ((u0, u1),) = rotator.finish_batch(acc_ext[None])
-        c0_out = c0_out + u0
-        c1_out = u1 if c1_out is None else c1_out + u1
-    if c1_out is None:
-        c1_out = RnsPoly.zero(current, n, is_ntt=False)
-    return Ciphertext(rotator.params, [c0_out, c1_out], scale=ct.scale)
+    return WeightedSumSpan(terms)(ctx, ct, galois_keys)

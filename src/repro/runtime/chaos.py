@@ -645,18 +645,28 @@ async def fleet_chaos_soak(params: Optional[EncryptionParameters] = None, *,
     clients: List[OffloadClient] = []
     ledgers: List[CostLedger] = []
     completions = [0]
+    # Sessions hold their final request until every kill has landed, so the
+    # killed worker's sessions always have traffic left to drive failover
+    # (otherwise a fast run can retire all of a victim's requests before
+    # the kill, and the soak's failover audit races).
+    kills_done = asyncio.Event()
+    if not kill_workers:
+        kills_done.set()
 
     async def killer() -> None:
-        for k in range(kill_workers):
-            threshold = max(1, (k + 1) * total // (kill_workers + 2))
-            while completions[0] < threshold:
-                await asyncio.sleep(0.01)
-            index = k % n_workers
-            # Poll first so the dying generation's work is retired into the
-            # fleet totals rather than forgotten.
-            await fleet.refresh_metrics()
-            generation = await fleet.kill_worker(index, kill_fate)
-            await fleet.wait_worker_restart(index, generation)
+        try:
+            for k in range(kill_workers):
+                threshold = max(1, (k + 1) * total // (kill_workers + 2))
+                while completions[0] < threshold:
+                    await asyncio.sleep(0.01)
+                index = k % n_workers
+                # Poll first so the dying generation's work is retired into
+                # the fleet totals rather than forgotten.
+                await fleet.refresh_metrics()
+                generation = await fleet.kill_worker(index, kill_fate)
+                await fleet.wait_worker_restart(index, generation)
+        finally:
+            kills_done.set()
 
     async def one_session(i: int) -> List[str]:
         failures: List[str] = []
@@ -682,6 +692,8 @@ async def fleet_chaos_soak(params: Optional[EncryptionParameters] = None, *,
         await client.upload_keys(galois=ctx.make_galois_keys([1]))
         try:
             for seq in range(n_requests):
+                if seq == n_requests - 1:
+                    await asyncio.wait_for(kills_done.wait(), timeout=60.0)
                 vec = [seq + 1, 0]
                 ct = ctx.encrypt_symmetric(vec)
                 out, _meta = await client.request(

@@ -58,6 +58,9 @@ class SessionMetrics:
     rotations: int = 0           # slot rotations evaluated for this session
     hoisted_decomposes: int = 0  # key-switch decomposes shared via hoisting
     naive_decomposes: int = 0    # per-rotation (unshared) decomposes
+    ntt_forward: int = 0         # forward NTT residue-rows the scheduler ran
+    ntt_inverse: int = 0         # inverse NTT residue-rows the scheduler ran
+    ntt_elided: int = 0          # inverse->forward row pairs residency skipped
     key_evictions: int = 0       # key-store LRU dropped this session's keys
     reupload_signals: int = 0    # KEYS_EVICTED errors sent to the client
     _latencies_s: List[float] = field(default_factory=list, repr=False)
@@ -96,6 +99,9 @@ class SessionMetrics:
             "rotations": self.rotations,
             "hoisted_decomposes": self.hoisted_decomposes,
             "naive_decomposes": self.naive_decomposes,
+            "ntt_forward": self.ntt_forward,
+            "ntt_inverse": self.ntt_inverse,
+            "ntt_elided": self.ntt_elided,
             "key_evictions": self.key_evictions,
             "reupload_signals": self.reupload_signals,
             "latency_p50_ms": round(self.latency_p50_ms(), 3),
@@ -167,6 +173,9 @@ class RuntimeMetrics:
                                       for m in self.sessions.values()),
             "naive_decomposes": sum(m.naive_decomposes
                                     for m in self.sessions.values()),
+            "ntt_forward": sum(m.ntt_forward for m in self.sessions.values()),
+            "ntt_inverse": sum(m.ntt_inverse for m in self.sessions.values()),
+            "ntt_elided": sum(m.ntt_elided for m in self.sessions.values()),
             "sessions": sessions,
         }
 
@@ -183,6 +192,9 @@ class RuntimeMetrics:
             f"  rotations: {total['rotations']} "
             f"({total['hoisted_decomposes']} hoisted / "
             f"{total['naive_decomposes']} naive decomposes)",
+            f"  ntt residency: {total['ntt_forward']} forward / "
+            f"{total['ntt_inverse']} inverse row(s), "
+            f"{total['ntt_elided']} pair(s) elided",
             f"  resilience: {total['sessions_resumed']} resume(s), "
             f"{total['sessions_reaped']} reaped, "
             f"{total['duplicates_suppressed']} duplicate(s) suppressed, "

@@ -695,6 +695,9 @@ class OffloadServer:
                     "hoisted_decompose", 0)
                 session.metrics.naive_decomposes += counters.get(
                     "naive_decompose", 0)
+                session.metrics.ntt_forward += counters.get("ntt_forward", 0)
+                session.metrics.ntt_inverse += counters.get("ntt_inverse", 0)
+                session.metrics.ntt_elided += counters.get("ntt_elided", 0)
             else:
                 handler = self._handlers[request.op]
                 session.ensure_context()
@@ -714,6 +717,15 @@ class OffloadServer:
                 session.metrics.naive_decomposes += (
                     counts.get("naive_decompose", 0)
                     - counts_before.get("naive_decompose", 0))
+                session.metrics.ntt_forward += (
+                    counts.get("ntt_forward", 0)
+                    - counts_before.get("ntt_forward", 0))
+                session.metrics.ntt_inverse += (
+                    counts.get("ntt_inverse", 0)
+                    - counts_before.get("ntt_inverse", 0))
+                session.metrics.ntt_elided += (
+                    counts.get("ntt_elided", 0)
+                    - counts_before.get("ntt_elided", 0))
                 cts, meta = _normalize_result(result)
                 blobs = tuple(serialize_ciphertext(ct, compress_seed=False)
                               for ct in cts)

@@ -1,0 +1,400 @@
+"""Tests for the ciphertext-program IR and its fusing scheduler.
+
+Covers the tracer/builder surface, each scheduling pass in isolation
+(weighted-sum fusion, rotation grouping, level-drop sinking, NTT
+residency), the residency telemetry counters, and — the main invariant —
+randomized expression DAGs where the scheduled execution must match a
+scheduler-off reference that runs one primitive call per IR node.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import DimensionMajorKernel, DistanceProblem
+from repro.core.ir import (
+    IrBuilder,
+    ScheduledProgram,
+    ScheduleError,
+    ScheduleReport,
+    compile_ir,
+    ensure_galois_keys,
+    trace_program,
+)
+from repro.core.linalg import BsgsMatVec, EncryptedMatVec
+from repro.hecore.params import SchemeType
+
+
+def _raw(program, scheme):
+    """A pass-free schedule: the scheduler-off oracle (one primitive call
+    per traced node, no fusion, no residency, no caching)."""
+    return ScheduledProgram(program, scheme, ScheduleReport(), {}, set())
+
+
+def _run_both(ctx, program, inputs):
+    """Execute *program* scheduled and scheduler-off under shared keys."""
+    sched = compile_ir(program, ctx.params.scheme)
+    raw = _raw(program, ctx.params.scheme)
+    keys = ensure_galois_keys(ctx, sched.rotation_steps(),
+                              raw.rotation_steps())
+    got = sched.run(ctx, inputs, keys)
+    want = raw.run_reference(ctx, inputs, keys)
+    return sched, got, want
+
+
+# --------------------------------------------------------------- builder/IR
+
+def test_builder_records_linear_program():
+    b = IrBuilder(slots=8)
+    x = b.input("x")
+    y = b.add(b.rotate(x, 1), b.mul(x, b.const(np.ones(8))))
+    b.output("out0", y)
+    kinds = [n.kind for n in b.program.nodes]
+    assert kinds == ["input", "rotate", "const", "mul", "add"]
+    assert b.program.outputs == {"out0": 4}
+
+
+def test_builder_rejects_const_const_and_elides_identity_ops():
+    b = IrBuilder(slots=4)
+    x = b.input("x")
+    c = b.const(np.ones(4))
+    with pytest.raises(ScheduleError):
+        b.add(c, b.const(np.zeros(4)))
+    assert b.rotate(x, 0) == x          # rotation by zero is the identity
+    assert b.rotate_sum(x, 1) == x      # width-1 fold is the identity
+    with pytest.raises(ScheduleError):
+        b.rotate(c, 1)                  # constants never rotate
+
+
+def test_tracer_records_kernel_surface(bfv_params):
+    def body(tr, x):
+        pt = tr.encode(np.arange(512))
+        return tr.add(tr.multiply_plain(tr.rotate(x, 3), pt),
+                      tr.rotate_and_sum(x, 4))
+
+    program = trace_program(bfv_params, body, ["x"])
+    kinds = {n.kind for n in program.nodes}
+    assert {"input", "rotate", "const", "mul", "rotate_sum", "add"} <= kinds
+    assert list(program.outputs) == ["out0"]
+
+
+# ------------------------------------------------------ pass: weighted sums
+
+def _diag_matvec_trace(params, diags, steps):
+    def body(tr, x):
+        acc = None
+        for step, diag in zip(steps, diags):
+            term = tr.multiply_plain(tr.rotate(x, step) if step else x,
+                                     tr.encode(diag))
+            acc = term if acc is None else tr.add(acc, term)
+        return acc
+
+    return trace_program(params, body, ["x"])
+
+
+def test_weighted_sum_fusion_is_exact_and_hoists_once(bfv, bfv_params):
+    rng = np.random.default_rng(3)
+    steps = list(range(8))
+    diags = [rng.integers(0, 9, 512) for _ in steps]
+    program = _diag_matvec_trace(bfv_params, diags, steps)
+
+    sched = compile_ir(program, SchemeType.BFV)
+    assert sched.report.weighted_sum_spans == 1
+    assert sched.report.weighted_sum_terms == len(steps)
+    assert sched.rotation_steps() == set(steps) - {0}
+
+    raw = _raw(program, SchemeType.BFV)
+    keys = ensure_galois_keys(bfv, sched.rotation_steps())
+    ct = bfv.encrypt(np.arange(512, dtype=np.int64) % 97)
+
+    before = bfv.counts["hoisted_decompose"]
+    got = sched.run(bfv, {"x": ct}, keys)["out0"]
+    assert bfv.counts["hoisted_decompose"] - before == 1, \
+        "a fused span must pay exactly one key-switch decompose"
+    want = raw.run_reference(bfv, {"x": ct}, keys)["out0"]
+    assert np.array_equal(bfv.decrypt(got), bfv.decrypt(want))
+
+
+def test_weighted_sum_fusion_takes_maximal_tree(bfv_params):
+    """The fusion root is the whole add-tree, not an interior add."""
+    rng = np.random.default_rng(4)
+    program = _diag_matvec_trace(
+        bfv_params, [rng.integers(0, 9, 512) for _ in range(32)], range(32))
+    sched = compile_ir(program, SchemeType.BFV)
+    assert sched.report.weighted_sum_spans == 1
+    assert sched.report.weighted_sum_terms == 32
+
+
+def test_weighted_sum_fusion_is_bfv_only(ckks_params):
+    program = _diag_matvec_trace(
+        ckks_params, [np.ones(512) * 0.25 for _ in range(4)], range(4))
+    sched = compile_ir(program, SchemeType.CKKS)
+    assert sched.report.weighted_sum_spans == 0
+
+
+def test_fusion_skips_multi_consumer_leaves(bfv_params):
+    """A rotation reused outside the tree must survive as a plain rotate."""
+    def body(tr, x):
+        r1 = tr.rotate(x, 1)
+        pt = tr.encode(np.full(512, 2))
+        tree = tr.add(tr.multiply_plain(r1, pt),
+                      tr.multiply_plain(tr.rotate(x, 2), pt))
+        return tr.add(tree, r1)        # r1 consumed twice
+
+    program = trace_program(bfv_params, body, ["x"])
+    sched = compile_ir(program, SchemeType.BFV)
+    assert sched.report.weighted_sum_spans == 0
+
+
+# -------------------------------------------------- pass: rotation grouping
+
+def test_rotation_grouping_shares_one_decompose(ckks, ckks_params):
+    def body(tr, x):
+        return tr.add(tr.add(tr.rotate(x, 1), tr.rotate(x, 2)),
+                      tr.rotate(x, 5))
+
+    program = trace_program(ckks_params, body, ["x"])
+    sched = compile_ir(program, SchemeType.CKKS)
+    assert sched.report.rotation_groups == 1
+    assert sched.report.fused_rotations == 3
+
+    keys = ensure_galois_keys(ckks, sched.rotation_steps())
+    ct = ckks.encrypt(ckks.encode(np.linspace(0, 1, 512)))
+    before = ckks.counts["hoisted_decompose"]
+    got = sched.run(ckks, {"x": ct}, keys)["out0"]
+    assert ckks.counts["hoisted_decompose"] - before == 1
+    want = _raw(program, SchemeType.CKKS).run_reference(
+        ckks, {"x": ct}, keys)["out0"]
+    assert np.allclose(ckks.decrypt(got), ckks.decrypt(want), atol=1e-9)
+
+
+# ------------------------------------------------- pass: level-drop sinking
+
+def test_rescale_sinking_merges_sibling_drops(ckks, ckks_params):
+    def body(tr, x, y):
+        return tr.add(tr.rescale(tr.multiply(x, x)),
+                      tr.rescale(tr.multiply(y, y)))
+
+    program = trace_program(ckks_params, body, ["x", "y"])
+    sched = compile_ir(program, SchemeType.CKKS)
+    assert sched.report.rescales_sunk == 1
+    live = sched.program.live_set()
+    rescales = [n for i, n in enumerate(sched.program.nodes)
+                if i in live and n.kind == "rescale"]
+    assert len(rescales) == 1, "the sunk pair must leave a single rescale"
+
+    ct_x = ckks.encrypt(ckks.encode(np.linspace(0.0, 0.5, 512)))
+    ct_y = ckks.encrypt(ckks.encode(np.linspace(-0.5, 0.0, 512)))
+    got = sched.run(ckks, {"x": ct_x, "y": ct_y})["out0"]
+    want = _raw(program, SchemeType.CKKS).run_reference(
+        ckks, {"x": ct_x, "y": ct_y})["out0"]
+    assert np.allclose(ckks.decrypt(got), ckks.decrypt(want), atol=1e-3)
+
+
+def test_sinking_respects_multi_consumer_drops(ckks_params):
+    """A rescale whose result is also used elsewhere must not sink."""
+    def body(tr, x, y):
+        a = tr.rescale(tr.multiply(x, x))
+        b = tr.rescale(tr.multiply(y, y))
+        return [tr.add(a, b), tr.sub(a, b)]
+
+    program = trace_program(ckks_params, body, ["x", "y"])
+    sched = compile_ir(program, SchemeType.CKKS)
+    assert sched.report.rescales_sunk == 0
+
+
+# --------------------------------------------------- pass: NTT residency
+
+def test_residency_counters_and_plain_cache(bfv, bfv_params):
+    def body(tr, x):
+        c1 = tr.encode(np.full(512, 3))
+        c2 = tr.encode(np.full(512, 5))
+        return tr.multiply_plain(tr.multiply_plain(x, c1), c2)
+
+    program = trace_program(bfv_params, body, ["x"])
+    sched = compile_ir(program, SchemeType.BFV)
+    assert sched.report.resident_nodes >= 2
+
+    ct = bfv.encrypt(np.arange(512, dtype=np.int64) % 11)
+    raw = _raw(program, SchemeType.BFV)
+    want = raw.run_reference(bfv, {"x": ct})["out0"]
+
+    before = dict(bfv.counts)
+    got = sched.run(bfv, {"x": ct})["out0"]
+    first_forward = bfv.counts["ntt_forward"] - before.get("ntt_forward", 0)
+    assert first_forward > 0, "cold run must pay forward transforms"
+    assert np.array_equal(bfv.decrypt(got), bfv.decrypt(want))
+
+    before = dict(bfv.counts)
+    sched.run(bfv, {"x": ct})
+    second_forward = bfv.counts["ntt_forward"] - before.get("ntt_forward", 0)
+    elided = bfv.counts["ntt_elided"] - before.get("ntt_elided", 0)
+    assert second_forward < first_forward, \
+        "warm run must reuse cached NTT-form plaintexts"
+    assert elided > 0, "cached plaintext hits must report elided pairs"
+
+
+def test_residency_multiply_chain_is_bit_exact(bfv, bfv_params):
+    """Deferring the inverse transform must not change a single slot."""
+    def body(tr, x):
+        c = tr.encode(np.full(512, 7))
+        return tr.add(tr.multiply_plain(x, c),
+                      tr.multiply_plain(tr.negate(x), c))
+
+    program = trace_program(bfv_params, body, ["x"])
+    sched = compile_ir(program, SchemeType.BFV)
+    ct = bfv.encrypt(np.arange(512, dtype=np.int64) % 13)
+    got = sched.run(bfv, {"x": ct})["out0"]
+    want = _raw(program, SchemeType.BFV).run_reference(
+        bfv, {"x": ct})["out0"]
+    assert np.array_equal(np.asarray(bfv.decrypt(got)),
+                          np.asarray(bfv.decrypt(want)))
+
+
+# ---------------------------------------------------------- randomized DAGs
+
+def _random_bfv_program(params, rng, n_ops):
+    slots = params.poly_degree // 2
+
+    def body(tr, x, y):
+        vals = [x, y]
+        muls = 0
+        for _ in range(n_ops):
+            op = rng.choice(["rotate", "add", "sub", "neg", "mul_plain",
+                             "add_plain", "mul", "rotate_sum"])
+            pick = lambda: vals[rng.integers(len(vals))]
+            if op == "rotate":
+                vals.append(tr.rotate(pick(), int(rng.integers(1, 9))))
+            elif op == "add":
+                vals.append(tr.add(pick(), pick()))
+            elif op == "sub":
+                vals.append(tr.sub(pick(), pick()))
+            elif op == "neg":
+                vals.append(tr.negate(pick()))
+            elif op == "mul_plain":
+                pt = tr.encode(rng.integers(0, 5, slots))
+                vals.append(tr.multiply_plain(pick(), pt))
+            elif op == "add_plain":
+                pt = tr.encode(rng.integers(0, 17, slots))
+                vals.append(tr.add_plain(pick(), pt))
+            elif op == "mul" and muls < 2:
+                muls += 1
+                vals.append(tr.multiply(pick(), pick()))
+            else:
+                vals.append(tr.rotate_and_sum(pick(), 4))
+        return vals[-2:]
+
+    return trace_program(params, body, ["x", "y"])
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_dag_bfv_scheduled_matches_reference(bfv, bfv_params,
+                                                        seed):
+    rng = np.random.default_rng(seed)
+    program = _random_bfv_program(bfv_params, rng, n_ops=12)
+    x = bfv.encrypt(rng.integers(0, 7, 512))
+    y = bfv.encrypt(rng.integers(0, 7, 512))
+    _, got, want = _run_both(bfv, program, {"x": x, "y": y})
+    for name in got:
+        assert np.array_equal(np.asarray(bfv.decrypt(got[name])),
+                              np.asarray(bfv.decrypt(want[name]))), \
+            f"seed {seed} output {name} diverged"
+
+
+def _random_ckks_program(params, rng, n_ops):
+    def body(tr, x, y):
+        level0 = [x, y]
+        level1 = []
+        for _ in range(n_ops):
+            op = rng.choice(["rotate", "add", "sub", "neg", "mul"])
+            bucket = level1 if (level1 and rng.integers(2)) else level0
+            pick = lambda: bucket[rng.integers(len(bucket))]
+            if op == "rotate":
+                bucket.append(tr.rotate(pick(), int(rng.integers(1, 9))))
+            elif op == "add":
+                bucket.append(tr.add(pick(), pick()))
+            elif op == "sub":
+                bucket.append(tr.sub(pick(), pick()))
+            elif op == "neg":
+                bucket.append(tr.negate(pick()))
+            elif len(level1) < 3 and bucket is level0:
+                level1.append(tr.rescale(tr.multiply(pick(), pick())))
+            else:
+                bucket.append(tr.negate(pick()))
+        return [level0[-1], (level1 or level0)[-1]]
+
+    return trace_program(params, body, ["x", "y"])
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_dag_ckks_scheduled_matches_reference(ckks, ckks_params,
+                                                         seed):
+    rng = np.random.default_rng(100 + seed)
+    program = _random_ckks_program(ckks_params, rng, n_ops=10)
+    x = ckks.encrypt(ckks.encode(rng.uniform(-0.5, 0.5, 512)))
+    y = ckks.encrypt(ckks.encode(rng.uniform(-0.5, 0.5, 512)))
+    _, got, want = _run_both(ckks, program, {"x": x, "y": y})
+    for name in got:
+        assert np.allclose(ckks.decrypt(got[name]),
+                           ckks.decrypt(want[name]), atol=1e-3), \
+            f"seed {seed} output {name} diverged"
+
+
+# ------------------------------------------------------- kernel integration
+
+def test_matvec_scheduled_matches_direct(bfv):
+    rng = np.random.default_rng(9)
+    matrix = rng.integers(0, 8, (16, 16))
+    scheduled = EncryptedMatVec(bfv, matrix)
+    direct = EncryptedMatVec(bfv, matrix, use_scheduler=False)
+    bfv.make_galois_keys(scheduled.required_rotation_steps())
+    vec = rng.integers(0, 9, 16)
+    ct = bfv.encrypt(scheduled.pack_input(vec).astype(np.int64))
+
+    got = scheduled.unpack_output(np.asarray(bfv.decrypt(scheduled(ct))))
+    want = direct.unpack_output(np.asarray(bfv.decrypt(direct(ct))))
+    t = bfv.params.plain_modulus
+    assert np.array_equal(got % t, want % t)
+    assert np.array_equal(got % t, scheduled.reference(vec) % t)
+
+    report = scheduled.schedule_report()
+    assert report is not None and report.weighted_sum_spans == 1
+
+
+def test_bsgs_scheduled_matches_direct(bfv):
+    rng = np.random.default_rng(10)
+    matrix = rng.integers(0, 8, (16, 16))
+    scheduled = BsgsMatVec(bfv, matrix)
+    direct = BsgsMatVec(bfv, matrix, use_scheduler=False)
+    bfv.make_galois_keys(scheduled.required_rotation_steps())
+    vec = rng.integers(0, 9, 16)
+    ct = bfv.encrypt(scheduled.pack_input(vec).astype(np.int64))
+    t = bfv.params.plain_modulus
+    got = scheduled.unpack_output(np.asarray(bfv.decrypt(scheduled(ct)))) % t
+    want = direct.unpack_output(np.asarray(bfv.decrypt(direct(ct)))) % t
+    assert np.array_equal(got, want)
+
+
+def test_distance_kernel_scheduled_matches_direct(ckks):
+    problem = DistanceProblem(n_points=4, dims=3)
+    scheduled = DimensionMajorKernel(ckks, problem)
+    direct = DimensionMajorKernel(ckks, problem)
+    direct.use_scheduler = False
+    ckks.make_galois_keys(scheduled.required_rotation_steps())
+    rng = np.random.default_rng(12)
+    points = rng.uniform(-1, 1, (4, 3))
+    query = rng.uniform(-1, 1, 3)
+    got = scheduled.distances(scheduled.encrypt_points(points),
+                              scheduled.encrypt_query(query))
+    want = direct.distances(direct.encrypt_points(points),
+                            direct.encrypt_query(query))
+    assert np.allclose(got, want, atol=1e-3)
+    assert np.allclose(got, scheduled.reference(points, query), atol=0.05)
+
+
+# -------------------------------------------------------------- galois keys
+
+def test_ensure_galois_keys_merges_and_extends(bfv):
+    keys = ensure_galois_keys(bfv, {1, 2}, {2, 3}, [0])
+    assert keys is ensure_galois_keys(bfv, {1})      # extended in place
+    again = ensure_galois_keys(bfv, set())           # empty set is a no-op
+    assert again is keys
