@@ -1,0 +1,279 @@
+"""Level-aware planner speedups: planned programs vs planner-off schedules.
+
+Gate for the level planner (:mod:`repro.core.levelplan`) riding on the
+ciphertext-program IR.  Both measurements compare the SAME scheduled
+program compiled with and without the planner, so the delta isolates
+modulus-chain trimming (every other pass — fusion, batching, residency —
+runs on both sides).  BFV at N=4096 with a six-limb data chain:
+
+* ``fig15_matvec_chain`` — four diagonal-matvec layers traced as one
+  program.  The planner prices each layer's remaining noise spend with
+  :class:`repro.hecore.noise.NoiseEstimator` and mod-switches limbs away
+  the moment no consumer needs them, so successive layers run on 6, 5, 4,
+  and 3 residues instead of six everywhere.  Must win by at least 1.2x,
+  with ``limb_drops > 0`` telemetry in both the context counters and a
+  :class:`~repro.core.protocol.CostLedger`, and a smaller result
+  ciphertext on the wire.
+* ``dnn_slice`` — a Table-5 style slice: convolution program joined to a
+  fully-connected program through an explicit ``recrypt_boundary``
+  (:func:`repro.core.ir.concat_programs`).  The planner replans the
+  post-boundary segment onto a trimmed entry chain.  Planner-on must beat
+  planner-off, exactness asserted at decrypt level.
+
+``--check`` exits non-zero on a missed floor, missing telemetry, a
+non-shrinking wire format, or a >20% regression against the previous
+recorded run.  Results go to ``benchmarks/results/BENCH_level_planner.json``.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ir import compile_ir, concat_programs, trace_program
+from repro.core.linalg import BsgsMatVec, Conv2dSpec, EncryptedConv2d
+from repro.core.protocol import ClientAidedSession
+from repro.hecore.bfv import BfvContext
+from repro.hecore.params import SchemeType, small_test_parameters
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_level_planner.json"
+
+#: The planner must beat the planner-off schedule of the same program by
+#: these factors (the matvec-chain floor is the issue's acceptance bar).
+MIN_SPEEDUP = {
+    "fig15_matvec_chain": 1.2,
+    "dnn_slice": 1.25,
+}
+
+REGRESSION_TOLERANCE = 0.20
+
+CHAIN_DIM = 16
+CHAIN_LAYERS = 4
+CONV_SPEC = dict(in_channels=1, out_channels=2, height=8, width=8,
+                 kernel_size=3)
+FC_SHAPE = (16, 32)
+
+
+def _best_of_pair(off_fn, on_fn, reps, rounds=4):
+    """Seconds-per-op for both compilations, interleaving their timing
+    windows so load drift hits each side equally; fastest window wins."""
+    off_fn()   # warm caches / NTT plans / encoded constants
+    on_fn()
+    bests = [float("inf"), float("inf")]
+    for _ in range(rounds):
+        for i, fn in enumerate((off_fn, on_fn)):
+            start = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            bests[i] = min(bests[i], (time.perf_counter() - start) / reps)
+    return tuple(bests)
+
+
+def _make_context():
+    params = small_test_parameters(SchemeType.BFV, poly_degree=4096,
+                                   plain_bits=16,
+                                   data_bits=(30, 30, 30, 30, 30, 30))
+    return BfvContext(params, seed=b"bench-level-planner")
+
+
+def _trace_chain(ctx, mats):
+    """CHAIN_LAYERS diagonal matvecs traced as one ciphertext program."""
+    slots = ctx.params.poly_degree
+
+    def chain(tc, x):
+        for m in mats:
+            acc = None
+            for d in range(CHAIN_DIM):
+                diag = np.array([m[r, (r + d) % CHAIN_DIM]
+                                 for r in range(CHAIN_DIM)])
+                tiled = np.tile(diag, slots // CHAIN_DIM)
+                term = tc.multiply_plain(tc.rotate(x, d), tc.encode(tiled))
+                acc = term if acc is None else tc.add(acc, term)
+            x = acc
+        return x
+
+    return trace_program(ctx.params, chain, ["x"])
+
+
+def _measure_matvec_chain(ctx):
+    """The fig15-style matvec chain, planner-on vs planner-off."""
+    rng = np.random.default_rng(7)
+    mats = [rng.integers(0, 7, size=(CHAIN_DIM, CHAIN_DIM))
+            for _ in range(CHAIN_LAYERS)]
+    program = _trace_chain(ctx, mats)
+    sched_off = compile_ir(program, ctx.params.scheme)
+    sched_on = compile_ir(program, ctx.params.scheme, params=ctx.params)
+    ctx.make_galois_keys(sched_on.rotation_steps()
+                         | sched_off.rotation_steps())
+
+    plan = sched_on.report.level_plan
+    assert plan is not None and plan.limb_drops > 0, \
+        "the level planner inserted no limb drops on the matvec chain"
+
+    t = ctx.params.plain_modulus
+    vec = rng.integers(0, 7, size=CHAIN_DIM)
+    ct = ctx.encrypt(np.tile(vec, ctx.params.poly_degree // CHAIN_DIM))
+    expected = vec.copy()
+    for m in mats:
+        expected = (m @ expected) % t
+
+    r_off = sched_off.run(ctx, {"x": ct})["out0"]
+    before = {k: ctx.counts.get(k, 0) for k in ("limb_drops", "limbs_live")}
+    r_on = sched_on.run(ctx, {"x": ct})["out0"]
+    drops = ctx.counts.get("limb_drops", 0) - before["limb_drops"]
+    live = ctx.counts.get("limbs_live", 0) - before["limbs_live"]
+    assert drops > 0, "no planned limb drop executed at runtime"
+    assert live > 0, "limbs-live telemetry did not accumulate"
+    for r in (r_off, r_on):
+        got = np.asarray(ctx.decrypt(r))[:CHAIN_DIM] % t
+        assert np.array_equal(got, expected), \
+            "matvec chain decrypted to the wrong values"
+
+    bytes_off, bytes_on = r_off.size_bytes(), r_on.size_bytes()
+    assert bytes_on < bytes_off, \
+        "the planned chain did not shrink the result ciphertext"
+
+    # CostLedger visibility: the same planned program metered through a
+    # client-aided session must surface the planner counters.
+    session = ClientAidedSession(ctx)
+    session.server_compute(sched_on.run, ctx, {"x": ct})
+    assert session.ledger.limb_drops > 0, \
+        "limb_drops did not reach the CostLedger"
+    assert session.ledger.limbs_live > 0, \
+        "limbs_live did not reach the CostLedger"
+
+    off_s, on_s = _best_of_pair(lambda: sched_off.run(ctx, {"x": ct}),
+                                lambda: sched_on.run(ctx, {"x": ct}), 1)
+    return off_s, on_s, drops, bytes_off, bytes_on
+
+
+def _measure_dnn_slice(ctx):
+    """Conv -> recrypt_boundary -> fc slice, planner-on vs planner-off."""
+    rng = np.random.default_rng(11)
+    spec = Conv2dSpec(**CONV_SPEC)
+    weights = rng.integers(-3, 4, (spec.out_channels, spec.in_channels,
+                                   spec.kernel_size, spec.kernel_size))
+    fc_matrix = rng.integers(-3, 4, FC_SHAPE)
+    conv = EncryptedConv2d(ctx, spec, weights, use_scheduler=False)
+    fc = BsgsMatVec(ctx, fc_matrix, use_scheduler=False)
+
+    conv_prog = trace_program(ctx.params,
+                              lambda tr, x: conv._direct(tr, x, None), ["x"])
+    fc_prog = trace_program(ctx.params,
+                            lambda tr, x: fc._direct(tr, x, None), ["out0"])
+    slice_prog = concat_programs(conv_prog, fc_prog, boundary="recrypt")
+
+    sched_off = compile_ir(slice_prog, ctx.params.scheme)
+    sched_on = compile_ir(slice_prog, ctx.params.scheme, params=ctx.params)
+    ctx.make_galois_keys(sched_on.rotation_steps()
+                         | sched_off.rotation_steps())
+
+    plan = sched_on.report.level_plan
+    assert plan is not None and plan.limb_drops > 0, \
+        "the level planner inserted no limb drops on the dnn slice"
+    assert plan.segments, "the recrypt boundary produced no segment plan"
+
+    image = rng.integers(0, 4, (spec.in_channels, spec.height, spec.width))
+    packed = conv.packing.pack([image[c].ravel()
+                                for c in range(spec.in_channels)])
+    ct = ctx.encrypt(packed.astype(np.int64))
+
+    out_off = sched_off.run(ctx, {"x": ct})["out0"]
+    out_on = sched_on.run(ctx, {"x": ct})["out0"]
+    got_off = np.asarray(ctx.decrypt(out_off))
+    got_on = np.asarray(ctx.decrypt(out_on))
+    t = ctx.params.plain_modulus
+    assert np.array_equal(got_off % t, got_on % t), \
+        "the planned dnn slice diverged from the planner-off schedule"
+
+    replans = plan.replans
+    off_s, on_s = _best_of_pair(lambda: sched_off.run(ctx, {"x": ct}),
+                                lambda: sched_on.run(ctx, {"x": ct}), 1)
+    return off_s, on_s, replans
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if the planner misses its floors or regresses "
+        ">20%% vs the previous recorded run",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_PATH, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    previous = None
+    if args.output.exists():
+        previous = json.loads(args.output.read_text())
+
+    ctx = _make_context()
+    chain_off, chain_on, drops, bytes_off, bytes_on = \
+        _measure_matvec_chain(ctx)
+    slice_off, slice_on, replans = _measure_dnn_slice(ctx)
+    measurements = {
+        "fig15_matvec_chain": (chain_off, chain_on),
+        "dnn_slice": (slice_off, slice_on),
+    }
+
+    report = {
+        "poly_degree": ctx.params.poly_degree,
+        "data_moduli": [int(p) for p in ctx.params.data_base.moduli],
+        "tolerance": REGRESSION_TOLERANCE,
+        "limb_drops_per_chain": int(drops),
+        "segment_replans": int(replans),
+        "result_bytes_planner_off": int(bytes_off),
+        "result_bytes_planner_on": int(bytes_on),
+        "wire_reduction": round(bytes_off / bytes_on, 3),
+        "kernels": {},
+    }
+    failures = []
+    for name, (off_s, on_s) in measurements.items():
+        speedup = off_s / on_s
+        report["kernels"][name] = {
+            "planner_off_ms": round(1e3 * off_s, 3),
+            "planner_on_ms": round(1e3 * on_s, 3),
+            "speedup": round(speedup, 3),
+            "min_speedup": MIN_SPEEDUP[name],
+        }
+        print(f"  {name:18s} off {1e3 * off_s:9.2f} ms   "
+              f"on {1e3 * on_s:9.2f} ms   {speedup:5.2f}x "
+              f"(floor {MIN_SPEEDUP[name]:.2f}x)")
+        if speedup < MIN_SPEEDUP[name]:
+            failures.append(
+                f"{name}: {speedup:.2f}x is below the required "
+                f"{MIN_SPEEDUP[name]:.2f}x speedup"
+            )
+        if previous is not None:
+            prev = previous.get("kernels", {}).get(name)
+            if prev is not None:
+                reference = prev["speedup"]
+                if speedup < reference * (1.0 - REGRESSION_TOLERANCE):
+                    failures.append(
+                        f"{name}: {speedup:.2f}x is more than "
+                        f"{REGRESSION_TOLERANCE:.0%} below the previous run "
+                        f"({reference:.2f}x)"
+                    )
+    print(f"  limb drops per planned chain: {drops}; "
+          f"segment replans on the dnn slice: {replans}")
+    print(f"  result ciphertext: {bytes_off} B -> {bytes_on} B "
+          f"({bytes_off / bytes_on:.2f}x smaller)")
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check and failures:
+        for line in failures:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,11 @@ a change:
   Runs in ``--quick`` mode here to keep the tier within budget;
 * ``bench_ir`` — the ciphertext-program IR scheduler against the
   hand-wired kernel paths (fig15 matvec and a 2-layer dnn slice), plus
-  the NTT-residency telemetry signal.
+  the NTT-residency telemetry signal;
+* ``bench_level_planner`` — the level-aware parameter planner against the
+  planner-off scheduled paths (fig15 matvec chain and a Table-5 dnn
+  slice with a recrypt boundary), plus limb-drop telemetry and wire-byte
+  reductions.
 
 A per-gate wall-clock summary prints at the end, so a gate quietly eating
 the tier's time budget is visible before it becomes a problem.  The same
@@ -35,6 +39,7 @@ Usage::
     python benchmarks/check_all.py                 # run all gates
     python benchmarks/check_all.py hoisting        # run a subset by substring
     python benchmarks/check_all.py --only bench_ir # run one gate by exact name
+    python benchmarks/check_all.py --only he_kernels,ir,wire_format  # aliases
 """
 
 import argparse
@@ -57,19 +62,44 @@ GATES = [
     ("bench_chaos_soak.py", []),
     ("bench_fleet.py", ["--quick"]),
     ("bench_ir.py", []),
+    ("bench_level_planner.py", []),
 ]
+
+#: Short gate aliases accepted by ``--only`` alongside the script names.
+ALIASES = {
+    "he_kernels": "bench_he_throughput.py",
+    "wire_format": "bench_wire_format.py",
+    "hoisting": "bench_hoisting.py",
+    "client_crypto": "bench_client_crypto.py",
+    "chaos_soak": "bench_chaos_soak.py",
+    "fleet": "bench_fleet.py",
+    "ir": "bench_ir.py",
+    "level_planner": "bench_level_planner.py",
+}
 
 
 def _select(patterns, only):
-    """Resolve the gate subset: ``--only`` exact names, else substrings."""
+    """Resolve the gate subset: ``--only`` exact names, else substrings.
+
+    ``--only`` accepts script names (``bench_ir.py``), stems (``bench_ir``),
+    short aliases (``ir``, ``he_kernels``), and comma-separated lists
+    (``--only he_kernels,ir,wire_format``).  Unknown names are an error
+    listing everything known — never a silent zero-gate run.
+    """
     if only:
-        names = {gate: (gate, extra) for gate, extra in GATES}
+        by_script = {gate: (gate, extra) for gate, extra in GATES}
+        names = dict(by_script)
         names.update({gate[: -len(".py")]: (gate, extra)
                       for gate, extra in GATES})
-        missing = [name for name in only if name not in names]
+        names.update({alias: by_script[script]
+                      for alias, script in ALIASES.items()
+                      if script in by_script})
+        wanted = [name.strip() for entry in only
+                  for name in entry.split(",") if name.strip()]
+        missing = [name for name in wanted if name not in names]
         if missing:
             return None, missing
-        return [names[name] for name in only], []
+        return [names[name] for name in wanted], []
     selected = [
         (gate, extra) for gate, extra in GATES
         if not patterns or any(pattern in gate for pattern in patterns)
@@ -93,7 +123,7 @@ def main(argv=None):
 
     selected, bad = _select(args.patterns, args.only)
     if selected is None:
-        names = [gate for gate, _ in GATES]
+        names = [gate for gate, _ in GATES] + sorted(ALIASES)
         print(f"no gate matches {bad!r}; available: {names}",
               file=sys.stderr)
         return 2

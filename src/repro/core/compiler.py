@@ -247,33 +247,40 @@ class CompiledProgram:
     _scheduled: Optional[ScheduledProgram] = field(default=None, repr=False)
 
     # ----------------------------------------------------------- scheduling
-    def scheduled(self) -> ScheduledProgram:
+    def scheduled(self, params=None) -> ScheduledProgram:
         """The program lowered to ciphertext IR and run through the
-        scheduler passes (rotation fusion, level-drop sinking, NTT
-        residency).  Cached: plaintext encodings and NTT tables survive
-        across :meth:`execute` calls."""
+        scheduler passes (rotation fusion, level planning when *params*
+        are supplied, level-drop sinking, NTT residency).  Cached on
+        first call: plaintext encodings and NTT tables survive across
+        :meth:`execute` calls."""
         if self._scheduled is None:
             self._scheduled = compile_ir(lower_to_ir(self.program),
-                                         SchemeType.CKKS)
+                                         SchemeType.CKKS, params=params)
         return self._scheduled
 
     # ----------------------------------------------------------- execution
     def execute(self, ctx, inputs: Dict[str, object],
-                use_scheduler: bool = True) -> Dict[str, np.ndarray]:
+                use_scheduler: bool = True,
+                use_level_planner: bool = True) -> Dict[str, np.ndarray]:
         """Run the program on a :class:`CkksContext`.
 
         *inputs* maps input names to plaintext vectors (encrypted here) or
         pre-encrypted ciphertexts.  Returns decrypted output vectors.
         With ``use_scheduler=False`` the original direct executor runs —
         the scheduler-off reference the exactness tests compare against.
+        ``use_level_planner=False`` schedules without the level planner
+        (the full modulus chain stays live end to end); the flag takes
+        effect on the first scheduled call, which caches the program.
         """
         if ctx.params.scheme is not SchemeType.CKKS:
             raise ValueError("Eva programs execute under CKKS")
         missing = self.input_names - set(inputs)
         if missing:
             raise ValueError(f"missing program inputs: {sorted(missing)}")
+        planner_params = ctx.params if use_level_planner else None
         if use_scheduler:
-            ensure_galois_keys(ctx, self.scheduled().rotation_steps())
+            ensure_galois_keys(
+                ctx, self.scheduled(planner_params).rotation_steps())
         elif self.rotation_steps:
             ctx.make_galois_keys(self.rotation_steps)
         # Encrypt all plaintext program inputs in one stacked client pass,
@@ -291,7 +298,7 @@ class CompiledProgram:
                 padded.append(vec)
             prepared.update(zip(plain_names, ctx.encrypt_many(padded)))
         if use_scheduler:
-            outputs = self.scheduled().run(ctx, prepared)
+            outputs = self.scheduled(planner_params).run(ctx, prepared)
             out_cts = [(name, outputs[name]) for name in self.program.outputs]
         else:
             executor = _Executor(ctx, self.program.slots, prepared)

@@ -69,6 +69,11 @@ class DistanceKernel:
     #: Route compute() through the traced-and-scheduled IR (the direct
     #: path stays reachable as the exactness reference).
     use_scheduler = True
+    #: Distance results go straight back to the client for decryption
+    #: (top-k happens client-side), so their outputs are terminal and the
+    #: level planner can drop them to the decryptability floor — smaller
+    #: downloads for free.  ``False`` schedules without the planner.
+    use_level_planner = True
 
     # Subclasses implement these four (``_compute_direct`` runs against any
     # evaluator surface — a live context or a recording tracer).
@@ -103,7 +108,10 @@ class DistanceKernel:
 
             try:
                 ir = trace_program(self.ctx.params, body, names)
-                cache[key] = compile_ir(ir, self.ctx.params.scheme)
+                cache[key] = compile_ir(
+                    ir, self.ctx.params.scheme,
+                    params=self.ctx.params if self.use_level_planner
+                    else None)
             except ScheduleError:
                 cache[key] = None
         return cache[key]

@@ -68,7 +68,14 @@ class ScheduleError(ValueError):
 CT_KINDS = frozenset({
     "input", "rotate", "add", "sub", "neg", "mul",
     "rescale", "mod_switch", "rotate_sum", "weighted_sum",
+    "encrypt", "recrypt_boundary",
 })
+
+#: Crypto-boundary kinds: the value crossing them is fresh (full budget).
+#: ``encrypt`` enters the encrypted domain from named plaintext inputs,
+#: ``recrypt_boundary`` is a client round trip (decrypt, refresh, re-encrypt)
+#: made visible to the scheduler, and ``decrypt`` exits to plaintext.
+BOUNDARY_KINDS = frozenset({"encrypt", "decrypt", "recrypt_boundary"})
 
 #: Kinds whose output may legally stay in NTT (evaluation) form.
 _FORM_AGNOSTIC = frozenset({"add", "sub", "neg"})
@@ -86,6 +93,7 @@ class IrNode:
     name: str = ""                  # input
     terms: Tuple[Tuple[int, int], ...] = ()  # weighted_sum: (step, const id)
     normalize: bool = False         # rescale: snap scale back to nominal
+    planned: bool = False           # mod_switch inserted by the level planner
 
 
 @dataclass
@@ -146,6 +154,20 @@ class IrBuilder:
     def input(self, name: str) -> int:
         return self._emit(IrNode("input", name=name))
 
+    def encrypt(self, name: str) -> int:
+        """A named plaintext input encrypted at the program boundary."""
+        return self._emit(IrNode("encrypt", name=name))
+
+    def decrypt(self, a: int) -> int:
+        """Exit the encrypted domain: the node's value is a slot vector."""
+        self._require_ct(a, "decrypt")
+        return self._emit(IrNode("decrypt", (a,)))
+
+    def recrypt(self, a: int) -> int:
+        """A client round trip: decrypt, refresh the budget, re-encrypt."""
+        self._require_ct(a, "recrypt")
+        return self._emit(IrNode("recrypt_boundary", (a,)))
+
     def const(self, values) -> int:
         return self._emit(IrNode("const", values=np.asarray(values)))
 
@@ -188,7 +210,8 @@ class IrBuilder:
         return self._emit(IrNode("rotate_sum", (a,), width=int(width)))
 
     def output(self, name: str, a: int) -> None:
-        self._require_ct(a, "output")
+        if self.program.nodes[a].kind != "decrypt":
+            self._require_ct(a, "output")
         self.program.outputs[name] = a
 
 
@@ -238,6 +261,10 @@ class TracerContext:
     def trace_input(self, name: str) -> _TraceValue:
         return _TraceValue(self.builder.input(name))
 
+    def trace_encrypt(self, name: str) -> _TraceValue:
+        """A named plaintext input entering through an ``encrypt`` node."""
+        return _TraceValue(self.builder.encrypt(name))
+
     def _ct(self, value) -> int:
         if isinstance(value, _TraceValue):
             return value.nid
@@ -285,22 +312,77 @@ class TracerContext:
     def rotate_and_sum(self, ct, width: int, galois_keys=None) -> _TraceValue:
         return _TraceValue(self.builder.rotate_sum(self._ct(ct), width))
 
+    def recrypt(self, ct) -> _TraceValue:
+        """Record a client-aided refresh (decrypt + re-encrypt) boundary."""
+        return _TraceValue(self.builder.recrypt(self._ct(ct)))
 
-def trace_program(params, fn, input_names: Sequence[str]) -> IrProgram:
+    def decrypt(self, ct) -> _TraceValue:
+        """Record the exit to plaintext; the handle may only be an output."""
+        return _TraceValue(self.builder.decrypt(self._ct(ct)))
+
+
+def trace_program(params, fn, input_names: Sequence[str],
+                  encrypt_inputs: bool = False) -> IrProgram:
     """Run *fn(tracer, \\*handles)* and return the recorded program.
 
     *fn* receives a :class:`TracerContext` followed by one symbolic handle
     per input name, and returns a handle or a sequence of handles; outputs
     are named ``out0..outN`` (a single handle still gets ``out0``).
+
+    With ``encrypt_inputs=True`` the inputs enter through explicit
+    ``encrypt`` nodes (the executor encrypts raw slot vectors at the
+    program boundary) instead of expecting pre-encrypted ciphertexts.
     """
     tracer = TracerContext(params)
-    handles = [tracer.trace_input(name) for name in input_names]
+    enter = tracer.trace_encrypt if encrypt_inputs else tracer.trace_input
+    handles = [enter(name) for name in input_names]
     result = fn(tracer, *handles)
     if isinstance(result, _TraceValue):
         result = [result]
     for i, handle in enumerate(result):
         tracer.builder.output(f"out{i}", tracer._ct(handle))
     return tracer.builder.program
+
+
+def concat_programs(first: IrProgram, second: IrProgram,
+                    boundary: str = "recrypt") -> IrProgram:
+    """Splice *second* after *first* through explicit crypto boundaries.
+
+    Each of *second*'s inputs must name one of *first*'s outputs; the
+    spliced program routes that output through a ``recrypt_boundary`` node
+    (``boundary="recrypt"``, the client-aided round trip between dnn/knn
+    segments) or feeds it directly (``boundary="none"``).  The combined
+    program carries *second*'s output names — making the round trip visible
+    to the scheduler instead of implicit between two separate programs.
+    """
+    if boundary not in ("recrypt", "none"):
+        raise ScheduleError(f"unknown boundary kind {boundary!r}")
+    out = IrProgram(slots=first.slots or second.slots)
+    out.nodes = [IrNode(n.kind, n.args, n.steps, n.width, n.values,
+                        n.name, n.terms, n.normalize, n.planned)
+                 for n in first.nodes]
+    mapping: Dict[int, int] = {}
+    for nid, node in enumerate(second.nodes):
+        if node.kind == "input":
+            if node.name not in first.outputs:
+                raise ScheduleError(
+                    f"second program's input {node.name!r} matches no "
+                    f"output of the first ({sorted(first.outputs)})")
+            src = first.outputs[node.name]
+            if boundary == "recrypt":
+                out.nodes.append(IrNode("recrypt_boundary", (src,)))
+                mapping[nid] = len(out.nodes) - 1
+            else:
+                mapping[nid] = src
+            continue
+        args = tuple(mapping[a] for a in node.args)
+        terms = tuple((s, mapping[c]) for s, c in node.terms)
+        out.nodes.append(IrNode(node.kind, args, node.steps, node.width,
+                                node.values, node.name, terms,
+                                node.normalize, node.planned))
+        mapping[nid] = len(out.nodes) - 1
+    out.outputs = {name: mapping[nid] for name, nid in second.outputs.items()}
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -319,15 +401,21 @@ class ScheduleReport:
     mod_switches_sunk: int = 0      # mod-switch pairs merged likewise
     resident_nodes: int = 0         # values planned to stay in NTT form
     batched_consts: int = 0         # BFV consts encoded in one stacked pass
+    #: The level planner's :class:`repro.core.levelplan.LevelPlan`, when the
+    #: planner ran (``compile_ir(..., params=...)``); ``None`` otherwise.
+    level_plan: object = None
 
     def describe(self) -> str:
-        return (f"{self.weighted_sum_spans} weighted-sum span(s) "
+        text = (f"{self.weighted_sum_spans} weighted-sum span(s) "
                 f"({self.weighted_sum_terms} terms), "
                 f"{self.rotation_groups} rotation group(s) "
                 f"({self.fused_rotations} rotations), "
                 f"{self.rescales_sunk + self.mod_switches_sunk} level drop(s) "
                 f"sunk, {self.resident_nodes} NTT-resident node(s), "
                 f"{self.batched_consts} const(s) batch-encoded")
+        if self.level_plan is not None:
+            text += f"; {self.level_plan.describe()}"
+        return text
 
 
 def _fuse_weighted_sums(program: IrProgram, scheme: SchemeType,
@@ -433,6 +521,12 @@ def _sink_level_drops(program: IrProgram, report: ScheduleReport) -> None:
                 state[nid] = None
                 stack.pop()
                 continue
+            if node.kind in ("encrypt", "recrypt_boundary"):
+                # Crypto boundaries reset the level state: the value on the
+                # far side is freshly encrypted at the full chain.
+                state[nid] = (0, 1)
+                stack.pop()
+                continue
             missing = [a for a in node.args if a not in state]
             if missing:
                 stack.extend(missing)
@@ -482,7 +576,10 @@ def _sink_level_drops(program: IrProgram, report: ScheduleReport) -> None:
                 continue
             inner = len(nodes)
             nodes.append(IrNode(node.kind, (da.args[0], db.args[0])))
-            nodes[root] = IrNode(da.kind, (inner,), normalize=da.normalize)
+            nodes[root] = IrNode(da.kind, (inner,),
+                                 width=da.width if da.width == db.width else 0,
+                                 normalize=da.normalize,
+                                 planned=da.planned and db.planned)
             if da.kind == "rescale":
                 report.rescales_sunk += 1
             else:
@@ -530,15 +627,33 @@ def _mark_residency(program: IrProgram, report: ScheduleReport) -> Set[int]:
     return resident
 
 
-def compile_ir(program: IrProgram, scheme: SchemeType) -> "ScheduledProgram":
-    """Run the pass pipeline and return an executable scheduled program."""
+def compile_ir(program: IrProgram, scheme: SchemeType, params=None,
+               level_planner=None) -> "ScheduledProgram":
+    """Run the pass pipeline and return an executable scheduled program.
+
+    With *params* (an :class:`EncryptionParameters`) the level-aware
+    parameter planner runs between weighted-sum fusion and the remaining
+    passes: it walks the program with the static noise estimator, drops
+    modulus-chain limbs the moment no downstream consumer needs their
+    headroom, and re-plans each post-``recrypt_boundary`` segment onto a
+    trimmed entry chain (see :mod:`repro.core.levelplan`).  Pass
+    *level_planner* (a :class:`repro.core.levelplan.PlannerOptions`) to
+    tune or disable it; without *params* the planner never runs — the
+    pre-planner pipeline is unchanged.
+    """
     nodes = list(program.nodes)      # the passes rewrite a private copy
     program = IrProgram(nodes=[IrNode(n.kind, n.args, n.steps, n.width,
-                                      n.values, n.name, n.terms, n.normalize)
+                                      n.values, n.name, n.terms, n.normalize,
+                                      n.planned)
                                for n in nodes],
                         outputs=dict(program.outputs), slots=program.slots)
     report = ScheduleReport()
     _fuse_weighted_sums(program, scheme, report)
+    if params is not None and (level_planner is None or level_planner.enabled):
+        from repro.core.levelplan import plan_levels
+
+        program, report.level_plan = plan_levels(program, params,
+                                                 options=level_planner)
     _sink_level_drops(program, report)
     groups = _group_rotations(program, report)
     resident = _mark_residency(program, report)
@@ -675,6 +790,9 @@ class ScheduledProgram:
     # ------------------------------------------------------------ execution
     def run(self, ctx, inputs: Dict[str, object], galois_keys=None):
         """Execute the scheduled program; returns output ciphertexts."""
+        plan = self.report.level_plan
+        if plan is not None and plan.replans:
+            ctx.counts["level_replans"] += plan.replans
         return _IrRunner(self, ctx, inputs, galois_keys, fused=True).run()
 
     def run_reference(self, ctx, inputs: Dict[str, object], galois_keys=None):
@@ -772,8 +890,10 @@ class _IrRunner:
         return Ciphertext(ct.params, comps, scale=ct.scale * pt_scale)
 
     def _align(self, a, b):
-        if self.ckks and a.level_base != b.level_base:
-            a, b = self.ctx.align(self._to_coeff(a), self._to_coeff(b))
+        if a.level_base != b.level_base:
+            align = getattr(self.ctx, "align", None)
+            if align is not None:
+                a, b = align(self._to_coeff(a), self._to_coeff(b))
         return a, b
 
     def _group_results(self, src_nid: int):
@@ -798,12 +918,16 @@ class _IrRunner:
         outputs = {}
         for name, nid in self.program.outputs.items():
             self._eval(nid)
-            outputs[name] = self._to_coeff(self.memo[nid])
+            value = self.memo[nid]
+            if hasattr(value, "components"):
+                value = self._to_coeff(value)
+            outputs[name] = value
         return outputs
 
     def _eval(self, root: int):
         stack = [root]
         nodes = self.program.nodes
+        counts = self.ctx.counts
         while stack:
             nid = stack[-1]
             if nid in self.memo:
@@ -814,7 +938,11 @@ class _IrRunner:
             if missing:
                 stack.extend(missing)
                 continue
-            self.memo[nid] = self._compute(nid)
+            value = self.memo[nid] = self._compute(nid)
+            if hasattr(value, "level_base"):
+                # Limbs-live integral: live limb count summed over every
+                # executed ciphertext-producing op (CostLedger telemetry).
+                counts["limbs_live"] += len(value.level_base)
             stack.pop()
 
     def _compute(self, nid: int):
@@ -828,6 +956,21 @@ class _IrRunner:
                     f"input {node.name!r} must be a ciphertext (encrypt "
                     "program inputs at the batch boundary)")
             return value
+        if kind == "encrypt":
+            value = self.inputs[node.name]
+            if hasattr(value, "components"):
+                return value          # already encrypted upstream
+            return ctx.encrypt(value)
+        if kind == "decrypt":
+            return ctx.decrypt(self._to_coeff(self.memo[node.args[0]]))
+        if kind == "recrypt_boundary":
+            # The client-aided round trip: decrypt, refresh the budget,
+            # re-encrypt at the full chain.  Only a client-side context can
+            # execute this node — running it under ``server_compute`` trips
+            # the ProtocolViolation guard, by design.
+            values = ctx.decrypt(self._to_coeff(self.memo[node.args[0]]))
+            ctx.counts["recrypt"] += 1
+            return ctx.encrypt(values)
         if kind == "neg":
             return ctx.negate(self.memo[node.args[0]])
         if kind == "rotate":
@@ -874,7 +1017,19 @@ class _IrRunner:
                 out.scale = ctx.params.scale
             return out
         if kind == "mod_switch":
-            return ctx.mod_switch_down(self._to_coeff(self.memo[node.args[0]]))
+            ct = self._to_coeff(self.memo[node.args[0]])
+            if node.planned:
+                # Planned drops are advisory: the planner modeled inputs at
+                # the full chain, but a caller may feed a ciphertext that
+                # already shed residues (e.g. a downstream segment reusing a
+                # rescaled value).  ``width`` records the live-limb count
+                # the planner expected; on divergence — or with no limb to
+                # spare — the drop is skipped, which is always value-safe.
+                if len(ct.level_base) < 2 or (
+                        node.width and len(ct.level_base) != node.width):
+                    return ct
+                ctx.counts["limb_drops"] += 1
+            return ctx.mod_switch_down(ct)
         if kind == "rotate_sum":
             ct = self._to_coeff(self.memo[node.args[0]])
             fused = getattr(ctx, "rotate_and_sum", None)

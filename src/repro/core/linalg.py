@@ -50,6 +50,13 @@ class _ScheduledKernel:
     """
 
     use_scheduler = True
+    #: Opt-in: run the level planner over the kernel's schedule, dropping
+    #: modulus limbs down to the decryptability floor.  Off by default —
+    #: these kernels compose (callers chain their outputs into further
+    #: encrypted compute, and under CKKS they do level arithmetic keyed to
+    #: the planner-off output level), so only enable this when the kernel's
+    #: output goes straight back to the client.
+    use_level_planner = False
     _sched = _UNSCHEDULED
 
     def _schedule(self):
@@ -58,7 +65,10 @@ class _ScheduledKernel:
                 ir = trace_program(self.ctx.params,
                                    lambda tr, x: self._direct(tr, x, None),
                                    ["x"])
-                self._sched = compile_ir(ir, self.ctx.params.scheme)
+                planner_params = (self.ctx.params if self.use_level_planner
+                                  else None)
+                self._sched = compile_ir(ir, self.ctx.params.scheme,
+                                         params=planner_params)
             except ScheduleError:
                 self._sched = None   # untraceable: stay on the direct path
         return self._sched
@@ -172,7 +182,7 @@ class EncryptedConv2d(_ScheduledKernel):
 
     def __init__(self, ctx, spec: Conv2dSpec, weights: np.ndarray,
                  packing: RedundantPacking | None = None,
-                 use_scheduler: bool = True):
+                 use_scheduler: bool = True, use_level_planner: bool = False):
         weights = np.asarray(weights)
         if weights.shape != (spec.out_channels, spec.in_channels,
                              spec.kernel_size, spec.kernel_size):
@@ -180,6 +190,7 @@ class EncryptedConv2d(_ScheduledKernel):
         self.ctx = ctx
         self.spec = spec
         self.use_scheduler = use_scheduler
+        self.use_level_planner = use_level_planner
         self.packing = packing or conv_input_packing(ctx, spec)
         layout = self.packing.layout
         self._row_spans = row_slot_count(ctx) // layout.span
@@ -296,12 +307,14 @@ class EncryptedMatVec(_ScheduledKernel):
     cheap ciphertext rotation.  Used for fully-connected layers.
     """
 
-    def __init__(self, ctx, matrix: np.ndarray, use_scheduler: bool = True):
+    def __init__(self, ctx, matrix: np.ndarray, use_scheduler: bool = True,
+                 use_level_planner: bool = False):
         matrix = np.asarray(matrix)
         if matrix.ndim != 2:
             raise ValueError("matrix must be 2-D")
         self.ctx = ctx
         self.use_scheduler = use_scheduler
+        self.use_level_planner = use_level_planner
         self.matrix = matrix
         self.n_out, self.n_in = matrix.shape
         self.dim = max(self.n_out, self.n_in)
@@ -378,8 +391,9 @@ class BsgsMatVec(EncryptedMatVec):
     """
 
     def __init__(self, ctx, matrix: np.ndarray, baby_steps: int = 0,
-                 use_scheduler: bool = True):
-        super().__init__(ctx, matrix, use_scheduler=use_scheduler)
+                 use_scheduler: bool = True, use_level_planner: bool = False):
+        super().__init__(ctx, matrix, use_scheduler=use_scheduler,
+                         use_level_planner=use_level_planner)
         d = self.dim
         self.baby_count = baby_steps or max(1, int(math.isqrt(d)))
         self.giant_count = math.ceil(d / self.baby_count)

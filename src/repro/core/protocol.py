@@ -55,6 +55,14 @@ class CostLedger:
     ntt_forward: int = 0
     ntt_inverse: int = 0
     ntt_elided: int = 0
+    # Level-planner accounting.  ``limbs_live`` is the limbs-live integral:
+    # live residue count summed over every ciphertext the server produced —
+    # lower means the planner ran more of the program on a trimmed chain.
+    # ``limb_drops`` counts planned mod-switch frontier executions and
+    # ``level_replans`` the recrypt segments re-entered on a trimmed chain.
+    limb_drops: int = 0
+    limbs_live: int = 0
+    level_replans: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -108,6 +116,9 @@ class CostLedger:
         self.ntt_forward += other.ntt_forward
         self.ntt_inverse += other.ntt_inverse
         self.ntt_elided += other.ntt_elided
+        self.limb_drops += other.limb_drops
+        self.limbs_live += other.limbs_live
+        self.level_replans += other.level_replans
 
 
 class ClientCostModel:
@@ -342,6 +353,9 @@ class ClientAidedSession:
         self.ledger.ntt_forward += delta.get("ntt_forward", 0)
         self.ledger.ntt_inverse += delta.get("ntt_inverse", 0)
         self.ledger.ntt_elided += delta.get("ntt_elided", 0)
+        self.ledger.limb_drops += delta.get("limb_drops", 0)
+        self.ledger.limbs_live += delta.get("limbs_live", 0)
+        self.ledger.level_replans += delta.get("level_replans", 0)
         ops = ", ".join(f"{op}x{n}" for op, n in sorted(delta.items()) if n)
         self._record("server", f"encrypted compute: {ops or 'no-op'}")
         return result

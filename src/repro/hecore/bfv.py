@@ -569,6 +569,18 @@ class BfvContext:
         comps = [c.from_ntt().divide_and_round_by_last() for c in ct.components]
         return Ciphertext(self.params, comps)
 
+    def align(self, a: Ciphertext, b: Ciphertext):
+        """Bring two ciphertexts to a common chain for add/multiply.
+
+        The deeper-chained operand is switched down; decrypted values are
+        unchanged (the level planner uses this as its alignment primitive).
+        """
+        while len(a.level_base) > len(b.level_base):
+            a = self.mod_switch_down(a)
+        while len(b.level_base) > len(a.level_base):
+            b = self.mod_switch_down(b)
+        return a, b
+
     def rotate_rows(self, ct: Ciphertext, steps: int,
                     galois_keys: Optional[GaloisKeys] = None) -> Ciphertext:
         """Rotate each slot row left by *steps* (Table 1's Ciphertext Rotate)."""

@@ -455,6 +455,18 @@ class CkksContext:
             comps.append(RnsPoly(c.base.drop_last(), c.degree, c.data[:-1], is_ntt=False))
         return Ciphertext(self.params, comps, scale=ct.scale)
 
+    def mod_switch_down(self, ct: Ciphertext) -> Ciphertext:
+        """Counted scale-preserving limb drop (the planner's drop primitive).
+
+        CKKS sheds a residue with :meth:`drop_modulus` — the scale is
+        untouched, so decoded values are identical; only noise headroom and
+        per-limb compute/bytes shrink.
+        """
+        if len(ct.level_base) < 2:
+            raise ValueError("cannot drop the only remaining residue")
+        self.counts["mod_switch"] += 1
+        return self.drop_modulus(ct)
+
     def align(self, a: Ciphertext, b: Ciphertext):
         """Bring two ciphertexts to a common level for add/multiply."""
         while len(a.level_base) > len(b.level_base):

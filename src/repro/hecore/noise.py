@@ -30,6 +30,19 @@ ROTATION_BITS = 2
 #: Safety slack applied by :meth:`NoiseEstimate.is_safe`.
 SAFETY_BITS = 3
 
+#: Rounding guard for a modulus switch: the divide-and-round step leaves
+#: noise of roughly ``t * ||s||_1`` absolute magnitude, so the budget after
+#: a switch cannot exceed ``live_bits - t_bits - log2(N) - guard``.
+MOD_SWITCH_GUARD_BITS = 1.0
+
+#: Documented slack for whole-program predictions
+#: (:meth:`NoiseEstimator.budget_after` vs measured budgets).  The model
+#: charges every plaintext multiply its worst-case ``t``-sized multiplier;
+#: real kernels multiply by small constants and keep more budget, so the
+#: prediction errs low by up to this many bits — never high by more than
+#: :data:`SAFETY_BITS`.
+PROGRAM_SLACK_BITS = 16
+
 
 @dataclass(frozen=True)
 class NoiseEstimate:
@@ -37,6 +50,9 @@ class NoiseEstimate:
 
     budget_bits: float
     params: EncryptionParameters
+    #: Bits of the *live* data modulus (after planner limb drops); ``None``
+    #: means the full data base is live.
+    q_bits_live: Optional[float] = None
 
     def is_safe(self, slack: float = SAFETY_BITS) -> bool:
         """Whether decryption is predicted to succeed with margin."""
@@ -112,6 +128,22 @@ class NoiseEstimator:
         """Ciphertext multiply: the Table 1 'large' growth."""
         return self._spend(est, self.t_bits + self.log_n + 8)
 
+    def after_mod_switch(self, est: NoiseEstimate,
+                         dropped_bits: float) -> NoiseEstimate:
+        """Dropping *dropped_bits* of trailing data residue.
+
+        BFV mod-switch preserves the invariant-noise *ratio* — both the
+        noise and ``q`` divide by the dropped prime — so the budget carries
+        over, capped by the rounding floor of the smaller modulus:
+        ``live_bits - t_bits - log2(N) - guard`` (the divide-and-round step
+        leaves ``~t·||s||_1`` of absolute noise behind).
+        """
+        live = (self.q_bits if est.q_bits_live is None
+                else est.q_bits_live) - dropped_bits
+        ceiling = live - self.t_bits - self.log_n - MOD_SWITCH_GUARD_BITS
+        budget = min(est.budget_bits, max(0.0, ceiling))
+        return replace(est, budget_bits=budget, q_bits_live=live)
+
     # ------------------------------------------------------------ planning
     def budget_after_conv(self, taps: int, shifts: int) -> NoiseEstimate:
         """A rotationally-redundant convolution: parallel rotations of the
@@ -132,3 +164,81 @@ class NoiseEstimator:
         for _ in range(plain_mult_depth):
             est = self.after_multiply_plain(est)
         return est.is_safe()
+
+    # ------------------------------------------------------------ programs
+    def budget_after(self, program) -> dict:
+        """Predicted budget for every output of a ciphertext IR program.
+
+        Walks a :class:`repro.core.ir.IrProgram` (duck-typed: ``nodes`` with
+        ``kind``/``args``/``terms``/``width``, plus ``outputs``) applying
+        the per-operation transitions, including planner-inserted
+        ``mod_switch`` limb drops.  Returns ``{output_name: NoiseEstimate}``.
+
+        Predictions are conservative: measured budgets exceed them by up to
+        :data:`PROGRAM_SLACK_BITS` (the model assumes worst-case ``t``-sized
+        plaintext multipliers), and a prediction that ``is_safe()`` must
+        decrypt — asserted over randomized DAGs in
+        ``tests/test_noise_estimator.py``.
+        """
+        nodes = program.nodes
+        limb_bits = [int(p).bit_length()
+                     for p in self.params.data_base.moduli]
+        # est[nid] -> (NoiseEstimate | None for consts, live limb count)
+        state: dict = {}
+        stack = list(program.outputs.values())
+        while stack:
+            nid = stack[-1]
+            if nid in state:
+                stack.pop()
+                continue
+            node = nodes[nid]
+            deps = list(node.args) + [cid for _, cid in node.terms]
+            missing = [a for a in deps if a not in state]
+            if missing:
+                stack.extend(missing)
+                continue
+            state[nid] = self._after_node(node, nodes, state, limb_bits)
+            stack.pop()
+        return {name: state[nid][0]
+                for name, nid in program.outputs.items()}
+
+    def _after_node(self, node, nodes, state, limb_bits):
+        """One (estimate, live-limb-count) transition for *node*."""
+        kind = node.kind
+        full = len(limb_bits)
+        if kind == "const":
+            return None, full
+        if kind in ("input", "encrypt", "recrypt_boundary"):
+            return self.fresh(), full
+        ct_states = [state[a] for a in node.args
+                     if state[a][0] is not None]
+        est, live = ct_states[0] if ct_states else (self.fresh(), full)
+        live = min(lv for _, lv in ct_states) if ct_states else full
+        if kind == "mod_switch":
+            return self.after_mod_switch(est, limb_bits[live - 1]), live - 1
+        if kind in ("decrypt", "neg", "rescale"):
+            return est, live
+        if kind == "rotate":
+            return self.after_rotation(est), live
+        if kind == "rotate_sum":
+            rounds = max(1, math.ceil(math.log2(max(node.width, 2))))
+            est = self.after_hoisted_rotations(est, rounds)
+            return self._spend(est, rounds), live
+        if kind == "weighted_sum":
+            count = max(1, len(node.terms))
+            est = self.after_hoisted_rotations(est, count)
+            est = self.after_multiply_plain(est)
+            return self._spend(est, math.ceil(math.log2(count + 1))), live
+        has_const = any(nodes[a].kind == "const" for a in node.args)
+        if kind in ("add", "sub"):
+            if has_const:
+                return self.after_add_plain(est), live
+            other = ct_states[1][0] if len(ct_states) > 1 else None
+            return self.after_add(est, other), live
+        if kind == "mul":
+            if has_const or len(ct_states) < 2:
+                return self.after_multiply_plain(est), live
+            floor = min(e.budget_bits for e, _ in ct_states)
+            est = replace(est, budget_bits=floor)
+            return self.after_multiply(est), live
+        raise ValueError(f"unknown IR node kind {kind!r}")

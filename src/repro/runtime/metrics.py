@@ -61,6 +61,9 @@ class SessionMetrics:
     ntt_forward: int = 0         # forward NTT residue-rows the scheduler ran
     ntt_inverse: int = 0         # inverse NTT residue-rows the scheduler ran
     ntt_elided: int = 0          # inverse->forward row pairs residency skipped
+    limb_drops: int = 0          # planned mod-switch limb drops executed
+    limbs_live: int = 0          # limbs-live integral over produced ciphertexts
+    level_replans: int = 0       # recrypt segments re-entered on a trimmed chain
     key_evictions: int = 0       # key-store LRU dropped this session's keys
     reupload_signals: int = 0    # KEYS_EVICTED errors sent to the client
     _latencies_s: List[float] = field(default_factory=list, repr=False)
@@ -102,6 +105,9 @@ class SessionMetrics:
             "ntt_forward": self.ntt_forward,
             "ntt_inverse": self.ntt_inverse,
             "ntt_elided": self.ntt_elided,
+            "limb_drops": self.limb_drops,
+            "limbs_live": self.limbs_live,
+            "level_replans": self.level_replans,
             "key_evictions": self.key_evictions,
             "reupload_signals": self.reupload_signals,
             "latency_p50_ms": round(self.latency_p50_ms(), 3),
@@ -176,6 +182,10 @@ class RuntimeMetrics:
             "ntt_forward": sum(m.ntt_forward for m in self.sessions.values()),
             "ntt_inverse": sum(m.ntt_inverse for m in self.sessions.values()),
             "ntt_elided": sum(m.ntt_elided for m in self.sessions.values()),
+            "limb_drops": sum(m.limb_drops for m in self.sessions.values()),
+            "limbs_live": sum(m.limbs_live for m in self.sessions.values()),
+            "level_replans": sum(m.level_replans
+                                 for m in self.sessions.values()),
             "sessions": sessions,
         }
 
@@ -195,6 +205,9 @@ class RuntimeMetrics:
             f"  ntt residency: {total['ntt_forward']} forward / "
             f"{total['ntt_inverse']} inverse row(s), "
             f"{total['ntt_elided']} pair(s) elided",
+            f"  level planner: {total['limb_drops']} limb drop(s), "
+            f"{total['limbs_live']} limb-row(s) live, "
+            f"{total['level_replans']} replan(s)",
             f"  resilience: {total['sessions_resumed']} resume(s), "
             f"{total['sessions_reaped']} reaped, "
             f"{total['duplicates_suppressed']} duplicate(s) suppressed, "
@@ -275,6 +288,9 @@ class FleetMetrics:
             "responses": total("responses"),
             "key_evictions": total("key_evictions"),
             "reupload_signals": total("reupload_signals"),
+            "limb_drops": total("limb_drops"),
+            "limbs_live": total("limbs_live"),
+            "level_replans": total("level_replans"),
             "scheduler_restarts": total("scheduler_restarts"),
             "executor_utilization": round(sum(
                 (s.get("eval_pool") or {}).get("utilization", 0.0)

@@ -186,6 +186,21 @@ class ServerSession:
         return mask
 
 
+#: Context-counter -> SessionMetrics-field pairs metered per request, in
+#: both the process-pool and inline execution paths.
+_METERED_COUNTERS = (
+    ("rotate", "rotations"),
+    ("hoisted_decompose", "hoisted_decomposes"),
+    ("naive_decompose", "naive_decomposes"),
+    ("ntt_forward", "ntt_forward"),
+    ("ntt_inverse", "ntt_inverse"),
+    ("ntt_elided", "ntt_elided"),
+    ("limb_drops", "limb_drops"),
+    ("limbs_live", "limbs_live"),
+    ("level_replans", "level_replans"),
+)
+
+
 class OffloadServer:
     """Serves the client-aided protocol to many concurrent sessions."""
 
@@ -690,14 +705,10 @@ class OffloadServer:
                 blobs, meta, counters = await self.eval_pool.execute(
                     session, request)
                 blobs = tuple(blobs)
-                session.metrics.rotations += counters.get("rotate", 0)
-                session.metrics.hoisted_decomposes += counters.get(
-                    "hoisted_decompose", 0)
-                session.metrics.naive_decomposes += counters.get(
-                    "naive_decompose", 0)
-                session.metrics.ntt_forward += counters.get("ntt_forward", 0)
-                session.metrics.ntt_inverse += counters.get("ntt_inverse", 0)
-                session.metrics.ntt_elided += counters.get("ntt_elided", 0)
+                for count_key, metric_key in _METERED_COUNTERS:
+                    setattr(session.metrics, metric_key,
+                            getattr(session.metrics, metric_key)
+                            + counters.get(count_key, 0))
             else:
                 handler = self._handlers[request.op]
                 session.ensure_context()
@@ -709,23 +720,11 @@ class OffloadServer:
                     result = await asyncio.to_thread(handler, session,
                                                      request)
                 counts = session.ctx.counts
-                session.metrics.rotations += (
-                    counts.get("rotate", 0) - counts_before.get("rotate", 0))
-                session.metrics.hoisted_decomposes += (
-                    counts.get("hoisted_decompose", 0)
-                    - counts_before.get("hoisted_decompose", 0))
-                session.metrics.naive_decomposes += (
-                    counts.get("naive_decompose", 0)
-                    - counts_before.get("naive_decompose", 0))
-                session.metrics.ntt_forward += (
-                    counts.get("ntt_forward", 0)
-                    - counts_before.get("ntt_forward", 0))
-                session.metrics.ntt_inverse += (
-                    counts.get("ntt_inverse", 0)
-                    - counts_before.get("ntt_inverse", 0))
-                session.metrics.ntt_elided += (
-                    counts.get("ntt_elided", 0)
-                    - counts_before.get("ntt_elided", 0))
+                for count_key, metric_key in _METERED_COUNTERS:
+                    setattr(session.metrics, metric_key,
+                            getattr(session.metrics, metric_key)
+                            + counts.get(count_key, 0)
+                            - counts_before.get(count_key, 0))
                 cts, meta = _normalize_result(result)
                 blobs = tuple(serialize_ciphertext(ct, compress_seed=False)
                               for ct in cts)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hecore.bfv import BfvContext
-from repro.hecore.noise import NoiseEstimator
+from repro.hecore.noise import PROGRAM_SLACK_BITS, NoiseEstimator
 from repro.hecore.params import EncryptionParameters, SchemeType
 
 TOLERANCE_BITS = 14   # the fresh-budget constant differs a few bits from SEAL
@@ -89,6 +89,66 @@ def test_masked_permutation_costs_more_than_rotation():
     fresh = estimator.fresh()
     assert (estimator.after_masked_permutation(fresh).budget_bits
             < estimator.after_rotation(fresh).budget_bits)
+
+
+def _run_reference(ctx, program, rng):
+    """Scheduler-off execution of a traced program, for measured budgets."""
+    from repro.core.ir import (ScheduledProgram, ScheduleReport,
+                               ensure_galois_keys)
+    raw = ScheduledProgram(program, ctx.params.scheme, ScheduleReport(),
+                           {}, set())
+    keys = ensure_galois_keys(ctx, raw.rotation_steps())
+    inputs = {name: ctx.encrypt(rng.integers(0, 7, 512))
+              for name in ("x", "y")}
+    return raw.run_reference(ctx, inputs, keys)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_budget_after_randomized_dag_within_slack(bfv, bfv_params, seed):
+    """``budget_after`` walks a whole IR DAG: per output, the prediction
+    never promises more than measurement + the documented slack, and a
+    prediction that claims safety must actually decrypt."""
+    from tests.test_ir import _random_bfv_program
+
+    rng = np.random.default_rng(seed)
+    program = _random_bfv_program(bfv_params, rng, n_ops=12)
+    predicted = NoiseEstimator(bfv_params).budget_after(program)
+    assert set(predicted) == set(program.outputs)
+
+    outputs = _run_reference(bfv, program, rng)
+    for name, est in predicted.items():
+        measured = bfv.noise_budget(outputs[name])
+        assert est.budget_bits <= measured + PROGRAM_SLACK_BITS, \
+            f"seed {seed} output {name}: predicted {est.budget_bits:.1f} " \
+            f"overshoots measured {measured:.1f}"
+        if est.is_safe():
+            assert measured > 0, \
+                f"seed {seed} output {name}: safe prediction failed to " \
+                f"decrypt"
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_budget_after_tracks_planned_limb_drops(bfv, bfv_params, seed):
+    """The walk prices planner-inserted ``mod_switch`` nodes: predictions
+    over the *planned* program stay conservative and flag no unsafe
+    outputs that the runtime then decrypts fine."""
+    from repro.core.ir import compile_ir, ensure_galois_keys
+    from tests.test_ir import _random_bfv_program
+
+    rng = np.random.default_rng(50 + seed)
+    program = _random_bfv_program(bfv_params, rng, n_ops=12)
+    sched = compile_ir(program, SchemeType.BFV, params=bfv_params)
+    predicted = NoiseEstimator(bfv_params).budget_after(sched.program)
+
+    keys = ensure_galois_keys(bfv, sched.rotation_steps())
+    inputs = {name: bfv.encrypt(rng.integers(0, 7, 512))
+              for name in ("x", "y")}
+    outputs = sched.run(bfv, inputs, keys)
+    for name, est in predicted.items():
+        measured = bfv.noise_budget(outputs[name])
+        assert est.budget_bits <= measured + PROGRAM_SLACK_BITS
+        if est.is_safe():
+            assert measured > 0
 
 
 def test_rejects_ckks():
